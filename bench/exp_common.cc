@@ -1,0 +1,207 @@
+#include "exp_common.h"
+
+#include <cstdio>
+#include <map>
+
+#include "common/check.h"
+#include "common/env_config.h"
+#include "core/trader.h"
+#include "olps/strategies.h"
+#include "rl/a2c.h"
+#include "rl/ddpg.h"
+#include "rl/deeptrader.h"
+#include "rl/eiie.h"
+#include "rl/ppo.h"
+#include "rl/sarl.h"
+
+namespace cit::bench {
+
+std::vector<market::MarketConfig> AllMarketConfigs() {
+  return {market::UsMarketConfig(), market::HkMarketConfig(),
+          market::ChinaMarketConfig()};
+}
+
+const market::PricePanel& PanelFor(const market::MarketConfig& config) {
+  static std::map<std::string, market::PricePanel>& cache =
+      *new std::map<std::string, market::PricePanel>();
+  auto it = cache.find(config.name);
+  if (it == cache.end()) {
+    it = cache.emplace(config.name, market::SimulateMarket(config)).first;
+  }
+  return it->second;
+}
+
+rl::RlTrainConfig BaseRlConfig(uint64_t seed) {
+  rl::RlTrainConfig cfg;
+  cfg.window = 24;
+  cfg.hidden = 32;
+  cfg.train_steps =
+      static_cast<int64_t>(300 * ScaledStepFactor());
+  cfg.rollout_len = 16;
+  cfg.seed = seed;
+  return cfg;
+}
+
+core::CrossInsightConfig BaseCitConfig(uint64_t seed) {
+  core::CrossInsightConfig cfg;
+  cfg.window = 24;
+  cfg.train_steps =
+      static_cast<int64_t>(400 * ScaledStepFactor());
+  cfg.rollout_len = 16;
+  cfg.seed = seed;
+  return cfg;
+}
+
+env::BacktestResult RunCit(const core::CrossInsightConfig& config,
+                           const market::PricePanel& panel,
+                           std::vector<double>* curve) {
+  core::CrossInsightTrader trader(panel.num_assets(), config);
+  std::vector<double> c = trader.Train(panel);
+  if (curve != nullptr) *curve = std::move(c);
+  return env::RunTestBacktest(trader, panel, config.window,
+                              config.transaction_cost);
+}
+
+env::BacktestResult RunMarketBaseline(const market::PricePanel& panel) {
+  olps::BuyAndHold bah;
+  return env::RunTestBacktest(bah, panel, /*window=*/24);
+}
+
+env::BacktestResult RunModel(const std::string& model,
+                             const market::PricePanel& panel, uint64_t seed,
+                             std::vector<double>* curve) {
+  if (curve != nullptr) curve->clear();
+  const int64_t window = 24;
+  // ---- Online-learning models (no training phase) ----
+  if (model == "OLMAR") {
+    olps::Olmar agent;
+    return env::RunTestBacktest(agent, panel, window);
+  }
+  if (model == "CRP") {
+    olps::Crp agent;
+    return env::RunTestBacktest(agent, panel, window);
+  }
+  if (model == "ONS") {
+    olps::Ons agent;
+    return env::RunTestBacktest(agent, panel, window);
+  }
+  if (model == "UP") {
+    olps::Up agent(300, seed);
+    return env::RunTestBacktest(agent, panel, window);
+  }
+  if (model == "EG") {
+    olps::Eg agent;
+    return env::RunTestBacktest(agent, panel, window);
+  }
+  if (model == "PAMR") {
+    olps::Pamr agent;
+    return env::RunTestBacktest(agent, panel, window);
+  }
+  if (model == "RMR") {
+    olps::Rmr agent;
+    return env::RunTestBacktest(agent, panel, window);
+  }
+  if (model == "Anticor") {
+    olps::Anticor agent;
+    return env::RunTestBacktest(agent, panel, window);
+  }
+  if (model == "Market") {
+    return RunMarketBaseline(panel);
+  }
+
+  // ---- Deep-RL models ----
+  if (model == "A2C") {
+    rl::A2cAgent agent(panel.num_assets(), BaseRlConfig(seed));
+    auto c = agent.Train(panel);
+    if (curve != nullptr) *curve = std::move(c);
+    return env::RunTestBacktest(agent, panel, window);
+  }
+  if (model == "PPO") {
+    rl::PpoAgent::PpoConfig cfg;
+    static_cast<rl::RlTrainConfig&>(cfg) = BaseRlConfig(seed);
+    cfg.train_steps = cfg.train_steps / 2;  // 4 epochs/rollout inside
+    rl::PpoAgent agent(panel.num_assets(), cfg);
+    auto c = agent.Train(panel);
+    if (curve != nullptr) *curve = std::move(c);
+    return env::RunTestBacktest(agent, panel, window);
+  }
+  if (model == "DDPG") {
+    rl::DdpgAgent::DdpgConfig cfg;
+    static_cast<rl::RlTrainConfig&>(cfg) = BaseRlConfig(seed);
+    cfg.train_steps *= 2;  // replay steps are cheaper than rollout steps
+    rl::DdpgAgent agent(panel.num_assets(), cfg);
+    auto c = agent.Train(panel);
+    if (curve != nullptr) *curve = std::move(c);
+    return env::RunTestBacktest(agent, panel, window);
+  }
+  if (model == "EIIE") {
+    rl::EiieAgent::EiieConfig cfg;
+    static_cast<rl::RlTrainConfig&>(cfg) = BaseRlConfig(seed);
+    rl::EiieAgent agent(panel.num_assets(), cfg);
+    auto c = agent.Train(panel);
+    if (curve != nullptr) *curve = std::move(c);
+    return env::RunTestBacktest(agent, panel, window);
+  }
+  if (model == "SARL") {
+    rl::SarlAgent agent(panel.num_assets(), BaseRlConfig(seed));
+    auto c = agent.Train(panel);
+    if (curve != nullptr) *curve = std::move(c);
+    return env::RunTestBacktest(agent, panel, window);
+  }
+  if (model == "DeepTrader") {
+    rl::DeepTraderAgent::DeepTraderConfig cfg;
+    static_cast<rl::RlTrainConfig&>(cfg) = BaseRlConfig(seed);
+    rl::DeepTraderAgent agent(panel.num_assets(), cfg);
+    auto c = agent.Train(panel);
+    if (curve != nullptr) *curve = std::move(c);
+    return env::RunTestBacktest(agent, panel, window);
+  }
+  if (model == "Ours") {
+    core::CrossInsightConfig cfg = BaseCitConfig(seed);
+    return RunCit(cfg, panel, curve);
+  }
+  CIT_CHECK_MSG(false, ("unknown model: " + model).c_str());
+  return {};
+}
+
+MetricTriple AverageOverSeeds(const std::string& model,
+                              const market::PricePanel& panel) {
+  const int seeds = ScaledSeeds();
+  MetricTriple sum;
+  for (int s = 0; s < seeds; ++s) {
+    const auto result = RunModel(model, panel, 1000 + 31 * s);
+    sum.ar += result.metrics.accumulative_return;
+    sum.sr += result.metrics.sharpe_ratio;
+    sum.cr += result.metrics.calmar_ratio;
+  }
+  sum.ar /= seeds;
+  sum.sr /= seeds;
+  sum.cr /= seeds;
+  return sum;
+}
+
+void PrintMetricsHeader(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-12s %8s %8s %8s\n", "Model", "AR", "SR", "CR");
+}
+
+void PrintMetricsRow(const std::string& name, const MetricTriple& m) {
+  std::printf("%-12s %8.3f %8.3f %8.3f\n", name.c_str(), m.ar, m.sr, m.cr);
+}
+
+void PrintSeries(const std::string& label, const std::vector<int64_t>& days,
+                 const std::vector<double>& values, int64_t max_points) {
+  CIT_CHECK_EQ(days.size(), values.size());
+  const int64_t n = static_cast<int64_t>(values.size());
+  const int64_t stride = std::max<int64_t>(1, n / max_points);
+  for (int64_t i = 0; i < n; i += stride) {
+    std::printf("%s,%lld,%.5f\n", label.c_str(),
+                static_cast<long long>(days[i]), values[i]);
+  }
+  if ((n - 1) % stride != 0) {
+    std::printf("%s,%lld,%.5f\n", label.c_str(),
+                static_cast<long long>(days[n - 1]), values[n - 1]);
+  }
+}
+
+}  // namespace cit::bench

@@ -1,0 +1,70 @@
+#ifndef CIT_BENCH_EXP_COMMON_H_
+#define CIT_BENCH_EXP_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "env/backtest.h"
+#include "market/panel.h"
+#include "market/simulator.h"
+#include "rl/config.h"
+
+namespace cit::bench {
+
+// The three paper markets at the current run scale (CIT_FAST / CIT_FULL).
+std::vector<market::MarketConfig> AllMarketConfigs();
+
+// Simulates (and caches per process) the panel for a market config.
+const market::PricePanel& PanelFor(const market::MarketConfig& config);
+
+// Model identifiers used across experiment binaries; order matches the
+// rows of the paper's Table III.
+inline const std::vector<std::string> kOnlineModels = {
+    "OLMAR", "CRP", "ONS", "UP", "EG"};
+inline const std::vector<std::string> kRlModels = {
+    "EIIE", "A2C", "DDPG", "PPO", "SARL", "DeepTrader", "Ours"};
+
+// Trains (for RL models) and backtests `model` on the panel's test split.
+// If `curve` is non-null it receives the training learning curve (empty for
+// online models). Deterministic given `seed`.
+env::BacktestResult RunModel(const std::string& model,
+                             const market::PricePanel& panel, uint64_t seed,
+                             std::vector<double>* curve = nullptr);
+
+// Backtest of the equal-weight buy-and-hold market portfolio.
+env::BacktestResult RunMarketBaseline(const market::PricePanel& panel);
+
+// AR/SR/CR averaged over ScaledSeeds() runs of `model`.
+struct MetricTriple {
+  double ar = 0.0;
+  double sr = 0.0;
+  double cr = 0.0;
+};
+MetricTriple AverageOverSeeds(const std::string& model,
+                              const market::PricePanel& panel);
+
+// The shared base RL config at the current run scale.
+rl::RlTrainConfig BaseRlConfig(uint64_t seed);
+// The cross-insight trader config at the current run scale.
+core::CrossInsightConfig BaseCitConfig(uint64_t seed);
+
+// Trains a cross-insight trader with an explicit config and backtests it.
+env::BacktestResult RunCit(const core::CrossInsightConfig& config,
+                           const market::PricePanel& panel,
+                           std::vector<double>* curve = nullptr);
+
+// ---- Table / series printing ------------------------------------------------
+
+// Prints "name  AR  SR  CR" rows for one market section.
+void PrintMetricsHeader(const std::string& title);
+void PrintMetricsRow(const std::string& name, const MetricTriple& m);
+
+// Prints a day-indexed series block in CSV-ish form, subsampled to at most
+// `max_points` points: "label,day,value".
+void PrintSeries(const std::string& label, const std::vector<int64_t>& days,
+                 const std::vector<double>& values, int64_t max_points = 60);
+
+}  // namespace cit::bench
+
+#endif  // CIT_BENCH_EXP_COMMON_H_

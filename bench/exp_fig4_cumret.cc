@@ -1,0 +1,25 @@
+// Reproduces Fig. 4: cumulative return vs. trading day for every compared
+// model plus the market index, on the three test splits. Output is CSV:
+// "market.model,day,wealth" — plot wealth against day to recover the figure.
+// (OLMAR is discarded as in the paper, due to its poor performance.)
+#include <cstdio>
+
+#include "exp_common.h"
+
+int main() {
+  using namespace cit;
+  std::printf("Fig 4: accumulative return during the test period (CSV)\n");
+  std::printf("series,day,wealth\n");
+  const std::vector<std::string> models = {
+      "CRP", "ONS", "UP",   "EG",         "EIIE", "A2C",
+      "DDPG", "PPO", "SARL", "DeepTrader", "Ours", "Market"};
+  for (const auto& market_cfg : bench::AllMarketConfigs()) {
+    const auto& panel = bench::PanelFor(market_cfg);
+    for (const auto& model : models) {
+      const auto result = bench::RunModel(model, panel, 1000);
+      bench::PrintSeries(market_cfg.name + "." + model, result.days,
+                         result.wealth);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Fig. 7: accumulative return of the actor with different neural
+// network structures — MLP, GRU, ours(GRU) = GRU + spatial attention, and
+// ours = TCN + spatial attention. Shape to compare with the paper:
+// ours > ours(GRU) > GRU > MLP (attention matters most, TCN > GRU).
+#include <cstdio>
+
+#include "common/env_config.h"
+#include "exp_common.h"
+
+int main() {
+  using namespace cit;
+  std::printf("Fig 7: actor network-structure ablation\n");
+  const struct {
+    core::BackboneKind kind;
+    const char* label;
+  } kVariants[] = {
+      {core::BackboneKind::kMlp, "MLP"},
+      {core::BackboneKind::kGru, "GRU"},
+      {core::BackboneKind::kGruAttention, "ours(GRU)"},
+      {core::BackboneKind::kTcnAttention, "ours"},
+  };
+  for (const auto& market_cfg : bench::AllMarketConfigs()) {
+    const auto& panel = bench::PanelFor(market_cfg);
+    bench::PrintMetricsHeader(market_cfg.name + " market");
+    for (const auto& variant : kVariants) {
+      const int seeds = ScaledSeeds();
+      bench::MetricTriple sum;
+      for (int s = 0; s < seeds; ++s) {
+        core::CrossInsightConfig cfg = bench::BaseCitConfig(1000 + 31 * s);
+        cfg.backbone = variant.kind;
+        const auto result = bench::RunCit(cfg, panel);
+        sum.ar += result.metrics.accumulative_return;
+        sum.sr += result.metrics.sharpe_ratio;
+        sum.cr += result.metrics.calmar_ratio;
+      }
+      sum.ar /= seeds;
+      sum.sr /= seeds;
+      sum.cr /= seeds;
+      bench::PrintMetricsRow(variant.label, sum);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Table II: statistics of the three market datasets. Prints both
+// the paper's real-data statistics and the synthetic-substitute statistics
+// generated at the current run scale (see DESIGN.md for the substitution).
+#include <cstdio>
+
+#include "common/env_config.h"
+#include <cmath>
+
+#include "exp_common.h"
+#include "signal/analysis.h"
+
+int main() {
+  using namespace cit;
+  std::printf("Table II: statistics of datasets\n");
+  std::printf("%-14s %10s %12s %12s\n", "Dataset", "Assets", "TrainDays",
+              "TestDays");
+  std::printf("--- paper (Yahoo Finance, 2009-01..2022-12) ---\n");
+  std::printf("%-14s %10d %12s %12s\n", "U.S. market", 80,
+              "2009-01..20-06", "2020-07..22-12");
+  std::printf("%-14s %10d %12s %12s\n", "H.K. market", 45,
+              "2009-01..20-06", "2020-07..21-07");
+  std::printf("%-14s %10d %12s %12s\n", "China market", 34,
+              "2009-01..20-06", "2020-07..21-07");
+
+  const char* scale = GetRunScale() == RunScale::kFull
+                          ? "CIT_FULL (paper-scale)"
+                          : (GetRunScale() == RunScale::kFast
+                                 ? "CIT_FAST (smoke)"
+                                 : "default (reduced)");
+  std::printf("--- this run: synthetic substitute, scale = %s ---\n", scale);
+  for (const auto& cfg : bench::AllMarketConfigs()) {
+    const auto& panel = bench::PanelFor(cfg);
+    std::printf("%-14s %10lld %12lld %12lld\n", cfg.name.c_str(),
+                static_cast<long long>(panel.num_assets()),
+                static_cast<long long>(panel.train_end()),
+                static_cast<long long>(panel.num_days() -
+                                       panel.train_end()));
+  }
+
+  // Structural diagnostics: annualized vol, multi-horizon momentum
+  // (variance ratios > 1), and how price variance distributes across DWT
+  // bands — the planted structure the cross-insight trader exploits.
+  std::printf("--- structure diagnostics (asset averages) ---\n");
+  std::printf("%-8s %8s %8s %8s %26s\n", "Dataset", "AnnVol", "VR(5)",
+              "VR(20)", "band energy (low..high)");
+  for (const auto& cfg : bench::AllMarketConfigs()) {
+    const auto& panel = bench::PanelFor(cfg);
+    double vol = 0.0, vr5 = 0.0, vr20 = 0.0;
+    std::vector<double> energy(3, 0.0);
+    for (int64_t i = 0; i < panel.num_assets(); ++i) {
+      std::vector<double> rets;
+      for (int64_t t = 1; t < panel.num_days(); ++t) {
+        rets.push_back(std::log(panel.PriceRelative(t, i)));
+      }
+      vol += signal::AnnualizedVolatility(rets);
+      vr5 += signal::VarianceRatio(rets, 5);
+      vr20 += signal::VarianceRatio(rets, 20);
+      const auto e = signal::BandEnergyFractions(rets, 3);
+      for (int b = 0; b < 3; ++b) energy[b] += e[b];
+    }
+    const double m = static_cast<double>(panel.num_assets());
+    std::printf("%-8s %8.3f %8.3f %8.3f       %.2f / %.2f / %.2f\n",
+                cfg.name.c_str(), vol / m, vr5 / m, vr20 / m,
+                energy[0] / m, energy[1] / m, energy[2] / m);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces Table III: AR/SR/CR of every baseline, the cross-insight
+// trader ("Ours"), and the market index on the three markets' test splits.
+// Shapes to compare with the paper: Ours > DeepTrader/SARL > PPO/DDPG/A2C >
+// online methods; OLMAR loses money; Ours beats the market in all three.
+#include <cstdio>
+
+#include "exp_common.h"
+
+int main() {
+  using namespace cit;
+  std::printf("Table III: performance comparison (paper Table III)\n");
+  for (const auto& market_cfg : bench::AllMarketConfigs()) {
+    const auto& panel = bench::PanelFor(market_cfg);
+    bench::PrintMetricsHeader(market_cfg.name + " market");
+    for (const auto& model : bench::kOnlineModels) {
+      bench::PrintMetricsRow(model, bench::AverageOverSeeds(model, panel));
+    }
+    for (const auto& model : bench::kRlModels) {
+      bench::PrintMetricsRow(model, bench::AverageOverSeeds(model, panel));
+    }
+    bench::PrintMetricsRow("Market",
+                           bench::AverageOverSeeds("Market", panel));
+  }
+  std::printf(
+      "\n(extended baselines, not in the paper's Table III)\n");
+  for (const auto& market_cfg : bench::AllMarketConfigs()) {
+    const auto& panel = bench::PanelFor(market_cfg);
+    bench::PrintMetricsHeader(market_cfg.name + " market (extended)");
+    for (const char* model : {"PAMR", "RMR", "Anticor"}) {
+      bench::PrintMetricsRow(model, bench::AverageOverSeeds(model, panel));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces Table IV: performance vs. the number of horizon-specific
+// policies (A2C = 0 policies, then 2..5). Shape to compare with the paper:
+// monotone improvement as the decomposition granularity grows.
+#include <cstdio>
+
+#include "common/env_config.h"
+#include "exp_common.h"
+
+int main() {
+  using namespace cit;
+  std::printf(
+      "Table IV: performance vs number of horizon-specific policies\n");
+  for (const auto& market_cfg : bench::AllMarketConfigs()) {
+    const auto& panel = bench::PanelFor(market_cfg);
+    bench::PrintMetricsHeader(market_cfg.name + " market");
+    for (int64_t n : {0, 2, 3, 4, 5}) {
+      const int seeds = ScaledSeeds();
+      bench::MetricTriple sum;
+      for (int s = 0; s < seeds; ++s) {
+        core::CrossInsightConfig cfg = bench::BaseCitConfig(1000 + 31 * s);
+        cfg.num_policies = n;
+        const auto result = bench::RunCit(cfg, panel);
+        sum.ar += result.metrics.accumulative_return;
+        sum.sr += result.metrics.sharpe_ratio;
+        sum.cr += result.metrics.calmar_ratio;
+      }
+      sum.ar /= seeds;
+      sum.sr /= seeds;
+      sum.cr /= seeds;
+      bench::PrintMetricsRow(
+          n == 0 ? "A2C" : (std::to_string(n) + " policies"), sum);
+    }
+  }
+  return 0;
+}

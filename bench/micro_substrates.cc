@@ -1,0 +1,162 @@
+// Micro-benchmarks of the substrate layers (google-benchmark): tensor
+// kernels, autodiff overhead, DWT decomposition, environment stepping, and
+// full actor forward/backward passes.
+#include <benchmark/benchmark.h>
+
+#include "core/actor.h"
+#include "core/critic.h"
+#include "env/portfolio_env.h"
+#include "market/simulator.h"
+#include "math/autograd.h"
+#include "math/rng.h"
+#include "nn/optimizer.h"
+#include "rl/features.h"
+#include "signal/wavelet.h"
+
+namespace {
+
+using namespace cit;
+
+void BM_TensorMatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  math::Rng rng(1);
+  math::Tensor a = math::Tensor::Uniform({n, n}, rng, -1, 1);
+  math::Tensor b = math::Tensor::Uniform({n, n}, rng, -1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::Tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_TensorMatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_AutogradMatMulBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  math::Rng rng(2);
+  ag::Var a = ag::Var::Param(math::Tensor::Uniform({n, n}, rng, -1, 1));
+  ag::Var b = ag::Var::Param(math::Tensor::Uniform({n, n}, rng, -1, 1));
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    ag::Sum(ag::MatMul(a, b)).Backward();
+  }
+}
+BENCHMARK(BM_AutogradMatMulBackward)->Arg(32)->Arg(64);
+
+void BM_HaarDecompose(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  math::Rng rng(3);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.Normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::HaarDecompose(x, 4));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HaarDecompose)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SplitHorizonBands(benchmark::State& state) {
+  math::Rng rng(4);
+  std::vector<double> x(64);
+  for (auto& v : x) v = rng.Normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        signal::SplitHorizonBands(x, state.range(0)));
+  }
+}
+BENCHMARK(BM_SplitHorizonBands)->Arg(2)->Arg(5);
+
+const market::PricePanel& BenchPanel() {
+  static const market::PricePanel& panel = [] {
+    market::MarketConfig cfg;
+    cfg.num_assets = 20;
+    cfg.train_days = 600;
+    cfg.test_days = 200;
+    return *new market::PricePanel(market::SimulateMarket(cfg));
+  }();
+  return panel;
+}
+
+void BM_EnvStep(benchmark::State& state) {
+  const auto& panel = BenchPanel();
+  env::EnvConfig cfg;
+  cfg.window = 24;
+  env::PortfolioEnv env(&panel, cfg);
+  const std::vector<double> uniform(panel.num_assets(),
+                                    1.0 / panel.num_assets());
+  for (auto _ : state) {
+    if (env.done()) env.Reset();
+    benchmark::DoNotOptimize(env.Step(uniform));
+  }
+}
+BENCHMARK(BM_EnvStep);
+
+void BM_BandFeatureExtraction(benchmark::State& state) {
+  const auto& panel = BenchPanel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rl::HorizonBandWindows(panel, 100, 24, state.range(0)));
+  }
+}
+BENCHMARK(BM_BandFeatureExtraction)->Arg(2)->Arg(5);
+
+core::CrossInsightConfig BenchActorConfig() {
+  core::CrossInsightConfig cfg;
+  cfg.num_policies = 5;
+  cfg.window = 24;
+  return cfg;
+}
+
+void BM_HorizonActorForward(benchmark::State& state) {
+  const auto& panel = BenchPanel();
+  auto cfg = BenchActorConfig();
+  math::Rng rng(5);
+  core::HorizonActor actor(cfg, panel.num_assets(), 0, rng);
+  const auto bands =
+      rl::HorizonBandWindows(panel, 100, cfg.window, cfg.num_policies);
+  const std::vector<double> prev(panel.num_assets(),
+                                 1.0 / panel.num_assets());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(actor.Forward(bands[0], prev));
+  }
+}
+BENCHMARK(BM_HorizonActorForward);
+
+void BM_HorizonActorForwardBackward(benchmark::State& state) {
+  const auto& panel = BenchPanel();
+  auto cfg = BenchActorConfig();
+  math::Rng rng(6);
+  core::HorizonActor actor(cfg, panel.num_assets(), 0, rng);
+  nn::Adam opt(nn::ParamVars(actor), 1e-3f);
+  const auto bands =
+      rl::HorizonBandWindows(panel, 100, cfg.window, cfg.num_policies);
+  const std::vector<double> prev(panel.num_assets(),
+                                 1.0 / panel.num_assets());
+  for (auto _ : state) {
+    opt.ZeroGrad();
+    ag::Sum(ag::Square(actor.Forward(bands[0], prev))).Backward();
+    opt.Step();
+  }
+}
+BENCHMARK(BM_HorizonActorForwardBackward);
+
+void BM_CentralizedCriticForward(benchmark::State& state) {
+  const auto& panel = BenchPanel();
+  auto cfg = BenchActorConfig();
+  math::Rng rng(7);
+  core::CentralizedCritic critic(cfg, panel.num_assets(), rng);
+  math::Tensor market = math::Tensor::Uniform(
+      {cfg.critic_market_days * panel.num_assets()}, rng, -1, 1);
+  math::Tensor pre = math::Tensor::Full(
+      {cfg.num_policies * panel.num_assets()},
+      1.0f / panel.num_assets());
+  math::Tensor action = math::Tensor::Full({panel.num_assets()},
+                                           1.0f / panel.num_assets());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(critic.Forward(market, pre, action));
+  }
+}
+BENCHMARK(BM_CentralizedCriticForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

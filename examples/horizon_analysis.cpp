@@ -1,0 +1,85 @@
+// Horizon analysis: demonstrates the DWT band decomposition at the heart of
+// the cross-insight trader (paper Sec. IV-A and Fig. 2), then trains a
+// 3-policy trader and reports each horizon policy's individual trading
+// style (paper Figs. 5-6).
+//
+// Build & run:   cmake --build build && ./build/examples/horizon_analysis
+#include <cmath>
+#include <cstdio>
+
+#include "core/trader.h"
+#include "env/backtest.h"
+#include "market/simulator.h"
+#include "signal/wavelet.h"
+
+namespace {
+
+double Roughness(const std::vector<double>& x) {
+  double s = 0.0;
+  for (size_t i = 1; i < x.size(); ++i) {
+    s += (x[i] - x[i - 1]) * (x[i] - x[i - 1]);
+  }
+  return std::sqrt(s / (x.size() - 1));
+}
+
+}  // namespace
+
+int main() {
+  using namespace cit;
+
+  market::MarketConfig market_cfg;
+  market_cfg.num_assets = 8;
+  market_cfg.train_days = 600;
+  market_cfg.test_days = 200;
+  market_cfg.seed = 11;
+  const market::PricePanel panel = market::SimulateMarket(market_cfg);
+
+  // ---- Part 1: decompose one asset's price history into horizon bands.
+  const std::vector<double> prices = panel.AssetSeries(0);
+  std::vector<double> normalized(prices.size());
+  for (size_t t = 0; t < prices.size(); ++t) {
+    normalized[t] = prices[t] / prices[0] - 1.0;
+  }
+  const int64_t bands = 3;
+  const auto split = signal::SplitHorizonBands(normalized, bands);
+  std::printf("DWT decomposition of asset 0 (%zu days, %lld bands):\n",
+              prices.size(), static_cast<long long>(bands));
+  const char* names[] = {"long-term ", "middle    ", "short-term"};
+  for (int64_t b = 0; b < bands; ++b) {
+    std::printf("  band %lld (%s): roughness=%.5f  "
+                "(higher = faster oscillation)\n",
+                static_cast<long long>(b), names[b], Roughness(split[b]));
+  }
+  // Bands reconstruct the original signal exactly.
+  double max_err = 0.0;
+  for (size_t t = 0; t < normalized.size(); ++t) {
+    double total = 0.0;
+    for (const auto& band : split) total += band[t];
+    max_err = std::max(max_err, std::fabs(total - normalized[t]));
+  }
+  std::printf("  reconstruction error (sum of bands vs original): %.2e\n",
+              max_err);
+
+  // ---- Part 2: train a 3-policy trader and inspect per-policy styles.
+  core::CrossInsightConfig cfg;
+  cfg.num_policies = 3;
+  cfg.window = 24;
+  cfg.train_steps = 120;
+  cfg.seed = 5;
+  core::CrossInsightTrader trader(panel.num_assets(), cfg);
+  std::printf("\nTraining 3 horizon policies + cross-insight policy...\n");
+  trader.Train(panel);
+
+  const auto fused = env::RunTestBacktest(trader, panel, cfg.window);
+  std::printf("\n%-22s %s\n", "fused (cross-insight):",
+              fused.metrics.ToString().c_str());
+  for (int64_t k = 0; k < cfg.num_policies; ++k) {
+    auto agent = trader.MakePolicyAgent(k);
+    const auto result = env::RunTestBacktest(*agent, panel, cfg.window);
+    // Band 0 is the longest horizon.
+    std::printf("%-22s %s\n",
+                (std::string("policy (") + names[k] + "):").c_str(),
+                result.metrics.ToString().c_str());
+  }
+  return 0;
+}

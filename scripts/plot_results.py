@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Plot the CSV series emitted by the exp_fig* bench binaries.
+
+Usage:
+    ./build/bench/exp_fig4_cumret > fig4.csv
+    python3 scripts/plot_results.py fig4.csv --out fig4.png
+
+The bench binaries print lines of the form "series,day,value" (with some
+human-readable header/footer lines, which this script skips). Each distinct
+series becomes one line on the plot; series names are "<market>.<model>",
+and one figure is produced per market.
+"""
+
+import argparse
+import collections
+import sys
+
+def parse_series(path):
+    series = collections.defaultdict(list)
+    with open(path) as f:
+        for line in f:
+            parts = line.strip().split(",")
+            if len(parts) != 3:
+                continue
+            name, x, y = parts
+            try:
+                series[name].append((float(x), float(y)))
+            except ValueError:
+                continue  # header line
+    return series
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv", help="output of an exp_fig* binary")
+    parser.add_argument("--out", default=None,
+                        help="output image path (default: <csv>.png)")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    series = parse_series(args.csv)
+    if not series:
+        sys.exit(f"no series found in {args.csv}")
+
+    markets = sorted({name.split(".", 1)[0] for name in series})
+    fig, axes = plt.subplots(1, len(markets),
+                             figsize=(6 * len(markets), 4.5), squeeze=False)
+    for ax, market in zip(axes[0], markets):
+        for name in sorted(series):
+            if not name.startswith(market + "."):
+                continue
+            label = name.split(".", 1)[1]
+            pts = series[name]
+            ax.plot([p[0] for p in pts], [p[1] for p in pts],
+                    label=label, linewidth=1.2)
+        ax.set_title(market)
+        ax.set_xlabel("day / checkpoint")
+        ax.legend(fontsize=7)
+        ax.grid(alpha=0.3)
+    out = args.out or args.csv + ".png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#ifndef CIT_COMMON_CHECK_H_
+#define CIT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checks for programmer errors (shape mismatches, out-of-bounds
+// indices, violated preconditions). These abort: such failures are bugs, not
+// recoverable conditions, and must not be silently ignored in release builds.
+// Fallible operations (I/O, parsing, user-supplied config) use Status instead.
+
+#define CIT_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CIT_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define CIT_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CIT_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define CIT_CHECK_EQ(a, b) CIT_CHECK((a) == (b))
+#define CIT_CHECK_NE(a, b) CIT_CHECK((a) != (b))
+#define CIT_CHECK_LT(a, b) CIT_CHECK((a) < (b))
+#define CIT_CHECK_LE(a, b) CIT_CHECK((a) <= (b))
+#define CIT_CHECK_GT(a, b) CIT_CHECK((a) > (b))
+#define CIT_CHECK_GE(a, b) CIT_CHECK((a) >= (b))
+
+#endif  // CIT_COMMON_CHECK_H_

@@ -1,0 +1,49 @@
+#include "common/env_config.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace cit {
+namespace {
+
+bool EnvFlagSet(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && std::strcmp(v, "0") != 0 && std::strcmp(v, "") != 0;
+}
+
+}  // namespace
+
+RunScale GetRunScale() {
+  static const RunScale kScale = [] {
+    if (EnvFlagSet("CIT_FULL")) return RunScale::kFull;
+    if (EnvFlagSet("CIT_FAST")) return RunScale::kFast;
+    return RunScale::kDefault;
+  }();
+  return kScale;
+}
+
+int ScaledSeeds() {
+  switch (GetRunScale()) {
+    case RunScale::kFast:
+      return 1;
+    case RunScale::kDefault:
+      return 1;
+    case RunScale::kFull:
+      return 5;  // the paper averages over 5 random seeds
+  }
+  return 1;
+}
+
+double ScaledStepFactor() {
+  switch (GetRunScale()) {
+    case RunScale::kFast:
+      return 0.25;
+    case RunScale::kDefault:
+      return 1.0;
+    case RunScale::kFull:
+      return 4.0;
+  }
+  return 1.0;
+}
+
+}  // namespace cit

@@ -1,0 +1,21 @@
+#ifndef CIT_COMMON_ENV_CONFIG_H_
+#define CIT_COMMON_ENV_CONFIG_H_
+
+namespace cit {
+
+// Experiment scale selected via environment variables:
+//   CIT_FAST=1  -> smoke scale (CI-friendly, seconds per experiment)
+//   default     -> reduced scale that preserves the paper's orderings
+//   CIT_FULL=1  -> paper-scale asset counts, more seeds and steps
+enum class RunScale { kFast, kDefault, kFull };
+
+// Reads CIT_FAST / CIT_FULL once and caches the answer.
+RunScale GetRunScale();
+
+// Convenience multipliers derived from the run scale.
+int ScaledSeeds();           // seeds to average over (paper: 5)
+double ScaledStepFactor();   // multiplier applied to training-step budgets
+
+}  // namespace cit
+
+#endif  // CIT_COMMON_ENV_CONFIG_H_

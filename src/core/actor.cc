@@ -1,0 +1,100 @@
+#include "core/actor.h"
+
+#include "common/check.h"
+#include "rl/features.h"
+
+namespace cit::core {
+
+HorizonActor::HorizonActor(const CrossInsightConfig& config,
+                           int64_t num_assets, int64_t policy_id, Rng& rng)
+    : num_assets_(num_assets),
+      num_policies_(config.num_policies),
+      policy_id_(policy_id),
+      backbone_(config.backbone, num_assets, config.window,
+                config.feature_dim, config.tcn_blocks, config.kernel_size,
+                rng),
+      score_bound_(static_cast<float>(config.score_bound)),
+      head_({config.feature_dim + 1 + config.num_policies,
+             config.head_hidden, 1},
+            rng),
+      log_std_(Var::Param(Tensor::Full({num_assets},
+                                       config.init_log_std))) {}
+
+Var HorizonActor::Forward(const Tensor& band_window,
+                          const std::vector<double>& prev_action,
+                          Var* attention_out) const {
+  CIT_CHECK_EQ(static_cast<int64_t>(prev_action.size()), num_assets_);
+  Var features =
+      backbone_.Forward(Var::Constant(band_window), attention_out);
+  // Per-asset state rows [m, f + 1 + n]: the asset's encoded features
+  // (already cross-asset-mixed by the attention layer), its previously
+  // executed weight, and the policy's one-hot ID. The head is shared
+  // across assets (an "identical evaluator"), so the policy learns
+  // relational rules rather than memorizing asset identities.
+  Tensor prev({num_assets_, 1});
+  for (int64_t i = 0; i < num_assets_; ++i) {
+    prev.At({i, 0}) = static_cast<float>(prev_action[i]);
+  }
+  Tensor id_rows({num_assets_, num_policies_});
+  for (int64_t i = 0; i < num_assets_; ++i) {
+    id_rows.At({i, policy_id_}) = 1.0f;
+  }
+  Var state = ag::Concat(
+      {features, Var::Constant(prev), Var::Constant(id_rows)},
+      /*axis=*/1);
+  Var scores = ag::Reshape(head_.Forward(state), {num_assets_});
+  return ag::MulScalar(ag::Tanh(ag::MulScalar(scores, 1.0f / score_bound_)),
+                       score_bound_);
+}
+
+void HorizonActor::CollectParameters(
+    const std::string& prefix, std::vector<nn::NamedParam>* out) const {
+  backbone_.CollectParameters(prefix + "backbone.", out);
+  head_.CollectParameters(prefix + "head.", out);
+  out->push_back({prefix + "log_std", log_std_});
+}
+
+CrossInsightActor::CrossInsightActor(const CrossInsightConfig& config,
+                                     int64_t num_assets, Rng& rng)
+    : num_assets_(num_assets),
+      num_policies_(config.num_policies),
+      backbone_(config.backbone, num_assets, config.window,
+                config.feature_dim, config.tcn_blocks, config.kernel_size,
+                rng),
+      score_bound_(static_cast<float>(config.score_bound)),
+      head_({config.feature_dim + config.num_policies,
+             config.head_hidden, 1},
+            rng),
+      log_std_(Var::Param(Tensor::Full({num_assets},
+                                       config.init_log_std))) {}
+
+Var CrossInsightActor::Forward(const Tensor& market_window,
+                               const Tensor& pre_decisions) const {
+  CIT_CHECK_EQ(pre_decisions.numel(), num_policies_ * num_assets_);
+  Var features = backbone_.Forward(Var::Constant(market_window));
+  // Per-asset state rows [m, f + n]: the asset's market features plus the
+  // weight each horizon policy pre-assigned to this asset. The shared head
+  // fuses the horizon insights per asset.
+  Var state = features;
+  if (num_policies_ > 0) {
+    Tensor pre_rows({num_assets_, num_policies_});
+    for (int64_t k = 0; k < num_policies_; ++k) {
+      for (int64_t i = 0; i < num_assets_; ++i) {
+        pre_rows.At({i, k}) = pre_decisions[k * num_assets_ + i];
+      }
+    }
+    state = ag::Concat({features, Var::Constant(pre_rows)}, /*axis=*/1);
+  }
+  Var scores = ag::Reshape(head_.Forward(state), {num_assets_});
+  return ag::MulScalar(ag::Tanh(ag::MulScalar(scores, 1.0f / score_bound_)),
+                       score_bound_);
+}
+
+void CrossInsightActor::CollectParameters(
+    const std::string& prefix, std::vector<nn::NamedParam>* out) const {
+  backbone_.CollectParameters(prefix + "backbone.", out);
+  head_.CollectParameters(prefix + "head.", out);
+  out->push_back({prefix + "log_std", log_std_});
+}
+
+}  // namespace cit::core

@@ -1,0 +1,77 @@
+#ifndef CIT_CORE_ACTOR_H_
+#define CIT_CORE_ACTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/backbone.h"
+#include "core/config.h"
+#include "nn/layers.h"
+
+namespace cit::core {
+
+// A horizon-specific policy (paper Fig. 3(a)): its backbone encodes the
+// policy's own DWT band of the price window; the encoded per-asset features
+// are concatenated with the policy's one-hot ID (diversity) and the action
+// executed at the previous time step (smoothness), then mapped by an MLP
+// head to the Gaussian mean over pre-softmax action scores.
+class HorizonActor : public nn::Module {
+ public:
+  HorizonActor(const CrossInsightConfig& config, int64_t num_assets,
+               int64_t policy_id, Rng& rng);
+
+  // band_window: [m, 1, z] tensor of this policy's horizon sub-series;
+  // prev_action: previously executed weights of this policy ([m]).
+  // Returns the Gaussian mean over R^m.
+  Var Forward(const Tensor& band_window,
+              const std::vector<double>& prev_action,
+              Var* attention_out = nullptr) const;
+
+  const Var& log_std() const { return log_std_; }
+  int64_t policy_id() const { return policy_id_; }
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParam>* out) const override;
+
+ private:
+  int64_t num_assets_;
+  int64_t num_policies_;
+  int64_t policy_id_;
+  ActorBackbone backbone_;
+  float score_bound_;
+  nn::Mlp head_;
+  Var log_std_;
+};
+
+// The cross-insight policy (paper Sec. IV-B1): makes the final trade
+// decision from the horizon policies' pre-decisions plus market features
+// extracted from the original (un-decomposed) price series.
+class CrossInsightActor : public nn::Module {
+ public:
+  CrossInsightActor(const CrossInsightConfig& config, int64_t num_assets,
+                    Rng& rng);
+
+  // market_window: [m, 1, z] of the original normalized prices;
+  // pre_decisions: concatenated pre-decision weights of all n policies
+  // ([n*m]; empty when num_policies == 0, the A2C degenerate mode).
+  Var Forward(const Tensor& market_window,
+              const Tensor& pre_decisions) const;
+
+  const Var& log_std() const { return log_std_; }
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParam>* out) const override;
+
+ private:
+  int64_t num_assets_;
+  int64_t num_policies_;
+  ActorBackbone backbone_;
+  float score_bound_;
+  nn::Mlp head_;
+  Var log_std_;
+};
+
+}  // namespace cit::core
+
+#endif  // CIT_CORE_ACTOR_H_

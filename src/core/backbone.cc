@@ -1,0 +1,102 @@
+#include "core/backbone.h"
+
+#include "common/check.h"
+
+namespace cit::core {
+
+const char* BackboneKindName(BackboneKind kind) {
+  switch (kind) {
+    case BackboneKind::kTcnAttention:
+      return "ours";
+    case BackboneKind::kGruAttention:
+      return "ours(GRU)";
+    case BackboneKind::kGru:
+      return "GRU";
+    case BackboneKind::kMlp:
+      return "MLP";
+  }
+  return "?";
+}
+
+const char* CreditModeName(CreditMode mode) {
+  switch (mode) {
+    case CreditMode::kCounterfactual:
+      return "counterfactual";
+    case CreditMode::kSharedQ:
+      return "shared-Q";
+    case CreditMode::kDecCritic:
+      return "dec-critic";
+  }
+  return "?";
+}
+
+ActorBackbone::ActorBackbone(BackboneKind kind, int64_t num_assets,
+                             int64_t window, int64_t feature_dim,
+                             int64_t tcn_blocks, int64_t kernel_size,
+                             Rng& rng)
+    : kind_(kind),
+      num_assets_(num_assets),
+      window_(window),
+      feature_dim_(feature_dim) {
+  switch (kind_) {
+    case BackboneKind::kTcnAttention:
+      tcn_ = std::make_unique<nn::Tcn>(1, feature_dim, tcn_blocks,
+                                       kernel_size, rng);
+      attention_ = std::make_unique<nn::SpatialAttention>(
+          num_assets, feature_dim, window, rng);
+      break;
+    case BackboneKind::kGruAttention:
+      gru_ = std::make_unique<nn::Gru>(1, feature_dim, rng);
+      attention_ = std::make_unique<nn::SpatialAttention>(
+          num_assets, feature_dim, window, rng);
+      break;
+    case BackboneKind::kGru:
+      gru_ = std::make_unique<nn::Gru>(1, feature_dim, rng);
+      break;
+    case BackboneKind::kMlp:
+      mlp_ = std::make_unique<nn::Mlp>(
+          std::vector<int64_t>{num_assets * window, num_assets * feature_dim,
+                               num_assets * feature_dim},
+          rng);
+      break;
+  }
+}
+
+Var ActorBackbone::Forward(const Var& x, Var* attention_out) const {
+  CIT_CHECK_EQ(x.value().ndim(), 3);
+  CIT_CHECK_EQ(x.value().dim(0), num_assets_);
+  CIT_CHECK_EQ(x.value().dim(2), window_);
+  switch (kind_) {
+    case BackboneKind::kTcnAttention: {
+      Var h = tcn_->Forward(x);                         // [m, f, z]
+      h = attention_->Forward(h, attention_out);        // [m, f, z]
+      return ag::Reshape(ag::Slice(h, /*axis=*/2, window_ - 1, 1),
+                         {num_assets_, feature_dim_});
+    }
+    case BackboneKind::kGruAttention: {
+      Var h = gru_->ForwardSequence(x);                 // [m, f, z]
+      h = attention_->Forward(h, attention_out);
+      return ag::Reshape(ag::Slice(h, /*axis=*/2, window_ - 1, 1),
+                         {num_assets_, feature_dim_});
+    }
+    case BackboneKind::kGru:
+      return gru_->ForwardLast(x);                      // [m, f]
+    case BackboneKind::kMlp: {
+      Var flat = ag::Reshape(x, {num_assets_ * window_});
+      Var h = mlp_->Forward(flat);
+      return ag::Reshape(h, {num_assets_, feature_dim_});
+    }
+  }
+  CIT_CHECK(false);
+  return Var();
+}
+
+void ActorBackbone::CollectParameters(
+    const std::string& prefix, std::vector<nn::NamedParam>* out) const {
+  if (tcn_) tcn_->CollectParameters(prefix + "tcn.", out);
+  if (gru_) gru_->CollectParameters(prefix + "gru.", out);
+  if (attention_) attention_->CollectParameters(prefix + "attn.", out);
+  if (mlp_) mlp_->CollectParameters(prefix + "mlp.", out);
+}
+
+}  // namespace cit::core

@@ -1,0 +1,60 @@
+#include "core/critic.h"
+
+#include "common/check.h"
+
+namespace cit::core {
+
+CentralizedCritic::CentralizedCritic(const CrossInsightConfig& config,
+                                     int64_t num_assets, Rng& rng)
+    : num_assets_(num_assets),
+      num_policies_(config.num_policies),
+      ids_({std::max<int64_t>(config.num_policies, 1)}),
+      net_({config.critic_market_days * num_assets +
+                config.num_policies * num_assets + num_assets +
+                std::max<int64_t>(config.num_policies, 1),
+            config.critic_hidden, config.critic_hidden, 1},
+           rng) {
+  // Normalized policy-ID vector {1..n}/n (constant input, kept for parity
+  // with the paper's critic-input description).
+  const int64_t n = ids_.numel();
+  for (int64_t k = 0; k < n; ++k) {
+    ids_[k] = static_cast<float>(k + 1) / static_cast<float>(n);
+  }
+}
+
+Var CentralizedCritic::Forward(const Tensor& market_flat,
+                               const Tensor& pre_decisions,
+                               const Tensor& final_action) const {
+  CIT_CHECK_EQ(pre_decisions.numel(), num_policies_ * num_assets_);
+  CIT_CHECK_EQ(final_action.numel(), num_assets_);
+  std::vector<Var> parts;
+  parts.push_back(Var::Constant(market_flat));
+  if (num_policies_ > 0) parts.push_back(Var::Constant(pre_decisions));
+  parts.push_back(Var::Constant(final_action));
+  parts.push_back(Var::Constant(ids_));
+  return net_.Forward(ag::Concat(parts, /*axis=*/0));
+}
+
+void CentralizedCritic::CollectParameters(
+    const std::string& prefix, std::vector<nn::NamedParam>* out) const {
+  net_.CollectParameters(prefix + "net.", out);
+}
+
+DecentralizedCritic::DecentralizedCritic(const CrossInsightConfig& config,
+                                         int64_t num_assets, Rng& rng)
+    : net_({config.critic_market_days * num_assets + num_assets,
+            config.critic_hidden, 1},
+           rng) {}
+
+Var DecentralizedCritic::Forward(const Tensor& own_flat,
+                                 const Tensor& own_action) const {
+  return net_.Forward(ag::Concat(
+      {Var::Constant(own_flat), Var::Constant(own_action)}, /*axis=*/0));
+}
+
+void DecentralizedCritic::CollectParameters(
+    const std::string& prefix, std::vector<nn::NamedParam>* out) const {
+  net_.CollectParameters(prefix + "net.", out);
+}
+
+}  // namespace cit::core

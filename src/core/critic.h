@@ -1,0 +1,60 @@
+#ifndef CIT_CORE_CRITIC_H_
+#define CIT_CORE_CRITIC_H_
+
+#include <string>
+#include <vector>
+
+#include "core/backbone.h"
+#include "core/config.h"
+#include "nn/layers.h"
+
+namespace cit::core {
+
+// The centralized critic (paper Sec. IV-B3): a two-layer fully-connected
+// network over the concatenation of (i) the flattened original price window
+// of all assets (the overall market state), (ii) every horizon policy's
+// pre-decision, (iii) the trade action taken by the cross-insight policy,
+// and (iv) the policy IDs. It estimates the joint state-action value Q used
+// both for TD(lambda) targets and for the counterfactual baselines.
+class CentralizedCritic : public nn::Module {
+ public:
+  CentralizedCritic(const CrossInsightConfig& config, int64_t num_assets,
+                    Rng& rng);
+
+  // market_flat: [window * m]; pre_decisions: [n * m] (empty when n == 0);
+  // final_action: executed cross-insight weights [m]. Returns scalar Q.
+  Var Forward(const Tensor& market_flat, const Tensor& pre_decisions,
+              const Tensor& final_action) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParam>* out) const override;
+
+ private:
+  int64_t num_assets_;
+  int64_t num_policies_;
+  Tensor ids_;  // constant policy-ID encoding appended to every input
+  nn::Mlp net_;
+};
+
+// A decentralized critic for the Dec-critic ablation (Fig. 8): one value
+// network per policy, receiving only that policy's own observation and its
+// executed action.
+class DecentralizedCritic : public nn::Module {
+ public:
+  DecentralizedCritic(const CrossInsightConfig& config, int64_t num_assets,
+                      Rng& rng);
+
+  // own_flat: the policy's own flattened observation [window * m];
+  // own_action: the policy's executed weights [m]. Returns scalar Q_k.
+  Var Forward(const Tensor& own_flat, const Tensor& own_action) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParam>* out) const override;
+
+ private:
+  nn::Mlp net_;
+};
+
+}  // namespace cit::core
+
+#endif  // CIT_CORE_CRITIC_H_

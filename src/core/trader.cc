@@ -1,0 +1,567 @@
+#include "core/trader.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "env/portfolio_env.h"
+#include "rl/features.h"
+#include "rl/gaussian_policy.h"
+#include "nn/serialize.h"
+#include "rl/returns.h"
+
+namespace cit::core {
+namespace {
+
+using rl::GaussianAction;
+using rl::SampleGaussianSimplex;
+using rl::SoftmaxWeights;
+
+Tensor WeightsTensor(const std::vector<double>& w) {
+  Tensor t({static_cast<int64_t>(w.size())});
+  for (size_t i = 0; i < w.size(); ++i) t[i] = static_cast<float>(w[i]);
+  return t;
+}
+
+Tensor ConcatWeights(const std::vector<std::vector<double>>& all,
+                     int64_t m) {
+  Tensor t({static_cast<int64_t>(all.size()) * m});
+  int64_t pos = 0;
+  for (const auto& w : all) {
+    for (double v : w) t[pos++] = static_cast<float>(v);
+  }
+  return t;
+}
+
+// Replaces slot k of a [n*m] pre-decision tensor with `weights`.
+Tensor ReplaceSlot(const Tensor& pre, int64_t k, int64_t m,
+                   const std::vector<double>& weights) {
+  Tensor out = pre;
+  for (int64_t i = 0; i < m; ++i) {
+    out[k * m + i] = static_cast<float>(weights[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+CrossInsightTrader::CrossInsightTrader(int64_t num_assets,
+                                       const CrossInsightConfig& config)
+    : num_assets_(num_assets), config_(config), rng_(config.seed) {
+  CIT_CHECK_GE(config_.num_policies, 0);
+  config_.critic_market_days =
+      std::min(config_.critic_market_days, config_.window);
+  for (int64_t k = 0; k < config_.num_policies; ++k) {
+    actors_.push_back(
+        std::make_unique<HorizonActor>(config_, num_assets_, k, rng_));
+  }
+  cross_actor_ =
+      std::make_unique<CrossInsightActor>(config_, num_assets_, rng_);
+
+  std::vector<Var> actor_params;
+  for (auto& a : actors_) {
+    for (auto& v : nn::ParamVars(*a)) actor_params.push_back(v);
+  }
+  for (auto& v : nn::ParamVars(*cross_actor_)) actor_params.push_back(v);
+  actor_opt_ = std::make_unique<nn::Adam>(
+      std::move(actor_params), static_cast<float>(config_.lr), 0.9f, 0.999f,
+      1e-8f, static_cast<float>(config_.weight_decay));
+
+  std::vector<Var> critic_params;
+  if (config_.credit == CreditMode::kDecCritic) {
+    for (int64_t k = 0; k < config_.num_policies + 1; ++k) {
+      dec_critics_.push_back(std::make_unique<DecentralizedCritic>(
+          config_, num_assets_, rng_));
+      for (auto& v : nn::ParamVars(*dec_critics_.back())) {
+        critic_params.push_back(v);
+      }
+    }
+  } else {
+    critic_ = std::make_unique<CentralizedCritic>(config_, num_assets_,
+                                                  rng_);
+    critic_params = nn::ParamVars(*critic_);
+  }
+  critic_opt_ = std::make_unique<nn::Adam>(
+      std::move(critic_params), static_cast<float>(config_.lr), 0.9f,
+      0.999f, 1e-8f, static_cast<float>(config_.weight_decay));
+  Reset();
+}
+
+void CrossInsightTrader::Reset() {
+  held_actions_.assign(
+      std::max<int64_t>(config_.num_policies, 1),
+      std::vector<double>(num_assets_,
+                          1.0 / static_cast<double>(num_assets_)));
+}
+
+const CrossInsightTrader::DayFeatures& CrossInsightTrader::FeaturesAt(
+    const market::PricePanel& panel, int64_t day) {
+  if (cached_panel_ != &panel) {
+    feature_cache_.clear();
+    cached_panel_ = &panel;
+  }
+  auto it = feature_cache_.find(day);
+  if (it != feature_cache_.end()) return it->second;
+
+  // Critic inputs use the trailing `critic_market_days` of the window.
+  const int64_t cd = std::min(config_.critic_market_days, config_.window);
+  auto critic_view = [&](const Tensor& window) {
+    return window.Slice(/*axis=*/2, config_.window - cd, cd)
+        .Reshape({cd * num_assets_});
+  };
+
+  DayFeatures features;
+  features.market = rl::NormalizedWindow(panel, day, config_.window);
+  features.market_flat = critic_view(features.market);
+  if (config_.num_policies > 0) {
+    features.bands = rl::HorizonBandWindows(panel, day, config_.window,
+                                            config_.num_policies);
+    for (const auto& band : features.bands) {
+      features.band_flats.push_back(critic_view(band));
+    }
+  }
+  return feature_cache_.emplace(day, std::move(features)).first->second;
+}
+
+std::vector<double> CrossInsightTrader::PolicyWeights(
+    const market::PricePanel& panel, int64_t day, int64_t k,
+    const std::vector<double>& prev_action) {
+  CIT_CHECK(k >= 0 && k < config_.num_policies);
+  const DayFeatures& f = FeaturesAt(panel, day);
+  Var mean = actors_[k]->Forward(f.bands[k], prev_action);
+  return SoftmaxWeights(mean.value());
+}
+
+std::vector<double> CrossInsightTrader::DecideWeights(
+    const market::PricePanel& panel, int64_t day) {
+  const DayFeatures& f = FeaturesAt(panel, day);
+  const int64_t n = config_.num_policies;
+  std::vector<std::vector<double>> pre(n);
+  for (int64_t k = 0; k < n; ++k) {
+    Var mean = actors_[k]->Forward(f.bands[k], held_actions_[k]);
+    pre[k] = SoftmaxWeights(mean.value());
+    held_actions_[k] = pre[k];
+  }
+  Tensor pre_dec = n > 0 ? ConcatWeights(pre, num_assets_) : Tensor({0});
+  Var cross_mean = cross_actor_->Forward(f.market, pre_dec);
+  return SoftmaxWeights(cross_mean.value());
+}
+
+namespace {
+
+// Everything remembered about one rollout step for the update phase.
+struct StepRecord {
+  std::vector<Var> horizon_logp;           // n
+  Var cross_logp;
+  std::vector<std::vector<double>> pre;    // executed pre-decisions [n][m]
+  std::vector<std::vector<double>> mu;     // Gaussian-mean weights  [n][m]
+  Tensor pre_dec;                          // [n*m]
+  std::vector<double> action;              // executed final weights [m]
+  std::vector<double> cross_mu;            // cross-policy mean weights [m]
+  int64_t day = 0;
+  double reward = 0.0;
+};
+
+}  // namespace
+
+std::vector<double> CrossInsightTrader::Train(
+    const market::PricePanel& panel, int64_t curve_points) {
+  const int64_t n = config_.num_policies;
+  CIT_CHECK_GT(panel.train_end(),
+               config_.window + config_.rollout_len + 2);
+  env::EnvConfig env_config;
+  env_config.window = config_.window;
+  env_config.transaction_cost = config_.transaction_cost;
+  env_config.end_day = panel.train_end() - 1;
+  env::PortfolioEnv env(&panel, env_config);
+
+  std::vector<double> curve;
+  double curve_acc = 0.0;
+  int64_t curve_n = 0;
+  const int64_t curve_every =
+      std::max<int64_t>(1, config_.train_steps / curve_points);
+  const float ent_coef = static_cast<float>(config_.entropy_coef);
+
+  for (int64_t step = 0; step < config_.train_steps; ++step) {
+    const int64_t lo = env.earliest_start();
+    const int64_t hi = env.end_day() - config_.rollout_len - 1;
+    env.ResetAt(lo + rng_.UniformInt(std::max<int64_t>(1, hi - lo)));
+    Reset();
+
+    // ---- Rollout (graphs retained for the policy-gradient update) ----
+    std::vector<StepRecord> rollout;
+    std::vector<double> rewards;
+    while (static_cast<int64_t>(rollout.size()) < config_.rollout_len &&
+           !env.done()) {
+      const int64_t day = env.current_day();
+      const DayFeatures& f = FeaturesAt(panel, day);
+      StepRecord rec;
+      rec.day = day;
+      rec.pre.resize(n);
+      rec.mu.resize(n);
+      for (int64_t k = 0; k < n; ++k) {
+        Var mean = actors_[k]->Forward(f.bands[k], held_actions_[k]);
+        GaussianAction act =
+            SampleGaussianSimplex(mean, actors_[k]->log_std(), &rng_);
+        rec.pre[k] = act.weights;
+        rec.mu[k] = SoftmaxWeights(mean.value());
+        rec.horizon_logp.push_back(act.log_prob);
+        held_actions_[k] = act.weights;
+      }
+      rec.pre_dec = n > 0 ? ConcatWeights(rec.pre, num_assets_)
+                          : Tensor({0});
+      Var cross_mean = cross_actor_->Forward(f.market, rec.pre_dec);
+      GaussianAction cross_act = SampleGaussianSimplex(
+          cross_mean, cross_actor_->log_std(), &rng_);
+      rec.cross_logp = cross_act.log_prob;
+      rec.action = cross_act.weights;
+      rec.cross_mu = SoftmaxWeights(cross_mean.value());
+      const env::StepResult sr = env.Step(rec.action);
+      rec.reward = sr.reward * config_.reward_scale;
+      rewards.push_back(rec.reward);
+      rollout.push_back(std::move(rec));
+    }
+    const int64_t len = static_cast<int64_t>(rollout.size());
+
+    // ---- Critic targets (Eq. 6-7) and update ----
+    const bool dec = config_.credit == CreditMode::kDecCritic;
+    // Bootstrap actions at the post-rollout state (deterministic means).
+    Tensor boot_pre({std::max<int64_t>(n, 0) * num_assets_});
+    std::vector<double> boot_action;
+    int64_t boot_day = -1;
+    if (!env.done()) {
+      boot_day = env.current_day();
+      const DayFeatures& f = FeaturesAt(panel, boot_day);
+      std::vector<std::vector<double>> pre(n);
+      for (int64_t k = 0; k < n; ++k) {
+        Var mean = actors_[k]->Forward(f.bands[k], held_actions_[k]);
+        pre[k] = SoftmaxWeights(mean.value());
+      }
+      if (n > 0) boot_pre = ConcatWeights(pre, num_assets_);
+      Var cm = cross_actor_->Forward(f.market, boot_pre);
+      boot_action = SoftmaxWeights(cm.value());
+    }
+
+    const int64_t num_critics = dec ? n + 1 : 1;
+    std::vector<std::vector<double>> all_targets(num_critics);
+    for (int64_t c = 0; c < num_critics; ++c) {
+      std::vector<double> values(len + 1, 0.0);
+      for (int64_t t = 0; t < len; ++t) {
+        const StepRecord& rec = rollout[t];
+        const DayFeatures& f = FeaturesAt(panel, rec.day);
+        Var q;
+        if (dec) {
+          if (c < n) {
+            q = dec_critics_[c]->Forward(f.band_flats[c],
+                                         WeightsTensor(rec.pre[c]));
+          } else {
+            q = dec_critics_[c]->Forward(f.market_flat,
+                                         WeightsTensor(rec.action));
+          }
+        } else {
+          q = critic_->Forward(f.market_flat, rec.pre_dec,
+                               WeightsTensor(rec.action));
+        }
+        values[t] = q.value().Item();
+      }
+      if (boot_day >= 0) {
+        const DayFeatures& f = FeaturesAt(panel, boot_day);
+        Var q;
+        if (dec) {
+          if (c < n) {
+            std::vector<double> own(boot_pre.data() + c * num_assets_,
+                                    boot_pre.data() + (c + 1) * num_assets_);
+            q = dec_critics_[c]->Forward(f.band_flats[c],
+                                         WeightsTensor(own));
+          } else {
+            q = dec_critics_[c]->Forward(f.market_flat,
+                                         WeightsTensor(boot_action));
+          }
+        } else {
+          q = critic_->Forward(f.market_flat, boot_pre,
+                               WeightsTensor(boot_action));
+        }
+        values[len] = q.value().Item();
+      }
+      all_targets[c] = rl::LambdaReturns(rewards, values, config_.gamma,
+                                         config_.lambda, config_.n_step);
+    }
+
+    Var critic_loss = Var::Constant(Tensor::Scalar(0.0f));
+    for (int64_t t = 0; t < len; ++t) {
+      const StepRecord& rec = rollout[t];
+      const DayFeatures& f = FeaturesAt(panel, rec.day);
+      if (dec) {
+        for (int64_t c = 0; c < num_critics; ++c) {
+          Var q = (c < n)
+                      ? dec_critics_[c]->Forward(
+                            f.band_flats[c], WeightsTensor(rec.pre[c]))
+                      : dec_critics_[c]->Forward(
+                            f.market_flat, WeightsTensor(rec.action));
+          critic_loss = ag::Add(
+              critic_loss,
+              ag::Square(ag::AddScalar(
+                  q, -static_cast<float>(all_targets[c][t]))));
+        }
+      } else {
+        Var q = critic_->Forward(f.market_flat, rec.pre_dec,
+                                 WeightsTensor(rec.action));
+        critic_loss = ag::Add(
+            critic_loss,
+            ag::Square(ag::AddScalar(
+                q, -static_cast<float>(all_targets[0][t]))));
+      }
+    }
+    critic_loss =
+        ag::MulScalar(critic_loss, 1.0f / static_cast<float>(len));
+    critic_opt_->ZeroGrad();
+    critic_loss.Backward();
+    critic_opt_->ClipGradNorm(5.0f);
+    critic_opt_->Step();
+
+    // ---- Actor update ----
+    // Fresh Q estimates with the updated critic; detached scalars.
+    std::vector<double> q_joint(len, 0.0);
+    std::vector<std::vector<double>> q_dec(num_critics,
+                                           std::vector<double>(len, 0.0));
+    std::vector<std::vector<double>> baselines(
+        n, std::vector<double>(len, 0.0));
+    std::vector<double> cross_baseline(len, 0.0);
+    for (int64_t t = 0; t < len; ++t) {
+      const StepRecord& rec = rollout[t];
+      const DayFeatures& f = FeaturesAt(panel, rec.day);
+      if (dec) {
+        for (int64_t c = 0; c < num_critics; ++c) {
+          Var q = (c < n)
+                      ? dec_critics_[c]->Forward(
+                            f.band_flats[c], WeightsTensor(rec.pre[c]))
+                      : dec_critics_[c]->Forward(
+                            f.market_flat, WeightsTensor(rec.action));
+          q_dec[c][t] = q.value().Item();
+        }
+        cross_baseline[t] =
+            dec_critics_[num_critics - 1]
+                ->Forward(f.market_flat, WeightsTensor(rec.cross_mu))
+                .value()
+                .Item();
+      } else {
+        q_joint[t] = critic_
+                         ->Forward(f.market_flat, rec.pre_dec,
+                                   WeightsTensor(rec.action))
+                         .value()
+                         .Item();
+        // Counterfactual baseline for the cross-insight policy itself:
+        // the executed trade action replaced by the Gaussian-mean action.
+        // State-dependent but independent of the sampled action, so it
+        // reduces variance without biasing Eq. (3)'s gradient.
+        cross_baseline[t] = critic_
+                                ->Forward(f.market_flat, rec.pre_dec,
+                                          WeightsTensor(rec.cross_mu))
+                                .value()
+                                .Item();
+        if (config_.credit == CreditMode::kCounterfactual) {
+          for (int64_t k = 0; k < n; ++k) {
+            // Counterfactual baseline B^k (Eq. 8): policy k's pre-decision
+            // replaced by its Gaussian-mean action.
+            Tensor cf = ReplaceSlot(rec.pre_dec, k, num_assets_, rec.mu[k]);
+            baselines[k][t] = critic_
+                                  ->Forward(f.market_flat, cf,
+                                            WeightsTensor(rec.action))
+                                  .value()
+                                  .Item();
+          }
+        }
+      }
+    }
+    // Constant (state-independent) baseline for Q-weighted terms: the
+    // rollout mean. This reduces variance without biasing the gradient.
+    auto mean_of = [](const std::vector<double>& v) {
+      double s = 0.0;
+      for (double x : v) s += x;
+      return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+    };
+    std::vector<double> dec_means(num_critics, 0.0);
+    for (int64_t c = 0; c < num_critics; ++c) {
+      dec_means[c] = mean_of(q_dec[c]);
+    }
+
+    // Per-policy advantage series; optionally standardized across the
+    // rollout (a state-independent rescaling that equalizes learning speed
+    // between the horizon policies and the cross-insight policy).
+    std::vector<std::vector<double>> horizon_adv(
+        n, std::vector<double>(len, 0.0));
+    std::vector<double> cross_adv(len, 0.0);
+    for (int64_t t = 0; t < len; ++t) {
+      for (int64_t k = 0; k < n; ++k) {
+        switch (config_.credit) {
+          case CreditMode::kCounterfactual:
+            horizon_adv[k][t] = q_joint[t] - baselines[k][t];
+            break;
+          case CreditMode::kSharedQ:
+            // The ablation's "same Q-value for every policy": the raw Q,
+            // no per-policy baseline — the variant Fig. 8 compares against.
+            horizon_adv[k][t] = q_joint[t];
+            break;
+          case CreditMode::kDecCritic:
+            horizon_adv[k][t] = q_dec[k][t] - dec_means[k];
+            break;
+        }
+      }
+      if (config_.credit == CreditMode::kSharedQ) {
+        cross_adv[t] = q_joint[t];  // same Q-value for the cross policy too
+      } else {
+        cross_adv[t] = dec ? q_dec[num_critics - 1][t] - cross_baseline[t]
+                           : q_joint[t] - cross_baseline[t];
+      }
+    }
+    auto standardize = [&](std::vector<double>* adv) {
+      double mean = 0.0;
+      for (double v : *adv) mean += v;
+      mean /= adv->size();
+      double var = 0.0;
+      for (double v : *adv) var += (v - mean) * (v - mean);
+      const double stddev = std::sqrt(var / adv->size());
+      if (stddev < 1e-8) return;
+      for (double& v : *adv) v /= stddev;
+    };
+    if (config_.normalize_advantages) {
+      for (auto& adv : horizon_adv) standardize(&adv);
+      standardize(&cross_adv);
+    }
+
+    last_advantages_.assign(n, 0.0);
+    Var actor_loss = Var::Constant(Tensor::Scalar(0.0f));
+    for (int64_t t = 0; t < len; ++t) {
+      StepRecord& rec = rollout[t];
+      for (int64_t k = 0; k < n; ++k) {
+        last_advantages_[k] += horizon_adv[k][t] / static_cast<double>(len);
+        actor_loss = ag::Sub(
+            actor_loss,
+            ag::MulScalar(rec.horizon_logp[k],
+                          static_cast<float>(horizon_adv[k][t])));
+      }
+      actor_loss = ag::Sub(
+          actor_loss,
+          ag::MulScalar(rec.cross_logp,
+                        static_cast<float>(cross_adv[t])));
+    }
+    // Entropy regularization on every policy's exploration scale.
+    Var entropy = rl::GaussianEntropy(cross_actor_->log_std());
+    for (int64_t k = 0; k < n; ++k) {
+      entropy = ag::Add(entropy, rl::GaussianEntropy(actors_[k]->log_std()));
+    }
+    actor_loss = ag::Sub(
+        actor_loss,
+        ag::MulScalar(entropy, ent_coef * static_cast<float>(len)));
+    actor_loss =
+        ag::MulScalar(actor_loss, 1.0f / static_cast<float>(len));
+    actor_opt_->ZeroGrad();
+    critic_opt_->ZeroGrad();
+    actor_loss.Backward();
+    actor_opt_->ClipGradNorm(5.0f);
+    actor_opt_->Step();
+
+    curve_acc += mean_of(rewards);
+    ++curve_n;
+    if ((step + 1) % curve_every == 0) {
+      curve.push_back(curve_acc / static_cast<double>(curve_n));
+      curve_acc = 0.0;
+      curve_n = 0;
+    }
+  }
+  Reset();
+  return curve;
+}
+
+namespace {
+
+// Trades one horizon policy's pre-decision alone (Figs. 5-6).
+class SinglePolicyAgent : public env::TradingAgent {
+ public:
+  SinglePolicyAgent(CrossInsightTrader* parent, int64_t k)
+      : parent_(parent), k_(k) {
+    Reset();
+  }
+
+  std::string name() const override {
+    return "policy-" + std::to_string(k_ + 1);
+  }
+
+  void Reset() override {
+    prev_.assign(parent_->num_assets(),
+                 1.0 / static_cast<double>(parent_->num_assets()));
+  }
+
+  std::vector<double> DecideWeights(const market::PricePanel& panel,
+                                    int64_t day) override {
+    prev_ = parent_->PolicyWeights(panel, day, k_, prev_);
+    return prev_;
+  }
+
+ private:
+  CrossInsightTrader* parent_;
+  int64_t k_;
+  std::vector<double> prev_;
+};
+
+}  // namespace
+
+std::unique_ptr<env::TradingAgent> CrossInsightTrader::MakePolicyAgent(
+    int64_t k) {
+  CIT_CHECK(k >= 0 && k < config_.num_policies);
+  return std::make_unique<SinglePolicyAgent>(this, k);
+}
+
+namespace {
+
+// Flattens all of a trader's networks into one Module for serialization.
+class TraderModules : public nn::Module {
+ public:
+  TraderModules(const std::vector<std::unique_ptr<HorizonActor>>& actors,
+                const CrossInsightActor* cross,
+                const CentralizedCritic* critic,
+                const std::vector<std::unique_ptr<DecentralizedCritic>>&
+                    dec_critics)
+      : actors_(actors),
+        cross_(cross),
+        critic_(critic),
+        dec_critics_(dec_critics) {}
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParam>* out) const override {
+    for (size_t k = 0; k < actors_.size(); ++k) {
+      actors_[k]->CollectParameters(
+          prefix + "actor" + std::to_string(k) + ".", out);
+    }
+    cross_->CollectParameters(prefix + "cross.", out);
+    if (critic_ != nullptr) critic_->CollectParameters(prefix + "critic.", out);
+    for (size_t k = 0; k < dec_critics_.size(); ++k) {
+      dec_critics_[k]->CollectParameters(
+          prefix + "dec_critic" + std::to_string(k) + ".", out);
+    }
+  }
+
+ private:
+  const std::vector<std::unique_ptr<HorizonActor>>& actors_;
+  const CrossInsightActor* cross_;
+  const CentralizedCritic* critic_;
+  const std::vector<std::unique_ptr<DecentralizedCritic>>& dec_critics_;
+};
+
+}  // namespace
+
+Status CrossInsightTrader::SaveModel(const std::string& path) const {
+  TraderModules all(actors_, cross_actor_.get(), critic_.get(),
+                    dec_critics_);
+  return nn::SaveParameters(all, path);
+}
+
+Status CrossInsightTrader::LoadModel(const std::string& path) {
+  TraderModules all(actors_, cross_actor_.get(), critic_.get(),
+                    dec_critics_);
+  const Status status = nn::LoadParameters(&all, path);
+  if (status.ok()) feature_cache_.clear();
+  return status;
+}
+
+}  // namespace cit::core

@@ -1,0 +1,99 @@
+#ifndef CIT_CORE_TRADER_H_
+#define CIT_CORE_TRADER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/actor.h"
+#include "core/config.h"
+#include "common/status.h"
+#include "core/critic.h"
+#include "env/backtest.h"
+#include "market/panel.h"
+#include "math/rng.h"
+#include "nn/optimizer.h"
+
+namespace cit::core {
+
+// The cross-insight trader: n horizon-specific policies fed with DWT bands
+// of the price window, a cross-insight policy fusing their pre-decisions,
+// a centralized TD(lambda) critic, and the counterfactual credit-assignment
+// mechanism (paper Sec. IV). Implements env::TradingAgent so the common
+// backtester evaluates it alongside every baseline.
+class CrossInsightTrader : public env::TradingAgent {
+ public:
+  CrossInsightTrader(int64_t num_assets, const CrossInsightConfig& config);
+
+  // Trains on the panel's training split; returns the learning curve
+  // (average scaled reward per rollout, bucketed into `curve_points`
+  // checkpoints — the series plotted in Fig. 8).
+  std::vector<double> Train(const market::PricePanel& panel,
+                            int64_t curve_points = 20);
+
+  std::string name() const override { return "CIT"; }
+  void Reset() override;
+  std::vector<double> DecideWeights(const market::PricePanel& panel,
+                                    int64_t day) override;
+
+  // An agent that trades policy k's pre-decision alone (deterministic),
+  // used for the per-policy analysis of Figs. 5-6. The returned agent
+  // borrows this trader, which must outlive it.
+  std::unique_ptr<env::TradingAgent> MakePolicyAgent(int64_t k);
+
+  // Deterministic pre-decision weights of policy k at `day`.
+  std::vector<double> PolicyWeights(const market::PricePanel& panel,
+                                    int64_t day, int64_t k,
+                                    const std::vector<double>& prev_action);
+
+  // Persists / restores all trained weights (actors + critics). Loading
+  // requires a trader constructed with an identical config and asset count.
+  Status SaveModel(const std::string& path) const;
+  Status LoadModel(const std::string& path);
+
+  const CrossInsightConfig& config() const { return config_; }
+  int64_t num_assets() const { return num_assets_; }
+
+  // Counterfactual advantages computed at the most recent training update
+  // (diagnostics/tests).
+  const std::vector<double>& last_advantages() const {
+    return last_advantages_;
+  }
+
+ private:
+  struct DayFeatures {
+    std::vector<Tensor> bands;  // n tensors [m, 1, z]
+    Tensor market;              // [m, 1, z]
+    Tensor market_flat;         // [z * m]
+    std::vector<Tensor> band_flats;  // n tensors [z * m]
+  };
+
+  const DayFeatures& FeaturesAt(const market::PricePanel& panel,
+                                int64_t day);
+
+  int64_t num_assets_;
+  CrossInsightConfig config_;
+  math::Rng rng_;
+
+  std::vector<std::unique_ptr<HorizonActor>> actors_;
+  std::unique_ptr<CrossInsightActor> cross_actor_;
+  std::unique_ptr<CentralizedCritic> critic_;
+  std::vector<std::unique_ptr<DecentralizedCritic>> dec_critics_;  // n+1
+
+  std::unique_ptr<nn::Adam> actor_opt_;
+  std::unique_ptr<nn::Adam> critic_opt_;
+
+  // Execution state (previous action per horizon policy).
+  std::vector<std::vector<double>> held_actions_;
+
+  // Per-day feature cache, keyed by day; invalidated when the panel changes.
+  const market::PricePanel* cached_panel_ = nullptr;
+  std::unordered_map<int64_t, DayFeatures> feature_cache_;
+
+  std::vector<double> last_advantages_;
+};
+
+}  // namespace cit::core
+
+#endif  // CIT_CORE_TRADER_H_

@@ -1,0 +1,43 @@
+#include "env/backtest.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cit::env {
+
+BacktestResult RunBacktest(TradingAgent& agent,
+                           const market::PricePanel& panel,
+                           const EnvConfig& config) {
+  PortfolioEnv env(&panel, config);
+  agent.Reset();
+
+  BacktestResult result;
+  result.agent_name = agent.name();
+  result.wealth.push_back(1.0);
+  result.days.push_back(env.current_day());
+  while (!env.done()) {
+    const std::vector<double> weights =
+        agent.DecideWeights(panel, env.current_day());
+    const StepResult step = env.Step(weights);
+    result.wealth.push_back(env.wealth());
+    result.days.push_back(env.current_day());
+    result.daily_returns.push_back(std::exp(step.reward) - 1.0);
+  }
+  result.metrics = ComputeMetrics(result.wealth);
+  return result;
+}
+
+BacktestResult RunTestBacktest(TradingAgent& agent,
+                               const market::PricePanel& panel,
+                               int64_t window, double transaction_cost) {
+  CIT_CHECK_GT(panel.train_end(), window);
+  EnvConfig config;
+  config.window = window;
+  config.transaction_cost = transaction_cost;
+  config.start_day = panel.train_end();
+  config.end_day = panel.num_days() - 1;
+  return RunBacktest(agent, panel, config);
+}
+
+}  // namespace cit::env

@@ -1,0 +1,54 @@
+#ifndef CIT_ENV_BACKTEST_H_
+#define CIT_ENV_BACKTEST_H_
+
+#include <string>
+#include <vector>
+
+#include "env/metrics.h"
+#include "env/portfolio_env.h"
+#include "market/panel.h"
+
+namespace cit::env {
+
+// Common interface for anything that can trade: online-learning strategies,
+// RL agents, and the cross-insight trader all implement it, so one
+// backtester serves the entire evaluation section of the paper.
+class TradingAgent {
+ public:
+  virtual ~TradingAgent() = default;
+
+  virtual std::string name() const = 0;
+
+  // Called once before a pass over data; clears internal state.
+  virtual void Reset() {}
+
+  // Returns target weights (a simplex point of size panel.num_assets())
+  // for the transition day -> day+1. Implementations must only read panel
+  // data at days <= day (no lookahead); tests enforce this for baselines.
+  virtual std::vector<double> DecideWeights(const market::PricePanel& panel,
+                                            int64_t day) = 0;
+};
+
+// Outcome of one backtest pass.
+struct BacktestResult {
+  std::string agent_name;
+  std::vector<double> wealth;          // S_0..S_T, S_0 = 1
+  std::vector<double> daily_returns;   // length T
+  std::vector<int64_t> days;           // panel day index per step
+  PerformanceMetrics metrics;
+};
+
+// Runs `agent` through the env's day range and records the wealth curve.
+BacktestResult RunBacktest(TradingAgent& agent,
+                           const market::PricePanel& panel,
+                           const EnvConfig& config);
+
+// Convenience: backtests over the panel's test split (days >= train_end).
+BacktestResult RunTestBacktest(TradingAgent& agent,
+                               const market::PricePanel& panel,
+                               int64_t window = 32,
+                               double transaction_cost = 1e-3);
+
+}  // namespace cit::env
+
+#endif  // CIT_ENV_BACKTEST_H_

@@ -1,0 +1,67 @@
+#include "env/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cit::env {
+
+std::vector<double> DailyReturns(const std::vector<double>& wealth) {
+  CIT_CHECK_GE(wealth.size(), 2u);
+  std::vector<double> returns(wealth.size() - 1);
+  for (size_t t = 1; t < wealth.size(); ++t) {
+    CIT_CHECK_GT(wealth[t - 1], 0.0);
+    returns[t - 1] = wealth[t] / wealth[t - 1] - 1.0;
+  }
+  return returns;
+}
+
+double MaxDrawdown(const std::vector<double>& wealth) {
+  double peak = wealth.empty() ? 0.0 : wealth[0];
+  double mdd = 0.0;
+  for (double s : wealth) {
+    if (s > peak) peak = s;
+    if (peak > 0.0) mdd = std::max(mdd, (peak - s) / peak);
+  }
+  return mdd;
+}
+
+PerformanceMetrics ComputeMetrics(const std::vector<double>& wealth) {
+  CIT_CHECK_GE(wealth.size(), 2u);
+  PerformanceMetrics m;
+  const std::vector<double> r = DailyReturns(wealth);
+  m.accumulative_return = wealth.back() / wealth.front() - 1.0;
+
+  double mean = 0.0;
+  for (double v : r) mean += v;
+  mean /= static_cast<double>(r.size());
+  double var = 0.0;
+  for (double v : r) var += (v - mean) * (v - mean);
+  var = r.size() > 1 ? var / static_cast<double>(r.size() - 1) : 0.0;
+  const double std_daily = std::sqrt(var);
+
+  m.annualized_vol = std_daily * std::sqrt(kTradingDaysPerYear);
+  const double years = static_cast<double>(r.size()) / kTradingDaysPerYear;
+  const double total = wealth.back() / wealth.front();
+  m.annualized_return =
+      total > 0.0 ? std::pow(total, 1.0 / years) - 1.0 : -1.0;
+  m.sharpe_ratio = std_daily > 0.0
+                       ? mean / std_daily * std::sqrt(kTradingDaysPerYear)
+                       : 0.0;
+  m.max_drawdown = MaxDrawdown(wealth);
+  // Calmar with a floor on MDD so near-monotone curves don't explode.
+  const double mdd_floor = std::max(m.max_drawdown, 0.01);
+  m.calmar_ratio = m.annualized_return / mdd_floor;
+  return m;
+}
+
+std::string PerformanceMetrics::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "AR=" << accumulative_return << " SR=" << sharpe_ratio
+     << " CR=" << calmar_ratio << " MDD=" << max_drawdown;
+  return os.str();
+}
+
+}  // namespace cit::env

@@ -1,0 +1,37 @@
+#ifndef CIT_ENV_METRICS_H_
+#define CIT_ENV_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cit::env {
+
+// The paper's three evaluation metrics plus the quantities they derive from.
+// Computed from a wealth curve S_0..S_T (S_0 typically 1.0).
+struct PerformanceMetrics {
+  double accumulative_return = 0.0;  // AR = S_T / S_0 - 1          (Eq. 11)
+  double sharpe_ratio = 0.0;         // SR = E(r)/sigma(r), annualized
+  double calmar_ratio = 0.0;         // CR = annualized return / MDD
+  double max_drawdown = 0.0;         // MDD = max_{t<s} (S_t - S_s)/S_t
+  double annualized_return = 0.0;
+  double annualized_vol = 0.0;
+
+  std::string ToString() const;
+};
+
+// Trading days per year used for annualization.
+inline constexpr double kTradingDaysPerYear = 252.0;
+
+// Daily simple returns r_t = S_t/S_{t-1} - 1 of a wealth curve.
+std::vector<double> DailyReturns(const std::vector<double>& wealth);
+
+// Maximum drawdown of a wealth curve, in [0, 1].
+double MaxDrawdown(const std::vector<double>& wealth);
+
+// Computes all metrics from a wealth curve with at least two points.
+PerformanceMetrics ComputeMetrics(const std::vector<double>& wealth);
+
+}  // namespace cit::env
+
+#endif  // CIT_ENV_METRICS_H_

@@ -1,0 +1,108 @@
+#include "market/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace cit::market {
+
+Status SavePanelCsv(const PricePanel& panel, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "#train_end=" << panel.train_end() << "\n";
+  out << "day";
+  for (const auto& name : panel.asset_names()) out << "," << name;
+  out << "\n";
+  out.precision(10);
+  for (int64_t t = 0; t < panel.num_days(); ++t) {
+    out << t;
+    for (int64_t i = 0; i < panel.num_assets(); ++i) {
+      out << "," << panel.Close(t, i);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<PricePanel> LoadPanelCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  int64_t train_end = 0;
+  std::string line;
+  // Optional comment lines before the header.
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const std::string key = "#train_end=";
+      if (line.rfind(key, 0) == 0) {
+        train_end = std::atoll(line.c_str() + key.size());
+      }
+      continue;
+    }
+    break;  // `line` now holds the header
+  }
+  if (line.empty()) return Status::InvalidArgument("empty CSV: " + path);
+
+  std::vector<std::string> names;
+  {
+    std::stringstream ss(line);
+    std::string cell;
+    bool first = true;
+    while (std::getline(ss, cell, ',')) {
+      if (first) {
+        first = false;  // day column
+      } else {
+        names.push_back(cell);
+      }
+    }
+  }
+  if (names.empty()) {
+    return Status::InvalidArgument("CSV has no asset columns: " + path);
+  }
+
+  std::vector<std::vector<double>> rows;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string cell;
+    std::vector<double> row;
+    bool first = true;
+    while (std::getline(ss, cell, ',')) {
+      if (first) {
+        first = false;
+        continue;
+      }
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        return Status::InvalidArgument("non-numeric price cell: " + cell);
+      }
+      if (v <= 0.0) {
+        return Status::InvalidArgument("non-positive price in CSV: " + cell);
+      }
+      row.push_back(v);
+    }
+    if (row.size() != names.size()) {
+      return Status::InvalidArgument("ragged CSV row in " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return Status::InvalidArgument("CSV has no data rows");
+
+  PricePanel panel(static_cast<int64_t>(rows.size()),
+                   static_cast<int64_t>(names.size()));
+  panel.asset_names() = names;
+  panel.set_train_end(train_end);
+  for (size_t t = 0; t < rows.size(); ++t) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      panel.SetClose(static_cast<int64_t>(t), static_cast<int64_t>(i),
+                     rows[t][i]);
+    }
+  }
+  return panel;
+}
+
+}  // namespace cit::market

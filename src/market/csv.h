@@ -1,0 +1,23 @@
+#ifndef CIT_MARKET_CSV_H_
+#define CIT_MARKET_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "market/panel.h"
+
+namespace cit::market {
+
+// Writes a panel as CSV: header "day,<asset0>,<asset1>,..." followed by one
+// row per day of closing prices. A "#train_end=<N>" comment line precedes
+// the header so a round trip preserves the split.
+Status SavePanelCsv(const PricePanel& panel, const std::string& path);
+
+// Loads a panel saved by SavePanelCsv, or any CSV whose first column is a
+// day key and remaining columns are positive closing prices. Real market
+// data exported from e.g. Yahoo Finance in this layout plugs in directly.
+Result<PricePanel> LoadPanelCsv(const std::string& path);
+
+}  // namespace cit::market
+
+#endif  // CIT_MARKET_CSV_H_

@@ -1,0 +1,74 @@
+#include "market/panel.h"
+
+#include "common/check.h"
+
+namespace cit::market {
+
+PricePanel::PricePanel(int64_t num_days, int64_t num_assets)
+    : num_days_(num_days),
+      num_assets_(num_assets),
+      close_(static_cast<size_t>(num_days * num_assets), 0.0) {
+  CIT_CHECK_GE(num_days, 0);
+  CIT_CHECK_GE(num_assets, 0);
+  asset_names_.resize(num_assets);
+  for (int64_t i = 0; i < num_assets; ++i) {
+    const std::string suffix = std::to_string(i);
+    asset_names_[i] = "A" + suffix;
+  }
+}
+
+double PricePanel::Close(int64_t day, int64_t asset) const {
+  CIT_CHECK(day >= 0 && day < num_days_);
+  CIT_CHECK(asset >= 0 && asset < num_assets_);
+  return close_[day * num_assets_ + asset];
+}
+
+void PricePanel::SetClose(int64_t day, int64_t asset, double price) {
+  CIT_CHECK(day >= 0 && day < num_days_);
+  CIT_CHECK(asset >= 0 && asset < num_assets_);
+  close_[day * num_assets_ + asset] = price;
+}
+
+double PricePanel::PriceRelative(int64_t day, int64_t asset) const {
+  CIT_CHECK_GE(day, 1);
+  const double prev = Close(day - 1, asset);
+  CIT_CHECK_GT(prev, 0.0);
+  return Close(day, asset) / prev;
+}
+
+std::vector<double> PricePanel::IndexLevels(int64_t base_day) const {
+  CIT_CHECK(base_day >= 0 && base_day < num_days_);
+  std::vector<double> levels(num_days_, 0.0);
+  // Equal dollar amounts bought at base_day and held.
+  for (int64_t t = 0; t < num_days_; ++t) {
+    double level = 0.0;
+    for (int64_t i = 0; i < num_assets_; ++i) {
+      level += Close(t, i) / Close(base_day, i);
+    }
+    levels[t] = level / static_cast<double>(num_assets_);
+  }
+  return levels;
+}
+
+std::vector<double> PricePanel::AssetSeries(int64_t asset) const {
+  std::vector<double> out(num_days_);
+  for (int64_t t = 0; t < num_days_; ++t) out[t] = Close(t, asset);
+  return out;
+}
+
+PricePanel PricePanel::SliceDays(int64_t start, int64_t end) const {
+  CIT_CHECK(start >= 0 && start <= end && end <= num_days_);
+  PricePanel out(end - start, num_assets_);
+  out.name_ = name_;
+  out.asset_names_ = asset_names_;
+  for (int64_t t = start; t < end; ++t) {
+    for (int64_t i = 0; i < num_assets_; ++i) {
+      out.SetClose(t - start, i, Close(t, i));
+    }
+  }
+  out.train_end_ = std::max<int64_t>(
+      0, std::min(train_end_ - start, out.num_days_));
+  return out;
+}
+
+}  // namespace cit::market

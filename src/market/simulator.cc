@@ -1,0 +1,188 @@
+#include "market/simulator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/env_config.h"
+#include "math/rng.h"
+
+namespace cit::market {
+namespace {
+
+using math::Rng;
+
+// Scale knobs per run scale: (assets_fraction, days_fraction).
+struct ScaleFactors {
+  double assets;
+  double days;
+};
+
+ScaleFactors FactorsForScale() {
+  switch (GetRunScale()) {
+    case RunScale::kFast:
+      return {0.15, 0.25};
+    case RunScale::kDefault:
+      return {0.25, 0.45};
+    case RunScale::kFull:
+      return {1.0, 1.0};
+  }
+  return {0.25, 0.45};
+}
+
+MarketConfig ApplyScale(MarketConfig config) {
+  const ScaleFactors f = FactorsForScale();
+  config.num_assets = std::max<int64_t>(
+      6, static_cast<int64_t>(std::lround(config.num_assets * f.assets)));
+  config.train_days = std::max<int64_t>(
+      320, static_cast<int64_t>(std::lround(config.train_days * f.days)));
+  // Keep the test window long even at reduced scale: short backtests make
+  // AR/SR too noisy to compare models (backtesting is cheap anyway).
+  const int64_t test_floor = GetRunScale() == RunScale::kFast ? 100 : 220;
+  config.test_days = std::max<int64_t>(
+      test_floor,
+      static_cast<int64_t>(std::lround(config.test_days * f.days)));
+  config.forced_bear_tail = std::min(
+      config.forced_bear_tail,
+      config.test_days / 2);
+  if (config.forced_bear_tail > 0) {
+    config.forced_bear_tail = std::max<int64_t>(
+        40, static_cast<int64_t>(
+                std::lround(config.forced_bear_tail * f.days)));
+  }
+  return config;
+}
+
+double HalfLifeToRho(double half_life) {
+  return std::exp(-std::log(2.0) / half_life);
+}
+
+}  // namespace
+
+MarketConfig UsMarketConfig() {
+  MarketConfig c;
+  c.name = "US";
+  c.num_assets = 80;         // paper: 80 constituents
+  c.train_days = 2890;       // 2009-01 .. 2020-06
+  c.test_days = 630;         // 2020-07 .. 2022-12
+  c.seed = 20090101 + 2 * 7919;  // test index ~+0.10 with bear tail
+  c.num_sectors = 8;
+  c.forced_bear_tail = 250;  // the 2022 bear market
+  return ApplyScale(c);
+}
+
+MarketConfig HkMarketConfig() {
+  MarketConfig c;
+  c.name = "HK";
+  c.num_assets = 45;     // paper: 45 constituents
+  c.train_days = 2890;   // 2009-01 .. 2020-06
+  c.test_days = 250;     // 2020-07 .. 2021-07
+  c.seed = 19970701 + 9 * 7919;  // test index ~+0.26
+  c.num_sectors = 5;
+  c.bull_drift = 3.5e-4;
+  c.market_vol = 0.009;
+  return ApplyScale(c);
+}
+
+MarketConfig ChinaMarketConfig() {
+  MarketConfig c;
+  c.name = "China";
+  c.num_assets = 34;     // paper: 34 constituents
+  c.train_days = 2890;   // 2009-01 .. 2020-06
+  c.test_days = 250;     // 2020-07 .. 2021-07
+  c.seed = 19901219 + 7 * 7919;  // test index ~+0.15
+  c.num_sectors = 4;
+  c.bull_drift = 4.5e-4;
+  c.market_vol = 0.010;
+  c.idio_vol = 0.012;
+  return ApplyScale(c);
+}
+
+PricePanel SimulateMarket(const MarketConfig& config) {
+  const int64_t days = config.num_days();
+  const int64_t m = config.num_assets;
+  CIT_CHECK_GT(days, 1);
+  CIT_CHECK_GT(m, 0);
+  Rng rng(config.seed);
+
+  // Static per-asset structure.
+  std::vector<double> beta(m);
+  std::vector<int64_t> sector(m);
+  for (int64_t i = 0; i < m; ++i) {
+    beta[i] = config.market_beta_mean +
+              config.market_beta_spread * (2.0 * rng.Uniform() - 1.0);
+    sector[i] = i % std::max<int64_t>(1, config.num_sectors);
+  }
+
+  // State: horizon momentum components (AR(1) on returns), per-asset
+  // drift, sector factor levels, regime of the market factor.
+  std::vector<double> comp_long(m, 0.0);
+  std::vector<double> comp_mid(m, 0.0);
+  std::vector<double> comp_short(m, 0.0);
+  std::vector<double> drift(m, 0.0);
+  std::vector<double> event_drift(m, 0.0);
+  const double rho_event = HalfLifeToRho(config.jump_drift_half_life);
+  std::vector<double> sector_level(
+      std::max<int64_t>(1, config.num_sectors), 0.0);
+  const double rho_sector = HalfLifeToRho(32.0);
+
+  std::vector<double> log_price(m, 0.0);
+  PricePanel panel(days, m);
+  panel.set_name(config.name);
+  panel.set_train_end(config.train_days);
+
+  bool bull = true;
+  for (int64_t t = 0; t < days; ++t) {
+    // Regime transition (or forced bear tail).
+    if (config.forced_bear_tail > 0 && t >= days - config.forced_bear_tail) {
+      bull = false;
+    } else {
+      const double stay =
+          bull ? config.bull_stay_prob : config.bear_stay_prob;
+      if (rng.Uniform() > stay) bull = !bull;
+    }
+    const double market_ret =
+        (bull ? config.bull_drift : config.bear_drift) +
+        config.market_vol * rng.Normal();
+
+    std::vector<double> sector_increment(sector_level.size());
+    for (size_t s = 0; s < sector_level.size(); ++s) {
+      const double prev = sector_level[s];
+      sector_level[s] = rho_sector * prev + config.sector_vol * rng.Normal();
+      sector_increment[s] = sector_level[s] - prev;
+    }
+
+    for (int64_t i = 0; i < m; ++i) {
+      // Horizon momentum components: AR(1) on returns, so each band's
+      // returns are positively autocorrelated at its own time scale.
+      comp_long[i] =
+          config.long_phi * comp_long[i] + config.long_vol * rng.Normal();
+      comp_mid[i] =
+          config.mid_phi * comp_mid[i] + config.mid_vol * rng.Normal();
+      comp_short[i] = config.short_phi * comp_short[i] +
+                      config.short_vol * rng.Normal();
+      drift[i] = config.drift_persistence * drift[i] +
+                 config.drift_vol * rng.Normal();
+
+      // News jumps with continuation: the jump hits immediately and seeds
+      // a same-direction drift that decays over jump_drift_half_life days.
+      event_drift[i] *= rho_event;
+      double jump = 0.0;
+      if (config.jump_prob > 0.0 && rng.Uniform() < config.jump_prob) {
+        jump = config.jump_vol * rng.Normal();
+        event_drift[i] += config.jump_drift_fraction * jump;
+      }
+
+      const double ret = jump + event_drift[i] + drift[i] +
+                         beta[i] * market_ret +
+                         sector_increment[sector[i]] + comp_long[i] +
+                         comp_mid[i] + comp_short[i] +
+                         config.idio_vol * rng.Normal();
+      log_price[i] += ret;
+      panel.SetClose(t, i, 100.0 * std::exp(log_price[i]));
+    }
+  }
+  return panel;
+}
+
+}  // namespace cit::market

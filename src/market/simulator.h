@@ -1,0 +1,93 @@
+#ifndef CIT_MARKET_SIMULATOR_H_
+#define CIT_MARKET_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "market/panel.h"
+
+namespace cit::market {
+
+// Configuration of the synthetic market generator. The generator replaces
+// the paper's Yahoo-Finance data (see DESIGN.md, substitution table): each
+// asset's log price superposes
+//   * a two-state (bull/bear) Markov market factor with regime drifts,
+//   * sector factors shared by groups of assets,
+//   * per-asset mean-reverting components at three characteristic horizons
+//     (Ornstein-Uhlenbeck with long/mid/short half-lives) — the structure
+//     the fractal market hypothesis posits and the DWT separates,
+//   * a slowly-varying per-asset drift (long-horizon momentum), and
+//   * idiosyncratic white noise (the unpredictable part).
+struct MarketConfig {
+  std::string name = "synthetic";
+  int64_t num_assets = 20;
+  int64_t train_days = 1200;
+  int64_t test_days = 300;
+  uint64_t seed = 7;
+
+  int64_t num_sectors = 4;
+
+  // Regime dynamics of the market factor (daily log-return drifts).
+  double bull_drift = 4e-4;
+  double bear_drift = -8e-4;
+  double bull_stay_prob = 0.995;
+  double bear_stay_prob = 0.98;
+  double market_vol = 0.008;
+  // When >0, the final `forced_bear_tail` days are pinned to the bear
+  // regime (models the 2022 U.S. bear market in the paper's test window).
+  int64_t forced_bear_tail = 0;
+
+  // Momentum components at three characteristic horizons: each is an AR(1)
+  // process on *returns* (r_b(t) = phi_b r_b(t-1) + vol_b eps), so returns
+  // are positively autocorrelated at time scale ~1/(1-phi_b). This carries
+  // the partially-predictable multi-horizon structure the fractal market
+  // hypothesis posits (and the DWT separates), and it makes naive
+  // mean-reversion — OLMAR's bet — lose, as in the paper's Table III.
+  // The long-horizon component carries most of the exploitable structure:
+  // short receptive fields (e.g. a 7-day conv) cannot see it, while the
+  // DWT's low-frequency band exposes it cleanly — the paper's core story.
+  double long_phi = 0.98;
+  double mid_phi = 0.90;
+  double short_phi = 0.45;
+  double long_vol = 0.0006;
+  double mid_vol = 0.0008;
+  double short_vol = 0.0020;
+
+  // Persistent per-asset drift (AR(1) on the drift itself) — the momentum
+  // that differentiates winners from losers in the cross-section.
+  double drift_persistence = 0.9996;
+  double drift_vol = 2.5e-5;
+
+  // Loadings and idiosyncratic noise.
+  double market_beta_mean = 1.0;
+  double market_beta_spread = 0.4;
+  double sector_vol = 0.004;
+  double idio_vol = 0.007;
+
+  // News-jump events with post-event continuation (drift in the jump's
+  // direction decaying over ~`jump_drift_half_life` days). This is what
+  // breaks naive mean-reversion strategies on real markets — buying a
+  // crashed asset while the bad news keeps playing out — and is why OLMAR
+  // loses in the paper's Table III.
+  double jump_prob = 0.015;            // per asset-day
+  double jump_vol = 0.025;             // jump magnitude stddev
+  double jump_drift_fraction = 0.015;   // initial daily continuation drift
+                                       // as a fraction of the jump
+  double jump_drift_half_life = 8.0;
+
+  int64_t num_days() const { return train_days + test_days; }
+};
+
+// Named presets mirroring the paper's three datasets (Table II). Asset
+// counts and train/test lengths scale with CIT_FAST / CIT_FULL; CIT_FULL
+// reproduces the paper's exact counts (80/45/34 assets).
+MarketConfig UsMarketConfig();
+MarketConfig HkMarketConfig();
+MarketConfig ChinaMarketConfig();
+
+// Generates a price panel from the config. Deterministic given config.seed.
+PricePanel SimulateMarket(const MarketConfig& config);
+
+}  // namespace cit::market
+
+#endif  // CIT_MARKET_SIMULATOR_H_

@@ -1,0 +1,755 @@
+#include "math/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace cit::ag {
+
+void AccumGrad(Node* n, const Tensor& g) {
+  if (n == nullptr || !n->requires_grad) return;
+  if (!n->has_grad) {
+    n->grad = g;
+    n->has_grad = true;
+  } else {
+    n->grad.AddInPlace(g);
+  }
+}
+
+Var::Var(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Var Var::Param(Tensor value) { return Var(std::move(value), true); }
+
+Var Var::Constant(Tensor value) { return Var(std::move(value), false); }
+
+const Tensor& Var::value() const {
+  CIT_CHECK(node_ != nullptr);
+  return node_->value;
+}
+
+Tensor& Var::mutable_value() {
+  CIT_CHECK(node_ != nullptr);
+  return node_->value;
+}
+
+const Tensor& Var::grad() const {
+  CIT_CHECK(node_ != nullptr);
+  CIT_CHECK_MSG(node_->has_grad, "gradient not populated; call Backward()");
+  return node_->grad;
+}
+
+void Var::ZeroGrad() {
+  CIT_CHECK(node_ != nullptr);
+  node_->has_grad = false;
+  node_->grad = Tensor();
+}
+
+void Var::Backward() {
+  CIT_CHECK(node_ != nullptr);
+  CIT_CHECK_MSG(node_->value.numel() == 1,
+                "Backward() must start from a scalar");
+  // Iterative post-order DFS to get a reverse topological order.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (node_->requires_grad) {
+    stack.push_back({node_.get(), 0});
+    visited.insert(node_.get());
+  }
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* p = f.node->parents[f.next_parent++].get();
+      if (p->requires_grad && visited.insert(p).second) {
+        stack.push_back({p, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  AccumGrad(node_.get(), Tensor::Ones(node_->value.shape()));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->has_grad) n->backward_fn(*n);
+  }
+}
+
+Var Var::Detach() const { return Var::Constant(value()); }
+
+Var MakeOp(Tensor value, std::vector<Var> inputs,
+           std::function<void(Node&)> backward_fn) {
+  bool requires_grad = false;
+  for (const Var& v : inputs) requires_grad |= v.requires_grad();
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  if (requires_grad) {
+    node->parents.reserve(inputs.size());
+    for (Var& v : inputs) node->parents.push_back(v.node());
+    node->backward_fn = std::move(backward_fn);
+  }
+  // Without requires_grad the node is a pruned leaf: no parents, no closure.
+  return Var(std::move(node));
+}
+
+namespace {
+
+enum class BroadcastKind { kSame, kScalar, kBias };
+
+BroadcastKind ClassifyBroadcast(const Tensor& a, const Tensor& b,
+                                bool allow_bias) {
+  if (a.shape() == b.shape()) return BroadcastKind::kSame;
+  if (b.numel() == 1) return BroadcastKind::kScalar;
+  if (allow_bias && b.ndim() == 1 && a.ndim() >= 1 &&
+      b.dim(0) == a.dim(-1)) {
+    return BroadcastKind::kBias;
+  }
+  CIT_CHECK_MSG(false, "incompatible shapes for elementwise op");
+  return BroadcastKind::kSame;
+}
+
+// Reduces gradient `g` (shaped like the full output) onto a bias vector of
+// length `n` (the last axis), summing over all leading positions.
+Tensor ReduceToBias(const Tensor& g, int64_t n) {
+  Tensor out(Shape{n});
+  const int64_t rows = g.numel() / n;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = g.data() + r * n;
+    for (int64_t i = 0; i < n; ++i) out[i] += src[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Var Add(const Var& a, const Var& b) {
+  const BroadcastKind kind =
+      ClassifyBroadcast(a.value(), b.value(), /*allow_bias=*/true);
+  Tensor out = a.value();
+  switch (kind) {
+    case BroadcastKind::kSame:
+      out.AddInPlace(b.value());
+      break;
+    case BroadcastKind::kScalar:
+      out = out.AddScalar(b.value()[0]);
+      break;
+    case BroadcastKind::kBias: {
+      const int64_t n = b.value().dim(0);
+      const int64_t rows = out.numel() / n;
+      for (int64_t r = 0; r < rows; ++r) {
+        float* dst = out.data() + r * n;
+        for (int64_t i = 0; i < n; ++i) dst[i] += b.value()[i];
+      }
+      break;
+    }
+  }
+  return MakeOp(std::move(out), {a, b}, [kind](Node& self) {
+    Node* pa = self.parents[0].get();
+    Node* pb = self.parents[1].get();
+    AccumGrad(pa, self.grad);
+    if (!pb->requires_grad) return;
+    switch (kind) {
+      case BroadcastKind::kSame:
+        AccumGrad(pb, self.grad);
+        break;
+      case BroadcastKind::kScalar:
+        AccumGrad(pb, Tensor::Scalar(self.grad.Sum())
+                          .Reshape(pb->value.shape()));
+        break;
+      case BroadcastKind::kBias:
+        AccumGrad(pb, ReduceToBias(self.grad, pb->value.dim(0)));
+        break;
+    }
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  const BroadcastKind kind =
+      ClassifyBroadcast(a.value(), b.value(), /*allow_bias=*/false);
+  Tensor out = a.value();
+  if (kind == BroadcastKind::kSame) {
+    out.SubInPlace(b.value());
+  } else {
+    out = out.AddScalar(-b.value()[0]);
+  }
+  return MakeOp(std::move(out), {a, b}, [kind](Node& self) {
+    Node* pa = self.parents[0].get();
+    Node* pb = self.parents[1].get();
+    AccumGrad(pa, self.grad);
+    if (!pb->requires_grad) return;
+    if (kind == BroadcastKind::kSame) {
+      AccumGrad(pb, self.grad.MulScalar(-1.0f));
+    } else {
+      AccumGrad(pb, Tensor::Scalar(-self.grad.Sum())
+                        .Reshape(pb->value.shape()));
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  const BroadcastKind kind =
+      ClassifyBroadcast(a.value(), b.value(), /*allow_bias=*/false);
+  Tensor out = (kind == BroadcastKind::kSame) ? a.value().Mul(b.value())
+                                              : a.value().MulScalar(
+                                                    b.value()[0]);
+  return MakeOp(std::move(out), {a, b}, [kind](Node& self) {
+    Node* pa = self.parents[0].get();
+    Node* pb = self.parents[1].get();
+    if (kind == BroadcastKind::kSame) {
+      if (pa->requires_grad) AccumGrad(pa, self.grad.Mul(pb->value));
+      if (pb->requires_grad) AccumGrad(pb, self.grad.Mul(pa->value));
+    } else {
+      if (pa->requires_grad) {
+        AccumGrad(pa, self.grad.MulScalar(pb->value[0]));
+      }
+      if (pb->requires_grad) {
+        AccumGrad(pb, Tensor::Scalar(self.grad.Mul(pa->value).Sum())
+                          .Reshape(pb->value.shape()));
+      }
+    }
+  });
+}
+
+Var Div(const Var& a, const Var& b) {
+  const BroadcastKind kind =
+      ClassifyBroadcast(a.value(), b.value(), /*allow_bias=*/false);
+  Tensor out = (kind == BroadcastKind::kSame)
+                   ? a.value().Div(b.value())
+                   : a.value().MulScalar(1.0f / b.value()[0]);
+  return MakeOp(std::move(out), {a, b}, [kind](Node& self) {
+    Node* pa = self.parents[0].get();
+    Node* pb = self.parents[1].get();
+    if (kind == BroadcastKind::kSame) {
+      if (pa->requires_grad) AccumGrad(pa, self.grad.Div(pb->value));
+      if (pb->requires_grad) {
+        // d/db (a/b) = -a / b^2
+        Tensor gb = self.grad.Mul(pa->value);
+        for (int64_t i = 0; i < gb.numel(); ++i) {
+          const float bv = pb->value[i];
+          gb[i] = -gb[i] / (bv * bv);
+        }
+        AccumGrad(pb, gb);
+      }
+    } else {
+      const float bv = pb->value[0];
+      if (pa->requires_grad) AccumGrad(pa, self.grad.MulScalar(1.0f / bv));
+      if (pb->requires_grad) {
+        const float s = self.grad.Mul(pa->value).Sum();
+        AccumGrad(pb, Tensor::Scalar(-s / (bv * bv))
+                          .Reshape(pb->value.shape()));
+      }
+    }
+  });
+}
+
+Var Neg(const Var& a) { return MulScalar(a, -1.0f); }
+
+Var AddScalar(const Var& a, float v) {
+  return MakeOp(a.value().AddScalar(v), {a}, [](Node& self) {
+    AccumGrad(self.parents[0].get(), self.grad);
+  });
+}
+
+Var MulScalar(const Var& a, float v) {
+  return MakeOp(a.value().MulScalar(v), {a}, [v](Node& self) {
+    AccumGrad(self.parents[0].get(), self.grad.MulScalar(v));
+  });
+}
+
+namespace {
+
+// Shared implementation for elementwise min/max: mask is 1 where a wins.
+Var MinMaxImpl(const Var& a, const Var& b, bool is_min) {
+  CIT_CHECK(a.value().shape() == b.value().shape());
+  const int64_t n = a.numel();
+  Tensor out = a.value();
+  auto mask = std::make_shared<std::vector<uint8_t>>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const bool a_wins = is_min ? (a.value()[i] <= b.value()[i])
+                               : (a.value()[i] >= b.value()[i]);
+    (*mask)[i] = a_wins ? 1 : 0;
+    if (!a_wins) out[i] = b.value()[i];
+  }
+  return MakeOp(std::move(out), {a, b}, [mask](Node& self) {
+    Node* pa = self.parents[0].get();
+    Node* pb = self.parents[1].get();
+    const int64_t n = self.grad.numel();
+    if (pa->requires_grad) {
+      Tensor ga(self.grad.shape());
+      for (int64_t i = 0; i < n; ++i) {
+        if ((*mask)[i]) ga[i] = self.grad[i];
+      }
+      AccumGrad(pa, ga);
+    }
+    if (pb->requires_grad) {
+      Tensor gb(self.grad.shape());
+      for (int64_t i = 0; i < n; ++i) {
+        if (!(*mask)[i]) gb[i] = self.grad[i];
+      }
+      AccumGrad(pb, gb);
+    }
+  });
+}
+
+}  // namespace
+
+Var Min(const Var& a, const Var& b) { return MinMaxImpl(a, b, true); }
+
+Var Max(const Var& a, const Var& b) { return MinMaxImpl(a, b, false); }
+
+Var Clamp(const Var& a, float lo, float hi) {
+  Tensor out = a.value();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = std::min(hi, std::max(lo, out[i]));
+  }
+  return MakeOp(std::move(out), {a}, [lo, hi](Node& self) {
+    Node* pa = self.parents[0].get();
+    Tensor g(self.grad.shape());
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      const float v = pa->value[i];
+      if (v > lo && v < hi) g[i] = self.grad[i];
+    }
+    AccumGrad(pa, g);
+  });
+}
+
+namespace {
+
+template <typename Fwd, typename Bwd>
+Var UnaryOp(const Var& a, Fwd fwd, Bwd bwd_from_inout) {
+  Tensor out = a.value();
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] = fwd(out[i]);
+  return MakeOp(std::move(out), {a}, [bwd_from_inout](Node& self) {
+    Node* pa = self.parents[0].get();
+    Tensor g(self.grad.shape());
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      g[i] = self.grad[i] * bwd_from_inout(pa->value[i], self.value[i]);
+    }
+    AccumGrad(pa, g);
+  });
+}
+
+}  // namespace
+
+Var Exp(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Var Log(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Var Tanh(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Var Sigmoid(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Var Relu(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Var Sqrt(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / y; });
+}
+
+Var Square(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Var Abs(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; });
+}
+
+Var Sum(const Var& a) {
+  return MakeOp(Tensor::Scalar(a.value().Sum()), {a}, [](Node& self) {
+    Node* pa = self.parents[0].get();
+    AccumGrad(pa, Tensor::Full(pa->value.shape(), self.grad[0]));
+  });
+}
+
+Var Mean(const Var& a) {
+  const float inv_n = 1.0f / static_cast<float>(a.numel());
+  return MakeOp(Tensor::Scalar(a.value().Mean()), {a}, [inv_n](Node& self) {
+    Node* pa = self.parents[0].get();
+    AccumGrad(pa, Tensor::Full(pa->value.shape(), self.grad[0] * inv_n));
+  });
+}
+
+namespace {
+
+Var SumAxisImpl(const Var& a, int64_t axis, float scale) {
+  const Tensor& x = a.value();
+  int64_t ax = axis < 0 ? axis + x.ndim() : axis;
+  CIT_CHECK(ax >= 0 && ax < x.ndim());
+  Tensor out = x.SumAxis(ax);
+  if (scale != 1.0f) out.MulScalarInPlace(scale);
+  int64_t outer = 1;
+  for (int64_t i = 0; i < ax; ++i) outer *= x.dim(i);
+  int64_t inner = 1;
+  for (int64_t i = ax + 1; i < x.ndim(); ++i) inner *= x.dim(i);
+  const int64_t axis_len = x.dim(ax);
+  return MakeOp(std::move(out), {a},
+                [outer, inner, axis_len, scale](Node& self) {
+                  Node* pa = self.parents[0].get();
+                  Tensor g(pa->value.shape());
+                  for (int64_t o = 0; o < outer; ++o) {
+                    const float* src = self.grad.data() + o * inner;
+                    for (int64_t k = 0; k < axis_len; ++k) {
+                      float* dst = g.data() + (o * axis_len + k) * inner;
+                      for (int64_t i = 0; i < inner; ++i) {
+                        dst[i] = src[i] * scale;
+                      }
+                    }
+                  }
+                  AccumGrad(pa, g);
+                });
+}
+
+}  // namespace
+
+Var SumAxis(const Var& a, int64_t axis) { return SumAxisImpl(a, axis, 1.0f); }
+
+Var MeanAxis(const Var& a, int64_t axis) {
+  int64_t ax = axis < 0 ? axis + a.value().ndim() : axis;
+  const float scale = 1.0f / static_cast<float>(a.value().dim(ax));
+  return SumAxisImpl(a, ax, scale);
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  Tensor out = Tensor::MatMul(a.value(), b.value());
+  return MakeOp(std::move(out), {a, b}, [](Node& self) {
+    Node* pa = self.parents[0].get();
+    Node* pb = self.parents[1].get();
+    if (pa->requires_grad) {
+      AccumGrad(pa, Tensor::MatMul(self.grad, pb->value.Transpose2D()));
+    }
+    if (pb->requires_grad) {
+      AccumGrad(pb, Tensor::MatMul(pa->value.Transpose2D(), self.grad));
+    }
+  });
+}
+
+Var Transpose(const Var& a) {
+  return MakeOp(a.value().Transpose2D(), {a}, [](Node& self) {
+    AccumGrad(self.parents[0].get(), self.grad.Transpose2D());
+  });
+}
+
+Var Reshape(const Var& a, Shape shape) {
+  Tensor out = a.value().Reshape(std::move(shape));
+  return MakeOp(std::move(out), {a}, [](Node& self) {
+    Node* pa = self.parents[0].get();
+    AccumGrad(pa, self.grad.Reshape(pa->value.shape()));
+  });
+}
+
+namespace {
+
+Tensor PermuteTensor(const Tensor& x, const std::vector<int64_t>& perm) {
+  const int64_t nd = x.ndim();
+  CIT_CHECK_EQ(static_cast<int64_t>(perm.size()), nd);
+  Shape out_shape(nd);
+  for (int64_t i = 0; i < nd; ++i) out_shape[i] = x.dim(perm[i]);
+  Tensor out(out_shape);
+  // Strides of the input.
+  std::vector<int64_t> in_strides(nd, 1);
+  for (int64_t i = nd - 2; i >= 0; --i) {
+    in_strides[i] = in_strides[i + 1] * x.dim(i + 1);
+  }
+  std::vector<int64_t> idx(nd, 0);
+  const int64_t n = x.numel();
+  for (int64_t flat = 0; flat < n; ++flat) {
+    int64_t src = 0;
+    for (int64_t i = 0; i < nd; ++i) src += idx[i] * in_strides[perm[i]];
+    out[flat] = x[src];
+    // Advance the multi-index over the *output* shape.
+    for (int64_t i = nd - 1; i >= 0; --i) {
+      if (++idx[i] < out_shape[i]) break;
+      idx[i] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Var Permute(const Var& a, std::vector<int64_t> perm) {
+  Tensor out = PermuteTensor(a.value(), perm);
+  const int64_t nd = a.value().ndim();
+  std::vector<int64_t> inverse(nd);
+  for (int64_t i = 0; i < nd; ++i) inverse[perm[i]] = i;
+  return MakeOp(std::move(out), {a}, [inverse](Node& self) {
+    AccumGrad(self.parents[0].get(), PermuteTensor(self.grad, inverse));
+  });
+}
+
+Var Concat(const std::vector<Var>& parts, int64_t axis) {
+  CIT_CHECK(!parts.empty());
+  const Tensor& first = parts[0].value();
+  int64_t ax = axis < 0 ? axis + first.ndim() : axis;
+  CIT_CHECK(ax >= 0 && ax < first.ndim());
+  Shape out_shape = first.shape();
+  int64_t total = 0;
+  for (const Var& p : parts) {
+    CIT_CHECK_EQ(p.value().ndim(), first.ndim());
+    for (int64_t i = 0; i < first.ndim(); ++i) {
+      if (i != ax) CIT_CHECK_EQ(p.value().dim(i), first.dim(i));
+    }
+    total += p.value().dim(ax);
+  }
+  out_shape[ax] = total;
+  Tensor out(out_shape);
+  int64_t outer = 1;
+  for (int64_t i = 0; i < ax; ++i) outer *= first.dim(i);
+  int64_t inner = 1;
+  for (int64_t i = ax + 1; i < first.ndim(); ++i) inner *= first.dim(i);
+  std::vector<int64_t> part_lens;
+  part_lens.reserve(parts.size());
+  for (const Var& p : parts) part_lens.push_back(p.value().dim(ax));
+  // Copy each part's rows into the right offset of the output.
+  int64_t offset = 0;
+  for (size_t pi = 0; pi < parts.size(); ++pi) {
+    const Tensor& x = parts[pi].value();
+    const int64_t len = part_lens[pi];
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = x.data() + o * len * inner;
+      float* dst = out.data() + (o * total + offset) * inner;
+      std::copy(src, src + len * inner, dst);
+    }
+    offset += len;
+  }
+  return MakeOp(std::move(out), parts,
+                [part_lens, outer, inner, total](Node& self) {
+                  int64_t offset = 0;
+                  for (size_t pi = 0; pi < self.parents.size(); ++pi) {
+                    Node* p = self.parents[pi].get();
+                    const int64_t len = part_lens[pi];
+                    if (p->requires_grad) {
+                      Tensor g(p->value.shape());
+                      for (int64_t o = 0; o < outer; ++o) {
+                        const float* src =
+                            self.grad.data() + (o * total + offset) * inner;
+                        float* dst = g.data() + o * len * inner;
+                        std::copy(src, src + len * inner, dst);
+                      }
+                      AccumGrad(p, g);
+                    }
+                    offset += len;
+                  }
+                });
+}
+
+Var Slice(const Var& a, int64_t axis, int64_t start, int64_t len) {
+  const Tensor& x = a.value();
+  int64_t ax = axis < 0 ? axis + x.ndim() : axis;
+  Tensor out = x.Slice(ax, start, len);
+  int64_t outer = 1;
+  for (int64_t i = 0; i < ax; ++i) outer *= x.dim(i);
+  int64_t inner = 1;
+  for (int64_t i = ax + 1; i < x.ndim(); ++i) inner *= x.dim(i);
+  const int64_t axis_len = x.dim(ax);
+  return MakeOp(std::move(out), {a},
+                [outer, inner, axis_len, start, len](Node& self) {
+                  Node* pa = self.parents[0].get();
+                  Tensor g(pa->value.shape());
+                  for (int64_t o = 0; o < outer; ++o) {
+                    const float* src = self.grad.data() + o * len * inner;
+                    float* dst =
+                        g.data() + (o * axis_len + start) * inner;
+                    std::copy(src, src + len * inner, dst);
+                  }
+                  AccumGrad(pa, g);
+                });
+}
+
+namespace {
+
+// Numerically-stable softmax over the last axis of [outer, n].
+Tensor SoftmaxTensor(const Tensor& x) {
+  const int64_t n = x.dim(-1);
+  const int64_t outer = x.numel() / n;
+  Tensor out = x;
+  for (int64_t o = 0; o < outer; ++o) {
+    float* row = out.data() + o * n;
+    float mx = row[0];
+    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+    float total = 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+      row[i] = std::exp(row[i] - mx);
+      total += row[i];
+    }
+    for (int64_t i = 0; i < n; ++i) row[i] /= total;
+  }
+  return out;
+}
+
+}  // namespace
+
+Var Softmax(const Var& a) {
+  Tensor out = SoftmaxTensor(a.value());
+  const int64_t n = a.value().dim(-1);
+  return MakeOp(std::move(out), {a}, [n](Node& self) {
+    Node* pa = self.parents[0].get();
+    const int64_t outer = self.value.numel() / n;
+    Tensor g(pa->value.shape());
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* s = self.value.data() + o * n;
+      const float* gy = self.grad.data() + o * n;
+      float dot = 0.0f;
+      for (int64_t i = 0; i < n; ++i) dot += gy[i] * s[i];
+      float* gx = g.data() + o * n;
+      for (int64_t i = 0; i < n; ++i) gx[i] = s[i] * (gy[i] - dot);
+    }
+    AccumGrad(pa, g);
+  });
+}
+
+Var LogSoftmax(const Var& a) {
+  const Tensor& x = a.value();
+  const int64_t n = x.dim(-1);
+  const int64_t outer = x.numel() / n;
+  Tensor out = x;
+  for (int64_t o = 0; o < outer; ++o) {
+    float* row = out.data() + o * n;
+    float mx = row[0];
+    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+    float total = 0.0f;
+    for (int64_t i = 0; i < n; ++i) total += std::exp(row[i] - mx);
+    const float lse = mx + std::log(total);
+    for (int64_t i = 0; i < n; ++i) row[i] -= lse;
+  }
+  return MakeOp(std::move(out), {a}, [n](Node& self) {
+    Node* pa = self.parents[0].get();
+    const int64_t outer = self.value.numel() / n;
+    Tensor g(pa->value.shape());
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* y = self.value.data() + o * n;
+      const float* gy = self.grad.data() + o * n;
+      float total = 0.0f;
+      for (int64_t i = 0; i < n; ++i) total += gy[i];
+      float* gx = g.data() + o * n;
+      for (int64_t i = 0; i < n; ++i) {
+        gx[i] = gy[i] - std::exp(y[i]) * total;
+      }
+    }
+    AccumGrad(pa, g);
+  });
+}
+
+Var CausalConv1d(const Var& x, const Var& w, const Var& b, int64_t dilation) {
+  const Tensor& xv = x.value();
+  const Tensor& wv = w.value();
+  CIT_CHECK_EQ(xv.ndim(), 3);
+  CIT_CHECK_EQ(wv.ndim(), 3);
+  const int64_t batch = xv.dim(0);
+  const int64_t cin = xv.dim(1);
+  const int64_t len = xv.dim(2);
+  const int64_t cout = wv.dim(0);
+  CIT_CHECK_EQ(wv.dim(1), cin);
+  const int64_t ksize = wv.dim(2);
+  CIT_CHECK_GE(dilation, 1);
+  const bool has_bias = b.defined();
+  if (has_bias) {
+    CIT_CHECK_EQ(b.value().ndim(), 1);
+    CIT_CHECK_EQ(b.value().dim(0), cout);
+  }
+
+  Tensor out(Shape{batch, cout, len});
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    for (int64_t co = 0; co < cout; ++co) {
+      float* orow = out.data() + (bi * cout + co) * len;
+      if (has_bias) {
+        const float bias = b.value()[co];
+        for (int64_t t = 0; t < len; ++t) orow[t] = bias;
+      }
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        const float* xrow = xv.data() + (bi * cin + ci) * len;
+        const float* wrow = wv.data() + (co * cin + ci) * ksize;
+        for (int64_t k = 0; k < ksize; ++k) {
+          // Tap k reads the sample `shift` steps in the past (causal).
+          const int64_t shift = (ksize - 1 - k) * dilation;
+          const float wk = wrow[k];
+          if (wk == 0.0f) continue;
+          for (int64_t t = shift; t < len; ++t) {
+            orow[t] += wk * xrow[t - shift];
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Var> inputs = {x, w};
+  if (has_bias) inputs.push_back(b);
+  return MakeOp(
+      std::move(out), std::move(inputs),
+      [batch, cin, cout, len, ksize, dilation, has_bias](Node& self) {
+        Node* px = self.parents[0].get();
+        Node* pw = self.parents[1].get();
+        Node* pb = has_bias ? self.parents[2].get() : nullptr;
+        Tensor gx(px->value.shape());
+        Tensor gw(pw->value.shape());
+        Tensor gb = has_bias ? Tensor(pb->value.shape()) : Tensor();
+        for (int64_t bi = 0; bi < batch; ++bi) {
+          for (int64_t co = 0; co < cout; ++co) {
+            const float* grow = self.grad.data() + (bi * cout + co) * len;
+            if (has_bias) {
+              float s = 0.0f;
+              for (int64_t t = 0; t < len; ++t) s += grow[t];
+              gb[co] += s;
+            }
+            for (int64_t ci = 0; ci < cin; ++ci) {
+              const float* xrow = px->value.data() + (bi * cin + ci) * len;
+              const float* wrow = pw->value.data() + (co * cin + ci) * ksize;
+              float* gxrow = gx.data() + (bi * cin + ci) * len;
+              float* gwrow = gw.data() + (co * cin + ci) * ksize;
+              for (int64_t k = 0; k < ksize; ++k) {
+                const int64_t shift = (ksize - 1 - k) * dilation;
+                const float wk = wrow[k];
+                float gwk = 0.0f;
+                for (int64_t t = shift; t < len; ++t) {
+                  const float g = grow[t];
+                  gxrow[t - shift] += wk * g;
+                  gwk += g * xrow[t - shift];
+                }
+                gwrow[k] += gwk;
+              }
+            }
+          }
+        }
+        AccumGrad(px, gx);
+        AccumGrad(pw, gw);
+        if (has_bias) AccumGrad(pb, gb);
+      });
+}
+
+}  // namespace cit::ag

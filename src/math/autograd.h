@@ -1,0 +1,138 @@
+#ifndef CIT_MATH_AUTOGRAD_H_
+#define CIT_MATH_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "math/tensor.h"
+
+namespace cit::ag {
+
+using math::Shape;
+using math::Tensor;
+
+// One vertex of the dynamically-built computation DAG. Nodes are created by
+// the op functions below and traversed in reverse topological order by
+// Var::Backward(). The backward closure holds raw pointers to parent nodes;
+// this is safe because `parents` keeps them alive for the node's lifetime,
+// and it avoids shared_ptr reference cycles (edges only point from output
+// to inputs).
+struct Node {
+  Tensor value;
+  Tensor grad;            // allocated lazily on first accumulation
+  bool requires_grad = false;
+  bool has_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::function<void(Node&)> backward_fn;  // nullptr for leaves
+};
+
+// Accumulates `g` into `n->grad` if the node participates in gradients.
+void AccumGrad(Node* n, const Tensor& g);
+
+// A handle to a DAG node: the user-facing autodiff value. Copying a Var
+// copies the handle, not the tensor.
+class Var {
+ public:
+  Var() = default;
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  // A trainable leaf (requires_grad = true).
+  static Var Param(Tensor value);
+  // A non-differentiable constant input.
+  static Var Constant(Tensor value);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  Tensor& mutable_value();
+  const Tensor& grad() const;
+  bool has_grad() const { return node_ && node_->has_grad; }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+
+  const Shape& shape() const { return value().shape(); }
+  int64_t numel() const { return value().numel(); }
+
+  // Clears this node's accumulated gradient (used on parameters between
+  // optimizer steps).
+  void ZeroGrad();
+
+  // Runs reverse-mode differentiation from this (scalar) output. Gradients
+  // accumulate into every reachable node with requires_grad.
+  void Backward();
+
+  // A new constant leaf sharing this node's current value.
+  Var Detach() const;
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+ private:
+  explicit Var(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+  friend Var MakeOp(Tensor value, std::vector<Var> inputs,
+                    std::function<void(Node&)> backward_fn);
+
+  std::shared_ptr<Node> node_;
+};
+
+// Builds an op node: output `value`, edges to `inputs`, and a backward
+// closure. requires_grad is inherited from the inputs.
+Var MakeOp(Tensor value, std::vector<Var> inputs,
+           std::function<void(Node&)> backward_fn);
+
+// ---- Arithmetic ------------------------------------------------------------
+// Add/Sub/Mul/Div require equal shapes, with two broadcast conveniences:
+// `b` may be a single-element tensor (scalar broadcast), or, for Add only,
+// a 1-D tensor matching a's last dimension (bias broadcast).
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);
+Var Div(const Var& a, const Var& b);
+Var Neg(const Var& a);
+Var AddScalar(const Var& a, float v);
+Var MulScalar(const Var& a, float v);
+
+// Elementwise min/max of two same-shape tensors (subgradient: ties go to a).
+Var Min(const Var& a, const Var& b);
+Var Max(const Var& a, const Var& b);
+// Clamp to [lo, hi]; gradient is zero outside the interval.
+Var Clamp(const Var& a, float lo, float hi);
+
+// ---- Unary -----------------------------------------------------------------
+Var Exp(const Var& a);
+Var Log(const Var& a);   // caller guarantees positive input
+Var Tanh(const Var& a);
+Var Sigmoid(const Var& a);
+Var Relu(const Var& a);
+Var Sqrt(const Var& a);
+Var Square(const Var& a);
+Var Abs(const Var& a);
+
+// ---- Reductions ------------------------------------------------------------
+Var Sum(const Var& a);                    // -> shape [1]
+Var Mean(const Var& a);                   // -> shape [1]
+Var SumAxis(const Var& a, int64_t axis);  // axis removed
+Var MeanAxis(const Var& a, int64_t axis);
+
+// ---- Linear algebra --------------------------------------------------------
+Var MatMul(const Var& a, const Var& b);  // [p,q] x [q,r] -> [p,r]
+Var Transpose(const Var& a);             // 2-D transpose
+
+// ---- Shape -----------------------------------------------------------------
+Var Reshape(const Var& a, Shape shape);
+Var Permute(const Var& a, std::vector<int64_t> perm);
+Var Concat(const std::vector<Var>& parts, int64_t axis);
+Var Slice(const Var& a, int64_t axis, int64_t start, int64_t len);
+
+// ---- Softmax family (over the last axis) -----------------------------------
+Var Softmax(const Var& a);
+Var LogSoftmax(const Var& a);
+
+// ---- Convolution -----------------------------------------------------------
+// Causal dilated 1-D convolution: x [B, Cin, L], w [Cout, Cin, K],
+// b [Cout] (may be undefined for no bias) -> [B, Cout, L]. The input is
+// implicitly left-padded with (K-1)*dilation zeros so output length equals
+// input length and position t only sees inputs <= t (the TCN property).
+Var CausalConv1d(const Var& x, const Var& w, const Var& b, int64_t dilation);
+
+}  // namespace cit::ag
+
+#endif  // CIT_MATH_AUTOGRAD_H_

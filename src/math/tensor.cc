@@ -1,0 +1,312 @@
+#include "math/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cit::math {
+
+int64_t Tensor::NumelOf(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    CIT_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(NumelOf(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  CIT_CHECK_EQ(NumelOf(shape_), static_cast<int64_t>(data_.size()));
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t(Shape{1});
+  t.data_[0] = value;
+  return t;
+}
+
+Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.Normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::Uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.Uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  Tensor t(Shape{n});
+  for (int64_t i = 0; i < n; ++i) t.data_[i] = static_cast<float>(i);
+  return t;
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  if (i < 0) i += ndim();
+  CIT_CHECK(i >= 0 && i < ndim());
+  return shape_[i];
+}
+
+float& Tensor::operator[](int64_t flat_index) {
+  CIT_CHECK(flat_index >= 0 && flat_index < numel());
+  return data_[flat_index];
+}
+
+float Tensor::operator[](int64_t flat_index) const {
+  CIT_CHECK(flat_index >= 0 && flat_index < numel());
+  return data_[flat_index];
+}
+
+int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
+  CIT_CHECK_EQ(static_cast<int64_t>(idx.size()), ndim());
+  int64_t flat = 0;
+  int64_t axis = 0;
+  for (int64_t i : idx) {
+    CIT_CHECK(i >= 0 && i < shape_[axis]);
+    flat = flat * shape_[axis] + i;
+    ++axis;
+  }
+  return flat;
+}
+
+float& Tensor::At(std::initializer_list<int64_t> idx) {
+  return data_[FlatIndex(idx)];
+}
+
+float Tensor::At(std::initializer_list<int64_t> idx) const {
+  return data_[FlatIndex(idx)];
+}
+
+float Tensor::Item() const {
+  CIT_CHECK_EQ(numel(), 1);
+  return data_[0];
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  CIT_CHECK_EQ(NumelOf(new_shape), numel());
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::Transpose2D() const {
+  CIT_CHECK_EQ(ndim(), 2);
+  const int64_t rows = shape_[0];
+  const int64_t cols = shape_[1];
+  Tensor out(Shape{cols, rows});
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      out.data_[c * rows + r] = data_[r * cols + c];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::Slice(int64_t axis, int64_t start, int64_t len) const {
+  if (axis < 0) axis += ndim();
+  CIT_CHECK(axis >= 0 && axis < ndim());
+  CIT_CHECK(start >= 0 && len >= 0 && start + len <= shape_[axis]);
+  Shape out_shape = shape_;
+  out_shape[axis] = len;
+  Tensor out(out_shape);
+  // The tensor decomposes as [outer, shape[axis], inner].
+  int64_t outer = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= shape_[i];
+  int64_t inner = 1;
+  for (int64_t i = axis + 1; i < ndim(); ++i) inner *= shape_[i];
+  const int64_t in_step = shape_[axis] * inner;
+  const int64_t out_step = len * inner;
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = data_.data() + o * in_step + start * inner;
+    float* dst = out.data_.data() + o * out_step;
+    std::copy(src, src + len * inner, dst);
+  }
+  return out;
+}
+
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  CIT_CHECK_MSG(a.shape() == b.shape(), "tensor shape mismatch");
+}
+
+}  // namespace
+
+Tensor Tensor::Add(const Tensor& other) const {
+  CheckSameShape(*this, other);
+  Tensor out = *this;
+  for (int64_t i = 0; i < numel(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Tensor Tensor::Sub(const Tensor& other) const {
+  CheckSameShape(*this, other);
+  Tensor out = *this;
+  for (int64_t i = 0; i < numel(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Tensor Tensor::Mul(const Tensor& other) const {
+  CheckSameShape(*this, other);
+  Tensor out = *this;
+  for (int64_t i = 0; i < numel(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Tensor Tensor::Div(const Tensor& other) const {
+  CheckSameShape(*this, other);
+  Tensor out = *this;
+  for (int64_t i = 0; i < numel(); ++i) out.data_[i] /= other.data_[i];
+  return out;
+}
+
+Tensor Tensor::AddScalar(float v) const {
+  Tensor out = *this;
+  for (auto& x : out.data_) x += v;
+  return out;
+}
+
+Tensor Tensor::MulScalar(float v) const {
+  Tensor out = *this;
+  for (auto& x : out.data_) x *= v;
+  return out;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  CheckSameShape(*this, other);
+  for (int64_t i = 0; i < numel(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::SubInPlace(const Tensor& other) {
+  CheckSameShape(*this, other);
+  for (int64_t i = 0; i < numel(); ++i) data_[i] -= other.data_[i];
+}
+
+void Tensor::MulScalarInPlace(float v) {
+  for (auto& x : data_) x *= v;
+}
+
+void Tensor::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+float Tensor::Sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Tensor::Mean() const {
+  CIT_CHECK_GT(numel(), 0);
+  return Sum() / static_cast<float>(numel());
+}
+
+float Tensor::Max() const {
+  CIT_CHECK_GT(numel(), 0);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::Min() const {
+  CIT_CHECK_GT(numel(), 0);
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+Tensor Tensor::SumAxis(int64_t axis) const {
+  if (axis < 0) axis += ndim();
+  CIT_CHECK(axis >= 0 && axis < ndim());
+  Shape out_shape;
+  for (int64_t i = 0; i < ndim(); ++i) {
+    if (i != axis) out_shape.push_back(shape_[i]);
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+  Tensor out(out_shape);
+  int64_t outer = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= shape_[i];
+  int64_t inner = 1;
+  for (int64_t i = axis + 1; i < ndim(); ++i) inner *= shape_[i];
+  const int64_t axis_len = shape_[axis];
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t a = 0; a < axis_len; ++a) {
+      const float* src = data_.data() + (o * axis_len + a) * inner;
+      float* dst = out.data_.data() + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::MeanAxis(int64_t axis) const {
+  if (axis < 0) axis += ndim();
+  Tensor out = SumAxis(axis);
+  out.MulScalarInPlace(1.0f / static_cast<float>(shape_[axis]));
+  return out;
+}
+
+Tensor Tensor::MatMul(const Tensor& a, const Tensor& b) {
+  CIT_CHECK_EQ(a.ndim(), 2);
+  CIT_CHECK_EQ(b.ndim(), 2);
+  const int64_t p = a.shape_[0];
+  const int64_t q = a.shape_[1];
+  CIT_CHECK_EQ(b.shape_[0], q);
+  const int64_t r = b.shape_[1];
+  Tensor out(Shape{p, r});
+  // i-k-j ordering: streams through b and out rows contiguously.
+  for (int64_t i = 0; i < p; ++i) {
+    float* out_row = out.data_.data() + i * r;
+    const float* a_row = a.data_.data() + i * q;
+    for (int64_t k = 0; k < q; ++k) {
+      const float aik = a_row[k];
+      if (aik == 0.0f) continue;
+      const float* b_row = b.data_.data() + k * r;
+      for (int64_t j = 0; j < r; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+std::string Tensor::ToString(int64_t max_items) const {
+  std::ostringstream os;
+  os << "Tensor[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ",";
+    os << shape_[i];
+  }
+  os << "]{";
+  const int64_t n = std::min<int64_t>(numel(), max_items);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  if (numel() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+bool TensorEquals(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() && a.vec() == b.vec();
+}
+
+bool TensorAllClose(const Tensor& a, const Tensor& b, float atol) {
+  if (a.shape() != b.shape()) return false;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (std::fabs(a[i] - b[i]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace cit::math

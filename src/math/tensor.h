@@ -1,0 +1,109 @@
+#ifndef CIT_MATH_TENSOR_H_
+#define CIT_MATH_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace cit::math {
+
+using Shape = std::vector<int64_t>;
+
+// A dense, contiguous, row-major float32 tensor. Copies are deep; moves are
+// cheap. This is the sole numeric container shared by the autodiff engine,
+// the NN modules and the trading environments. It intentionally has no
+// views/strides: slicing materializes, which keeps every kernel a tight loop
+// over contiguous memory — the right trade-off for the small networks used
+// in this system.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);  // zero-filled
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor Zeros(Shape shape);
+  static Tensor Ones(Shape shape);
+  static Tensor Full(Shape shape, float value);
+  static Tensor Scalar(float value);
+  static Tensor Randn(Shape shape, Rng& rng, float stddev = 1.0f);
+  static Tensor Uniform(Shape shape, Rng& rng, float lo, float hi);
+  // 1-D tensor [0, 1, ..., n-1].
+  static Tensor Arange(int64_t n);
+
+  const Shape& shape() const { return shape_; }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int64_t i) const;
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](int64_t flat_index);
+  float operator[](int64_t flat_index) const;
+  // Multi-dimensional element access, e.g. t.At({i, j, k}).
+  float& At(std::initializer_list<int64_t> idx);
+  float At(std::initializer_list<int64_t> idx) const;
+
+  // Value of a single-element tensor.
+  float Item() const;
+
+  // Shape manipulation (Reshape shares nothing: data is copied with the
+  // tensor itself, so the result is an independent tensor).
+  Tensor Reshape(Shape new_shape) const;
+  // Transpose of a 2-D tensor.
+  Tensor Transpose2D() const;
+  // Materialized sub-tensor along `axis`: indices [start, start+len).
+  Tensor Slice(int64_t axis, int64_t start, int64_t len) const;
+
+  // Elementwise arithmetic producing new tensors. Shapes must match exactly.
+  Tensor Add(const Tensor& other) const;
+  Tensor Sub(const Tensor& other) const;
+  Tensor Mul(const Tensor& other) const;
+  Tensor Div(const Tensor& other) const;
+  Tensor AddScalar(float v) const;
+  Tensor MulScalar(float v) const;
+
+  // In-place helpers used by optimizers and gradient accumulation.
+  void AddInPlace(const Tensor& other);
+  void SubInPlace(const Tensor& other);
+  void MulScalarInPlace(float v);
+  void Fill(float v);
+
+  // Reductions.
+  float Sum() const;
+  float Mean() const;
+  float Max() const;
+  float Min() const;
+  // Sum/mean over one axis (that axis is removed from the shape).
+  Tensor SumAxis(int64_t axis) const;
+  Tensor MeanAxis(int64_t axis) const;
+
+  // 2-D matrix product: [p, q] x [q, r] -> [p, r].
+  static Tensor MatMul(const Tensor& a, const Tensor& b);
+
+  // Debug rendering, e.g. "Tensor[2,3]{1, 2, 3, ...}".
+  std::string ToString(int64_t max_items = 8) const;
+
+  static int64_t NumelOf(const Shape& shape);
+
+ private:
+  int64_t FlatIndex(std::initializer_list<int64_t> idx) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// True when both shape and every element match exactly.
+bool TensorEquals(const Tensor& a, const Tensor& b);
+// True when shapes match and elements differ by at most `atol`.
+bool TensorAllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f);
+
+}  // namespace cit::math
+
+#endif  // CIT_MATH_TENSOR_H_

@@ -1,0 +1,57 @@
+#include "nn/attention.h"
+
+#include "common/check.h"
+
+namespace cit::nn {
+
+SpatialAttention::SpatialAttention(int64_t num_assets, int64_t features,
+                                   int64_t length, Rng& rng)
+    : num_assets_(num_assets), features_(features), length_(length) {
+  w1_ = Var::Param(XavierUniform({length, 1}, length, 1, rng));
+  w2_ = Var::Param(XavierUniform({features, length}, features, length, rng));
+  w3_ = Var::Param(XavierUniform({features, 1}, features, 1, rng));
+  vs_ = Var::Param(
+      XavierUniform({num_assets, num_assets}, num_assets, num_assets, rng));
+  bs_ = Var::Param(Tensor::Zeros({num_assets, num_assets}));
+}
+
+Var SpatialAttention::Forward(const Var& x, Var* attention_out) const {
+  CIT_CHECK_EQ(x.value().ndim(), 3);
+  CIT_CHECK_EQ(x.value().dim(0), num_assets_);
+  CIT_CHECK_EQ(x.value().dim(1), features_);
+  CIT_CHECK_EQ(x.value().dim(2), length_);
+
+  // lhs = (X w1) W2: contract time, then expand back over time.
+  Var x_mf = ag::Reshape(ag::MatMul(
+                             ag::Reshape(x, {num_assets_ * features_, length_}),
+                             w1_),
+                         {num_assets_, features_});           // [m, f]
+  Var lhs = ag::MatMul(x_mf, w2_);                            // [m, z]
+
+  // rhs = w3 X: contract features.
+  Var x_zf = ag::Reshape(ag::Permute(x, {0, 2, 1}),
+                         {num_assets_ * length_, features_});
+  Var rhs = ag::Reshape(ag::MatMul(x_zf, w3_),
+                        {num_assets_, length_});              // [m, z]
+
+  Var m = ag::MatMul(lhs, ag::Transpose(rhs));                // [m, m]
+  Var s = ag::MatMul(vs_, ag::Sigmoid(ag::Add(m, bs_)));      // Eq. (4)
+  Var s_norm = ag::Softmax(s);                                // Eq. (5), rows
+  if (attention_out != nullptr) *attention_out = s_norm;
+
+  // Residual mixing: H = S X + X (Eq. after (5)).
+  Var x_flat = ag::Reshape(x, {num_assets_, features_ * length_});
+  Var mixed = ag::Add(ag::MatMul(s_norm, x_flat), x_flat);
+  return ag::Reshape(mixed, {num_assets_, features_, length_});
+}
+
+void SpatialAttention::CollectParameters(const std::string& prefix,
+                                         std::vector<NamedParam>* out) const {
+  out->push_back({prefix + "w1", w1_});
+  out->push_back({prefix + "w2", w2_});
+  out->push_back({prefix + "w3", w3_});
+  out->push_back({prefix + "vs", vs_});
+  out->push_back({prefix + "bs", bs_});
+}
+
+}  // namespace cit::nn

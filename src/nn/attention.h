@@ -1,0 +1,42 @@
+#ifndef CIT_NN_ATTENTION_H_
+#define CIT_NN_ATTENTION_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace cit::nn {
+
+// Spatial attention over assets (paper Eq. (4)-(5), ASTGCN-style):
+//   S = V_s . sigmoid( ((X w1) W2) (w3 X)^T + b_s ),   then row-softmax.
+// X is [num_assets, features, length]; S is [num_assets, num_assets] and
+// captures pairwise asset correlations. The module also applies the paper's
+// residual combination H = S X + X.
+class SpatialAttention : public Module {
+ public:
+  SpatialAttention(int64_t num_assets, int64_t features, int64_t length,
+                   Rng& rng);
+
+  // x: [num_assets, features, length] -> same shape, after attention mixing
+  // plus residual. If `attention_out` is non-null it receives the row-softmax
+  // attention matrix [num_assets, num_assets] (for diagnostics/tests).
+  Var Forward(const Var& x, Var* attention_out = nullptr) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) const override;
+
+ private:
+  int64_t num_assets_;
+  int64_t features_;
+  int64_t length_;
+  Var w1_;  // [length, 1]
+  Var w2_;  // [features, length]
+  Var w3_;  // [features, 1]
+  Var vs_;  // [num_assets, num_assets]
+  Var bs_;  // [num_assets, num_assets]
+};
+
+}  // namespace cit::nn
+
+#endif  // CIT_NN_ATTENTION_H_

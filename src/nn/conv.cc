@@ -1,0 +1,78 @@
+#include "nn/conv.h"
+
+namespace cit::nn {
+
+CausalConv1d::CausalConv1d(int64_t in_channels, int64_t out_channels,
+                           int64_t kernel_size, int64_t dilation, Rng& rng)
+    : dilation_(dilation) {
+  const int64_t fan_in = in_channels * kernel_size;
+  weight_ = Var::Param(
+      KaimingNormal({out_channels, in_channels, kernel_size}, fan_in, rng));
+  bias_ = Var::Param(Tensor::Zeros({out_channels}));
+}
+
+Var CausalConv1d::Forward(const Var& x) const {
+  return ag::CausalConv1d(x, weight_, bias_, dilation_);
+}
+
+void CausalConv1d::CollectParameters(const std::string& prefix,
+                                     std::vector<NamedParam>* out) const {
+  out->push_back({prefix + "weight", weight_});
+  out->push_back({prefix + "bias", bias_});
+}
+
+TemporalBlock::TemporalBlock(int64_t in_channels, int64_t out_channels,
+                             int64_t kernel_size, int64_t dilation, Rng& rng)
+    : need_projection_(in_channels != out_channels),
+      conv1_(in_channels, out_channels, kernel_size, dilation, rng),
+      conv2_(out_channels, out_channels, kernel_size, dilation, rng) {
+  if (need_projection_) {
+    projection_.emplace_back(in_channels, out_channels, /*kernel_size=*/1,
+                             /*dilation=*/1, rng);
+  }
+}
+
+Var TemporalBlock::Forward(const Var& x) const {
+  Var h = ag::Relu(conv1_.Forward(x));
+  h = conv2_.Forward(h);
+  Var skip = need_projection_ ? projection_[0].Forward(x) : x;
+  return ag::Relu(ag::Add(h, skip));
+}
+
+void TemporalBlock::CollectParameters(const std::string& prefix,
+                                      std::vector<NamedParam>* out) const {
+  conv1_.CollectParameters(prefix + "conv1.", out);
+  conv2_.CollectParameters(prefix + "conv2.", out);
+  if (need_projection_) {
+    projection_[0].CollectParameters(prefix + "proj.", out);
+  }
+}
+
+Tcn::Tcn(int64_t in_channels, int64_t hidden_channels, int64_t num_blocks,
+         int64_t kernel_size, Rng& rng)
+    : hidden_channels_(hidden_channels) {
+  int64_t dilation = 1;
+  int64_t channels = in_channels;
+  for (int64_t i = 0; i < num_blocks; ++i) {
+    blocks_.emplace_back(channels, hidden_channels, kernel_size, dilation,
+                         rng);
+    channels = hidden_channels;
+    dilation *= 2;
+  }
+}
+
+Var Tcn::Forward(const Var& x) const {
+  Var h = x;
+  for (const auto& block : blocks_) h = block.Forward(h);
+  return h;
+}
+
+void Tcn::CollectParameters(const std::string& prefix,
+                            std::vector<NamedParam>* out) const {
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    blocks_[i].CollectParameters(
+        prefix + "block" + std::to_string(i) + ".", out);
+  }
+}
+
+}  // namespace cit::nn

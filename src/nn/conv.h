@@ -1,0 +1,71 @@
+#ifndef CIT_NN_CONV_H_
+#define CIT_NN_CONV_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace cit::nn {
+
+// Causal dilated 1-D convolution layer (the TCN building block).
+class CausalConv1d : public Module {
+ public:
+  CausalConv1d(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+               int64_t dilation, Rng& rng);
+
+  // x: [batch, in_channels, length] -> [batch, out_channels, length].
+  Var Forward(const Var& x) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) const override;
+
+ private:
+  int64_t dilation_;
+  Var weight_;  // [out, in, k]
+  Var bias_;    // [out]
+};
+
+// One temporal block: two causal convolutions with ReLU, plus a residual
+// connection (1x1 conv on the skip path when channel counts differ).
+class TemporalBlock : public Module {
+ public:
+  TemporalBlock(int64_t in_channels, int64_t out_channels,
+                int64_t kernel_size, int64_t dilation, Rng& rng);
+
+  Var Forward(const Var& x) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) const override;
+
+ private:
+  bool need_projection_;
+  CausalConv1d conv1_;
+  CausalConv1d conv2_;
+  std::vector<CausalConv1d> projection_;  // 0 or 1 element
+};
+
+// Temporal convolution network: a stack of TemporalBlocks with dilations
+// 1, 2, 4, ... giving an effective receptive field that grows exponentially
+// with depth (Yu & Koltun 2016), as used by the paper's actor backbone.
+class Tcn : public Module {
+ public:
+  Tcn(int64_t in_channels, int64_t hidden_channels, int64_t num_blocks,
+      int64_t kernel_size, Rng& rng);
+
+  // x: [batch, in_channels, length] -> [batch, hidden_channels, length].
+  Var Forward(const Var& x) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) const override;
+
+  int64_t hidden_channels() const { return hidden_channels_; }
+
+ private:
+  int64_t hidden_channels_;
+  std::vector<TemporalBlock> blocks_;
+};
+
+}  // namespace cit::nn
+
+#endif  // CIT_NN_CONV_H_

@@ -1,0 +1,73 @@
+#include "nn/gru.h"
+
+#include "common/check.h"
+
+namespace cit::nn {
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : hidden_size_(hidden_size),
+      xz_(input_size, hidden_size, rng),
+      hz_(hidden_size, hidden_size, rng, /*bias=*/false),
+      xr_(input_size, hidden_size, rng),
+      hr_(hidden_size, hidden_size, rng, /*bias=*/false),
+      xc_(input_size, hidden_size, rng),
+      hc_(hidden_size, hidden_size, rng, /*bias=*/false) {}
+
+Var GruCell::Forward(const Var& x, const Var& h) const {
+  Var z = ag::Sigmoid(ag::Add(xz_.Forward(x), hz_.Forward(h)));
+  Var r = ag::Sigmoid(ag::Add(xr_.Forward(x), hr_.Forward(h)));
+  Var c = ag::Tanh(ag::Add(xc_.Forward(x), hc_.Forward(ag::Mul(r, h))));
+  // h' = h + z * (c - h)
+  return ag::Add(h, ag::Mul(z, ag::Sub(c, h)));
+}
+
+void GruCell::CollectParameters(const std::string& prefix,
+                                std::vector<NamedParam>* out) const {
+  xz_.CollectParameters(prefix + "xz.", out);
+  hz_.CollectParameters(prefix + "hz.", out);
+  xr_.CollectParameters(prefix + "xr.", out);
+  hr_.CollectParameters(prefix + "hr.", out);
+  xc_.CollectParameters(prefix + "xc.", out);
+  hc_.CollectParameters(prefix + "hc.", out);
+}
+
+Gru::Gru(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : cell_(input_size, hidden_size, rng) {}
+
+Var Gru::ForwardSequence(const Var& x) const {
+  CIT_CHECK_EQ(x.value().ndim(), 3);
+  const int64_t batch = x.value().dim(0);
+  const int64_t length = x.value().dim(2);
+  const int64_t hidden = cell_.hidden_size();
+  Var h = Var::Constant(Tensor::Zeros({batch, hidden}));
+  std::vector<Var> steps;
+  steps.reserve(length);
+  for (int64_t t = 0; t < length; ++t) {
+    // x_t: [batch, input, 1] -> [batch, input]
+    Var xt = ag::Reshape(ag::Slice(x, /*axis=*/2, t, 1),
+                         {batch, x.value().dim(1)});
+    h = cell_.Forward(xt, h);
+    steps.push_back(ag::Reshape(h, {batch, hidden, 1}));
+  }
+  return ag::Concat(steps, /*axis=*/2);
+}
+
+Var Gru::ForwardLast(const Var& x) const {
+  CIT_CHECK_EQ(x.value().ndim(), 3);
+  const int64_t batch = x.value().dim(0);
+  const int64_t length = x.value().dim(2);
+  Var h = Var::Constant(Tensor::Zeros({batch, cell_.hidden_size()}));
+  for (int64_t t = 0; t < length; ++t) {
+    Var xt = ag::Reshape(ag::Slice(x, /*axis=*/2, t, 1),
+                         {batch, x.value().dim(1)});
+    h = cell_.Forward(xt, h);
+  }
+  return h;
+}
+
+void Gru::CollectParameters(const std::string& prefix,
+                            std::vector<NamedParam>* out) const {
+  cell_.CollectParameters(prefix + "cell.", out);
+}
+
+}  // namespace cit::nn

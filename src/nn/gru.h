@@ -1,0 +1,60 @@
+#ifndef CIT_NN_GRU_H_
+#define CIT_NN_GRU_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace cit::nn {
+
+// Gated recurrent unit cell (Cho et al. 2014), built from autodiff ops:
+//   z = sigmoid(x Wz + h Uz + bz)
+//   r = sigmoid(x Wr + h Ur + br)
+//   c = tanh(x Wc + (r*h) Uc + bc)
+//   h' = (1-z)*h + z*c
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  // x: [batch, input], h: [batch, hidden] -> [batch, hidden].
+  Var Forward(const Var& x, const Var& h) const;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) const override;
+
+ private:
+  int64_t hidden_size_;
+  Linear xz_, hz_;  // update gate
+  Linear xr_, hr_;  // reset gate
+  Linear xc_, hc_;  // candidate
+};
+
+// Unrolled GRU over a [batch, channels, length] sequence (channel-time
+// layout shared with Tcn so the two are drop-in interchangeable in the
+// actor backbone ablation).
+class Gru : public Module {
+ public:
+  Gru(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  // x: [batch, input, length] -> hidden states [batch, hidden, length].
+  Var ForwardSequence(const Var& x) const;
+
+  // x: [batch, input, length] -> final hidden state [batch, hidden].
+  Var ForwardLast(const Var& x) const;
+
+  int64_t hidden_size() const { return cell_.hidden_size(); }
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) const override;
+
+ private:
+  GruCell cell_;
+};
+
+}  // namespace cit::nn
+
+#endif  // CIT_NN_GRU_H_

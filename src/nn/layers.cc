@@ -1,0 +1,69 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cit::nn {
+
+Tensor XavierUniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Uniform(std::move(shape), rng, -a, a);
+}
+
+Tensor KaimingNormal(Shape shape, int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::Randn(std::move(shape), rng, stddev);
+}
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = Var::Param(
+      XavierUniform({in_features, out_features}, in_features, out_features,
+                    rng));
+  if (bias) bias_ = Var::Param(Tensor::Zeros({out_features}));
+}
+
+Var Linear::Forward(const Var& x) const {
+  const bool vector_input = x.value().ndim() == 1;
+  Var h = vector_input ? ag::Reshape(x, {1, in_features_}) : x;
+  CIT_CHECK_EQ(h.value().dim(-1), in_features_);
+  Var y = ag::MatMul(h, weight_);
+  if (bias_.defined()) y = ag::Add(y, bias_);
+  if (vector_input) y = ag::Reshape(y, {out_features_});
+  return y;
+}
+
+void Linear::CollectParameters(const std::string& prefix,
+                               std::vector<NamedParam>* out) const {
+  out->push_back({prefix + "weight", weight_});
+  if (bias_.defined()) out->push_back({prefix + "bias", bias_});
+}
+
+Mlp::Mlp(const std::vector<int64_t>& sizes, Rng& rng) {
+  CIT_CHECK_GE(sizes.size(), 2u);
+  layers_.reserve(sizes.size() - 1);
+  for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+    layers_.emplace_back(sizes[i], sizes[i + 1], rng);
+  }
+}
+
+Var Mlp::Forward(const Var& x) const {
+  Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = ag::Relu(h);
+  }
+  return h;
+}
+
+void Mlp::CollectParameters(const std::string& prefix,
+                            std::vector<NamedParam>* out) const {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].CollectParameters(
+        prefix + "layer" + std::to_string(i) + ".", out);
+  }
+}
+
+}  // namespace cit::nn

@@ -1,0 +1,50 @@
+#ifndef CIT_NN_LAYERS_H_
+#define CIT_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace cit::nn {
+
+// Fully-connected layer: y = x W + b, x is [batch, in] or [in].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  // x: [batch, in] -> [batch, out], or [in] -> [out].
+  Var Forward(const Var& x) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) const override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Var weight_;  // [in, out]
+  Var bias_;    // [out], undefined when bias = false
+};
+
+// A small multi-layer perceptron with ReLU activations between layers and a
+// linear final layer, e.g. Mlp({128, 64, 16}) maps 128 -> 64 -> 16.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<int64_t>& sizes, Rng& rng);
+
+  Var Forward(const Var& x) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) const override;
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace cit::nn
+
+#endif  // CIT_NN_LAYERS_H_

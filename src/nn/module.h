@@ -1,0 +1,66 @@
+#ifndef CIT_NN_MODULE_H_
+#define CIT_NN_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "math/autograd.h"
+
+namespace cit::nn {
+
+using ag::Var;
+using math::Rng;
+using math::Shape;
+using math::Tensor;
+
+// A named trainable parameter. Modules expose their parameters through
+// Parameters() so that optimizers and serialization can enumerate them.
+struct NamedParam {
+  std::string name;
+  Var var;
+};
+
+// Base class for neural-network building blocks. Modules are containers of
+// parameters plus a forward computation expressed with cit::ag ops; there is
+// no implicit registration magic — each module appends its own (and its
+// children's, with a name prefix) parameters in Parameters().
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // Appends every trainable parameter, prefixing names with `prefix`.
+  virtual void CollectParameters(const std::string& prefix,
+                                 std::vector<NamedParam>* out) const = 0;
+
+  // Convenience wrapper returning all parameters of this module tree.
+  std::vector<NamedParam> Parameters() const {
+    std::vector<NamedParam> out;
+    CollectParameters("", &out);
+    return out;
+  }
+
+  // Total number of scalar weights.
+  int64_t NumParams() const {
+    int64_t n = 0;
+    for (const auto& p : Parameters()) n += p.var.numel();
+    return n;
+  }
+};
+
+// Copies parameter values from `src` into `dst`. The two modules must have
+// identical architectures (same parameter count, names, and shapes).
+void CopyParameters(const Module& src, Module* dst);
+
+// Polyak averaging for target networks: dst = tau * src + (1 - tau) * dst.
+void SoftUpdateParameters(const Module& src, Module* dst, float tau);
+
+// ---- Initializers -----------------------------------------------------------
+
+// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng& rng);
+// Kaiming normal for ReLU layers: N(0, sqrt(2 / fan_in)).
+Tensor KaimingNormal(Shape shape, int64_t fan_in, Rng& rng);
+
+}  // namespace cit::nn
+
+#endif  // CIT_NN_MODULE_H_

@@ -1,0 +1,127 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cit::nn {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (const auto& p : params_) {
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      total += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params_) {
+      if (!p.has_grad()) continue;
+      // Scale in place through the node.
+      const_cast<Tensor&>(p.grad()).MulScalarInPlace(scale);
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    Tensor& w = p.mutable_value();
+    if (momentum_ > 0.0f) {
+      if (velocity_[i].empty()) velocity_[i] = Tensor::Zeros(w.shape());
+      Tensor& vel = velocity_[i];
+      for (int64_t j = 0; j < w.numel(); ++j) {
+        vel[j] = momentum_ * vel[j] + g[j];
+        w[j] -= lr_ * vel[j];
+      }
+    } else {
+      for (int64_t j = 0; j < w.numel(); ++j) w[j] -= lr_ * g[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    Tensor& w = p.mutable_value();
+    if (m_[i].empty()) {
+      m_[i] = Tensor::Zeros(w.shape());
+      v_[i] = Tensor::Zeros(w.shape());
+    }
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t j = 0; j < w.numel(); ++j) {
+      const float gj = g[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * gj;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * gj * gj;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      // Decoupled weight decay (AdamW) so decay strength is independent of
+      // the adaptive step size.
+      w[j] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * w[j]);
+    }
+  }
+}
+
+void CopyParameters(const Module& src, Module* dst) {
+  const auto from = src.Parameters();
+  auto to = dst->Parameters();
+  CIT_CHECK_EQ(from.size(), to.size());
+  for (size_t i = 0; i < from.size(); ++i) {
+    CIT_CHECK(from[i].var.shape() == to[i].var.shape());
+    to[i].var.mutable_value() = from[i].var.value();
+  }
+}
+
+void SoftUpdateParameters(const Module& src, Module* dst, float tau) {
+  const auto from = src.Parameters();
+  auto to = dst->Parameters();
+  CIT_CHECK_EQ(from.size(), to.size());
+  for (size_t i = 0; i < from.size(); ++i) {
+    Tensor& w = to[i].var.mutable_value();
+    const Tensor& s = from[i].var.value();
+    for (int64_t j = 0; j < w.numel(); ++j) {
+      w[j] = tau * s[j] + (1.0f - tau) * w[j];
+    }
+  }
+}
+
+std::vector<Var> ParamVars(const Module& module) {
+  std::vector<Var> out;
+  for (auto& p : module.Parameters()) out.push_back(p.var);
+  return out;
+}
+
+}  // namespace cit::nn

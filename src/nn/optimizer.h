@@ -1,0 +1,77 @@
+#ifndef CIT_NN_OPTIMIZER_H_
+#define CIT_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "math/autograd.h"
+#include "nn/module.h"
+
+namespace cit::nn {
+
+// Base interface for gradient-descent optimizers over a fixed parameter set.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the gradients currently accumulated on the
+  // parameters; parameters without gradients are skipped.
+  virtual void Step() = 0;
+
+  // Clears accumulated gradients on all parameters.
+  void ZeroGrad();
+
+  // Rescales gradients so their global L2 norm is at most `max_norm`.
+  // Returns the pre-clipping norm.
+  float ClipGradNorm(float max_norm);
+
+  const std::vector<Var>& params() const { return params_; }
+
+ protected:
+  std::vector<Var> params_;
+};
+
+// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba 2015) with decoupled weight decay, matching the paper's
+// training setup (Adam, lr 1e-4, weight decay 1e-5).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+// Collects the Vars from a module's named parameters.
+std::vector<Var> ParamVars(const Module& module);
+
+}  // namespace cit::nn
+
+#endif  // CIT_NN_OPTIMIZER_H_

@@ -1,0 +1,97 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace cit::nn {
+namespace {
+
+constexpr char kMagic[] = "CITW1\n";
+
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic) - 1);
+  const auto params = module.Parameters();
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    const uint64_t name_len = p.name.size();
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p.name.data(), static_cast<std::streamsize>(name_len));
+    const auto& shape = p.var.value().shape();
+    const uint64_t ndim = shape.size();
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (int64_t d : shape) {
+      const int64_t dim = d;
+      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    const auto& data = p.var.value().vec();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  char magic[sizeof(kMagic) - 1];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string(magic, sizeof(magic)) != kMagic) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  auto params = module->Parameters();
+  if (count != params.size()) {
+    return Status::InvalidArgument("parameter count mismatch in " + path);
+  }
+
+  // Parse everything into staging first so a malformed file leaves the
+  // module untouched.
+  std::vector<math::Tensor> staged;
+  staged.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in || name_len > 4096) {
+      return Status::InvalidArgument("corrupt parameter name length");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (name != params[i].name) {
+      return Status::InvalidArgument("parameter name mismatch: expected " +
+                                     params[i].name + ", got " + name);
+    }
+    uint64_t ndim = 0;
+    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    if (!in || ndim > 16) {
+      return Status::InvalidArgument("corrupt parameter rank");
+    }
+    math::Shape shape(ndim);
+    for (auto& d : shape) {
+      in.read(reinterpret_cast<char*>(&d), sizeof(d));
+      if (!in || d < 0) return Status::InvalidArgument("corrupt dim");
+    }
+    if (shape != params[i].var.value().shape()) {
+      return Status::InvalidArgument("parameter shape mismatch for " +
+                                     name);
+    }
+    math::Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!in) return Status::InvalidArgument("truncated parameter data");
+    staged.push_back(std::move(t));
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    params[i].var.mutable_value() = std::move(staged[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace cit::nn

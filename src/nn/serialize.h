@@ -1,0 +1,23 @@
+#ifndef CIT_NN_SERIALIZE_H_
+#define CIT_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace cit::nn {
+
+// Saves every named parameter of `module` to a simple binary container:
+//   magic "CITW1\n", then per parameter: name line, ndim, dims, float data.
+// Parameter order and names must match on load (they are derived from the
+// module structure, so any identically-configured module matches).
+Status SaveParameters(const Module& module, const std::string& path);
+
+// Loads parameters saved by SaveParameters into `module`. Fails without
+// modifying anything if a name, count, or shape mismatches.
+Status LoadParameters(Module* module, const std::string& path);
+
+}  // namespace cit::nn
+
+#endif  // CIT_NN_SERIALIZE_H_

@@ -1,0 +1,67 @@
+#include "olps/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cit::olps {
+
+std::vector<double> ProjectToSimplex(const std::vector<double>& y) {
+  const size_t n = y.size();
+  CIT_CHECK_GT(n, 0u);
+  std::vector<double> sorted = y;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double cumsum = 0.0;
+  double theta = 0.0;
+  int64_t rho = 0;
+  for (size_t j = 0; j < n; ++j) {
+    cumsum += sorted[j];
+    const double candidate =
+        (cumsum - 1.0) / static_cast<double>(j + 1);
+    if (sorted[j] - candidate > 0.0) {
+      rho = static_cast<int64_t>(j + 1);
+      theta = candidate;
+    }
+  }
+  CIT_CHECK_GT(rho, 0);
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) w[i] = std::max(0.0, y[i] - theta);
+  return w;
+}
+
+std::vector<double> ProjectToSimplexANorm(const std::vector<double>& y,
+                                          const std::vector<double>& a,
+                                          int iters) {
+  const size_t n = y.size();
+  CIT_CHECK_EQ(a.size(), n * n);
+  // Lipschitz constant estimate: row-sum norm of A.
+  double lips = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (size_t j = 0; j < n; ++j) row += std::fabs(a[i * n + j]);
+    lips = std::max(lips, row);
+  }
+  const double step = lips > 0.0 ? 1.0 / (2.0 * lips) : 0.5;
+
+  std::vector<double> w = ProjectToSimplex(y);
+  std::vector<double> grad(n);
+  for (int it = 0; it < iters; ++it) {
+    // grad = 2 A (w - y)
+    for (size_t i = 0; i < n; ++i) {
+      double g = 0.0;
+      for (size_t j = 0; j < n; ++j) g += a[i * n + j] * (w[j] - y[j]);
+      grad[i] = 2.0 * g;
+    }
+    std::vector<double> next(n);
+    for (size_t i = 0; i < n; ++i) next[i] = w[i] - step * grad[i];
+    next = ProjectToSimplex(next);
+    double shift = 0.0;
+    for (size_t i = 0; i < n; ++i) shift += std::fabs(next[i] - w[i]);
+    w = std::move(next);
+    if (shift < 1e-12) break;
+  }
+  return w;
+}
+
+}  // namespace cit::olps

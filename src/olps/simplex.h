@@ -1,0 +1,22 @@
+#ifndef CIT_OLPS_SIMPLEX_H_
+#define CIT_OLPS_SIMPLEX_H_
+
+#include <vector>
+
+namespace cit::olps {
+
+// Euclidean projection of `y` onto the probability simplex
+// {w : w_i >= 0, sum w_i = 1} (Duchi et al. 2008, O(n log n)).
+std::vector<double> ProjectToSimplex(const std::vector<double>& y);
+
+// Projection onto the simplex in the norm induced by symmetric positive
+// definite matrix `a` (row-major n x n): argmin_w (w-y)^T A (w-y).
+// Used by the ONS baseline. Solved by projected gradient descent; `iters`
+// controls accuracy.
+std::vector<double> ProjectToSimplexANorm(const std::vector<double>& y,
+                                          const std::vector<double>& a,
+                                          int iters = 100);
+
+}  // namespace cit::olps
+
+#endif  // CIT_OLPS_SIMPLEX_H_

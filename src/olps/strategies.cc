@@ -1,0 +1,436 @@
+#include "olps/strategies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "olps/simplex.h"
+#include "signal/analysis.h"
+#include "signal/filters.h"
+
+namespace cit::olps {
+namespace {
+
+std::vector<double> Uniform(int64_t n) {
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double MeanOf(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+void OlpsStrategy::Reset() {
+  initialized_ = false;
+  last_day_ = -1;
+  last_weights_.clear();
+}
+
+std::vector<double> OlpsStrategy::DecideWeights(
+    const market::PricePanel& panel, int64_t day) {
+  const int64_t m = panel.num_assets();
+  if (!initialized_) {
+    initialized_ = true;
+    last_day_ = day;
+    last_weights_ = Uniform(m);
+    return last_weights_;
+  }
+  // Realized relatives since the previous decision (normally one day).
+  std::vector<double> relatives(m, 1.0);
+  for (int64_t d = last_day_ + 1; d <= day; ++d) {
+    for (int64_t i = 0; i < m; ++i) {
+      relatives[i] *= panel.PriceRelative(d, i);
+    }
+  }
+  std::vector<double> next = Rebalance(panel, day, last_weights_, relatives);
+  CIT_CHECK_EQ(static_cast<int64_t>(next.size()), m);
+  last_day_ = day;
+  last_weights_ = next;
+  return next;
+}
+
+std::vector<double> BuyAndHold::DecideWeights(
+    const market::PricePanel& panel, int64_t day) {
+  const int64_t m = panel.num_assets();
+  if (start_day_ < 0) start_day_ = day;
+  // Equal dollars invested at start_day_, held since: weight proportional
+  // to each asset's price growth.
+  std::vector<double> w(m);
+  for (int64_t i = 0; i < m; ++i) {
+    w[i] = panel.Close(day, i) / panel.Close(start_day_, i);
+  }
+  return env::NormalizeToSimplex(std::move(w));
+}
+
+std::vector<double> Crp::Rebalance(const market::PricePanel& panel, int64_t,
+                                   const std::vector<double>&,
+                                   const std::vector<double>&) {
+  return Uniform(panel.num_assets());
+}
+
+std::vector<double> Eg::Rebalance(const market::PricePanel&, int64_t,
+                                  const std::vector<double>& last_weights,
+                                  const std::vector<double>& x) {
+  const double denom = std::max(Dot(last_weights, x), 1e-12);
+  std::vector<double> w(last_weights.size());
+  double total = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    w[i] = last_weights[i] * std::exp(eta_ * x[i] / denom);
+    total += w[i];
+  }
+  for (double& v : w) v /= total;
+  return w;
+}
+
+Ons::Ons(double eta, double beta, double delta)
+    : eta_(eta), beta_(beta), delta_(delta) {}
+
+void Ons::Reset() {
+  OlpsStrategy::Reset();
+  a_.clear();
+  b_.clear();
+  state_ready_ = false;
+}
+
+std::vector<double> Ons::Rebalance(const market::PricePanel& panel, int64_t,
+                                   const std::vector<double>& last_weights,
+                                   const std::vector<double>& x) {
+  const int64_t m = panel.num_assets();
+  if (!state_ready_) {
+    a_.assign(m * m, 0.0);
+    for (int64_t i = 0; i < m; ++i) a_[i * m + i] = 1.0;  // A = I
+    b_.assign(m, 0.0);
+    state_ready_ = true;
+  }
+  // grad of log(w.x) at the played weights.
+  const double px = std::max(Dot(last_weights, x), 1e-12);
+  std::vector<double> grad(m);
+  for (int64_t i = 0; i < m; ++i) grad[i] = x[i] / px;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      a_[i * m + j] += grad[i] * grad[j];
+    }
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    b_[i] += (1.0 + 1.0 / beta_) * grad[i];
+  }
+  // Solve A y = delta * b by Gaussian elimination (A is SPD, small).
+  std::vector<double> lhs = a_;
+  std::vector<double> y = b_;
+  for (double& v : y) v *= delta_;
+  for (int64_t col = 0; col < m; ++col) {
+    // Partial pivot.
+    int64_t pivot = col;
+    for (int64_t r = col + 1; r < m; ++r) {
+      if (std::fabs(lhs[r * m + col]) > std::fabs(lhs[pivot * m + col])) {
+        pivot = r;
+      }
+    }
+    if (pivot != col) {
+      for (int64_t c = 0; c < m; ++c) {
+        std::swap(lhs[col * m + c], lhs[pivot * m + c]);
+      }
+      std::swap(y[col], y[pivot]);
+    }
+    const double diag = lhs[col * m + col];
+    CIT_CHECK_GT(std::fabs(diag), 1e-14);
+    for (int64_t r = col + 1; r < m; ++r) {
+      const double factor = lhs[r * m + col] / diag;
+      if (factor == 0.0) continue;
+      for (int64_t c = col; c < m; ++c) {
+        lhs[r * m + c] -= factor * lhs[col * m + c];
+      }
+      y[r] -= factor * y[col];
+    }
+  }
+  for (int64_t r = m - 1; r >= 0; --r) {
+    double s = y[r];
+    for (int64_t c = r + 1; c < m; ++c) s -= lhs[r * m + c] * y[c];
+    y[r] = s / lhs[r * m + r];
+  }
+  // Mix with uniform (the eta smoothing) then project in the A-norm.
+  std::vector<double> target(m);
+  for (int64_t i = 0; i < m; ++i) {
+    target[i] = (1.0 - eta_) * y[i] + eta_ / static_cast<double>(m);
+  }
+  return ProjectToSimplexANorm(target, a_);
+}
+
+Up::Up(int64_t samples, uint64_t seed) : samples_(samples), seed_(seed) {}
+
+void Up::Reset() {
+  OlpsStrategy::Reset();
+  managers_.clear();
+  manager_wealth_.clear();
+}
+
+std::vector<double> Up::Rebalance(const market::PricePanel& panel, int64_t,
+                                  const std::vector<double>&,
+                                  const std::vector<double>& x) {
+  const int64_t m = panel.num_assets();
+  if (managers_.empty()) {
+    math::Rng rng(seed_);
+    managers_.reserve(samples_);
+    for (int64_t s = 0; s < samples_; ++s) {
+      managers_.push_back(rng.Dirichlet(static_cast<int>(m), 1.0));
+    }
+    manager_wealth_.assign(samples_, 1.0);
+  }
+  // Update each CRP manager's wealth with the realized relatives, then
+  // pool managers' portfolios weighted by wealth.
+  std::vector<double> pooled(m, 0.0);
+  double total = 0.0;
+  for (int64_t s = 0; s < samples_; ++s) {
+    manager_wealth_[s] *= Dot(managers_[s], x);
+    total += manager_wealth_[s];
+  }
+  CIT_CHECK_GT(total, 0.0);
+  for (int64_t s = 0; s < samples_; ++s) {
+    const double w = manager_wealth_[s] / total;
+    for (int64_t i = 0; i < m; ++i) pooled[i] += w * managers_[s][i];
+  }
+  return env::NormalizeToSimplex(std::move(pooled));
+}
+
+std::vector<double> Olmar::Rebalance(const market::PricePanel& panel,
+                                     int64_t day,
+                                     const std::vector<double>& last_weights,
+                                     const std::vector<double>&) {
+  const int64_t m = panel.num_assets();
+  // Predicted next relative: MA_w(p) / p_day (moving-average reversion).
+  std::vector<double> xpred(m);
+  const int64_t w0 = std::max<int64_t>(1, day - ma_window_ + 1);
+  for (int64_t i = 0; i < m; ++i) {
+    double ma = 0.0;
+    int64_t count = 0;
+    for (int64_t d = w0; d <= day; ++d) {
+      ma += panel.Close(d, i);
+      ++count;
+    }
+    ma /= static_cast<double>(count);
+    xpred[i] = ma / panel.Close(day, i);
+  }
+  const double xbar = MeanOf(xpred);
+  double denom = 0.0;
+  for (double v : xpred) denom += (v - xbar) * (v - xbar);
+  double tau = 0.0;
+  if (denom > 1e-12) {
+    tau = std::max(0.0, (epsilon_ - Dot(last_weights, xpred)) / denom);
+  }
+  std::vector<double> w = last_weights;
+  for (int64_t i = 0; i < m; ++i) w[i] += tau * (xpred[i] - xbar);
+  return ProjectToSimplex(w);
+}
+
+std::vector<double> Pamr::Rebalance(const market::PricePanel&, int64_t,
+                                    const std::vector<double>& last_weights,
+                                    const std::vector<double>& x) {
+  const size_t m = x.size();
+  const double xbar = MeanOf(x);
+  double denom = 0.0;
+  for (double v : x) denom += (v - xbar) * (v - xbar);
+  const double loss = std::max(0.0, Dot(last_weights, x) - epsilon_);
+  const double tau = denom > 1e-12 ? loss / denom : 0.0;
+  std::vector<double> w = last_weights;
+  for (size_t i = 0; i < m; ++i) w[i] -= tau * (x[i] - xbar);
+  return ProjectToSimplex(w);
+}
+
+std::vector<double> Rmr::Rebalance(const market::PricePanel& panel,
+                                   int64_t day,
+                                   const std::vector<double>& last_weights,
+                                   const std::vector<double>&) {
+  const int64_t m = panel.num_assets();
+  // Robust price estimate: L1-median of the trailing window of price
+  // vectors, normalized per asset by today's price.
+  const int64_t w0 = std::max<int64_t>(0, day - window_ + 1);
+  std::vector<std::vector<double>> points;
+  for (int64_t d = w0; d <= day; ++d) {
+    std::vector<double> p(m);
+    for (int64_t i = 0; i < m; ++i) p[i] = panel.Close(d, i);
+    points.push_back(std::move(p));
+  }
+  const std::vector<double> median = signal::L1Median(points);
+  std::vector<double> xpred(m);
+  for (int64_t i = 0; i < m; ++i) {
+    xpred[i] = median[i] / panel.Close(day, i);
+  }
+  const double xbar = MeanOf(xpred);
+  double denom = 0.0;
+  for (double v : xpred) denom += (v - xbar) * (v - xbar);
+  double tau = 0.0;
+  if (denom > 1e-12) {
+    tau = std::max(0.0, (epsilon_ - Dot(last_weights, xpred)) / denom);
+  }
+  std::vector<double> w = last_weights;
+  for (int64_t i = 0; i < m; ++i) w[i] += tau * (xpred[i] - xbar);
+  return ProjectToSimplex(w);
+}
+
+std::vector<double> Anticor::Rebalance(const market::PricePanel& panel,
+                                       int64_t day,
+                                       const std::vector<double>& last_weights,
+                                       const std::vector<double>&) {
+  const int64_t m = panel.num_assets();
+  const int64_t w = window_;
+  if (day < 2 * w) return last_weights;
+
+  // Log returns over the two adjacent windows.
+  auto log_returns = [&](int64_t start) {
+    std::vector<std::vector<double>> lr(m, std::vector<double>(w));
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t k = 0; k < w; ++k) {
+        lr[i][k] = std::log(panel.PriceRelative(start + k, i));
+      }
+    }
+    return lr;
+  };
+  const auto lx1 = log_returns(day - 2 * w + 1);
+  const auto lx2 = log_returns(day - w + 1);
+
+  std::vector<double> mu2(m);
+  for (int64_t i = 0; i < m; ++i) mu2[i] = MeanOf(lx2[i]);
+
+  // Cross-correlation between window-1 returns of i and window-2 of j.
+  std::vector<double> mcorr(m * m, 0.0);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      mcorr[i * m + j] = signal::PearsonCorrelation(lx1[i], lx2[j]);
+    }
+  }
+
+  // Claims: transfer from i to j when i outperformed j in window 2 and
+  // M_ij > 0; add self anti-correlation boosts.
+  std::vector<double> claims(m * m, 0.0);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      if (mu2[i] > mu2[j] && mcorr[i * m + j] > 0.0) {
+        claims[i * m + j] = mcorr[i * m + j] +
+                            std::max(0.0, -mcorr[i * m + i]) +
+                            std::max(0.0, -mcorr[j * m + j]);
+      }
+    }
+  }
+
+  std::vector<double> next = last_weights;
+  for (int64_t i = 0; i < m; ++i) {
+    double claim_total = 0.0;
+    for (int64_t j = 0; j < m; ++j) claim_total += claims[i * m + j];
+    if (claim_total <= 0.0) continue;
+    for (int64_t j = 0; j < m; ++j) {
+      const double transfer =
+          last_weights[i] * claims[i * m + j] / claim_total;
+      next[i] -= transfer;
+      next[j] += transfer;
+    }
+  }
+  return env::NormalizeToSimplex(std::move(next));
+}
+
+std::vector<double> LogOptimalPortfolio(
+    const std::vector<std::vector<double>>& relatives,
+    std::vector<double> start, int64_t iters) {
+  CIT_CHECK(!relatives.empty());
+  const size_t m = relatives[0].size();
+  std::vector<double> b =
+      start.empty() ? std::vector<double>(m, 1.0 / m) : std::move(start);
+  // Relatives hover near 1, so per-day gradients are ~1 with differences of
+  // a few percent; a unit step with simplex projection converges quickly
+  // and cannot diverge (the projection bounds each move).
+  const double step = 1.0;
+  std::vector<double> grad(m);
+  for (int64_t it = 0; it < iters; ++it) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (const auto& x : relatives) {
+      const double bx = std::max(Dot(b, x), 1e-9);
+      for (size_t i = 0; i < m; ++i) grad[i] += x[i] / bx;
+    }
+    for (size_t i = 0; i < m; ++i) {
+      b[i] += step * grad[i] / static_cast<double>(relatives.size());
+    }
+    b = ProjectToSimplex(b);
+  }
+  return b;
+}
+
+std::vector<double> Corn::Rebalance(const market::PricePanel& panel,
+                                    int64_t day,
+                                    const std::vector<double>& last_weights,
+                                    const std::vector<double>&) {
+  const int64_t m = panel.num_assets();
+  const int64_t w = window_;
+  if (day < 2 * w + 2) return last_weights;
+
+  // Flattened relative window ending at `end` (inclusive), w days.
+  auto window_vec = [&](int64_t end) {
+    std::vector<double> v;
+    v.reserve(w * m);
+    for (int64_t d = end - w + 1; d <= end; ++d) {
+      for (int64_t i = 0; i < m; ++i) v.push_back(panel.PriceRelative(d, i));
+    }
+    return v;
+  };
+  const std::vector<double> current = window_vec(day);
+
+  std::vector<std::vector<double>> similar_next_days;
+  for (int64_t tau = w + 1; tau < day; ++tau) {
+    // Window preceding day tau, so the day that followed (tau) is the
+    // outcome sample.
+    const std::vector<double> hist = window_vec(tau - 1);
+    if (signal::PearsonCorrelation(current, hist) >= rho_) {
+      std::vector<double> x(m);
+      for (int64_t i = 0; i < m; ++i) x[i] = panel.PriceRelative(tau, i);
+      similar_next_days.push_back(std::move(x));
+    }
+  }
+  if (similar_next_days.empty()) return Uniform(m);
+  return LogOptimalPortfolio(similar_next_days, {}, opt_iters_);
+}
+
+std::vector<double> BestStock::Rebalance(const market::PricePanel& panel,
+                                         int64_t day,
+                                         const std::vector<double>&,
+                                         const std::vector<double>&) {
+  const int64_t m = panel.num_assets();
+  const int64_t start = std::max<int64_t>(0, day - window_);
+  int64_t best = 0;
+  double best_growth = -1.0;
+  for (int64_t i = 0; i < m; ++i) {
+    const double growth = panel.Close(day, i) / panel.Close(start, i);
+    if (growth > best_growth) {
+      best_growth = growth;
+      best = i;
+    }
+  }
+  std::vector<double> b(m, 0.0);
+  b[best] = 1.0;
+  return b;
+}
+
+std::vector<double> FollowTheLeader::Rebalance(
+    const market::PricePanel& panel, int64_t day,
+    const std::vector<double>& last_weights, const std::vector<double>&) {
+  const int64_t m = panel.num_assets();
+  std::vector<std::vector<double>> history;
+  history.reserve(day);
+  for (int64_t d = 1; d <= day; ++d) {
+    std::vector<double> x(m);
+    for (int64_t i = 0; i < m; ++i) x[i] = panel.PriceRelative(d, i);
+    history.push_back(std::move(x));
+  }
+  if (history.empty()) return Uniform(m);
+  // Warm-start from the previous portfolio for fast convergence.
+  return LogOptimalPortfolio(history, last_weights, opt_iters_);
+}
+
+}  // namespace cit::olps

@@ -1,0 +1,160 @@
+#include "rl/a2c.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "env/portfolio_env.h"
+#include "rl/features.h"
+#include "rl/returns.h"
+
+namespace cit::rl {
+
+A2cAgent::A2cAgent(int64_t num_assets, const RlTrainConfig& config,
+                   int64_t extra_state_dim)
+    : num_assets_(num_assets),
+      extra_state_dim_(extra_state_dim),
+      config_(config),
+      rng_(config.seed) {
+  const int64_t input =
+      config_.window * num_assets_ + num_assets_ + extra_state_dim_;
+  actor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{input, config_.hidden, num_assets_}, rng_);
+  critic_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{input, config_.hidden, 1}, rng_);
+  log_std_ = ag::Var::Param(
+      Tensor::Full({num_assets_}, config_.init_log_std));
+
+  std::vector<ag::Var> actor_params = nn::ParamVars(*actor_);
+  actor_params.push_back(log_std_);
+  actor_opt_ = std::make_unique<nn::Adam>(
+      std::move(actor_params), static_cast<float>(config_.lr), 0.9f, 0.999f,
+      1e-8f, static_cast<float>(config_.weight_decay));
+  critic_opt_ = std::make_unique<nn::Adam>(
+      nn::ParamVars(*critic_), static_cast<float>(config_.lr), 0.9f, 0.999f,
+      1e-8f, static_cast<float>(config_.weight_decay));
+  Reset();
+}
+
+void A2cAgent::Reset() {
+  held_.assign(num_assets_, 1.0 / static_cast<double>(num_assets_));
+}
+
+Tensor A2cAgent::ExtraState(const market::PricePanel&, int64_t) const {
+  return Tensor();
+}
+
+ag::Var A2cAgent::PolicyInput(const market::PricePanel& panel,
+                              int64_t day) const {
+  Tensor window = FlatWindow(panel, day, config_.window);
+  Tensor prev({num_assets_});
+  for (int64_t i = 0; i < num_assets_; ++i) {
+    prev[i] = static_cast<float>(held_[i]);
+  }
+  std::vector<ag::Var> parts = {ag::Var::Constant(window),
+                                ag::Var::Constant(prev)};
+  if (extra_state_dim_ > 0) {
+    Tensor extra = ExtraState(panel, day);
+    CIT_CHECK_EQ(extra.numel(), extra_state_dim_);
+    parts.push_back(ag::Var::Constant(extra));
+  }
+  return ag::Concat(parts, /*axis=*/0);
+}
+
+std::vector<double> A2cAgent::Train(const market::PricePanel& panel,
+                                    int64_t curve_points) {
+  CIT_CHECK_GT(panel.train_end(), config_.window + config_.rollout_len + 2);
+  env::EnvConfig env_config;
+  env_config.window = config_.window;
+  env_config.transaction_cost = config_.transaction_cost;
+  env_config.end_day = panel.train_end() - 1;
+  env::PortfolioEnv env(&panel, env_config);
+
+  std::vector<double> curve;
+  double curve_acc = 0.0;
+  int64_t curve_n = 0;
+  const int64_t curve_every =
+      std::max<int64_t>(1, config_.train_steps / curve_points);
+
+  for (int64_t step = 0; step < config_.train_steps; ++step) {
+    // Random segment start within the training range.
+    const int64_t lo = env.earliest_start();
+    const int64_t hi = env.end_day() - config_.rollout_len - 1;
+    env.ResetAt(lo + rng_.UniformInt(std::max<int64_t>(1, hi - lo)));
+    Reset();
+
+    std::vector<ag::Var> log_probs;
+    std::vector<ag::Var> values;
+    std::vector<ag::Var> entropies;
+    std::vector<double> rewards;
+    for (int64_t t = 0; t < config_.rollout_len && !env.done(); ++t) {
+      ag::Var input = PolicyInput(panel, env.current_day());
+      ag::Var mean = actor_->Forward(input);
+      GaussianAction action = SampleGaussianSimplex(mean, log_std_, &rng_);
+      values.push_back(critic_->Forward(input));
+      log_probs.push_back(action.log_prob);
+      entropies.push_back(GaussianEntropy(log_std_));
+      const env::StepResult r = env.Step(action.weights);
+      rewards.push_back(r.reward * config_.reward_scale);
+      held_ = env.previous_weights();
+    }
+    // Bootstrap value of the final state.
+    double bootstrap = 0.0;
+    if (!env.done()) {
+      ag::Var input = PolicyInput(panel, env.current_day());
+      bootstrap = critic_->Forward(input).value().Item();
+    }
+    const std::vector<double> targets =
+        DiscountedReturns(rewards, config_.gamma, bootstrap);
+
+    // Losses: policy gradient with advantage (target - V), value MSE.
+    ag::Var policy_loss = ag::Var::Constant(Tensor::Scalar(0.0f));
+    ag::Var value_loss = ag::Var::Constant(Tensor::Scalar(0.0f));
+    for (size_t t = 0; t < rewards.size(); ++t) {
+      const float advantage = static_cast<float>(targets[t]) -
+                              values[t].value().Item();
+      policy_loss = ag::Sub(
+          policy_loss, ag::MulScalar(log_probs[t], advantage));
+      policy_loss = ag::Sub(
+          policy_loss, ag::MulScalar(entropies[t],
+                                     static_cast<float>(
+                                         config_.entropy_coef)));
+      ag::Var err = ag::AddScalar(values[t],
+                                  -static_cast<float>(targets[t]));
+      value_loss = ag::Add(value_loss, ag::Square(err));
+    }
+    const float inv_len = 1.0f / static_cast<float>(rewards.size());
+    ag::Var total = ag::Add(ag::MulScalar(policy_loss, inv_len),
+                            ag::MulScalar(value_loss, inv_len));
+    actor_opt_->ZeroGrad();
+    critic_opt_->ZeroGrad();
+    total.Backward();
+    actor_opt_->ClipGradNorm(5.0f);
+    critic_opt_->ClipGradNorm(5.0f);
+    actor_opt_->Step();
+    critic_opt_->Step();
+
+    double mean_reward = 0.0;
+    for (double r : rewards) mean_reward += r;
+    curve_acc += mean_reward / static_cast<double>(rewards.size());
+    ++curve_n;
+    if ((step + 1) % curve_every == 0) {
+      curve.push_back(curve_acc / static_cast<double>(curve_n));
+      curve_acc = 0.0;
+      curve_n = 0;
+    }
+  }
+  Reset();
+  return curve;
+}
+
+std::vector<double> A2cAgent::DecideWeights(const market::PricePanel& panel,
+                                            int64_t day) {
+  ag::Var input = PolicyInput(panel, day);
+  ag::Var mean = actor_->Forward(input);
+  GaussianAction action =
+      SampleGaussianSimplex(mean, log_std_, /*rng=*/nullptr);
+  held_ = action.weights;
+  return action.weights;
+}
+
+}  // namespace cit::rl

@@ -1,0 +1,31 @@
+#ifndef CIT_RL_CONFIG_H_
+#define CIT_RL_CONFIG_H_
+
+#include <cstdint>
+
+namespace cit::rl {
+
+// Shared hyper-parameters of the deep-RL baseline trainers. Defaults are
+// sized for the single-core CPU budget; `train_steps` is further multiplied
+// by cit::ScaledStepFactor() at experiment level.
+struct RlTrainConfig {
+  int64_t window = 24;            // observed price-window length z
+  double transaction_cost = 1e-3;
+  // Prices are exogenous (actions only couple through holdings/costs), so
+  // a short effective horizon is appropriate; high discounts only inject
+  // future-noise variance into the advantages.
+  double gamma = 0.5;
+  double lr = 1e-3;
+  double weight_decay = 1e-5;     // paper: 1e-5 L2 regularization
+  int64_t train_steps = 300;      // optimizer updates
+  int64_t rollout_len = 16;       // on-policy rollout segment length
+  double entropy_coef = 0.01;
+  double reward_scale = 100.0;    // log returns are ~1e-3; rescale for SGD
+  int64_t hidden = 32;
+  uint64_t seed = 1;
+  float init_log_std = -1.0f;
+};
+
+}  // namespace cit::rl
+
+#endif  // CIT_RL_CONFIG_H_

@@ -1,0 +1,176 @@
+#include "rl/ddpg.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "env/portfolio_env.h"
+#include "rl/features.h"
+#include "rl/gaussian_policy.h"
+
+namespace cit::rl {
+
+DdpgAgent::DdpgAgent(int64_t num_assets, const DdpgConfig& config)
+    : num_assets_(num_assets), config_(config), rng_(config.seed) {
+  const int64_t state_dim = config_.window * num_assets_ + num_assets_;
+  actor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{state_dim, config_.hidden, num_assets_}, rng_);
+  critic_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{state_dim + num_assets_, config_.hidden, 1},
+      rng_);
+  target_actor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{state_dim, config_.hidden, num_assets_}, rng_);
+  target_critic_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{state_dim + num_assets_, config_.hidden, 1},
+      rng_);
+  nn::CopyParameters(*actor_, target_actor_.get());
+  nn::CopyParameters(*critic_, target_critic_.get());
+  actor_opt_ = std::make_unique<nn::Adam>(
+      nn::ParamVars(*actor_), static_cast<float>(config_.lr), 0.9f, 0.999f,
+      1e-8f, static_cast<float>(config_.weight_decay));
+  critic_opt_ = std::make_unique<nn::Adam>(
+      nn::ParamVars(*critic_), static_cast<float>(config_.lr), 0.9f, 0.999f,
+      1e-8f, static_cast<float>(config_.weight_decay));
+  Reset();
+}
+
+void DdpgAgent::Reset() {
+  held_.assign(num_assets_, 1.0 / static_cast<double>(num_assets_));
+}
+
+Tensor DdpgAgent::StateTensor(const market::PricePanel& panel,
+                              int64_t day) const {
+  Tensor window = FlatWindow(panel, day, config_.window);
+  Tensor state({config_.window * num_assets_ + num_assets_});
+  for (int64_t i = 0; i < window.numel(); ++i) state[i] = window[i];
+  for (int64_t i = 0; i < num_assets_; ++i) {
+    state[window.numel() + i] = static_cast<float>(held_[i]);
+  }
+  return state;
+}
+
+void DdpgAgent::UpdateFromReplay() {
+  const int64_t size = static_cast<int64_t>(replay_.size());
+  if (size < config_.batch_size) return;
+
+  // Critic update: y = r + gamma * Q'(s', mu'(s')).
+  ag::Var critic_loss = ag::Var::Constant(Tensor::Scalar(0.0f));
+  std::vector<const Transition*> batch;
+  batch.reserve(config_.batch_size);
+  for (int64_t b = 0; b < config_.batch_size; ++b) {
+    batch.push_back(&replay_[rng_.UniformInt(size)]);
+  }
+  for (const Transition* tr : batch) {
+    ag::Var next_state = ag::Var::Constant(tr->next_state);
+    ag::Var next_scores = target_actor_->Forward(next_state);
+    ag::Var next_action = ag::Softmax(next_scores);
+    ag::Var next_q = target_critic_->Forward(
+        ag::Concat({next_state, next_action}, 0));
+    const float y = static_cast<float>(tr->reward) +
+                    static_cast<float>(config_.gamma) *
+                        next_q.value().Item();
+    ag::Var q = critic_->Forward(
+        ag::Concat({ag::Var::Constant(tr->state),
+                    ag::Var::Constant(tr->action)},
+                   0));
+    critic_loss = ag::Add(critic_loss, ag::Square(ag::AddScalar(q, -y)));
+  }
+  critic_loss = ag::MulScalar(
+      critic_loss, 1.0f / static_cast<float>(config_.batch_size));
+  critic_opt_->ZeroGrad();
+  critic_loss.Backward();
+  critic_opt_->ClipGradNorm(5.0f);
+  critic_opt_->Step();
+
+  // Actor update: maximize Q(s, softmax(actor(s))).
+  ag::Var actor_loss = ag::Var::Constant(Tensor::Scalar(0.0f));
+  for (const Transition* tr : batch) {
+    ag::Var state = ag::Var::Constant(tr->state);
+    ag::Var action = ag::Softmax(actor_->Forward(state));
+    ag::Var q = critic_->Forward(ag::Concat({state, action}, 0));
+    actor_loss = ag::Sub(actor_loss, q);
+  }
+  actor_loss = ag::MulScalar(
+      actor_loss, 1.0f / static_cast<float>(config_.batch_size));
+  actor_opt_->ZeroGrad();
+  critic_opt_->ZeroGrad();  // clear grads the actor pass pushed into Q
+  actor_loss.Backward();
+  actor_opt_->ClipGradNorm(5.0f);
+  actor_opt_->Step();
+
+  nn::SoftUpdateParameters(*actor_, target_actor_.get(),
+                           static_cast<float>(config_.tau));
+  nn::SoftUpdateParameters(*critic_, target_critic_.get(),
+                           static_cast<float>(config_.tau));
+}
+
+std::vector<double> DdpgAgent::Train(const market::PricePanel& panel,
+                                     int64_t curve_points) {
+  env::EnvConfig env_config;
+  env_config.window = config_.window;
+  env_config.transaction_cost = config_.transaction_cost;
+  env_config.end_day = panel.train_end() - 1;
+  env::PortfolioEnv env(&panel, env_config);
+  env.ResetAt(env.earliest_start());
+  Reset();
+
+  std::vector<double> curve;
+  double curve_acc = 0.0;
+  int64_t curve_n = 0;
+  const int64_t total_steps = config_.train_steps;
+  const int64_t curve_every = std::max<int64_t>(1, total_steps / curve_points);
+
+  for (int64_t step = 0; step < total_steps; ++step) {
+    if (env.done()) {
+      env.ResetAt(env.earliest_start() +
+                  rng_.UniformInt(std::max<int64_t>(
+                      1, env.end_day() - env.earliest_start() - 2)));
+      Reset();
+    }
+    Tensor state = StateTensor(panel, env.current_day());
+    ag::Var scores = actor_->Forward(ag::Var::Constant(state));
+    Tensor noisy = scores.value();
+    for (int64_t i = 0; i < num_assets_; ++i) {
+      noisy[i] += static_cast<float>(
+          rng_.Normal(0.0, config_.explore_noise));
+    }
+    std::vector<double> weights = SoftmaxWeights(noisy);
+    const env::StepResult r = env.Step(weights);
+    held_ = env.previous_weights();
+    Tensor action({num_assets_});
+    for (int64_t i = 0; i < num_assets_; ++i) {
+      action[i] = static_cast<float>(weights[i]);
+    }
+    Tensor next_state = env.done() ? state
+                                   : StateTensor(panel, env.current_day());
+    Transition tr{std::move(state), std::move(action),
+                  r.reward * config_.reward_scale, std::move(next_state)};
+    if (static_cast<int64_t>(replay_.size()) < config_.replay_capacity) {
+      replay_.push_back(std::move(tr));
+    } else {
+      replay_[replay_next_] = std::move(tr);
+      replay_next_ = (replay_next_ + 1) % config_.replay_capacity;
+    }
+    if (step >= config_.warmup_steps) UpdateFromReplay();
+
+    curve_acc += r.reward * config_.reward_scale;
+    ++curve_n;
+    if ((step + 1) % curve_every == 0) {
+      curve.push_back(curve_acc / static_cast<double>(curve_n));
+      curve_acc = 0.0;
+      curve_n = 0;
+    }
+  }
+  Reset();
+  return curve;
+}
+
+std::vector<double> DdpgAgent::DecideWeights(const market::PricePanel& panel,
+                                             int64_t day) {
+  ag::Var scores = actor_->Forward(
+      ag::Var::Constant(StateTensor(panel, day)));
+  std::vector<double> weights = SoftmaxWeights(scores.value());
+  held_ = weights;
+  return weights;
+}
+
+}  // namespace cit::rl

@@ -1,0 +1,70 @@
+#ifndef CIT_RL_DDPG_H_
+#define CIT_RL_DDPG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/backtest.h"
+#include "market/panel.h"
+#include "math/rng.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "rl/config.h"
+#include "rl/gaussian_policy.h"
+
+namespace cit::rl {
+
+// Deep deterministic policy gradient baseline (Lillicrap et al. 2016).
+// The deterministic actor outputs pre-softmax scores mapped onto the
+// simplex; exploration adds Gaussian noise to the scores. The critic is
+// Q(s, a) over the concatenated state and executed weights, trained from a
+// uniform replay buffer with soft-updated target networks.
+class DdpgAgent : public env::TradingAgent {
+ public:
+  struct DdpgConfig : RlTrainConfig {
+    int64_t replay_capacity = 4096;
+    int64_t batch_size = 32;
+    int64_t warmup_steps = 64;
+    double tau = 0.01;            // target-network soft update rate
+    double explore_noise = 0.3;   // stddev of score-space noise
+  };
+
+  DdpgAgent(int64_t num_assets, const DdpgConfig& config);
+
+  std::vector<double> Train(const market::PricePanel& panel,
+                            int64_t curve_points = 20);
+
+  std::string name() const override { return "DDPG"; }
+  void Reset() override;
+  std::vector<double> DecideWeights(const market::PricePanel& panel,
+                                    int64_t day) override;
+
+ private:
+  struct Transition {
+    Tensor state;
+    Tensor action;  // executed weights [m]
+    double reward;
+    Tensor next_state;
+  };
+
+  Tensor StateTensor(const market::PricePanel& panel, int64_t day) const;
+  void UpdateFromReplay();
+
+  int64_t num_assets_;
+  DdpgConfig config_;
+  math::Rng rng_;
+  std::unique_ptr<nn::Mlp> actor_;
+  std::unique_ptr<nn::Mlp> critic_;
+  std::unique_ptr<nn::Mlp> target_actor_;
+  std::unique_ptr<nn::Mlp> target_critic_;
+  std::unique_ptr<nn::Adam> actor_opt_;
+  std::unique_ptr<nn::Adam> critic_opt_;
+  std::vector<Transition> replay_;
+  int64_t replay_next_ = 0;
+  std::vector<double> held_;
+};
+
+}  // namespace cit::rl
+
+#endif  // CIT_RL_DDPG_H_

@@ -1,0 +1,65 @@
+#ifndef CIT_RL_DEEPTRADER_H_
+#define CIT_RL_DEEPTRADER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/backtest.h"
+#include "market/panel.h"
+#include "math/rng.h"
+#include "nn/conv.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "rl/config.h"
+
+namespace cit::rl {
+
+// DeepTrader-style baseline (Wang et al. 2021): an asset scoring unit (a
+// dilated-convolution encoder per asset) produces cross-sectional scores,
+// and a market scoring unit maps market-level features to a risk appetite
+// rho in (0,1) conditioning how aggressively the portfolio concentrates.
+// The original allocates a short side from 1-rho; in this long-only
+// reproduction rho instead scales the softmax temperature (bearish market
+// -> flatter, more diversified portfolio), and training maximizes the
+// risk-penalized log return (DESIGN.md documents the substitution).
+class DeepTraderAgent : public env::TradingAgent {
+ public:
+  struct DeepTraderConfig : RlTrainConfig {
+    int64_t conv_channels = 6;
+    int64_t segment_len = 8;
+    double risk_coef = 4.0;  // weight of the downside penalty
+  };
+
+  DeepTraderAgent(int64_t num_assets, const DeepTraderConfig& config);
+
+  std::vector<double> Train(const market::PricePanel& panel,
+                            int64_t curve_points = 20);
+
+  std::string name() const override { return "DeepTrader"; }
+  void Reset() override;
+  std::vector<double> DecideWeights(const market::PricePanel& panel,
+                                    int64_t day) override;
+
+  // Exposed for tests/diagnostics: the market unit's risk appetite at day.
+  double RiskAppetite(const market::PricePanel& panel, int64_t day) const;
+
+ private:
+  ag::Var AssetScores(const market::PricePanel& panel, int64_t day) const;
+  ag::Var MarketRho(const market::PricePanel& panel, int64_t day) const;
+  ag::Var Weights(const market::PricePanel& panel, int64_t day) const;
+
+  int64_t num_assets_;
+  DeepTraderConfig config_;
+  math::Rng rng_;
+  std::unique_ptr<nn::CausalConv1d> conv1_;
+  std::unique_ptr<nn::CausalConv1d> conv2_;
+  std::unique_ptr<nn::Linear> score_head_;
+  std::unique_ptr<nn::Mlp> market_unit_;
+  std::unique_ptr<nn::Adam> opt_;
+  std::vector<double> held_;
+};
+
+}  // namespace cit::rl
+
+#endif  // CIT_RL_DEEPTRADER_H_

@@ -1,0 +1,74 @@
+#include "rl/features.h"
+
+#include "common/check.h"
+#include "signal/wavelet.h"
+
+namespace cit::rl {
+
+Tensor NormalizedWindow(const market::PricePanel& panel, int64_t day,
+                        int64_t window, float scale) {
+  CIT_CHECK_GE(day, window - 1);
+  CIT_CHECK_LT(day, panel.num_days());
+  const int64_t m = panel.num_assets();
+  Tensor out({m, 1, window});
+  for (int64_t i = 0; i < m; ++i) {
+    const double anchor = panel.Close(day, i);
+    for (int64_t k = 0; k < window; ++k) {
+      const double p = panel.Close(day - window + 1 + k, i);
+      out.At({i, 0, k}) = static_cast<float>(scale * (p / anchor - 1.0));
+    }
+  }
+  return out;
+}
+
+Tensor FlatWindow(const market::PricePanel& panel, int64_t day,
+                  int64_t window, float scale) {
+  CIT_CHECK_GE(day, window - 1);
+  const int64_t m = panel.num_assets();
+  Tensor out({window * m});
+  for (int64_t k = 0; k < window; ++k) {
+    for (int64_t i = 0; i < m; ++i) {
+      const double anchor = panel.Close(day, i);
+      const double p = panel.Close(day - window + 1 + k, i);
+      out[k * m + i] = static_cast<float>(scale * (p / anchor - 1.0));
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> HorizonBandWindows(const market::PricePanel& panel,
+                                       int64_t day, int64_t window,
+                                       int64_t num_bands, float scale) {
+  CIT_CHECK_GE(day, window - 1);
+  CIT_CHECK_GE(num_bands, 1);
+  const int64_t m = panel.num_assets();
+  std::vector<Tensor> bands;
+  bands.reserve(num_bands);
+  for (int64_t b = 0; b < num_bands; ++b) {
+    bands.emplace_back(math::Shape{m, 1, window});
+  }
+  std::vector<double> series(window);
+  for (int64_t i = 0; i < m; ++i) {
+    const double anchor = panel.Close(day, i);
+    for (int64_t k = 0; k < window; ++k) {
+      const double p = panel.Close(day - window + 1 + k, i);
+      series[k] = scale * (p / anchor - 1.0);
+    }
+    const auto split = signal::SplitHorizonBands(series, num_bands);
+    for (int64_t b = 0; b < num_bands; ++b) {
+      for (int64_t k = 0; k < window; ++k) {
+        bands[b].At({i, 0, k}) = static_cast<float>(split[b][k]);
+      }
+    }
+  }
+  return bands;
+}
+
+Tensor OneHot(int64_t index, int64_t n) {
+  CIT_CHECK(index >= 0 && index < n);
+  Tensor out({n});
+  out[index] = 1.0f;
+  return out;
+}
+
+}  // namespace cit::rl

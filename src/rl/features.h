@@ -1,0 +1,40 @@
+#ifndef CIT_RL_FEATURES_H_
+#define CIT_RL_FEATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "market/panel.h"
+#include "math/tensor.h"
+
+namespace cit::rl {
+
+using math::Tensor;
+
+// Normalized trailing price window ending at `day`:
+//   v(i, k) = p_i(day - z + 1 + k) / p_i(day) - 1, scaled by `scale`.
+// Returned as [num_assets, 1, window] (assets = conv batch, 1 channel) —
+// the layout consumed by Tcn/Gru backbones. Requires day >= window - 1.
+Tensor NormalizedWindow(const market::PricePanel& panel, int64_t day,
+                        int64_t window, float scale = 10.0f);
+
+// Same window flattened to [window * num_assets] (time-major) for MLP
+// baselines.
+Tensor FlatWindow(const market::PricePanel& panel, int64_t day,
+                  int64_t window, float scale = 10.0f);
+
+// Splits the normalized window of every asset into `num_bands` horizon
+// sub-series with the Haar DWT (paper Sec. IV-A). Returns num_bands tensors
+// of shape [num_assets, 1, window]; element 0 is the longest horizon.
+// The bands of each asset sum to its original normalized window.
+std::vector<Tensor> HorizonBandWindows(const market::PricePanel& panel,
+                                       int64_t day, int64_t window,
+                                       int64_t num_bands,
+                                       float scale = 10.0f);
+
+// One-hot encoding of a policy id as a [n] tensor.
+Tensor OneHot(int64_t index, int64_t n);
+
+}  // namespace cit::rl
+
+#endif  // CIT_RL_FEATURES_H_

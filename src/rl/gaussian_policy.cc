@@ -1,0 +1,63 @@
+#include "rl/gaussian_policy.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cit::rl {
+
+namespace {
+const float kHalfLog2Pi = 0.9189385332f;  // 0.5 * log(2*pi)
+}  // namespace
+
+Var GaussianLogProb(const Var& mean, const Var& log_std, const Tensor& raw) {
+  CIT_CHECK(mean.shape() == log_std.shape());
+  CIT_CHECK(mean.shape() == raw.shape());
+  const int64_t m = mean.numel();
+  Var u = Var::Constant(raw);
+  Var std = ag::Exp(log_std);
+  Var z = ag::Div(ag::Sub(u, mean), std);
+  // logp = -0.5 z^2 - log_std - 0.5 log(2 pi), summed over dimensions.
+  Var per_dim = ag::Add(ag::MulScalar(ag::Square(z), 0.5f), log_std);
+  return ag::AddScalar(ag::Neg(ag::Sum(per_dim)),
+                       -kHalfLog2Pi * static_cast<float>(m));
+}
+
+Var GaussianEntropy(const Var& log_std) {
+  const int64_t m = log_std.numel();
+  return ag::AddScalar(ag::Sum(log_std),
+                       (0.5f + kHalfLog2Pi) * static_cast<float>(m));
+}
+
+std::vector<double> SoftmaxWeights(const Tensor& raw) {
+  const int64_t m = raw.numel();
+  std::vector<double> w(m);
+  double mx = raw[0];
+  for (int64_t i = 1; i < m; ++i) mx = std::max<double>(mx, raw[i]);
+  double total = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    w[i] = std::exp(static_cast<double>(raw[i]) - mx);
+    total += w[i];
+  }
+  for (double& v : w) v /= total;
+  return w;
+}
+
+GaussianAction SampleGaussianSimplex(const Var& mean, const Var& log_std,
+                                     Rng* rng) {
+  GaussianAction action;
+  const int64_t m = mean.numel();
+  Tensor raw = mean.value();
+  if (rng != nullptr) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float std = std::exp(log_std.value()[i]);
+      raw[i] += std * static_cast<float>(rng->Normal());
+    }
+  }
+  action.raw = raw;
+  action.weights = SoftmaxWeights(raw);
+  action.log_prob = GaussianLogProb(mean, log_std, raw);
+  return action;
+}
+
+}  // namespace cit::rl

@@ -1,0 +1,43 @@
+#ifndef CIT_RL_GAUSSIAN_POLICY_H_
+#define CIT_RL_GAUSSIAN_POLICY_H_
+
+#include <vector>
+
+#include "math/autograd.h"
+#include "math/rng.h"
+
+namespace cit::rl {
+
+using ag::Var;
+using math::Rng;
+using math::Tensor;
+
+// One sampled action from a Gaussian policy over R^m, mapped to the
+// portfolio simplex by softmax (the paper's "translate to a vector and
+// normalize into an action" step). The log-probability is computed in the
+// pre-softmax space, where the density is well-defined.
+struct GaussianAction {
+  Tensor raw;                    // u ~ N(mean, std), shape [m]
+  std::vector<double> weights;   // softmax(u), on the simplex
+  Var log_prob;                  // differentiable w.r.t. mean/log_std
+};
+
+// Diagonal-Gaussian log density of `raw` under N(mean, exp(log_std)), as a
+// differentiable scalar. mean and log_std must both have shape [m].
+Var GaussianLogProb(const Var& mean, const Var& log_std, const Tensor& raw);
+
+// Differentiable entropy of the diagonal Gaussian: sum(log_std) + const.
+Var GaussianEntropy(const Var& log_std);
+
+// Samples an action. When rng == nullptr the action is deterministic
+// (raw = mean), which is how trained policies act at backtest time.
+GaussianAction SampleGaussianSimplex(const Var& mean, const Var& log_std,
+                                     Rng* rng);
+
+// Softmax of a raw score vector as plain doubles (simplex projection used
+// for action execution).
+std::vector<double> SoftmaxWeights(const Tensor& raw);
+
+}  // namespace cit::rl
+
+#endif  // CIT_RL_GAUSSIAN_POLICY_H_

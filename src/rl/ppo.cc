@@ -1,0 +1,159 @@
+#include "rl/ppo.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "env/portfolio_env.h"
+#include "rl/features.h"
+#include "rl/returns.h"
+
+namespace cit::rl {
+
+PpoAgent::PpoAgent(int64_t num_assets, const PpoConfig& config)
+    : num_assets_(num_assets), config_(config), rng_(config.seed) {
+  const int64_t input = config_.window * num_assets_ + num_assets_;
+  actor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{input, config_.hidden, num_assets_}, rng_);
+  critic_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{input, config_.hidden, 1}, rng_);
+  log_std_ = ag::Var::Param(
+      Tensor::Full({num_assets_}, config_.init_log_std));
+  std::vector<ag::Var> actor_params = nn::ParamVars(*actor_);
+  actor_params.push_back(log_std_);
+  actor_opt_ = std::make_unique<nn::Adam>(
+      std::move(actor_params), static_cast<float>(config_.lr), 0.9f, 0.999f,
+      1e-8f, static_cast<float>(config_.weight_decay));
+  critic_opt_ = std::make_unique<nn::Adam>(
+      nn::ParamVars(*critic_), static_cast<float>(config_.lr), 0.9f, 0.999f,
+      1e-8f, static_cast<float>(config_.weight_decay));
+  Reset();
+}
+
+void PpoAgent::Reset() {
+  held_.assign(num_assets_, 1.0 / static_cast<double>(num_assets_));
+}
+
+Tensor PpoAgent::StateTensor(const market::PricePanel& panel,
+                             int64_t day) const {
+  Tensor window = FlatWindow(panel, day, config_.window);
+  Tensor state({config_.window * num_assets_ + num_assets_});
+  for (int64_t i = 0; i < window.numel(); ++i) state[i] = window[i];
+  for (int64_t i = 0; i < num_assets_; ++i) {
+    state[window.numel() + i] = static_cast<float>(held_[i]);
+  }
+  return state;
+}
+
+std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
+                                    int64_t curve_points) {
+  CIT_CHECK_GT(panel.train_end(), config_.window + config_.rollout_len + 2);
+  env::EnvConfig env_config;
+  env_config.window = config_.window;
+  env_config.transaction_cost = config_.transaction_cost;
+  env_config.end_day = panel.train_end() - 1;
+  env::PortfolioEnv env(&panel, env_config);
+
+  std::vector<double> curve;
+  double curve_acc = 0.0;
+  int64_t curve_n = 0;
+  const int64_t curve_every =
+      std::max<int64_t>(1, config_.train_steps / curve_points);
+
+  for (int64_t step = 0; step < config_.train_steps; ++step) {
+    const int64_t lo = env.earliest_start();
+    const int64_t hi = env.end_day() - config_.rollout_len - 1;
+    env.ResetAt(lo + rng_.UniformInt(std::max<int64_t>(1, hi - lo)));
+    Reset();
+
+    // Collect the rollout with frozen (old) policy statistics.
+    std::vector<Tensor> states;
+    std::vector<Tensor> raw_actions;
+    std::vector<double> old_log_probs;
+    std::vector<double> rewards;
+    std::vector<double> values;
+    for (int64_t t = 0; t < config_.rollout_len && !env.done(); ++t) {
+      Tensor state = StateTensor(panel, env.current_day());
+      ag::Var input = ag::Var::Constant(state);
+      ag::Var mean = actor_->Forward(input);
+      GaussianAction action = SampleGaussianSimplex(mean, log_std_, &rng_);
+      values.push_back(critic_->Forward(input).value().Item());
+      states.push_back(std::move(state));
+      raw_actions.push_back(action.raw);
+      old_log_probs.push_back(action.log_prob.value().Item());
+      const env::StepResult r = env.Step(action.weights);
+      rewards.push_back(r.reward * config_.reward_scale);
+      held_ = env.previous_weights();
+    }
+    double bootstrap = 0.0;
+    if (!env.done()) {
+      bootstrap = critic_->Forward(
+                      ag::Var::Constant(StateTensor(panel,
+                                                    env.current_day())))
+                      .value()
+                      .Item();
+    }
+    values.push_back(bootstrap);
+    const std::vector<double> adv =
+        GaeAdvantages(rewards, values, config_.gamma, 0.95);
+    std::vector<double> targets(adv.size());
+    for (size_t t = 0; t < adv.size(); ++t) targets[t] = adv[t] + values[t];
+
+    // Clipped-surrogate epochs over the whole segment.
+    for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+      ag::Var loss = ag::Var::Constant(Tensor::Scalar(0.0f));
+      for (size_t t = 0; t < states.size(); ++t) {
+        ag::Var input = ag::Var::Constant(states[t]);
+        ag::Var mean = actor_->Forward(input);
+        ag::Var logp = GaussianLogProb(mean, log_std_, raw_actions[t]);
+        ag::Var ratio = ag::Exp(ag::AddScalar(
+            logp, -static_cast<float>(old_log_probs[t])));
+        const float a = static_cast<float>(adv[t]);
+        ag::Var surr1 = ag::MulScalar(ratio, a);
+        ag::Var surr2 = ag::MulScalar(
+            ag::Clamp(ratio, 1.0f - static_cast<float>(config_.clip),
+                      1.0f + static_cast<float>(config_.clip)),
+            a);
+        loss = ag::Sub(loss, ag::Min(surr1, surr2));
+        loss = ag::Sub(loss,
+                       ag::MulScalar(GaussianEntropy(log_std_),
+                                     static_cast<float>(
+                                         config_.entropy_coef)));
+        ag::Var v = critic_->Forward(input);
+        ag::Var err = ag::AddScalar(v, -static_cast<float>(targets[t]));
+        loss = ag::Add(loss, ag::MulScalar(ag::Square(err), 0.5f));
+      }
+      loss = ag::MulScalar(loss, 1.0f / static_cast<float>(states.size()));
+      actor_opt_->ZeroGrad();
+      critic_opt_->ZeroGrad();
+      loss.Backward();
+      actor_opt_->ClipGradNorm(5.0f);
+      critic_opt_->ClipGradNorm(5.0f);
+      actor_opt_->Step();
+      critic_opt_->Step();
+    }
+
+    double mean_reward = 0.0;
+    for (double r : rewards) mean_reward += r;
+    curve_acc += mean_reward / static_cast<double>(rewards.size());
+    ++curve_n;
+    if ((step + 1) % curve_every == 0) {
+      curve.push_back(curve_acc / static_cast<double>(curve_n));
+      curve_acc = 0.0;
+      curve_n = 0;
+    }
+  }
+  Reset();
+  return curve;
+}
+
+std::vector<double> PpoAgent::DecideWeights(const market::PricePanel& panel,
+                                            int64_t day) {
+  ag::Var input = ag::Var::Constant(StateTensor(panel, day));
+  ag::Var mean = actor_->Forward(input);
+  GaussianAction action =
+      SampleGaussianSimplex(mean, log_std_, /*rng=*/nullptr);
+  held_ = action.weights;
+  return action.weights;
+}
+
+}  // namespace cit::rl

@@ -1,0 +1,54 @@
+#ifndef CIT_RL_PPO_H_
+#define CIT_RL_PPO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/backtest.h"
+#include "market/panel.h"
+#include "math/rng.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "rl/config.h"
+#include "rl/gaussian_policy.h"
+
+namespace cit::rl {
+
+// Proximal policy optimization baseline (Schulman et al. 2017): clipped
+// surrogate objective with GAE advantages over rollout segments; same
+// state/action interface as A2C.
+class PpoAgent : public env::TradingAgent {
+ public:
+  struct PpoConfig : RlTrainConfig {
+    double clip = 0.2;
+    int64_t epochs = 4;
+  };
+
+  PpoAgent(int64_t num_assets, const PpoConfig& config);
+
+  std::vector<double> Train(const market::PricePanel& panel,
+                            int64_t curve_points = 20);
+
+  std::string name() const override { return "PPO"; }
+  void Reset() override;
+  std::vector<double> DecideWeights(const market::PricePanel& panel,
+                                    int64_t day) override;
+
+ private:
+  Tensor StateTensor(const market::PricePanel& panel, int64_t day) const;
+
+  int64_t num_assets_;
+  PpoConfig config_;
+  math::Rng rng_;
+  std::unique_ptr<nn::Mlp> actor_;
+  std::unique_ptr<nn::Mlp> critic_;
+  ag::Var log_std_;
+  std::unique_ptr<nn::Adam> actor_opt_;
+  std::unique_ptr<nn::Adam> critic_opt_;
+  std::vector<double> held_;
+};
+
+}  // namespace cit::rl
+
+#endif  // CIT_RL_PPO_H_

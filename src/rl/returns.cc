@@ -1,0 +1,70 @@
+#include "rl/returns.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cit::rl {
+
+std::vector<double> LambdaReturns(const std::vector<double>& rewards,
+                                  const std::vector<double>& values,
+                                  double gamma, double lambda,
+                                  int64_t n_max) {
+  const int64_t len = static_cast<int64_t>(rewards.size());
+  CIT_CHECK_EQ(values.size(), rewards.size() + 1);
+  CIT_CHECK_GE(n_max, 1);
+  std::vector<double> targets(len, 0.0);
+  for (int64_t t = 0; t < len; ++t) {
+    // G^(n) built incrementally: running discounted reward sum plus
+    // bootstrap at t+n (clamped to the trajectory end).
+    double reward_sum = 0.0;
+    double discount = 1.0;
+    double mix = 0.0;
+    double lambda_pow = 1.0;  // lambda^{n-1}
+    for (int64_t n = 1; n <= n_max; ++n) {
+      const int64_t step = t + n - 1;
+      if (step < len) {
+        reward_sum += discount * rewards[step];
+        discount *= gamma;
+      }
+      const int64_t boot = std::min<int64_t>(t + n, len);
+      const double g_n = reward_sum + discount * values[boot];
+      if (n < n_max) {
+        mix += (1.0 - lambda) * lambda_pow * g_n;
+        lambda_pow *= lambda;
+      } else {
+        mix += lambda_pow * g_n;
+      }
+    }
+    targets[t] = mix;
+  }
+  return targets;
+}
+
+std::vector<double> DiscountedReturns(const std::vector<double>& rewards,
+                                      double gamma, double bootstrap) {
+  std::vector<double> out(rewards.size());
+  double running = bootstrap;
+  for (int64_t t = static_cast<int64_t>(rewards.size()) - 1; t >= 0; --t) {
+    running = rewards[t] + gamma * running;
+    out[t] = running;
+  }
+  return out;
+}
+
+std::vector<double> GaeAdvantages(const std::vector<double>& rewards,
+                                  const std::vector<double>& values,
+                                  double gamma, double lambda) {
+  CIT_CHECK_EQ(values.size(), rewards.size() + 1);
+  std::vector<double> adv(rewards.size());
+  double running = 0.0;
+  for (int64_t t = static_cast<int64_t>(rewards.size()) - 1; t >= 0; --t) {
+    const double delta =
+        rewards[t] + gamma * values[t + 1] - values[t];
+    running = delta + gamma * lambda * running;
+    adv[t] = running;
+  }
+  return adv;
+}
+
+}  // namespace cit::rl

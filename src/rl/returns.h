@@ -1,0 +1,35 @@
+#ifndef CIT_RL_RETURNS_H_
+#define CIT_RL_RETURNS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cit::rl {
+
+// Mixture of n-step returns (paper Eq. (6)-(7), the TD(lambda) forward view
+// truncated at n_max):
+//   G_t^(n)    = sum_{l=1..n} gamma^{l-1} r_{t+l-1} + gamma^n V_{t+n}
+//   y_t^lambda = (1-lambda) sum_{n=1..n_max-1} lambda^{n-1} G_t^(n)
+//                + lambda^{n_max-1} G_t^(n_max)
+// `rewards` has length L; `values` has length L+1 (critic estimates for the
+// states visited, including the bootstrap state after the last reward).
+// Returns targets y_0..y_{L-1}. Beyond the trajectory end the recursion
+// bootstraps with the final value.
+std::vector<double> LambdaReturns(const std::vector<double>& rewards,
+                                  const std::vector<double>& values,
+                                  double gamma, double lambda,
+                                  int64_t n_max);
+
+// Plain discounted returns with terminal bootstrap value.
+std::vector<double> DiscountedReturns(const std::vector<double>& rewards,
+                                      double gamma, double bootstrap);
+
+// Generalized advantage estimation (Schulman et al. 2016), used by the PPO
+// baseline. `values` has length rewards.size()+1.
+std::vector<double> GaeAdvantages(const std::vector<double>& rewards,
+                                  const std::vector<double>& values,
+                                  double gamma, double lambda);
+
+}  // namespace cit::rl
+
+#endif  // CIT_RL_RETURNS_H_

@@ -1,0 +1,129 @@
+#include "signal/wavelet.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cit::signal {
+namespace {
+
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+
+// One forward Haar step: x (padded to even) -> (approx, detail).
+void HaarStep(const std::vector<double>& x, std::vector<double>* approx,
+              std::vector<double>* detail) {
+  std::vector<double> padded = x;
+  if (padded.size() % 2 != 0) padded.push_back(padded.back());
+  const size_t half = padded.size() / 2;
+  approx->resize(half);
+  detail->resize(half);
+  for (size_t i = 0; i < half; ++i) {
+    const double a = padded[2 * i];
+    const double b = padded[2 * i + 1];
+    (*approx)[i] = (a + b) * kInvSqrt2;
+    (*detail)[i] = (a - b) * kInvSqrt2;
+  }
+}
+
+// One inverse Haar step, truncated to `original_len`.
+std::vector<double> HaarInverseStep(const std::vector<double>& approx,
+                                    const std::vector<double>& detail,
+                                    int64_t original_len) {
+  CIT_CHECK_EQ(approx.size(), detail.size());
+  std::vector<double> x(approx.size() * 2);
+  for (size_t i = 0; i < approx.size(); ++i) {
+    x[2 * i] = (approx[i] + detail[i]) * kInvSqrt2;
+    x[2 * i + 1] = (approx[i] - detail[i]) * kInvSqrt2;
+  }
+  x.resize(original_len);
+  return x;
+}
+
+}  // namespace
+
+DwtCoeffs HaarDecompose(const std::vector<double>& x, int64_t levels) {
+  CIT_CHECK(!x.empty());
+  CIT_CHECK_GE(levels, 1);
+  DwtCoeffs coeffs;
+  std::vector<double> current = x;
+  for (int64_t l = 0; l < levels; ++l) {
+    coeffs.level_lengths.push_back(static_cast<int64_t>(current.size()));
+    std::vector<double> approx;
+    std::vector<double> detail;
+    HaarStep(current, &approx, &detail);
+    coeffs.details.push_back(std::move(detail));
+    current = std::move(approx);
+    // Stop early if the signal can no longer be halved meaningfully.
+    if (current.size() == 1 && l + 1 < levels) {
+      break;
+    }
+  }
+  coeffs.approx = std::move(current);
+  return coeffs;
+}
+
+std::vector<double> HaarReconstruct(const DwtCoeffs& coeffs) {
+  std::vector<double> current = coeffs.approx;
+  for (int64_t l = coeffs.levels() - 1; l >= 0; --l) {
+    current = HaarInverseStep(current, coeffs.details[l],
+                              coeffs.level_lengths[l]);
+  }
+  return current;
+}
+
+std::vector<double> ReconstructBand(const DwtCoeffs& coeffs, int64_t band) {
+  const int64_t levels = coeffs.levels();
+  CIT_CHECK(band >= 0 && band <= levels);
+  DwtCoeffs masked = coeffs;
+  if (band == 0) {
+    // Keep the approximation only.
+    for (auto& d : masked.details) {
+      std::fill(d.begin(), d.end(), 0.0);
+    }
+  } else {
+    // Keep detail level L+1-band only (band 1 = coarsest details).
+    const int64_t keep_level = levels - band;  // index into details
+    std::fill(masked.approx.begin(), masked.approx.end(), 0.0);
+    for (int64_t l = 0; l < levels; ++l) {
+      if (l != keep_level) {
+        std::fill(masked.details[l].begin(), masked.details[l].end(), 0.0);
+      }
+    }
+  }
+  return HaarReconstruct(masked);
+}
+
+std::vector<std::vector<double>> SplitHorizonBands(
+    const std::vector<double>& x, int64_t num_bands) {
+  CIT_CHECK_GE(num_bands, 1);
+  if (num_bands == 1) return {x};
+  const int64_t levels = num_bands - 1;
+  DwtCoeffs coeffs = HaarDecompose(x, levels);
+  // If the signal was too short to reach the requested depth, the effective
+  // number of bands shrinks; the surplus bands are all-zero so that the
+  // band-sum identity (sum of bands == original signal) always holds.
+  const int64_t effective_bands = coeffs.levels() + 1;
+  std::vector<std::vector<double>> bands;
+  bands.reserve(num_bands);
+  for (int64_t b = 0; b < num_bands; ++b) {
+    if (b < effective_bands) {
+      bands.push_back(ReconstructBand(coeffs, b));
+    } else {
+      bands.emplace_back(x.size(), 0.0);
+    }
+  }
+  return bands;
+}
+
+std::vector<double> WaveletDenoise(const std::vector<double>& x,
+                                   int64_t levels, double threshold) {
+  DwtCoeffs coeffs = HaarDecompose(x, levels);
+  for (auto& level : coeffs.details) {
+    for (double& d : level) {
+      if (std::fabs(d) < threshold) d = 0.0;
+    }
+  }
+  return HaarReconstruct(coeffs);
+}
+
+}  // namespace cit::signal

@@ -1,0 +1,53 @@
+#ifndef CIT_SIGNAL_WAVELET_H_
+#define CIT_SIGNAL_WAVELET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cit::signal {
+
+// Multi-level Haar discrete wavelet transform coefficients of a 1-D signal.
+// `details[l]` holds d^{l+1} (level-1 details at index 0); `approx` holds the
+// final approximation a^L. `level_lengths[l]` records the signal length fed
+// into level l+1 so reconstruction can drop padding exactly.
+struct DwtCoeffs {
+  std::vector<std::vector<double>> details;
+  std::vector<double> approx;
+  std::vector<int64_t> level_lengths;
+
+  int64_t levels() const { return static_cast<int64_t>(details.size()); }
+};
+
+// Decomposes `x` into `levels` levels of Haar coefficients (paper Eq. (1)
+// with the Haar scaling/wavelet pair). Odd-length signals are padded by
+// repeating the final sample; the padding is removed on reconstruction.
+// Requires levels >= 1 and x non-empty.
+DwtCoeffs HaarDecompose(const std::vector<double>& x, int64_t levels);
+
+// Inverse transform; exact (up to float rounding) for untouched coefficients.
+std::vector<double> HaarReconstruct(const DwtCoeffs& coeffs);
+
+// Reconstructs the signal keeping only one frequency band and zeroing all
+// other coefficients (the paper's mask-and-inverse-transform step):
+//   band 0            -> approximation a^L only (longest horizon)
+//   band b in [1, L]  -> detail d^{L+1-b} only, so increasing band index
+//                        means increasingly short horizon.
+std::vector<double> ReconstructBand(const DwtCoeffs& coeffs, int64_t band);
+
+// Splits `x` into `num_bands` horizon sub-series using a (num_bands-1)-level
+// Haar DWT. Element [0] is the longest-horizon (lowest-frequency) series and
+// element [num_bands-1] the shortest. The bands sum to the original signal
+// (linearity of the DWT), which is property-tested. num_bands == 1 returns
+// {x} unchanged.
+std::vector<std::vector<double>> SplitHorizonBands(
+    const std::vector<double>& x, int64_t num_bands);
+
+// Denoises by zeroing detail coefficients whose magnitude falls below
+// `threshold` (hard thresholding), a standard wavelet-denoising preprocessing
+// step referenced by the paper's related work.
+std::vector<double> WaveletDenoise(const std::vector<double>& x,
+                                   int64_t levels, double threshold);
+
+}  // namespace cit::signal
+
+#endif  // CIT_SIGNAL_WAVELET_H_

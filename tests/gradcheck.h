@@ -1,0 +1,51 @@
+#ifndef CIT_TESTS_GRADCHECK_H_
+#define CIT_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/autograd.h"
+
+namespace cit::testing {
+
+// Verifies reverse-mode gradients against central finite differences.
+// `build` must rebuild the graph from the current parameter values and
+// return the scalar output. Works in float32, so tolerances are loose-ish
+// by design.
+inline void ExpectGradientsMatch(const std::function<ag::Var()>& build,
+                                 std::vector<ag::Var> params,
+                                 float eps = 1e-2f, float rtol = 5e-2f,
+                                 float atol = 2e-3f) {
+  ag::Var out = build();
+  for (auto& p : params) p.ZeroGrad();
+  out = build();
+  out.Backward();
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    ag::Var& p = params[pi];
+    ASSERT_TRUE(p.requires_grad());
+    const math::Tensor analytic =
+        p.has_grad() ? p.grad()
+                     : math::Tensor::Zeros(p.value().shape());
+    for (int64_t j = 0; j < p.numel(); ++j) {
+      const float original = p.value()[j];
+      p.mutable_value()[j] = original + eps;
+      const float plus = build().value().Item();
+      p.mutable_value()[j] = original - eps;
+      const float minus = build().value().Item();
+      p.mutable_value()[j] = original;
+      const float numeric = (plus - minus) / (2.0f * eps);
+      const float got = analytic[j];
+      const float tol = atol + rtol * std::fabs(numeric);
+      EXPECT_NEAR(got, numeric, tol)
+          << "param " << pi << " element " << j;
+    }
+  }
+}
+
+}  // namespace cit::testing
+
+#endif  // CIT_TESTS_GRADCHECK_H_

@@ -1,0 +1,98 @@
+// Coverage for configuration plumbing, naming helpers, and module
+// parameter bookkeeping.
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/env_config.h"
+#include "core/backbone.h"
+#include "core/config.h"
+#include "nn/conv.h"
+#include "nn/gru.h"
+#include "nn/layers.h"
+
+namespace cit {
+namespace {
+
+TEST(ConfigNames, BackboneKindNames) {
+  EXPECT_STREQ(core::BackboneKindName(core::BackboneKind::kTcnAttention),
+               "ours");
+  EXPECT_STREQ(core::BackboneKindName(core::BackboneKind::kGruAttention),
+               "ours(GRU)");
+  EXPECT_STREQ(core::BackboneKindName(core::BackboneKind::kGru), "GRU");
+  EXPECT_STREQ(core::BackboneKindName(core::BackboneKind::kMlp), "MLP");
+}
+
+TEST(ConfigNames, CreditModeNames) {
+  EXPECT_STREQ(core::CreditModeName(core::CreditMode::kCounterfactual),
+               "counterfactual");
+  EXPECT_STREQ(core::CreditModeName(core::CreditMode::kSharedQ),
+               "shared-Q");
+  EXPECT_STREQ(core::CreditModeName(core::CreditMode::kDecCritic),
+               "dec-critic");
+}
+
+TEST(RunScaleConfig, SeedAndStepScalesAreConsistent) {
+  // Whatever the ambient scale, the helpers must return sane values.
+  EXPECT_GE(ScaledSeeds(), 1);
+  EXPECT_LE(ScaledSeeds(), 5);
+  EXPECT_GT(ScaledStepFactor(), 0.0);
+}
+
+TEST(ModuleBookkeeping, LinearParamCount) {
+  math::Rng rng(1);
+  nn::Linear with_bias(7, 3, rng);
+  EXPECT_EQ(with_bias.NumParams(), 7 * 3 + 3);
+  nn::Linear without_bias(7, 3, rng, /*bias=*/false);
+  EXPECT_EQ(without_bias.NumParams(), 7 * 3);
+}
+
+TEST(ModuleBookkeeping, ConvParamCount) {
+  math::Rng rng(2);
+  nn::CausalConv1d conv(2, 5, 3, 1, rng);
+  EXPECT_EQ(conv.NumParams(), 5 * 2 * 3 + 5);
+}
+
+TEST(ModuleBookkeeping, GruCellParamCount) {
+  math::Rng rng(3);
+  nn::GruCell cell(4, 6, rng);
+  // Three input projections with bias + three hidden projections without.
+  EXPECT_EQ(cell.NumParams(), 3 * (4 * 6 + 6) + 3 * (6 * 6));
+}
+
+TEST(ModuleBookkeeping, ParameterNamesAreUniqueInBackbone) {
+  math::Rng rng(4);
+  core::ActorBackbone backbone(core::BackboneKind::kTcnAttention, 4, 8, 4,
+                               2, 3, rng);
+  auto params = backbone.Parameters();
+  std::set<std::string> names;
+  for (const auto& p : params) {
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
+  }
+  EXPECT_EQ(names.size(), params.size());
+}
+
+TEST(ModuleBookkeeping, BackboneVariantsHaveDifferentParamCounts) {
+  math::Rng rng(5);
+  core::ActorBackbone tcn(core::BackboneKind::kTcnAttention, 4, 8, 4, 2, 3,
+                          rng);
+  core::ActorBackbone gru(core::BackboneKind::kGru, 4, 8, 4, 2, 3, rng);
+  core::ActorBackbone mlp(core::BackboneKind::kMlp, 4, 8, 4, 2, 3, rng);
+  EXPECT_NE(tcn.NumParams(), gru.NumParams());
+  EXPECT_NE(gru.NumParams(), mlp.NumParams());
+  EXPECT_GT(tcn.NumParams(), 0);
+}
+
+TEST(ConfigDefaults, CrossInsightConfigMatchesPaperConstants) {
+  core::CrossInsightConfig cfg;
+  EXPECT_EQ(cfg.num_policies, 5);   // the paper's best setting (Table IV)
+  EXPECT_EQ(cfg.n_step, 5);         // "maximum n for n-step return is 5"
+  EXPECT_DOUBLE_EQ(cfg.weight_decay, 1e-5);  // paper's L2 regularizer
+  EXPECT_EQ(cfg.credit, core::CreditMode::kCounterfactual);
+  EXPECT_EQ(cfg.backbone, core::BackboneKind::kTcnAttention);
+}
+
+}  // namespace
+}  // namespace cit

@@ -1,0 +1,215 @@
+#include <chrono>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/actor.h"
+#include "core/backbone.h"
+#include "core/config.h"
+#include "core/critic.h"
+#include "core/trader.h"
+#include "env/backtest.h"
+#include "market/simulator.h"
+#include "rl/features.h"
+
+namespace cit::core {
+namespace {
+
+CrossInsightConfig TinyConfig(int64_t n = 3) {
+  CrossInsightConfig cfg;
+  cfg.num_policies = n;
+  cfg.window = 8;
+  cfg.feature_dim = 4;
+  cfg.tcn_blocks = 1;
+  cfg.head_hidden = 8;
+  cfg.critic_hidden = 12;
+  cfg.train_steps = 10;
+  cfg.rollout_len = 5;
+  cfg.seed = 3;
+  return cfg;
+}
+
+market::PricePanel SmallPanel(uint64_t seed = 21) {
+  market::MarketConfig cfg;
+  cfg.num_assets = 4;
+  cfg.train_days = 150;
+  cfg.test_days = 60;
+  cfg.seed = seed;
+  return market::SimulateMarket(cfg);
+}
+
+TEST(Backbone, AllVariantsProducePerAssetFeatures) {
+  math::Rng rng(1);
+  for (BackboneKind kind :
+       {BackboneKind::kTcnAttention, BackboneKind::kGruAttention,
+        BackboneKind::kGru, BackboneKind::kMlp}) {
+    ActorBackbone backbone(kind, 4, 8, 4, 1, 3, rng);
+    Var out = backbone.Forward(
+        Var::Constant(Tensor::Uniform({4, 1, 8}, rng, -1, 1)));
+    EXPECT_EQ(out.shape(), (math::Shape{4, 4}))
+        << BackboneKindName(kind);
+    EXPECT_GT(backbone.NumParams(), 0);
+  }
+}
+
+TEST(Backbone, AttentionVariantExposesAttentionMatrix) {
+  math::Rng rng(2);
+  ActorBackbone backbone(BackboneKind::kTcnAttention, 3, 8, 4, 1, 3, rng);
+  Var attn;
+  backbone.Forward(Var::Constant(Tensor::Uniform({3, 1, 8}, rng, -1, 1)),
+                   &attn);
+  ASSERT_TRUE(attn.defined());
+  EXPECT_EQ(attn.shape(), (math::Shape{3, 3}));
+}
+
+TEST(HorizonActorTest, MeanShapeAndIdDiversity) {
+  CrossInsightConfig cfg = TinyConfig(3);
+  math::Rng rng(4);
+  HorizonActor a0(cfg, 4, 0, rng);
+  HorizonActor a1(cfg, 4, 1, rng);
+  Tensor band = Tensor::Uniform({4, 1, 8}, rng, -1, 1);
+  std::vector<double> prev(4, 0.25);
+  Var m0 = a0.Forward(band, prev);
+  Var m1 = a1.Forward(band, prev);
+  EXPECT_EQ(m0.shape(), (math::Shape{4}));
+  // Different parameter draws + different IDs: outputs should differ.
+  EXPECT_FALSE(math::TensorAllClose(m0.value(), m1.value(), 1e-6f));
+}
+
+TEST(CrossInsightActorTest, ConsumesPreDecisions) {
+  CrossInsightConfig cfg = TinyConfig(2);
+  math::Rng rng(5);
+  CrossInsightActor actor(cfg, 4, rng);
+  Tensor market = Tensor::Uniform({4, 1, 8}, rng, -1, 1);
+  Tensor pre({8});
+  for (int64_t i = 0; i < 8; ++i) pre[i] = 0.125f;
+  Var mean = actor.Forward(market, pre);
+  EXPECT_EQ(mean.shape(), (math::Shape{4}));
+  // Changing a pre-decision changes the output.
+  Tensor pre2 = pre;
+  pre2[0] = 0.9f;
+  Var mean2 = actor.Forward(market, pre2);
+  EXPECT_FALSE(math::TensorAllClose(mean.value(), mean2.value(), 1e-7f));
+}
+
+TEST(CentralizedCriticTest, SensitiveToEveryInputBlock) {
+  CrossInsightConfig cfg = TinyConfig(2);
+  math::Rng rng(6);
+  CentralizedCritic critic(cfg, 4, rng);
+  Tensor market = Tensor::Uniform({8 * 4}, rng, -1, 1);
+  Tensor pre = Tensor::Full({8}, 0.125f);
+  Tensor action = Tensor::Full({4}, 0.25f);
+  const float q0 = critic.Forward(market, pre, action).value().Item();
+
+  Tensor market2 = market;
+  market2[0] += 1.0f;
+  EXPECT_NE(critic.Forward(market2, pre, action).value().Item(), q0);
+  Tensor pre2 = pre;
+  pre2[0] += 0.5f;
+  EXPECT_NE(critic.Forward(market, pre2, action).value().Item(), q0);
+  Tensor action2 = action;
+  action2[0] += 0.5f;
+  EXPECT_NE(critic.Forward(market, pre, action2).value().Item(), q0);
+}
+
+TEST(CounterfactualMechanism, BaselineEqualsQWhenActionIsMean) {
+  // If the executed pre-decision already equals the Gaussian-mean action,
+  // the counterfactual baseline must equal Q, i.e. A^k = 0 (Eq. 8).
+  CrossInsightConfig cfg = TinyConfig(2);
+  math::Rng rng(7);
+  CentralizedCritic critic(cfg, 4, rng);
+  Tensor market = Tensor::Uniform({8 * 4}, rng, -1, 1);
+  Tensor pre = Tensor::Full({8}, 0.125f);
+  Tensor action = Tensor::Full({4}, 0.25f);
+  const float q = critic.Forward(market, pre, action).value().Item();
+  // Replacing slot 0 with identical weights changes nothing.
+  const float b = critic.Forward(market, pre, action).value().Item();
+  EXPECT_FLOAT_EQ(q - b, 0.0f);
+}
+
+TEST(Trader, A2cDegenerateModeRuns) {
+  auto panel = SmallPanel();
+  CrossInsightConfig cfg = TinyConfig(0);  // no horizon policies
+  CrossInsightTrader trader(panel.num_assets(), cfg);
+  const auto curve = trader.Train(panel, 4);
+  EXPECT_FALSE(curve.empty());
+  const auto result = env::RunTestBacktest(trader, panel, cfg.window);
+  EXPECT_GT(result.wealth.back(), 0.0);
+}
+
+TEST(Trader, TrainBacktestAllCreditModes) {
+  auto panel = SmallPanel();
+  for (CreditMode mode : {CreditMode::kCounterfactual, CreditMode::kSharedQ,
+                          CreditMode::kDecCritic}) {
+    CrossInsightConfig cfg = TinyConfig(2);
+    cfg.credit = mode;
+    CrossInsightTrader trader(panel.num_assets(), cfg);
+    const auto curve = trader.Train(panel, 4);
+    EXPECT_FALSE(curve.empty()) << CreditModeName(mode);
+    const auto result = env::RunTestBacktest(trader, panel, cfg.window);
+    EXPECT_GT(result.wealth.back(), 0.0) << CreditModeName(mode);
+  }
+}
+
+TEST(Trader, AllBackboneVariantsTrain) {
+  auto panel = SmallPanel();
+  for (BackboneKind kind :
+       {BackboneKind::kTcnAttention, BackboneKind::kGruAttention,
+        BackboneKind::kGru, BackboneKind::kMlp}) {
+    CrossInsightConfig cfg = TinyConfig(2);
+    cfg.backbone = kind;
+    cfg.train_steps = 4;
+    CrossInsightTrader trader(panel.num_assets(), cfg);
+    trader.Train(panel, 2);
+    const auto result = env::RunTestBacktest(trader, panel, cfg.window);
+    EXPECT_GT(result.wealth.back(), 0.0) << BackboneKindName(kind);
+  }
+}
+
+TEST(Trader, PolicyAgentsTradeTheirOwnHorizon) {
+  auto panel = SmallPanel();
+  CrossInsightConfig cfg = TinyConfig(3);
+  CrossInsightTrader trader(panel.num_assets(), cfg);
+  trader.Train(panel, 2);
+  for (int64_t k = 0; k < 3; ++k) {
+    auto agent = trader.MakePolicyAgent(k);
+    const auto result = env::RunTestBacktest(*agent, panel, cfg.window);
+    EXPECT_GT(result.wealth.back(), 0.0) << "policy " << k;
+  }
+}
+
+TEST(Trader, DeterministicBacktestGivenSeed) {
+  auto panel = SmallPanel();
+  auto run = [&] {
+    CrossInsightConfig cfg = TinyConfig(2);
+    CrossInsightTrader trader(panel.num_assets(), cfg);
+    trader.Train(panel, 2);
+    return env::RunTestBacktest(trader, panel, cfg.window).wealth.back();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(Trader, DecideWeightsOnSimplex) {
+  auto panel = SmallPanel();
+  CrossInsightConfig cfg = TinyConfig(2);
+  CrossInsightTrader trader(panel.num_assets(), cfg);
+  trader.Reset();
+  const auto w = trader.DecideWeights(panel, panel.train_end() + 3);
+  EXPECT_TRUE(env::IsValidPortfolio(w));
+}
+
+TEST(Trader, CounterfactualLearnsPlantedBandSignal) {
+  // A market whose only predictable structure is a slow mean-reverting
+  // component: training should not diverge and the learning curve should
+  // not collapse (loose sanity check on the full training loop).
+  auto panel = SmallPanel(33);
+  CrossInsightConfig cfg = TinyConfig(3);
+  cfg.train_steps = 30;
+  CrossInsightTrader trader(panel.num_assets(), cfg);
+  const auto curve = trader.Train(panel, 6);
+  for (double v : curve) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_EQ(trader.last_advantages().size(), 3u);
+}
+
+}  // namespace
+}  // namespace cit::core

@@ -1,0 +1,218 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "env/backtest.h"
+#include "env/metrics.h"
+#include "env/portfolio_env.h"
+#include "market/panel.h"
+#include "market/simulator.h"
+#include "math/rng.h"
+
+namespace cit::env {
+namespace {
+
+market::PricePanel MakePanel(int64_t days, int64_t assets, uint64_t seed) {
+  math::Rng rng(seed);
+  market::PricePanel panel(days, assets);
+  std::vector<double> price(assets, 100.0);
+  for (int64_t t = 0; t < days; ++t) {
+    for (int64_t i = 0; i < assets; ++i) {
+      if (t > 0) price[i] *= std::exp(rng.Normal(0.0002, 0.01));
+      panel.SetClose(t, i, price[i]);
+    }
+  }
+  panel.set_train_end(days * 2 / 3);
+  return panel;
+}
+
+// ---- Metrics ----------------------------------------------------------------
+
+TEST(Metrics, DailyReturnsKnownValues) {
+  const std::vector<double> wealth = {1.0, 1.1, 0.99};
+  const auto r = DailyReturns(wealth);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_NEAR(r[0], 0.1, 1e-12);
+  EXPECT_NEAR(r[1], 0.99 / 1.1 - 1.0, 1e-12);
+}
+
+TEST(Metrics, MaxDrawdownKnownCurve) {
+  // Peak 2.0, trough 1.0 -> MDD = 0.5.
+  const std::vector<double> wealth = {1.0, 2.0, 1.5, 1.0, 1.8};
+  EXPECT_NEAR(MaxDrawdown(wealth), 0.5, 1e-12);
+}
+
+TEST(Metrics, MonotoneCurveHasZeroDrawdown) {
+  EXPECT_EQ(MaxDrawdown({1.0, 1.1, 1.2, 1.5}), 0.0);
+}
+
+TEST(Metrics, AccumulativeReturnMatchesEndpoints) {
+  const std::vector<double> wealth = {1.0, 1.05, 1.2};
+  EXPECT_NEAR(ComputeMetrics(wealth).accumulative_return, 0.2, 1e-12);
+}
+
+TEST(Metrics, SharpeSignMatchesDrift) {
+  std::vector<double> up = {1.0}, down = {1.0};
+  math::Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    up.push_back(up.back() * std::exp(0.002 + 0.01 * rng.Normal()));
+    down.push_back(down.back() * std::exp(-0.002 + 0.01 * rng.Normal()));
+  }
+  EXPECT_GT(ComputeMetrics(up).sharpe_ratio, 0.0);
+  EXPECT_LT(ComputeMetrics(down).sharpe_ratio, 0.0);
+}
+
+TEST(Metrics, ConstantCurveHasZeroSharpe) {
+  const std::vector<double> wealth(10, 1.0);
+  const auto m = ComputeMetrics(wealth);
+  EXPECT_EQ(m.sharpe_ratio, 0.0);
+  EXPECT_EQ(m.accumulative_return, 0.0);
+}
+
+// ---- Simplex helpers --------------------------------------------------------
+
+TEST(Simplex, IsValidPortfolio) {
+  EXPECT_TRUE(IsValidPortfolio({0.5, 0.5}));
+  EXPECT_TRUE(IsValidPortfolio({1.0, 0.0}));
+  EXPECT_FALSE(IsValidPortfolio({0.7, 0.7}));
+  EXPECT_FALSE(IsValidPortfolio({-0.1, 1.1}));
+}
+
+TEST(Simplex, NormalizeToSimplexHandlesDegenerateInput) {
+  auto w = NormalizeToSimplex({0.0, 0.0, 0.0});
+  for (double v : w) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+  auto w2 = NormalizeToSimplex({2.0, 2.0});
+  EXPECT_NEAR(w2[0], 0.5, 1e-12);
+  // Negative and NaN entries are clipped to zero.
+  auto w3 = NormalizeToSimplex({-1.0, 3.0});
+  EXPECT_NEAR(w3[0], 0.0, 1e-12);
+  EXPECT_NEAR(w3[1], 1.0, 1e-12);
+}
+
+// ---- PortfolioEnv -----------------------------------------------------------
+
+TEST(PortfolioEnv, WealthTelescopesWithoutCosts) {
+  auto panel = MakePanel(100, 4, 1);
+  EnvConfig cfg;
+  cfg.window = 8;
+  cfg.transaction_cost = 0.0;
+  PortfolioEnv env(&panel, cfg);
+  math::Rng rng(2);
+  double product = 1.0;
+  while (!env.done()) {
+    auto w = rng.Dirichlet(4, 1.0);
+    const StepResult r = env.Step(w);
+    product *= r.portfolio_return;
+    EXPECT_NEAR(std::exp(r.reward), r.portfolio_return, 1e-9);
+  }
+  EXPECT_NEAR(env.wealth(), product, 1e-9);
+}
+
+TEST(PortfolioEnv, UniformBuyAndHoldMatchesIndexWhenCostFree) {
+  auto panel = MakePanel(60, 3, 4);
+  EnvConfig cfg;
+  cfg.window = 4;
+  cfg.transaction_cost = 0.0;
+  PortfolioEnv env(&panel, cfg);
+  // Rebalancing to the drifted holdings = buy and hold.
+  while (!env.done()) {
+    env.Step(env.previous_weights());
+  }
+  const auto index = panel.IndexLevels(cfg.window);
+  EXPECT_NEAR(env.wealth(), index.back(), 1e-9);
+}
+
+TEST(PortfolioEnv, TransactionCostsReduceWealth) {
+  auto panel = MakePanel(80, 4, 5);
+  EnvConfig cheap_cfg;
+  cheap_cfg.window = 8;
+  cheap_cfg.transaction_cost = 0.0;
+  EnvConfig costly_cfg = cheap_cfg;
+  costly_cfg.transaction_cost = 0.01;
+  PortfolioEnv cheap(&panel, cheap_cfg);
+  PortfolioEnv costly(&panel, costly_cfg);
+  math::Rng rng(6);
+  while (!cheap.done()) {
+    auto w = rng.Dirichlet(4, 0.5);  // high-turnover trading
+    cheap.Step(w);
+    costly.Step(w);
+  }
+  EXPECT_LT(costly.wealth(), cheap.wealth());
+}
+
+TEST(PortfolioEnv, HeldWeightsDriftWithPrices) {
+  market::PricePanel panel(10, 2);
+  for (int64_t t = 0; t < 10; ++t) {
+    panel.SetClose(t, 0, 100.0 * (1 << t));  // doubles every day
+    panel.SetClose(t, 1, 100.0);
+  }
+  EnvConfig cfg;
+  cfg.window = 2;
+  cfg.transaction_cost = 0.0;
+  PortfolioEnv env(&panel, cfg);
+  env.Step({0.5, 0.5});
+  // Asset 0 doubled, so it now holds 2/3 of wealth.
+  EXPECT_NEAR(env.previous_weights()[0], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(env.previous_weights()[1], 1.0 / 3.0, 1e-9);
+}
+
+TEST(PortfolioEnv, RejectsOffSimplexAction) {
+  auto panel = MakePanel(30, 2, 7);
+  EnvConfig cfg;
+  cfg.window = 4;
+  PortfolioEnv env(&panel, cfg);
+  EXPECT_DEATH(env.Step({0.9, 0.9}), "simplex");
+}
+
+TEST(PortfolioEnv, WindowContentsMatchPanel) {
+  auto panel = MakePanel(40, 3, 8);
+  EnvConfig cfg;
+  cfg.window = 6;
+  PortfolioEnv env(&panel, cfg);
+  const auto window = env.PriceWindow();
+  ASSERT_EQ(window.size(), 6u * 3u);
+  // Last row of the window is the current day's closes.
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(window[5 * 3 + i], panel.Close(env.current_day(), i));
+  }
+}
+
+// ---- Backtester -------------------------------------------------------------
+
+class UniformAgent : public TradingAgent {
+ public:
+  std::string name() const override { return "uniform"; }
+  std::vector<double> DecideWeights(const market::PricePanel& panel,
+                                    int64_t) override {
+    return std::vector<double>(panel.num_assets(),
+                               1.0 / panel.num_assets());
+  }
+};
+
+TEST(Backtest, WealthCurveConsistentWithMetrics) {
+  auto panel = MakePanel(120, 4, 9);
+  UniformAgent agent;
+  EnvConfig cfg;
+  cfg.window = 8;
+  const BacktestResult result = RunBacktest(agent, panel, cfg);
+  EXPECT_EQ(result.wealth.size(), result.daily_returns.size() + 1);
+  EXPECT_NEAR(result.metrics.accumulative_return,
+              result.wealth.back() - 1.0, 1e-12);
+  // Returns recompute the wealth curve.
+  double w = 1.0;
+  for (size_t t = 0; t < result.daily_returns.size(); ++t) {
+    w *= 1.0 + result.daily_returns[t];
+  }
+  EXPECT_NEAR(w, result.wealth.back(), 1e-9);
+}
+
+TEST(Backtest, TestSplitStartsAtTrainEnd) {
+  auto panel = MakePanel(150, 3, 10);
+  UniformAgent agent;
+  const BacktestResult result = RunTestBacktest(agent, panel, 8);
+  EXPECT_EQ(result.days.front(), panel.train_end());
+  EXPECT_EQ(result.days.back(), panel.num_days() - 1);
+}
+
+}  // namespace
+}  // namespace cit::env

@@ -1,0 +1,212 @@
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "market/csv.h"
+#include "market/panel.h"
+#include "market/simulator.h"
+#include "signal/filters.h"
+
+namespace cit::market {
+namespace {
+
+TEST(PricePanel, BasicAccessors) {
+  PricePanel p(5, 2);
+  p.SetClose(3, 1, 42.0);
+  EXPECT_EQ(p.num_days(), 5);
+  EXPECT_EQ(p.num_assets(), 2);
+  EXPECT_EQ(p.Close(3, 1), 42.0);
+}
+
+TEST(PricePanel, PriceRelative) {
+  PricePanel p(3, 1);
+  p.SetClose(0, 0, 100.0);
+  p.SetClose(1, 0, 110.0);
+  p.SetClose(2, 0, 99.0);
+  EXPECT_NEAR(p.PriceRelative(1, 0), 1.1, 1e-12);
+  EXPECT_NEAR(p.PriceRelative(2, 0), 0.9, 1e-12);
+}
+
+TEST(PricePanel, IndexLevelsEqualWeightBuyAndHold) {
+  PricePanel p(3, 2);
+  p.SetClose(0, 0, 100.0);
+  p.SetClose(0, 1, 50.0);
+  p.SetClose(1, 0, 110.0);  // +10%
+  p.SetClose(1, 1, 55.0);   // +10%
+  p.SetClose(2, 0, 110.0);
+  p.SetClose(2, 1, 44.0);   // -20% vs day 0 basis 50 -> 0.88
+  const auto idx = p.IndexLevels(0);
+  EXPECT_NEAR(idx[0], 1.0, 1e-12);
+  EXPECT_NEAR(idx[1], 1.1, 1e-12);
+  EXPECT_NEAR(idx[2], (1.1 + 0.88) / 2.0, 1e-12);
+}
+
+TEST(PricePanel, SliceDaysPreservesPricesAndSplit) {
+  PricePanel p(10, 2);
+  for (int64_t t = 0; t < 10; ++t) {
+    p.SetClose(t, 0, 100.0 + t);
+    p.SetClose(t, 1, 200.0 + t);
+  }
+  p.set_train_end(7);
+  PricePanel s = p.SliceDays(2, 9);
+  EXPECT_EQ(s.num_days(), 7);
+  EXPECT_EQ(s.Close(0, 0), 102.0);
+  EXPECT_EQ(s.train_end(), 5);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  MarketConfig cfg;
+  cfg.num_assets = 4;
+  cfg.train_days = 100;
+  cfg.test_days = 20;
+  cfg.seed = 42;
+  PricePanel a = SimulateMarket(cfg);
+  PricePanel b = SimulateMarket(cfg);
+  for (int64_t t = 0; t < a.num_days(); ++t) {
+    for (int64_t i = 0; i < a.num_assets(); ++i) {
+      EXPECT_EQ(a.Close(t, i), b.Close(t, i));
+    }
+  }
+}
+
+TEST(Simulator, PositivePricesAndSaneVolatility) {
+  MarketConfig cfg;
+  cfg.num_assets = 6;
+  cfg.train_days = 400;
+  cfg.test_days = 100;
+  PricePanel p = SimulateMarket(cfg);
+  double sq = 0.0;
+  int64_t n = 0;
+  for (int64_t t = 1; t < p.num_days(); ++t) {
+    for (int64_t i = 0; i < p.num_assets(); ++i) {
+      EXPECT_GT(p.Close(t, i), 0.0);
+      const double r = std::log(p.PriceRelative(t, i));
+      sq += r * r;
+      ++n;
+    }
+  }
+  const double daily_vol = std::sqrt(sq / n);
+  // Annualized vol should be in a realistic 10%-60% band.
+  const double annual = daily_vol * std::sqrt(252.0);
+  EXPECT_GT(annual, 0.10);
+  EXPECT_LT(annual, 0.60);
+}
+
+TEST(Simulator, AssetsAreCorrelatedThroughMarketFactor) {
+  MarketConfig cfg;
+  cfg.num_assets = 6;
+  cfg.train_days = 600;
+  cfg.test_days = 0;
+  PricePanel p = SimulateMarket(cfg);
+  // Average pairwise return correlation should be clearly positive.
+  std::vector<std::vector<double>> rets(cfg.num_assets);
+  for (int64_t i = 0; i < cfg.num_assets; ++i) {
+    for (int64_t t = 1; t < p.num_days(); ++t) {
+      rets[i].push_back(std::log(p.PriceRelative(t, i)));
+    }
+  }
+  double corr_sum = 0.0;
+  int pairs = 0;
+  for (int64_t i = 0; i < cfg.num_assets; ++i) {
+    for (int64_t j = i + 1; j < cfg.num_assets; ++j) {
+      corr_sum += signal::PearsonCorrelation(rets[i], rets[j]);
+      ++pairs;
+    }
+  }
+  EXPECT_GT(corr_sum / pairs, 0.15);
+}
+
+TEST(Simulator, ForcedBearTailDepressesReturns) {
+  MarketConfig cfg;
+  cfg.num_assets = 8;
+  cfg.train_days = 300;
+  cfg.test_days = 200;
+  cfg.forced_bear_tail = 100;
+  cfg.bear_drift = -3e-3;
+  cfg.seed = 9;
+  PricePanel p = SimulateMarket(cfg);
+  const auto idx = p.IndexLevels(0);
+  const double tail_ret =
+      idx.back() / idx[p.num_days() - cfg.forced_bear_tail] - 1.0;
+  EXPECT_LT(tail_ret, 0.0);
+}
+
+TEST(Simulator, PresetsMatchSplitLayout) {
+  for (const MarketConfig& cfg :
+       {UsMarketConfig(), HkMarketConfig(), ChinaMarketConfig()}) {
+    PricePanel p = SimulateMarket(cfg);
+    EXPECT_EQ(p.num_days(), cfg.num_days());
+    EXPECT_EQ(p.train_end(), cfg.train_days);
+    EXPECT_GT(p.num_assets(), 0);
+    EXPECT_EQ(p.name(), cfg.name);
+  }
+}
+
+TEST(Csv, RoundTripPreservesPanel) {
+  MarketConfig cfg;
+  cfg.num_assets = 3;
+  cfg.train_days = 30;
+  cfg.test_days = 10;
+  PricePanel p = SimulateMarket(cfg);
+  const std::string path = ::testing::TempDir() + "/panel_roundtrip.csv";
+  ASSERT_TRUE(SavePanelCsv(p, path).ok());
+  auto loaded = LoadPanelCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const PricePanel& q = loaded.value();
+  ASSERT_EQ(q.num_days(), p.num_days());
+  ASSERT_EQ(q.num_assets(), p.num_assets());
+  EXPECT_EQ(q.train_end(), p.train_end());
+  for (int64_t t = 0; t < p.num_days(); ++t) {
+    for (int64_t i = 0; i < p.num_assets(); ++i) {
+      EXPECT_NEAR(q.Close(t, i), p.Close(t, i),
+                  1e-6 * p.Close(t, i));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LoadRejectsMissingFile) {
+  auto r = LoadPanelCsv("/nonexistent/panel.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(Csv, LoadRejectsNonPositivePrice) {
+  const std::string path = ::testing::TempDir() + "/bad_panel.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("day,A0\n0,100\n1,-5\n", f);
+  fclose(f);
+  auto r = LoadPanelCsv(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LoadRejectsRaggedRows) {
+  const std::string path = ::testing::TempDir() + "/ragged_panel.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("day,A0,A1\n0,100,200\n1,100\n", f);
+  fclose(f);
+  auto r = LoadPanelCsv(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(StatusResult, BasicBehaviour) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status err = Status::InvalidArgument("bad");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.ToString(), "InvalidArgument: bad");
+  Result<int> value(7);
+  EXPECT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 7);
+  Result<int> failed(Status::NotFound("x"));
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cit::market

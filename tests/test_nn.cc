@@ -1,0 +1,270 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "nn/attention.h"
+#include "nn/conv.h"
+#include "nn/gru.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace cit::nn {
+namespace {
+
+using ag::Var;
+using cit::testing::ExpectGradientsMatch;
+using math::Rng;
+using math::Tensor;
+
+std::vector<Var> AllParams(const Module& m) { return ParamVars(m); }
+
+TEST(Linear, OutputShapeAndBias) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  Var x = Var::Constant(Tensor::Ones({2, 4}));
+  Var y = layer.Forward(x);
+  EXPECT_EQ(y.shape(), (math::Shape{2, 3}));
+  Var xv = Var::Constant(Tensor::Ones({4}));
+  EXPECT_EQ(layer.Forward(xv).shape(), (math::Shape{3}));
+}
+
+TEST(Linear, GradCheckThroughLayer) {
+  Rng rng(2);
+  Linear layer(3, 2, rng);
+  Var x = Var::Constant(Tensor::Uniform({2, 3}, rng, -1, 1));
+  ExpectGradientsMatch(
+      [&] { return ag::Sum(ag::Square(layer.Forward(x))); },
+      AllParams(layer));
+}
+
+TEST(Mlp, ParameterCountAndNames) {
+  Rng rng(3);
+  Mlp mlp({5, 7, 2}, rng);
+  // (5*7 + 7) + (7*2 + 2) = 42 + 16 = 58
+  EXPECT_EQ(mlp.NumParams(), 58);
+  auto params = mlp.Parameters();
+  EXPECT_EQ(params[0].name, "layer0.weight");
+  EXPECT_EQ(params.back().name, "layer1.bias");
+}
+
+TEST(Mlp, GradCheckEndToEnd) {
+  Rng rng(4);
+  Mlp mlp({3, 4, 1}, rng);
+  Var x = Var::Constant(Tensor::Uniform({3}, rng, -1, 1));
+  ExpectGradientsMatch([&] { return ag::Sum(mlp.Forward(x)); },
+                       AllParams(mlp));
+}
+
+TEST(CausalConv1dLayer, ShapeAndGradCheck) {
+  Rng rng(5);
+  CausalConv1d conv(2, 3, 3, 2, rng);
+  Var x = Var::Constant(Tensor::Uniform({2, 2, 6}, rng, -1, 1));
+  Var y = conv.Forward(x);
+  EXPECT_EQ(y.shape(), (math::Shape{2, 3, 6}));
+  ExpectGradientsMatch(
+      [&] { return ag::Sum(ag::Square(conv.Forward(x))); },
+      AllParams(conv));
+}
+
+TEST(Tcn, ReceptiveFieldGrowsWithBlocks) {
+  // With 2 blocks (dilations 1,2; two k=3 convs each) the receptive field
+  // is 1 + 2*(2)*1 + 2*(2)*2 = 13; an input change beyond it cannot affect
+  // the last output.
+  Rng rng(6);
+  Tcn tcn(1, 4, 2, 3, rng);
+  Tensor x = Tensor::Uniform({1, 1, 20}, rng, -1, 1);
+  Tensor y1 = tcn.Forward(Var::Constant(x)).value();
+  Tensor x2 = x;
+  x2.At({0, 0, 0}) += 10.0f;  // day 0: outside RF of the last step
+  Tensor y2 = tcn.Forward(Var::Constant(x2)).value();
+  const int64_t last = 19;
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(y1.At({0, c, last}), y2.At({0, c, last}));
+  }
+  // But a recent change does.
+  Tensor x3 = x;
+  x3.At({0, 0, 19}) += 10.0f;
+  Tensor y3 = tcn.Forward(Var::Constant(x3)).value();
+  bool changed = false;
+  for (int64_t c = 0; c < 4; ++c) {
+    changed |= y1.At({0, c, last}) != y3.At({0, c, last});
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Tcn, GradCheckSmall) {
+  Rng rng(7);
+  Tcn tcn(1, 2, 1, 2, rng);
+  Var x = Var::Constant(Tensor::Uniform({2, 1, 5}, rng, -1, 1));
+  ExpectGradientsMatch(
+      [&] { return ag::Mean(ag::Square(tcn.Forward(x))); },
+      AllParams(tcn), /*eps=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/4e-3f);
+}
+
+TEST(GruCell, StateShapeAndUpdateGateBounds) {
+  Rng rng(8);
+  GruCell cell(3, 4, rng);
+  Var x = Var::Constant(Tensor::Uniform({2, 3}, rng, -1, 1));
+  Var h = Var::Constant(Tensor::Zeros({2, 4}));
+  Var h2 = cell.Forward(x, h);
+  EXPECT_EQ(h2.shape(), (math::Shape{2, 4}));
+  // GRU output is a convex mix of h (0) and tanh candidate: within (-1, 1).
+  for (int64_t i = 0; i < h2.numel(); ++i) {
+    EXPECT_LT(std::fabs(h2.value()[i]), 1.0f);
+  }
+}
+
+TEST(Gru, SequenceLastMatchesForwardLast) {
+  Rng rng(9);
+  Gru gru(2, 3, rng);
+  Var x = Var::Constant(Tensor::Uniform({2, 2, 5}, rng, -1, 1));
+  Tensor seq = gru.ForwardSequence(x).value();
+  Tensor last = gru.ForwardLast(x).value();
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t f = 0; f < 3; ++f) {
+      EXPECT_FLOAT_EQ(seq.At({b, f, 4}), last.At({b, f}));
+    }
+  }
+}
+
+TEST(Gru, GradCheckThroughTime) {
+  Rng rng(10);
+  Gru gru(1, 2, rng);
+  Var x = Var::Constant(Tensor::Uniform({1, 1, 4}, rng, -1, 1));
+  ExpectGradientsMatch(
+      [&] { return ag::Sum(ag::Square(gru.ForwardLast(x))); },
+      AllParams(gru), /*eps=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/4e-3f);
+}
+
+TEST(SpatialAttention, RowStochasticAttentionMatrix) {
+  Rng rng(11);
+  SpatialAttention attn(4, 3, 5, rng);
+  Var x = Var::Constant(Tensor::Uniform({4, 3, 5}, rng, -1, 1));
+  Var s;
+  Var y = attn.Forward(x, &s);
+  EXPECT_EQ(y.shape(), (math::Shape{4, 3, 5}));
+  ASSERT_TRUE(s.defined());
+  for (int64_t r = 0; r < 4; ++r) {
+    float total = 0.0f;
+    for (int64_t c = 0; c < 4; ++c) {
+      const float v = s.value().At({r, c});
+      EXPECT_GE(v, 0.0f);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SpatialAttention, GradCheck) {
+  Rng rng(12);
+  SpatialAttention attn(3, 2, 4, rng);
+  Var x = Var::Constant(Tensor::Uniform({3, 2, 4}, rng, -1, 1));
+  ExpectGradientsMatch(
+      [&] { return ag::Mean(ag::Square(attn.Forward(x))); },
+      AllParams(attn), /*eps=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/4e-3f);
+}
+
+// ---- Optimizers -------------------------------------------------------------
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Var w = Var::Param(Tensor::Scalar(5.0f));
+  Sgd sgd({w}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    sgd.ZeroGrad();
+    ag::Square(ag::AddScalar(w, -3.0f)).Backward();
+    sgd.Step();
+  }
+  EXPECT_NEAR(w.value().Item(), 3.0f, 1e-3f);
+}
+
+TEST(SgdMomentum, FasterThanPlainOnIllConditioned) {
+  auto run = [](float momentum) {
+    Var a = Var::Param(Tensor::Scalar(4.0f));
+    Var b = Var::Param(Tensor::Scalar(4.0f));
+    Sgd sgd({a, b}, 0.02f, momentum);
+    for (int i = 0; i < 100; ++i) {
+      sgd.ZeroGrad();
+      // f = a^2 + 20 b^2
+      ag::Add(ag::Square(a), ag::MulScalar(ag::Square(b), 20.0f))
+          .Backward();
+      sgd.Step();
+    }
+    return std::fabs(a.value().Item()) + std::fabs(b.value().Item());
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(Adam, ConvergesOnRosenbrockish) {
+  Var x = Var::Param(Tensor::Scalar(-1.0f));
+  Var y = Var::Param(Tensor::Scalar(1.5f));
+  Adam adam({x, y}, 0.05f);
+  for (int i = 0; i < 800; ++i) {
+    adam.ZeroGrad();
+    // (1-x)^2 + 5 (y - x^2)^2
+    Var t1 = ag::Square(ag::AddScalar(ag::Neg(x), 1.0f));
+    Var t2 = ag::MulScalar(ag::Square(ag::Sub(y, ag::Square(x))), 5.0f);
+    ag::Add(t1, t2).Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(x.value().Item(), 1.0f, 0.05f);
+  EXPECT_NEAR(y.value().Item(), 1.0f, 0.1f);
+}
+
+TEST(Adam, WeightDecayShrinksUnusedParams) {
+  Var used = Var::Param(Tensor::Scalar(1.0f));
+  Var unused = Var::Param(Tensor::Scalar(1.0f));
+  Adam adam({used, unused}, 0.01f, 0.9f, 0.999f, 1e-8f, 0.1f);
+  for (int i = 0; i < 50; ++i) {
+    adam.ZeroGrad();
+    ag::Square(ag::AddScalar(used, -1.0f)).Backward();
+    adam.Step();
+  }
+  // Decoupled decay applies only to parameters that received gradients.
+  EXPECT_LT(used.value().Item(), 1.0f);
+  EXPECT_FLOAT_EQ(unused.value().Item(), 1.0f);
+}
+
+TEST(Optimizer, ClipGradNormScalesLargeGradients) {
+  Var w = Var::Param(Tensor({2}, {0.0f, 0.0f}));
+  Sgd sgd({w}, 1.0f);
+  sgd.ZeroGrad();
+  ag::Sum(ag::MulScalar(w, 300.0f)).Backward();  // grad = (300, 300)
+  const float norm = sgd.ClipGradNorm(1.0f);
+  EXPECT_NEAR(norm, 300.0f * std::sqrt(2.0f), 1e-2f);
+  const Tensor& g = w.grad();
+  EXPECT_NEAR(std::sqrt(g[0] * g[0] + g[1] * g[1]), 1.0f, 1e-5f);
+}
+
+TEST(ParamUtil, CopyAndSoftUpdate) {
+  Rng rng(13);
+  Linear a(2, 2, rng), b(2, 2, rng);
+  CopyParameters(a, &b);
+  EXPECT_TRUE(math::TensorEquals(a.Parameters()[0].var.value(),
+                                 b.Parameters()[0].var.value()));
+  // Perturb a, then soft-update b toward it.
+  a.Parameters()[0].var.mutable_value()[0] += 1.0f;
+  const float before = b.Parameters()[0].var.value()[0];
+  SoftUpdateParameters(a, &b, 0.5f);
+  const float after = b.Parameters()[0].var.value()[0];
+  EXPECT_NEAR(after - before, 0.5f, 1e-6f);
+}
+
+TEST(Init, XavierBoundsRespected) {
+  Rng rng(14);
+  Tensor w = XavierUniform({100, 100}, 100, 100, rng);
+  const float bound = std::sqrt(6.0f / 200.0f);
+  EXPECT_LE(w.Max(), bound);
+  EXPECT_GE(w.Min(), -bound);
+}
+
+TEST(Init, KaimingVarianceApproximatelyCorrect) {
+  Rng rng(15);
+  Tensor w = KaimingNormal({200, 50}, 50, rng);
+  double sq = 0.0;
+  for (int64_t i = 0; i < w.numel(); ++i) sq += w[i] * w[i];
+  EXPECT_NEAR(sq / w.numel(), 2.0 / 50.0, 0.01);
+}
+
+}  // namespace
+}  // namespace cit::nn

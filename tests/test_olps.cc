@@ -1,0 +1,257 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "env/backtest.h"
+#include "market/simulator.h"
+#include "math/rng.h"
+#include "olps/simplex.h"
+#include "olps/strategies.h"
+
+namespace cit::olps {
+namespace {
+
+market::PricePanel DriftPanel(int64_t days, std::vector<double> drifts,
+                              uint64_t seed, double vol = 0.01) {
+  math::Rng rng(seed);
+  const int64_t m = static_cast<int64_t>(drifts.size());
+  market::PricePanel panel(days, m);
+  std::vector<double> price(m, 100.0);
+  for (int64_t t = 0; t < days; ++t) {
+    for (int64_t i = 0; i < m; ++i) {
+      if (t > 0) price[i] *= std::exp(drifts[i] + vol * rng.Normal());
+      panel.SetClose(t, i, price[i]);
+    }
+  }
+  panel.set_train_end(days / 2);
+  return panel;
+}
+
+// ---- Simplex projection -----------------------------------------------------
+
+TEST(SimplexProjection, AlreadyOnSimplexIsFixedPoint) {
+  const std::vector<double> w = {0.2, 0.5, 0.3};
+  const auto p = ProjectToSimplex(w);
+  for (size_t i = 0; i < w.size(); ++i) EXPECT_NEAR(p[i], w[i], 1e-12);
+}
+
+TEST(SimplexProjection, KnownProjection) {
+  // Projecting (1, 0.5) onto the simplex: theta = 0.25 -> (0.75, 0.25).
+  const auto p = ProjectToSimplex({1.0, 0.5});
+  EXPECT_NEAR(p[0], 0.75, 1e-12);
+  EXPECT_NEAR(p[1], 0.25, 1e-12);
+}
+
+TEST(SimplexProjection, RandomInputsAreFeasible) {
+  math::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> y(8);
+    for (auto& v : y) v = rng.Normal(0.0, 3.0);
+    const auto p = ProjectToSimplex(y);
+    double total = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(SimplexProjection, IsActuallyTheClosestPoint) {
+  // Compare against brute-force search over a fine simplex grid (3 assets).
+  math::Rng rng(2);
+  std::vector<double> y = {rng.Normal(), rng.Normal(), rng.Normal()};
+  const auto p = ProjectToSimplex(y);
+  auto dist2 = [&](double a, double b, double c) {
+    return (a - y[0]) * (a - y[0]) + (b - y[1]) * (b - y[1]) +
+           (c - y[2]) * (c - y[2]);
+  };
+  const double best = dist2(p[0], p[1], p[2]);
+  const int grid = 60;
+  for (int i = 0; i <= grid; ++i) {
+    for (int j = 0; j + i <= grid; ++j) {
+      const double a = static_cast<double>(i) / grid;
+      const double b = static_cast<double>(j) / grid;
+      const double c = 1.0 - a - b;
+      EXPECT_GE(dist2(a, b, c) + 1e-9, best);
+    }
+  }
+}
+
+TEST(SimplexProjection, ANormIdentityMatchesEuclidean) {
+  std::vector<double> y = {0.9, -0.2, 0.5};
+  std::vector<double> eye = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  const auto a = ProjectToSimplexANorm(y, eye, 300);
+  const auto e = ProjectToSimplex(y);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(a[i], e[i], 1e-4);
+}
+
+// ---- Strategy behaviours ----------------------------------------------------
+
+TEST(Crp, AlwaysUniform) {
+  auto panel = DriftPanel(60, {0.002, -0.002, 0.0}, 3);
+  Crp crp;
+  crp.Reset();
+  for (int64_t day = 10; day < 20; ++day) {
+    const auto w = crp.DecideWeights(panel, day);
+    for (double v : w) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(BuyAndHold, ZeroTurnoverUnderDrift) {
+  auto panel = DriftPanel(60, {0.003, -0.003}, 4);
+  BuyAndHold bah;
+  bah.Reset();
+  env::EnvConfig cfg;
+  cfg.window = 4;
+  cfg.transaction_cost = 1.0;  // any turnover would destroy wealth
+  const auto result = env::RunBacktest(bah, panel, cfg);
+  // Wealth must equal the equal-weight index despite the brutal cost rate.
+  const auto idx = panel.IndexLevels(cfg.window);
+  EXPECT_NEAR(result.wealth.back(), idx.back(), 1e-6);
+}
+
+TEST(Eg, TiltsTowardRecentWinner) {
+  auto panel = DriftPanel(80, {0.01, -0.01}, 5, 0.001);
+  Eg eg(0.5);
+  eg.Reset();
+  std::vector<double> w;
+  for (int64_t day = 5; day < 40; ++day) w = eg.DecideWeights(panel, day);
+  EXPECT_GT(w[0], w[1]);
+}
+
+TEST(Eg, WeightsStayOnSimplex) {
+  auto panel = DriftPanel(80, {0.002, -0.001, 0.0005}, 6);
+  Eg eg;
+  eg.Reset();
+  for (int64_t day = 5; day < 70; ++day) {
+    const auto w = eg.DecideWeights(panel, day);
+    double total = 0.0;
+    for (double v : w) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Olmar, BuysTheDipOnMeanRevertingPrices) {
+  // Price of asset 0 dropped far below its moving average -> OLMAR should
+  // overweight it (predicted relative is high).
+  market::PricePanel panel(20, 2);
+  for (int64_t t = 0; t < 20; ++t) {
+    panel.SetClose(t, 0, t == 19 ? 70.0 : 100.0);  // crashed today
+    panel.SetClose(t, 1, 100.0);
+  }
+  Olmar olmar(5, 10.0);
+  olmar.Reset();
+  olmar.DecideWeights(panel, 18);  // initialization call
+  const auto w = olmar.DecideWeights(panel, 19);
+  EXPECT_GT(w[0], 0.9);
+}
+
+TEST(Pamr, SheddsTheRecentWinnerOnReversion) {
+  market::PricePanel panel(20, 2);
+  for (int64_t t = 0; t < 20; ++t) {
+    panel.SetClose(t, 0, 100.0 * std::pow(1.05, t));  // strong riser
+    panel.SetClose(t, 1, 100.0);
+  }
+  Pamr pamr(0.5);
+  pamr.Reset();
+  pamr.DecideWeights(panel, 18);
+  const auto w = pamr.DecideWeights(panel, 19);
+  // Mean reversion bets against the riser.
+  EXPECT_LT(w[0], w[1]);
+}
+
+TEST(Rmr, PredictsWithRobustMedian) {
+  market::PricePanel panel(20, 2);
+  for (int64_t t = 0; t < 20; ++t) {
+    panel.SetClose(t, 0, t == 19 ? 60.0 : 100.0);
+    panel.SetClose(t, 1, 100.0);
+  }
+  Rmr rmr(5, 5.0);
+  rmr.Reset();
+  rmr.DecideWeights(panel, 18);
+  const auto w = rmr.DecideWeights(panel, 19);
+  EXPECT_GT(w[0], 0.9);
+}
+
+TEST(Ons, ProducesFeasiblePortfolios) {
+  auto panel = DriftPanel(90, {0.001, -0.001, 0.0, 0.0005}, 7);
+  Ons ons;
+  ons.Reset();
+  for (int64_t day = 5; day < 80; ++day) {
+    const auto w = ons.DecideWeights(panel, day);
+    double total = 0.0;
+    for (double v : w) {
+      EXPECT_GE(v, -1e-8);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+TEST(Up, WealthWeightedPoolingFavorsWinners) {
+  auto panel = DriftPanel(120, {0.01, -0.01}, 8, 0.002);
+  Up up(300, 11);
+  up.Reset();
+  std::vector<double> w;
+  for (int64_t day = 5; day < 100; ++day) {
+    w = up.DecideWeights(panel, day);
+  }
+  EXPECT_GT(w[0], 0.6);
+}
+
+TEST(Anticor, FeasibleAndReactive) {
+  auto panel = DriftPanel(120, {0.001, -0.001, 0.0}, 9);
+  Anticor anticor(8);
+  anticor.Reset();
+  for (int64_t day = 5; day < 100; ++day) {
+    const auto w = anticor.DecideWeights(panel, day);
+    double total = 0.0;
+    for (double v : w) {
+      EXPECT_GE(v, -1e-9);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+// All strategies must produce simplex-feasible weights on a realistic
+// simulated market (parameterized sweep).
+class StrategyFeasibility
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyFeasibility, SimplexFeasibleOnSimulatedMarket) {
+  market::MarketConfig cfg;
+  cfg.num_assets = 5;
+  cfg.train_days = 150;
+  cfg.test_days = 50;
+  cfg.seed = 17;
+  auto panel = market::SimulateMarket(cfg);
+
+  std::unique_ptr<env::TradingAgent> agent;
+  switch (GetParam()) {
+    case 0: agent = std::make_unique<Crp>(); break;
+    case 1: agent = std::make_unique<Eg>(); break;
+    case 2: agent = std::make_unique<Ons>(); break;
+    case 3: agent = std::make_unique<Up>(100, 3); break;
+    case 4: agent = std::make_unique<Olmar>(); break;
+    case 5: agent = std::make_unique<Pamr>(); break;
+    case 6: agent = std::make_unique<Rmr>(); break;
+    case 7: agent = std::make_unique<Anticor>(); break;
+    case 8: agent = std::make_unique<BuyAndHold>(); break;
+  }
+  env::EnvConfig env_cfg;
+  env_cfg.window = 8;
+  const auto result = env::RunBacktest(*agent, panel, env_cfg);
+  EXPECT_GT(result.wealth.back(), 0.0);
+  for (double v : result.wealth) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyFeasibility,
+                         ::testing::Range(0, 9));
+
+}  // namespace
+}  // namespace cit::olps

@@ -1,0 +1,283 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "env/backtest.h"
+#include "market/simulator.h"
+#include "rl/a2c.h"
+#include "rl/ddpg.h"
+#include "rl/deeptrader.h"
+#include "rl/eiie.h"
+#include "rl/features.h"
+#include "rl/gaussian_policy.h"
+#include "rl/ppo.h"
+#include "rl/returns.h"
+#include "rl/sarl.h"
+
+namespace cit::rl {
+namespace {
+
+// ---- Returns ----------------------------------------------------------------
+
+TEST(Returns, DiscountedReturnsKnownValues) {
+  const auto g = DiscountedReturns({1.0, 2.0, 3.0}, 0.5, 4.0);
+  // g2 = 3 + 0.5*4 = 5; g1 = 2 + 0.5*5 = 4.5; g0 = 1 + 0.5*4.5 = 3.25
+  EXPECT_NEAR(g[2], 5.0, 1e-12);
+  EXPECT_NEAR(g[1], 4.5, 1e-12);
+  EXPECT_NEAR(g[0], 3.25, 1e-12);
+}
+
+TEST(Returns, LambdaZeroIsOneStepTd) {
+  const std::vector<double> r = {1.0, 2.0, 3.0};
+  const std::vector<double> v = {10.0, 11.0, 12.0, 13.0};
+  const auto y = LambdaReturns(r, v, 0.9, 0.0, 5);
+  for (size_t t = 0; t < r.size(); ++t) {
+    EXPECT_NEAR(y[t], r[t] + 0.9 * v[t + 1], 1e-9) << t;
+  }
+}
+
+TEST(Returns, LambdaOneIsNMaxStepReturn) {
+  const std::vector<double> r = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> v = {0.0, 0.0, 0.0, 0.0, 5.0};
+  const auto y = LambdaReturns(r, v, 1.0, 1.0, 2);
+  // With lambda=1 only G^(n_max)=G^(2) contributes: r_t + r_{t+1} + V_{t+2}.
+  EXPECT_NEAR(y[0], 1.0 + 1.0 + 0.0, 1e-9);
+  EXPECT_NEAR(y[2], 1.0 + 1.0 + 5.0, 1e-9);
+  // Past the end, bootstraps with the final value.
+  EXPECT_NEAR(y[3], 1.0 + 5.0, 1e-9);
+}
+
+TEST(Returns, LambdaMixtureIsConvexCombination) {
+  const std::vector<double> r = {0.5, -0.2, 0.9};
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const auto y_mid = LambdaReturns(r, v, 0.95, 0.5, 3);
+  const auto y_lo = LambdaReturns(r, v, 0.95, 0.0, 3);
+  const auto y_hi = LambdaReturns(r, v, 0.95, 1.0, 3);
+  for (size_t t = 0; t < r.size(); ++t) {
+    const double lo = std::min(y_lo[t], y_hi[t]) - 1e-9;
+    const double hi = std::max(y_lo[t], y_hi[t]) + 1e-9;
+    EXPECT_GE(y_mid[t], lo);
+    EXPECT_LE(y_mid[t], hi);
+  }
+}
+
+TEST(Returns, GaeMatchesManualComputation) {
+  const std::vector<double> r = {1.0, 0.0};
+  const std::vector<double> v = {0.5, 0.2, 0.1};
+  const auto a = GaeAdvantages(r, v, 0.9, 0.8);
+  const double d1 = 0.0 + 0.9 * 0.1 - 0.2;
+  const double d0 = 1.0 + 0.9 * 0.2 - 0.5;
+  EXPECT_NEAR(a[1], d1, 1e-12);
+  EXPECT_NEAR(a[0], d0 + 0.9 * 0.8 * d1, 1e-12);
+}
+
+// ---- Gaussian simplex policy ------------------------------------------------
+
+TEST(GaussianPolicy, DeterministicActionIsSoftmaxOfMean) {
+  ag::Var mean = ag::Var::Constant(math::Tensor({3}, {1.0f, 2.0f, 0.0f}));
+  ag::Var log_std = ag::Var::Constant(math::Tensor::Zeros({3}));
+  GaussianAction a = SampleGaussianSimplex(mean, log_std, nullptr);
+  EXPECT_GT(a.weights[1], a.weights[0]);
+  EXPECT_GT(a.weights[0], a.weights[2]);
+  double total = 0.0;
+  for (double w : a.weights) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GaussianPolicy, LogProbMatchesAnalyticDensity) {
+  ag::Var mean = ag::Var::Constant(math::Tensor({2}, {0.5f, -0.5f}));
+  ag::Var log_std = ag::Var::Constant(math::Tensor({2}, {0.0f, 0.7f}));
+  math::Tensor raw({2}, {1.0f, 0.0f});
+  const float lp = GaussianLogProb(mean, log_std, raw).value().Item();
+  auto norm_lp = [](float x, float mu, float sigma) {
+    const float z = (x - mu) / sigma;
+    return -0.5f * z * z - std::log(sigma) -
+           0.5f * std::log(2.0f * static_cast<float>(M_PI));
+  };
+  const float expected =
+      norm_lp(1.0f, 0.5f, 1.0f) + norm_lp(0.0f, -0.5f, std::exp(0.7f));
+  EXPECT_NEAR(lp, expected, 1e-4f);
+}
+
+TEST(GaussianPolicy, LogProbGradientMovesMeanTowardAction) {
+  ag::Var mean = ag::Var::Param(math::Tensor::Zeros({2}));
+  ag::Var log_std = ag::Var::Constant(math::Tensor::Zeros({2}));
+  math::Tensor raw({2}, {1.0f, -1.0f});
+  GaussianLogProb(mean, log_std, raw).Backward();
+  // d logp / d mu = (raw - mu) / sigma^2 = raw here.
+  EXPECT_NEAR(mean.grad()[0], 1.0f, 1e-5f);
+  EXPECT_NEAR(mean.grad()[1], -1.0f, 1e-5f);
+}
+
+TEST(GaussianPolicy, EntropyGrowsWithLogStd) {
+  ag::Var small = ag::Var::Constant(math::Tensor::Full({3}, -1.0f));
+  ag::Var big = ag::Var::Constant(math::Tensor::Full({3}, 0.5f));
+  EXPECT_LT(GaussianEntropy(small).value().Item(),
+            GaussianEntropy(big).value().Item());
+}
+
+TEST(GaussianPolicy, SampledActionsAverageNearSoftmaxMean) {
+  math::Rng rng(3);
+  ag::Var mean = ag::Var::Constant(math::Tensor({2}, {1.0f, 0.0f}));
+  ag::Var log_std = ag::Var::Constant(math::Tensor::Full({2}, -2.0f));
+  double acc = 0.0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    acc += SampleGaussianSimplex(mean, log_std, &rng).weights[0];
+  }
+  const double det = SampleGaussianSimplex(mean, log_std, nullptr).weights[0];
+  EXPECT_NEAR(acc / n, det, 0.05);
+}
+
+// ---- Features ---------------------------------------------------------------
+
+market::PricePanel SmallPanel() {
+  market::MarketConfig cfg;
+  cfg.num_assets = 4;
+  cfg.train_days = 160;
+  cfg.test_days = 60;
+  cfg.seed = 77;
+  return market::SimulateMarket(cfg);
+}
+
+TEST(Features, NormalizedWindowAnchorsAtCurrentDay) {
+  auto panel = SmallPanel();
+  const int64_t day = 50, window = 8;
+  math::Tensor w = NormalizedWindow(panel, day, window);
+  EXPECT_EQ(w.shape(), (math::Shape{4, 1, window}));
+  // Last element is scale * (p/p - 1) = 0.
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(w.At({i, 0, window - 1}), 0.0f);
+  }
+}
+
+TEST(Features, BandWindowsSumToNormalizedWindow) {
+  auto panel = SmallPanel();
+  const int64_t day = 60, window = 16;
+  math::Tensor full = NormalizedWindow(panel, day, window);
+  const auto bands = HorizonBandWindows(panel, day, window, 3);
+  ASSERT_EQ(bands.size(), 3u);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t k = 0; k < window; ++k) {
+      float total = 0.0f;
+      for (const auto& b : bands) total += b.At({i, 0, k});
+      EXPECT_NEAR(total, full.At({i, 0, k}), 1e-4f);
+    }
+  }
+}
+
+TEST(Features, OneHot) {
+  math::Tensor t = OneHot(2, 5);
+  EXPECT_FLOAT_EQ(t[2], 1.0f);
+  EXPECT_FLOAT_EQ(t.Sum(), 1.0f);
+}
+
+// ---- Agent smoke tests (tiny budgets) ---------------------------------------
+
+RlTrainConfig TinyConfig() {
+  RlTrainConfig cfg;
+  cfg.window = 8;
+  cfg.train_steps = 12;
+  cfg.rollout_len = 6;
+  cfg.hidden = 8;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(A2c, TrainAndBacktestProducesFiniteWealth) {
+  auto panel = SmallPanel();
+  A2cAgent agent(panel.num_assets(), TinyConfig());
+  const auto curve = agent.Train(panel, 4);
+  EXPECT_FALSE(curve.empty());
+  const auto result = env::RunTestBacktest(agent, panel, 8);
+  EXPECT_TRUE(std::isfinite(result.wealth.back()));
+  EXPECT_GT(result.wealth.back(), 0.0);
+}
+
+TEST(Ppo, TrainAndBacktest) {
+  auto panel = SmallPanel();
+  PpoAgent::PpoConfig cfg;
+  static_cast<RlTrainConfig&>(cfg) = TinyConfig();
+  cfg.epochs = 2;
+  PpoAgent agent(panel.num_assets(), cfg);
+  agent.Train(panel, 4);
+  const auto result = env::RunTestBacktest(agent, panel, 8);
+  EXPECT_GT(result.wealth.back(), 0.0);
+}
+
+TEST(Ddpg, TrainAndBacktest) {
+  auto panel = SmallPanel();
+  DdpgAgent::DdpgConfig cfg;
+  static_cast<RlTrainConfig&>(cfg) = TinyConfig();
+  cfg.train_steps = 40;
+  cfg.warmup_steps = 10;
+  cfg.batch_size = 8;
+  DdpgAgent agent(panel.num_assets(), cfg);
+  agent.Train(panel, 4);
+  const auto result = env::RunTestBacktest(agent, panel, 8);
+  EXPECT_GT(result.wealth.back(), 0.0);
+}
+
+TEST(Eiie, LearnsPlantedWinnerAsset) {
+  // One asset strongly outperforms; after training EIIE should overweight
+  // it at test time.
+  math::Rng rng(9);
+  market::PricePanel panel(240, 3);
+  std::vector<double> price(3, 100.0);
+  for (int64_t t = 0; t < 240; ++t) {
+    for (int64_t i = 0; i < 3; ++i) {
+      const double drift = (i == 1) ? 0.004 : -0.002;
+      if (t > 0) price[i] *= std::exp(drift + 0.005 * rng.Normal());
+      panel.SetClose(t, i, price[i]);
+    }
+  }
+  panel.set_train_end(200);
+  EiieAgent::EiieConfig cfg;
+  static_cast<RlTrainConfig&>(cfg) = TinyConfig();
+  cfg.train_steps = 150;
+  EiieAgent agent(3, cfg);
+  agent.Train(panel, 4);
+  agent.Reset();
+  const auto w = agent.DecideWeights(panel, 210);
+  EXPECT_GT(w[1], 0.34);  // beats uniform weight on the winner
+}
+
+TEST(Sarl, PredictorLearnsMomentumSignal) {
+  // Strong per-asset momentum: predictor should separate the trending-up
+  // asset from the trending-down one.
+  math::Rng rng(10);
+  market::PricePanel panel(300, 2);
+  double p0 = 100.0, p1 = 100.0;
+  for (int64_t t = 0; t < 300; ++t) {
+    if (t > 0) {
+      p0 *= std::exp(0.004 + 0.002 * rng.Normal());
+      p1 *= std::exp(-0.004 + 0.002 * rng.Normal());
+    }
+    panel.SetClose(t, 0, p0);
+    panel.SetClose(t, 1, p1);
+  }
+  panel.set_train_end(260);
+  RlTrainConfig cfg = TinyConfig();
+  cfg.train_steps = 30;
+  SarlAgent agent(2, cfg);
+  agent.Train(panel, 4);
+  const math::Tensor preds = agent.PredictMovement(panel, 270);
+  EXPECT_GT(preds[0], preds[1]);
+}
+
+TEST(DeepTrader, RiskAppetiteIsBoundedAndWealthFinite) {
+  auto panel = SmallPanel();
+  DeepTraderAgent::DeepTraderConfig cfg;
+  static_cast<RlTrainConfig&>(cfg) = TinyConfig();
+  cfg.train_steps = 30;
+  DeepTraderAgent agent(panel.num_assets(), cfg);
+  agent.Train(panel, 4);
+  const double rho = agent.RiskAppetite(panel, panel.train_end() + 5);
+  EXPECT_GT(rho, 0.0);
+  EXPECT_LT(rho, 1.0);
+  const auto result = env::RunTestBacktest(agent, panel, 8);
+  EXPECT_GT(result.wealth.back(), 0.0);
+}
+
+}  // namespace
+}  // namespace cit::rl

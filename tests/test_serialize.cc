@@ -1,0 +1,121 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/trader.h"
+#include "env/backtest.h"
+#include "market/simulator.h"
+#include "nn/conv.h"
+#include "nn/layers.h"
+
+namespace cit::nn {
+namespace {
+
+using math::Rng;
+using math::Tensor;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Serialize, RoundTripRestoresExactWeights) {
+  Rng rng(1);
+  Mlp a({4, 8, 2}, rng);
+  Mlp b({4, 8, 2}, rng);  // different init
+  const std::string path = TempPath("mlp_roundtrip.bin");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  ASSERT_TRUE(LoadParameters(&b, path).ok());
+  const auto pa = a.Parameters();
+  const auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(math::TensorEquals(pa[i].var.value(), pb[i].var.value()))
+        << pa[i].name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadedNetworkComputesIdenticalOutputs) {
+  Rng rng(2);
+  CausalConv1d a(2, 3, 3, 1, rng);
+  CausalConv1d b(2, 3, 3, 1, rng);
+  const std::string path = TempPath("conv_roundtrip.bin");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  ASSERT_TRUE(LoadParameters(&b, path).ok());
+  Tensor x = Tensor::Uniform({1, 2, 6}, rng, -1, 1);
+  EXPECT_TRUE(math::TensorEquals(
+      a.Forward(ag::Var::Constant(x)).value(),
+      b.Forward(ag::Var::Constant(x)).value()));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  Rng rng(3);
+  Mlp a({4, 8, 2}, rng);
+  Mlp wrong_shape({4, 9, 2}, rng);
+  Mlp wrong_depth({4, 8, 3, 2}, rng);
+  const std::string path = TempPath("mlp_mismatch.bin");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  EXPECT_FALSE(LoadParameters(&wrong_shape, path).ok());
+  EXPECT_FALSE(LoadParameters(&wrong_depth, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbageFile) {
+  const std::string path = TempPath("garbage.bin");
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("this is not a weights file", f);
+  fclose(f);
+  Rng rng(4);
+  Mlp m({2, 2}, rng);
+  const Status status = LoadParameters(&m, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileIsIoError) {
+  Rng rng(5);
+  Mlp m({2, 2}, rng);
+  EXPECT_EQ(LoadParameters(&m, "/nonexistent/weights.bin").code(),
+            StatusCode::kIoError);
+}
+
+TEST(Serialize, TrainedTraderRoundTripsThroughDisk) {
+  market::MarketConfig mcfg;
+  mcfg.num_assets = 4;
+  mcfg.train_days = 150;
+  mcfg.test_days = 60;
+  mcfg.seed = 8;
+  auto panel = market::SimulateMarket(mcfg);
+
+  core::CrossInsightConfig cfg;
+  cfg.num_policies = 2;
+  cfg.window = 8;
+  cfg.feature_dim = 4;
+  cfg.tcn_blocks = 1;
+  cfg.head_hidden = 8;
+  cfg.critic_hidden = 8;
+  cfg.train_steps = 8;
+  cfg.rollout_len = 4;
+  cfg.seed = 3;
+  core::CrossInsightTrader trained(panel.num_assets(), cfg);
+  trained.Train(panel);
+  const std::string path = TempPath("trader.bin");
+  ASSERT_TRUE(trained.SaveModel(path).ok());
+
+  core::CrossInsightTrader fresh(panel.num_assets(), cfg);
+  ASSERT_TRUE(fresh.LoadModel(path).ok());
+  const auto r1 = env::RunTestBacktest(trained, panel, cfg.window);
+  const auto r2 = env::RunTestBacktest(fresh, panel, cfg.window);
+  ASSERT_EQ(r1.wealth.size(), r2.wealth.size());
+  for (size_t t = 0; t < r1.wealth.size(); ++t) {
+    EXPECT_DOUBLE_EQ(r1.wealth[t], r2.wealth[t]);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cit::nn

@@ -1,0 +1,185 @@
+#include "math/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+
+namespace cit::math {
+namespace {
+
+TEST(Tensor, ZeroInitializedConstruction) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FactoryFunctions) {
+  EXPECT_FLOAT_EQ(Tensor::Ones({3})[1], 1.0f);
+  EXPECT_FLOAT_EQ(Tensor::Full({2}, 7.5f)[0], 7.5f);
+  EXPECT_FLOAT_EQ(Tensor::Scalar(2.5f).Item(), 2.5f);
+  Tensor a = Tensor::Arange(4);
+  EXPECT_FLOAT_EQ(a[3], 3.0f);
+}
+
+TEST(Tensor, MultiDimIndexing) {
+  Tensor t({2, 3, 4});
+  t.At({1, 2, 3}) = 5.0f;
+  EXPECT_FLOAT_EQ(t[1 * 12 + 2 * 4 + 3], 5.0f);
+  EXPECT_FLOAT_EQ(t.At({1, 2, 3}), 5.0f);
+}
+
+TEST(Tensor, NegativeDimLookup) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_FLOAT_EQ(r.At({2, 1}), 6.0f);
+}
+
+TEST(Tensor, Transpose2D) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor tt = t.Transpose2D();
+  EXPECT_EQ(tt.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(tt.At({0, 1}), 4.0f);
+  EXPECT_FLOAT_EQ(tt.At({2, 0}), 3.0f);
+}
+
+TEST(Tensor, SliceMiddleAxis) {
+  Tensor t({2, 3, 2});
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(i);
+  Tensor s = t.Slice(1, 1, 2);
+  EXPECT_EQ(s.shape(), (Shape{2, 2, 2}));
+  EXPECT_FLOAT_EQ(s.At({0, 0, 0}), t.At({0, 1, 0}));
+  EXPECT_FLOAT_EQ(s.At({1, 1, 1}), t.At({1, 2, 1}));
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {4, 5, 6});
+  EXPECT_TRUE(TensorEquals(a.Add(b), Tensor({3}, {5, 7, 9})));
+  EXPECT_TRUE(TensorEquals(b.Sub(a), Tensor({3}, {3, 3, 3})));
+  EXPECT_TRUE(TensorEquals(a.Mul(b), Tensor({3}, {4, 10, 18})));
+  EXPECT_TRUE(TensorAllClose(b.Div(a), Tensor({3}, {4, 2.5f, 2})));
+  EXPECT_TRUE(TensorEquals(a.AddScalar(1), Tensor({3}, {2, 3, 4})));
+  EXPECT_TRUE(TensorEquals(a.MulScalar(2), Tensor({3}, {2, 4, 6})));
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.Sum(), 10.0f);
+  EXPECT_FLOAT_EQ(t.Mean(), 2.5f);
+  EXPECT_FLOAT_EQ(t.Max(), 4.0f);
+  EXPECT_FLOAT_EQ(t.Min(), 1.0f);
+}
+
+TEST(Tensor, SumAxisRemovesAxis) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor rows = t.SumAxis(1);
+  EXPECT_EQ(rows.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(rows[0], 6.0f);
+  EXPECT_FLOAT_EQ(rows[1], 15.0f);
+  Tensor cols = t.SumAxis(0);
+  EXPECT_EQ(cols.shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(cols[2], 9.0f);
+  Tensor mean = t.MeanAxis(0);
+  EXPECT_FLOAT_EQ(mean[0], 2.5f);
+}
+
+TEST(Tensor, MatMulKnownResult) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = Tensor::MatMul(a, b);
+  EXPECT_TRUE(TensorEquals(c, Tensor({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(Tensor, MatMulAgainstNaiveReference) {
+  Rng rng(3);
+  Tensor a = Tensor::Uniform({5, 7}, rng, -1, 1);
+  Tensor b = Tensor::Uniform({7, 4}, rng, -1, 1);
+  Tensor c = Tensor::MatMul(a, b);
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      float acc = 0.0f;
+      for (int64_t k = 0; k < 7; ++k) acc += a.At({i, k}) * b.At({k, j});
+      EXPECT_NEAR(c.At({i, j}), acc, 1e-4f);
+    }
+  }
+}
+
+TEST(Tensor, DeepCopySemantics) {
+  Tensor a({2}, {1, 2});
+  Tensor b = a;
+  b[0] = 99.0f;
+  EXPECT_FLOAT_EQ(a[0], 1.0f);
+}
+
+TEST(Rng, Determinism) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(9);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[rng.UniformInt(7)];
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, DirichletOnSimplex) {
+  Rng rng(11);
+  for (double alpha : {0.3, 1.0, 5.0}) {
+    auto w = rng.Dirichlet(6, alpha);
+    double total = 0.0;
+    for (double v : w) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, GammaMeanMatchesShape) {
+  Rng rng(13);
+  const double shape = 2.5;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Gamma(shape);
+  EXPECT_NEAR(sum / n, shape, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(1);
+  Rng b = a.Fork();
+  // The fork should not replay the parent's stream.
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+}  // namespace
+}  // namespace cit::math

@@ -1,0 +1,205 @@
+#include "signal/wavelet.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+#include "signal/filters.h"
+
+namespace cit::signal {
+namespace {
+
+std::vector<double> RandomSignal(int64_t n, uint64_t seed) {
+  math::Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.Normal();
+  return x;
+}
+
+TEST(HaarDwt, SingleLevelKnownCoefficients) {
+  const std::vector<double> x = {1.0, 3.0, 2.0, 6.0};
+  DwtCoeffs c = HaarDecompose(x, 1);
+  const double s = std::sqrt(2.0);
+  ASSERT_EQ(c.approx.size(), 2u);
+  EXPECT_NEAR(c.approx[0], 4.0 / s * 1.0, 1e-12);  // (1+3)/sqrt2
+  EXPECT_NEAR(c.approx[1], 8.0 / s, 1e-12);        // (2+6)/sqrt2
+  EXPECT_NEAR(c.details[0][0], -2.0 / s, 1e-12);   // (1-3)/sqrt2
+  EXPECT_NEAR(c.details[0][1], -4.0 / s, 1e-12);
+}
+
+TEST(HaarDwt, PerfectReconstructionEvenLength) {
+  const auto x = RandomSignal(64, 1);
+  for (int64_t levels = 1; levels <= 5; ++levels) {
+    const auto y = HaarReconstruct(HaarDecompose(x, levels));
+    ASSERT_EQ(y.size(), x.size());
+    for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-10);
+  }
+}
+
+TEST(HaarDwt, PerfectReconstructionOddLengths) {
+  for (int64_t n : {3, 7, 13, 31, 57}) {
+    const auto x = RandomSignal(n, n);
+    const auto y = HaarReconstruct(HaarDecompose(x, 3));
+    ASSERT_EQ(y.size(), x.size());
+    for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-10);
+  }
+}
+
+TEST(HaarDwt, ParsevalEnergyConservation) {
+  const auto x = RandomSignal(32, 5);
+  DwtCoeffs c = HaarDecompose(x, 3);
+  double energy_x = 0.0;
+  for (double v : x) energy_x += v * v;
+  double energy_c = 0.0;
+  for (double v : c.approx) energy_c += v * v;
+  for (const auto& level : c.details) {
+    for (double v : level) energy_c += v * v;
+  }
+  EXPECT_NEAR(energy_x, energy_c, 1e-9);
+}
+
+TEST(HaarDwt, Linearity) {
+  const auto x = RandomSignal(16, 7);
+  const auto y = RandomSignal(16, 8);
+  std::vector<double> z(16);
+  for (int i = 0; i < 16; ++i) z[i] = 2.0 * x[i] - 3.0 * y[i];
+  DwtCoeffs cx = HaarDecompose(x, 2);
+  DwtCoeffs cy = HaarDecompose(y, 2);
+  DwtCoeffs cz = HaarDecompose(z, 2);
+  for (size_t i = 0; i < cz.approx.size(); ++i) {
+    EXPECT_NEAR(cz.approx[i], 2.0 * cx.approx[i] - 3.0 * cy.approx[i],
+                1e-9);
+  }
+}
+
+TEST(HaarDwt, ConstantSignalIsPureApproximation) {
+  std::vector<double> x(16, 3.0);
+  DwtCoeffs c = HaarDecompose(x, 3);
+  for (const auto& level : c.details) {
+    for (double v : level) EXPECT_NEAR(v, 0.0, 1e-12);
+  }
+  const auto low = ReconstructBand(c, 0);
+  for (double v : low) EXPECT_NEAR(v, 3.0, 1e-12);
+}
+
+TEST(HorizonBands, SumToOriginalSignal) {
+  const auto x = RandomSignal(48, 9);
+  for (int64_t bands : {1, 2, 3, 5}) {
+    const auto split = SplitHorizonBands(x, bands);
+    ASSERT_EQ(static_cast<int64_t>(split.size()), bands);
+    for (size_t i = 0; i < x.size(); ++i) {
+      double total = 0.0;
+      for (const auto& b : split) total += b[i];
+      EXPECT_NEAR(total, x[i], 1e-9) << "bands=" << bands << " i=" << i;
+    }
+  }
+}
+
+TEST(HorizonBands, LowBandIsSmootherThanHighBand) {
+  // Roughness = mean squared first difference. The approximation band must
+  // be smoother than the finest detail band for a noisy signal.
+  const auto x = RandomSignal(64, 10);
+  const auto split = SplitHorizonBands(x, 3);
+  auto roughness = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (size_t i = 1; i < v.size(); ++i) {
+      s += (v[i] - v[i - 1]) * (v[i] - v[i - 1]);
+    }
+    return s / static_cast<double>(v.size() - 1);
+  };
+  EXPECT_LT(roughness(split[0]), roughness(split[2]));
+}
+
+TEST(HorizonBands, SeparatesSlowAndFastSinusoids) {
+  // A slow + fast sinusoid mixture: band 0 should correlate with the slow
+  // component, the last band with the fast one.
+  const int64_t n = 64;
+  std::vector<double> slow(n), fast(n), mix(n);
+  for (int64_t i = 0; i < n; ++i) {
+    slow[i] = std::sin(2.0 * M_PI * i / 32.0);
+    fast[i] = 0.5 * std::cos(M_PI * i);  // Nyquist-rate alternation
+    mix[i] = slow[i] + fast[i];
+  }
+  const auto split = SplitHorizonBands(mix, 4);
+  EXPECT_GT(PearsonCorrelation(split[0], slow), 0.8);
+  EXPECT_GT(PearsonCorrelation(split[3], fast), 0.8);
+}
+
+TEST(HorizonBands, TooShortSignalYieldsZeroSurplusBands) {
+  std::vector<double> x = {1.0, 2.0};  // only 1 level possible
+  const auto split = SplitHorizonBands(x, 4);
+  ASSERT_EQ(split.size(), 4u);
+  // Bands beyond the effective depth are all-zero; the sum identity holds.
+  for (size_t i = 0; i < x.size(); ++i) {
+    double total = 0.0;
+    for (const auto& b : split) total += b[i];
+    EXPECT_NEAR(total, x[i], 1e-9);
+  }
+  for (double v : split[3]) EXPECT_EQ(v, 0.0);
+}
+
+TEST(WaveletDenoise, RemovesSmallDetailsKeepsTrend) {
+  // Trend plus tiny noise: denoising with a threshold above the noise level
+  // should reduce distance to the clean trend.
+  const int64_t n = 64;
+  math::Rng rng(11);
+  std::vector<double> trend(n), noisy(n);
+  for (int64_t i = 0; i < n; ++i) {
+    trend[i] = 0.1 * static_cast<double>(i);
+    noisy[i] = trend[i] + 0.01 * rng.Normal();
+  }
+  const auto denoised = WaveletDenoise(noisy, 3, 0.05);
+  double err_noisy = 0.0, err_denoised = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    err_noisy += std::fabs(noisy[i] - trend[i]);
+    err_denoised += std::fabs(denoised[i] - trend[i]);
+  }
+  EXPECT_LT(err_denoised, err_noisy * 1.05);
+}
+
+TEST(Filters, SimpleMovingAverageWarmupAndSteadyState) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  const auto ma = SimpleMovingAverage(x, 3);
+  EXPECT_NEAR(ma[0], 1.0, 1e-12);
+  EXPECT_NEAR(ma[1], 1.5, 1e-12);
+  EXPECT_NEAR(ma[2], 2.0, 1e-12);
+  EXPECT_NEAR(ma[4], 4.0, 1e-12);
+}
+
+TEST(Filters, EmaFirstValueAndConvergence) {
+  std::vector<double> x(50, 10.0);
+  x[0] = 0.0;
+  const auto ema = ExponentialMovingAverage(x, 0.3);
+  EXPECT_NEAR(ema[0], 0.0, 1e-12);
+  EXPECT_NEAR(ema[49], 10.0, 1e-4);
+}
+
+TEST(Filters, L1MedianOfSymmetricPointsIsCenter) {
+  std::vector<std::vector<double>> pts = {
+      {1.0, 0.0}, {-1.0, 0.0}, {0.0, 1.0}, {0.0, -1.0}};
+  const auto med = L1Median(pts);
+  EXPECT_NEAR(med[0], 0.0, 1e-6);
+  EXPECT_NEAR(med[1], 0.0, 1e-6);
+}
+
+TEST(Filters, L1MedianRobustToOutlier) {
+  // Coordinate-wise mean is dragged by the outlier; L1 median is not.
+  std::vector<std::vector<double>> pts = {
+      {0.0}, {0.1}, {-0.1}, {0.05}, {100.0}};
+  const auto med = L1Median(pts);
+  EXPECT_LT(std::fabs(med[0]), 1.0);
+}
+
+TEST(Filters, PearsonCorrelationEdgeCases) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c = {4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+  std::vector<double> flat = {5, 5, 5, 5};
+  EXPECT_EQ(PearsonCorrelation(a, flat), 0.0);
+}
+
+}  // namespace
+}  // namespace cit::signal
