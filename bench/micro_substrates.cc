@@ -1,162 +1,278 @@
-// Micro-benchmarks of the substrate layers (google-benchmark): tensor
-// kernels, autodiff overhead, DWT decomposition, environment stepping, and
-// full actor forward/backward passes.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the math substrate, emitted as machine-readable JSON
+// (BENCH_math.json) so perf regressions are diffable across commits:
+//
+//  - GEMM GFLOP/s at 64/256/1024 — a seed-style naive triple loop ("before")
+//    vs the blocked kernel ("after") at 1 and 4 threads;
+//  - causal dilated conv throughput, naive direct loop vs the fused
+//    im2col+GEMM kernel;
+//  - wall-time of one small CIT training epoch (the end-to-end number all
+//    the kernel work ultimately serves).
+//
+// Thread counts are set in-process via ThreadPool::SetNumThreads, so one run
+// produces the whole table regardless of CIT_NUM_THREADS.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
-#include "core/actor.h"
-#include "core/critic.h"
-#include "env/portfolio_env.h"
+#include "common/env_config.h"
+#include "common/thread_pool.h"
+#include "core/config.h"
+#include "core/trader.h"
 #include "market/simulator.h"
-#include "math/autograd.h"
+#include "math/kernels.h"
 #include "math/rng.h"
-#include "nn/optimizer.h"
-#include "rl/features.h"
-#include "signal/wavelet.h"
+#include "math/tensor.h"
 
 namespace {
 
 using namespace cit;
+using Clock = std::chrono::steady_clock;
 
-void BM_TensorMatMul(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  math::Rng rng(1);
+double Now() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+// Runs `body` repeatedly until ~0.25 s of wall time has accumulated and
+// returns the best observed seconds-per-call (least-noise estimator).
+template <typename F>
+double BestSecondsPerCall(F body) {
+  double best = 1e30;
+  double spent = 0.0;
+  int calls = 0;
+  while (spent < 0.25 || calls < 3) {
+    const double t0 = Now();
+    body();
+    const double dt = Now() - t0;
+    best = std::min(best, dt);
+    spent += dt;
+    ++calls;
+    if (calls >= 10000) break;
+  }
+  return best;
+}
+
+// The seed's MatMul inner loop (i-k-j with a zero-skip on a[i,k]), kept
+// verbatim as the "before" reference.
+void NaiveMatMul(const float* a, const float* b, float* c, int64_t p,
+                 int64_t q, int64_t r) {
+  for (int64_t i = 0; i < p; ++i) {
+    float* crow = c + i * r;
+    for (int64_t j = 0; j < r; ++j) crow[j] = 0.0f;
+    for (int64_t k = 0; k < q; ++k) {
+      const float av = a[i * q + k];
+      if (av == 0.0f) continue;
+      const float* brow = b + k * r;
+      for (int64_t j = 0; j < r; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// The seed's causal-conv loop, "before" reference for the conv kernel.
+void NaiveCausalConv(const float* x, const float* w, const float* bias,
+                     float* out, int64_t batch, int64_t cin, int64_t cout,
+                     int64_t len, int64_t k, int64_t dilation) {
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t co = 0; co < cout; ++co) {
+      for (int64_t t = 0; t < len; ++t) {
+        float acc = bias ? bias[co] : 0.0f;
+        for (int64_t ci = 0; ci < cin; ++ci) {
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const int64_t src = t - (k - 1 - kk) * dilation;
+            if (src < 0) continue;
+            acc += x[(b * cin + ci) * len + src] *
+                   w[(co * cin + ci) * k + kk];
+          }
+        }
+        out[(b * cout + co) * len + t] = acc;
+      }
+    }
+  }
+}
+
+struct GemmRow {
+  int64_t n;
+  double naive_gflops;
+  double blocked_1t_gflops;
+  double blocked_4t_gflops;
+};
+
+GemmRow BenchGemm(int64_t n) {
+  math::Rng rng(42 + n);
   math::Tensor a = math::Tensor::Uniform({n, n}, rng, -1, 1);
   math::Tensor b = math::Tensor::Uniform({n, n}, rng, -1, 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(math::Tensor::MatMul(a, b));
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
-}
-BENCHMARK(BM_TensorMatMul)->Arg(32)->Arg(64)->Arg(128);
+  math::Tensor c({n, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
 
-void BM_AutogradMatMulBackward(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  math::Rng rng(2);
-  ag::Var a = ag::Var::Param(math::Tensor::Uniform({n, n}, rng, -1, 1));
-  ag::Var b = ag::Var::Param(math::Tensor::Uniform({n, n}, rng, -1, 1));
-  for (auto _ : state) {
-    a.ZeroGrad();
-    b.ZeroGrad();
-    ag::Sum(ag::MatMul(a, b)).Backward();
-  }
-}
-BENCHMARK(BM_AutogradMatMulBackward)->Arg(32)->Arg(64);
-
-void BM_HaarDecompose(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  math::Rng rng(3);
-  std::vector<double> x(n);
-  for (auto& v : x) v = rng.Normal();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(signal::HaarDecompose(x, 4));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_HaarDecompose)->Arg(64)->Arg(1024)->Arg(16384);
-
-void BM_SplitHorizonBands(benchmark::State& state) {
-  math::Rng rng(4);
-  std::vector<double> x(64);
-  for (auto& v : x) v = rng.Normal();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        signal::SplitHorizonBands(x, state.range(0)));
-  }
-}
-BENCHMARK(BM_SplitHorizonBands)->Arg(2)->Arg(5);
-
-const market::PricePanel& BenchPanel() {
-  static const market::PricePanel& panel = [] {
-    market::MarketConfig cfg;
-    cfg.num_assets = 20;
-    cfg.train_days = 600;
-    cfg.test_days = 200;
-    return *new market::PricePanel(market::SimulateMarket(cfg));
-  }();
-  return panel;
+  auto& pool = ThreadPool::Global();
+  GemmRow row;
+  row.n = n;
+  const double t_naive =
+      BestSecondsPerCall([&] { NaiveMatMul(pa, pb, pc, n, n, n); });
+  row.naive_gflops = flops / t_naive * 1e-9;
+  pool.SetNumThreads(1);
+  const double t1 =
+      BestSecondsPerCall([&] { math::kernels::MatMul(pa, pb, pc, n, n, n); });
+  row.blocked_1t_gflops = flops / t1 * 1e-9;
+  pool.SetNumThreads(4);
+  const double t4 =
+      BestSecondsPerCall([&] { math::kernels::MatMul(pa, pb, pc, n, n, n); });
+  row.blocked_4t_gflops = flops / t4 * 1e-9;
+  pool.SetNumThreads(1);
+  return row;
 }
 
-void BM_EnvStep(benchmark::State& state) {
-  const auto& panel = BenchPanel();
-  env::EnvConfig cfg;
-  cfg.window = 24;
-  env::PortfolioEnv env(&panel, cfg);
-  const std::vector<double> uniform(panel.num_assets(),
-                                    1.0 / panel.num_assets());
-  for (auto _ : state) {
-    if (env.done()) env.Reset();
-    benchmark::DoNotOptimize(env.Step(uniform));
-  }
-}
-BENCHMARK(BM_EnvStep);
+struct ConvResult {
+  int64_t batch = 8, cin = 16, cout = 32, len = 256, k = 3, dilation = 2;
+  double naive_gflops;
+  double fused_1t_gflops;
+  double fused_4t_gflops;
+};
 
-void BM_BandFeatureExtraction(benchmark::State& state) {
-  const auto& panel = BenchPanel();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        rl::HorizonBandWindows(panel, 100, 24, state.range(0)));
-  }
-}
-BENCHMARK(BM_BandFeatureExtraction)->Arg(2)->Arg(5);
-
-core::CrossInsightConfig BenchActorConfig() {
-  core::CrossInsightConfig cfg;
-  cfg.num_policies = 5;
-  cfg.window = 24;
-  return cfg;
-}
-
-void BM_HorizonActorForward(benchmark::State& state) {
-  const auto& panel = BenchPanel();
-  auto cfg = BenchActorConfig();
-  math::Rng rng(5);
-  core::HorizonActor actor(cfg, panel.num_assets(), 0, rng);
-  const auto bands =
-      rl::HorizonBandWindows(panel, 100, cfg.window, cfg.num_policies);
-  const std::vector<double> prev(panel.num_assets(),
-                                 1.0 / panel.num_assets());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(actor.Forward(bands[0], prev));
-  }
-}
-BENCHMARK(BM_HorizonActorForward);
-
-void BM_HorizonActorForwardBackward(benchmark::State& state) {
-  const auto& panel = BenchPanel();
-  auto cfg = BenchActorConfig();
-  math::Rng rng(6);
-  core::HorizonActor actor(cfg, panel.num_assets(), 0, rng);
-  nn::Adam opt(nn::ParamVars(actor), 1e-3f);
-  const auto bands =
-      rl::HorizonBandWindows(panel, 100, cfg.window, cfg.num_policies);
-  const std::vector<double> prev(panel.num_assets(),
-                                 1.0 / panel.num_assets());
-  for (auto _ : state) {
-    opt.ZeroGrad();
-    ag::Sum(ag::Square(actor.Forward(bands[0], prev))).Backward();
-    opt.Step();
-  }
-}
-BENCHMARK(BM_HorizonActorForwardBackward);
-
-void BM_CentralizedCriticForward(benchmark::State& state) {
-  const auto& panel = BenchPanel();
-  auto cfg = BenchActorConfig();
+ConvResult BenchConv() {
+  ConvResult r;
   math::Rng rng(7);
-  core::CentralizedCritic critic(cfg, panel.num_assets(), rng);
-  math::Tensor market = math::Tensor::Uniform(
-      {cfg.critic_market_days * panel.num_assets()}, rng, -1, 1);
-  math::Tensor pre = math::Tensor::Full(
-      {cfg.num_policies * panel.num_assets()},
-      1.0f / panel.num_assets());
-  math::Tensor action = math::Tensor::Full({panel.num_assets()},
-                                           1.0f / panel.num_assets());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(critic.Forward(market, pre, action));
-  }
+  math::Tensor x = math::Tensor::Uniform({r.batch, r.cin, r.len}, rng, -1, 1);
+  math::Tensor w =
+      math::Tensor::Uniform({r.cout, r.cin, r.k}, rng, -1, 1);
+  math::Tensor bias = math::Tensor::Uniform({r.cout}, rng, -1, 1);
+  math::Tensor out({r.batch, r.cout, r.len});
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pbias = bias.data();
+  float* po = out.data();
+  const double flops = 2.0 * static_cast<double>(r.batch) * r.cout * r.cin *
+                       r.k * r.len;
+
+  auto& pool = ThreadPool::Global();
+  const double t_naive = BestSecondsPerCall([&] {
+    NaiveCausalConv(px, pw, pbias, po, r.batch, r.cin, r.cout, r.len, r.k,
+                    r.dilation);
+  });
+  r.naive_gflops = flops / t_naive * 1e-9;
+  pool.SetNumThreads(1);
+  const double t1 = BestSecondsPerCall([&] {
+    math::kernels::CausalConv1dForward(px, pw, pbias, po, r.batch, r.cin,
+                                       r.cout, r.len, r.k, r.dilation);
+  });
+  r.fused_1t_gflops = flops / t1 * 1e-9;
+  pool.SetNumThreads(4);
+  const double t4 = BestSecondsPerCall([&] {
+    math::kernels::CausalConv1dForward(px, pw, pbias, po, r.batch, r.cin,
+                                       r.cout, r.len, r.k, r.dilation);
+  });
+  r.fused_4t_gflops = flops / t4 * 1e-9;
+  pool.SetNumThreads(1);
+  return r;
 }
-BENCHMARK(BM_CentralizedCriticForward);
+
+// One small end-to-end training run: the number every kernel improvement
+// has to show up in.
+double BenchTrainEpochSeconds(int64_t* out_steps) {
+  market::MarketConfig mcfg;
+  mcfg.num_assets = 8;
+  mcfg.train_days = 120;
+  mcfg.test_days = 20;
+  const market::PricePanel panel = market::SimulateMarket(mcfg);
+
+  core::CrossInsightConfig cfg;
+  cfg.num_policies = 3;
+  cfg.train_steps = 25;
+  cfg.rollout_len = 8;
+  *out_steps = cfg.train_steps;
+
+  core::CrossInsightTrader trader(panel.num_assets(), cfg);
+  const double t0 = Now();
+  trader.Train(panel, /*curve_points=*/5);
+  return Now() - t0;
+}
+
+std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_math.json";
+
+  std::vector<GemmRow> gemm;
+  for (int64_t n : {64, 256, 1024}) {
+    gemm.push_back(BenchGemm(n));
+    std::printf("gemm n=%-5lld naive %8s  blocked(1t) %8s  blocked(4t) %8s"
+                "  GFLOP/s\n",
+                static_cast<long long>(gemm.back().n),
+                Fmt(gemm.back().naive_gflops).c_str(),
+                Fmt(gemm.back().blocked_1t_gflops).c_str(),
+                Fmt(gemm.back().blocked_4t_gflops).c_str());
+  }
+  const ConvResult conv = BenchConv();
+  std::printf("conv  %lldx%lldx%lld len=%lld k=%lld d=%lld  naive %8s  "
+              "fused(1t) %8s  fused(4t) %8s  GFLOP/s\n",
+              static_cast<long long>(conv.batch),
+              static_cast<long long>(conv.cin),
+              static_cast<long long>(conv.cout),
+              static_cast<long long>(conv.len),
+              static_cast<long long>(conv.k),
+              static_cast<long long>(conv.dilation),
+              Fmt(conv.naive_gflops).c_str(),
+              Fmt(conv.fused_1t_gflops).c_str(),
+              Fmt(conv.fused_4t_gflops).c_str());
+
+  int64_t train_steps = 0;
+  const double train_secs = BenchTrainEpochSeconds(&train_steps);
+  std::printf("train epoch (%lld rollouts): %s s\n",
+              static_cast<long long>(train_steps), Fmt(train_secs).c_str());
+
+  std::ostringstream js;
+  js << "{\n";
+  js << "  \"host\": {\"hardware_concurrency\": "
+     << std::thread::hardware_concurrency()
+     << ", \"default_threads\": " << cit::NumThreads() << "},\n";
+  js << "  \"gemm_gflops\": [\n";
+  for (size_t i = 0; i < gemm.size(); ++i) {
+    const GemmRow& g = gemm[i];
+    js << "    {\"n\": " << g.n << ", \"naive\": " << Fmt(g.naive_gflops)
+       << ", \"blocked_1t\": " << Fmt(g.blocked_1t_gflops)
+       << ", \"blocked_4t\": " << Fmt(g.blocked_4t_gflops)
+       << ", \"speedup_1t_vs_naive\": "
+       << Fmt(g.blocked_1t_gflops / g.naive_gflops) << "}"
+       << (i + 1 < gemm.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n";
+  js << "  \"conv_gflops\": {\"batch\": " << conv.batch
+     << ", \"cin\": " << conv.cin << ", \"cout\": " << conv.cout
+     << ", \"len\": " << conv.len << ", \"k\": " << conv.k
+     << ", \"dilation\": " << conv.dilation
+     << ", \"naive\": " << Fmt(conv.naive_gflops)
+     << ", \"fused_1t\": " << Fmt(conv.fused_1t_gflops)
+     << ", \"fused_4t\": " << Fmt(conv.fused_4t_gflops) << "},\n";
+  js << "  \"train_epoch\": {\"rollouts\": " << train_steps
+     << ", \"seconds\": " << Fmt(train_secs) << "},\n";
+  js << "  \"note\": \"naive = the seed's i-k-j MatMul loop compiled with "
+        "the current flags; the seed build itself (plain -O3, no "
+        "-march=native) measures lower still. Thread scaling is bounded by "
+        "hardware_concurrency; on a single-core host 4t matches 1t.\"\n";
+  js << "}\n";
+
+  std::ofstream out(out_path);
+  out << js.str();
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Full verification matrix:
+#   1. Release build + full ctest (the tier-1 gate), run twice with
+#      CIT_NUM_THREADS=1 and =4 — results must agree (the determinism
+#      tests inside the suite check bitwise identity in-process too).
+#   2. ASan and UBSan builds + full ctest at smoke scale (CIT_FAST=1).
+#   3. TSan build running the thread-pool / determinism tests.
+#
+# Usage: scripts/check.sh [--quick]
+#   --quick skips the sanitizer builds (step 1 only).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+run() { echo "+ $*"; "$@"; }
+
+echo "=== Release build + ctest (1 and 4 threads) ==="
+run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+run cmake --build build -j"$(nproc)"
+(cd build && run env CIT_NUM_THREADS=1 ctest --output-on-failure -j2)
+(cd build && run env CIT_NUM_THREADS=4 ctest --output-on-failure -j2)
+
+if [[ "$QUICK" == "1" ]]; then
+  echo "--quick: skipping sanitizer builds"
+  exit 0
+fi
+
+for SAN in address undefined; do
+  echo "=== ${SAN} sanitizer build + ctest (CIT_FAST=1) ==="
+  run cmake -B "build-${SAN}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCIT_SANITIZE="${SAN}"
+  run cmake --build "build-${SAN}" -j"$(nproc)"
+  (cd "build-${SAN}" && run env CIT_FAST=1 ctest --output-on-failure -j2)
+done
+
+echo "=== thread sanitizer build + threading tests ==="
+run cmake -B build-thread -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCIT_SANITIZE=thread
+run cmake --build build-thread -j"$(nproc)" --target test_threading
+(cd build-thread && run env CIT_FAST=1 ctest --output-on-failure \
+    -R 'ThreadPool|Determinism')
+
+echo "ALL CHECKS PASSED"

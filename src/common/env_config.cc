@@ -1,7 +1,9 @@
 #include "common/env_config.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace cit {
 namespace {
@@ -20,6 +22,18 @@ RunScale GetRunScale() {
     return RunScale::kDefault;
   }();
   return kScale;
+}
+
+int NumThreads() {
+  static const int kThreads = [] {
+    if (const char* v = std::getenv("CIT_NUM_THREADS")) {
+      const int n = std::atoi(v);
+      if (n >= 1) return std::min(n, 64);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::clamp(static_cast<int>(hw), 1, 16);
+  }();
+  return kThreads;
 }
 
 int ScaledSeeds() {

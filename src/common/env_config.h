@@ -12,6 +12,12 @@ enum class RunScale { kFast, kDefault, kFull };
 // Reads CIT_FAST / CIT_FULL once and caches the answer.
 RunScale GetRunScale();
 
+// Maximum threads the math kernels may use, read once from CIT_NUM_THREADS.
+// Unset or invalid values fall back to the hardware concurrency (clamped to
+// [1, 16]). This sizes the global ThreadPool; the active count can still be
+// lowered at runtime via ThreadPool::SetNumThreads.
+int NumThreads();
+
 // Convenience multipliers derived from the run scale.
 int ScaledSeeds();           // seeds to average over (paper: 5)
 double ScaledStepFactor();   // multiplier applied to training-step budgets

@@ -1,0 +1,141 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/env_config.h"
+
+namespace cit {
+namespace {
+
+// True while this thread is executing a ParallelFor chunk (worker or
+// caller). Nested ParallelFor calls from such a thread run serially.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(NumThreads());
+  return *pool;
+}
+
+namespace {
+// Absolute bound on workers a pool will ever spawn.
+constexpr int kHardMaxThreads = 64;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : max_threads_(kHardMaxThreads),
+      active_threads_(std::clamp(num_threads, 1, kHardMaxThreads)) {
+  workers_.reserve(static_cast<size_t>(active_threads_ - 1));
+  for (int i = 0; i < active_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::SetNumThreads(int n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  active_threads_ = std::clamp(n, 1, max_threads_);
+  // A freshly spawned worker just blocks on work_cv_ until a job arrives.
+  while (static_cast<int>(workers_.size()) < active_threads_ - 1) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_job = 0;
+  while (true) {
+    const std::function<void(int64_t, int64_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && job_id_ != seen_job);
+      });
+      if (shutdown_) return;
+      seen_job = job_id_;
+      job = job_;
+    }
+    // Claim and run chunks until the job is exhausted.
+    while (true) {
+      int64_t chunk;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (job_ != job || next_chunk_ >= num_chunks_) break;
+        chunk = next_chunk_++;
+      }
+      const int64_t lo = job_begin_ + chunk * job_chunk_size_;
+      const int64_t hi = std::min(job_end_, lo + job_chunk_size_);
+      t_in_parallel_region = true;
+      (*job)(lo, hi);
+      t_in_parallel_region = false;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (++done_chunks_ == num_chunks_) done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  grain = std::max<int64_t>(grain, 1);
+  int threads;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    threads = active_threads_;
+    // A nested call, a tiny range, or a pool already mid-job runs inline.
+    if (t_in_parallel_region || threads <= 1 || n <= grain ||
+        job_ != nullptr) {
+      lock.unlock();
+      body(begin, end);
+      return;
+    }
+    const int64_t max_chunks =
+        std::min<int64_t>(threads, (n + grain - 1) / grain);
+    job_chunk_size_ = (n + max_chunks - 1) / max_chunks;
+    num_chunks_ = (n + job_chunk_size_ - 1) / job_chunk_size_;
+    job_begin_ = begin;
+    job_end_ = end;
+    next_chunk_ = 0;
+    done_chunks_ = 0;
+    job_ = &body;
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+  // The caller participates: claim chunks like a worker.
+  while (true) {
+    int64_t chunk;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (next_chunk_ >= num_chunks_) break;
+      chunk = next_chunk_++;
+    }
+    const int64_t lo = begin + chunk * job_chunk_size_;
+    const int64_t hi = std::min(end, lo + job_chunk_size_);
+    t_in_parallel_region = true;
+    body(lo, hi);
+    t_in_parallel_region = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (++done_chunks_ == num_chunks_) done_cv_.notify_all();
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return done_chunks_ == num_chunks_; });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace cit

@@ -1,0 +1,84 @@
+#ifndef CIT_COMMON_THREAD_POOL_H_
+#define CIT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cit {
+
+// A small fixed-size pool used to parallelize the math kernels. Design
+// constraints, in order of importance:
+//
+//  1. Determinism: ParallelFor partitions [begin, end) into contiguous
+//     chunks whose boundaries depend only on the range and the configured
+//     thread count — never on scheduling. Kernels write disjoint output
+//     regions per chunk and keep each output element's reduction order
+//     fixed, so results are bitwise identical for any thread count.
+//  2. No work stealing, no task futures: a ParallelFor is a single fork /
+//     join. The calling thread executes chunk 0 itself, worker threads run
+//     the rest, and the call returns only after every chunk finished.
+//  3. Re-entrancy safety: a ParallelFor issued from inside a worker (e.g.
+//     a parallel kernel calling another kernel) degrades to serial
+//     execution instead of deadlocking on the pool's own workers.
+//
+// The pool is lazily constructed on first use with NumThreads() - 1
+// workers (see env_config.h; CIT_NUM_THREADS sets it). SetNumThreads()
+// adjusts the active count at runtime, spawning further workers on demand
+// (capped at max_threads()) — used by tests and benchmarks to compare
+// thread counts inside one process even when the host has fewer cores.
+class ThreadPool {
+ public:
+  // The process-wide pool used by the math kernels.
+  static ThreadPool& Global();
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Threads usable by the next ParallelFor (>= 1, counting the caller).
+  int num_threads() const { return active_threads_; }
+  // Hard cap on SetNumThreads (not a promise that this many exist yet).
+  int max_threads() const { return max_threads_; }
+  // Clamped to [1, max_threads()]; spawns missing workers.
+  void SetNumThreads(int n);
+
+  // Runs body(chunk_begin, chunk_end) over a deterministic partition of
+  // [begin, end). Ranges shorter than `grain` (or with one active thread)
+  // run inline on the caller. `body` must be safe to invoke concurrently
+  // on disjoint sub-ranges.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  const int max_threads_;
+  int active_threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: job posted / exit
+  std::condition_variable done_cv_;   // signals caller: all chunks done
+  bool shutdown_ = false;
+
+  // Current fork/join job. Workers claim chunk indices from next_chunk_.
+  const std::function<void(int64_t, int64_t)>* job_ = nullptr;
+  int64_t job_begin_ = 0;
+  int64_t job_chunk_size_ = 0;
+  int64_t job_end_ = 0;
+  int64_t num_chunks_ = 0;
+  int64_t next_chunk_ = 0;
+  int64_t done_chunks_ = 0;
+  uint64_t job_id_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cit
+
+#endif  // CIT_COMMON_THREAD_POOL_H_

@@ -5,18 +5,41 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "math/kernels.h"
 
 namespace cit::ag {
+
+namespace kernels = math::kernels;
 
 void AccumGrad(Node* n, const Tensor& g) {
   if (n == nullptr || !n->requires_grad) return;
   if (!n->has_grad) {
-    n->grad = g;
+    n->grad = g;  // COW handle copy: shares g's storage until mutated
     n->has_grad = true;
   } else {
     n->grad.AddInPlace(g);
   }
 }
+
+namespace {
+
+// Node fields are non-const lvalues inside backward closures, so a bare
+// t.data() there would pick the mutable overload and force a needless COW
+// detach. Routing reads through a const ref keeps them zero-copy.
+const float* CData(const Tensor& t) { return t.data(); }
+
+// Ensures n->grad exists (zero-filled on first touch) and returns a mutable
+// pointer into it, so backward passes can accumulate region-by-region
+// without materializing a separate full-size gradient first.
+float* GradAccumPtr(Node* n) {
+  if (!n->has_grad) {
+    n->grad = Tensor(n->value.shape());
+    n->has_grad = true;
+  }
+  return n->grad.data();
+}
+
+}  // namespace
 
 Var::Var(Tensor value, bool requires_grad) {
   node_ = std::make_shared<Node>();
@@ -52,8 +75,10 @@ void Var::ZeroGrad() {
 
 void Var::Backward() {
   CIT_CHECK(node_ != nullptr);
-  CIT_CHECK_MSG(node_->value.numel() == 1,
-                "Backward() must start from a scalar");
+  CIT_CHECK_MSG(node_->value.numel() == 1 &&
+                    node_->value.shape() == Shape{1},
+                "Backward() root must be a scalar of shape [1]; reduce the "
+                "output with Sum()/Mean() before differentiating");
   // Iterative post-order DFS to get a reverse topological order.
   std::vector<Node*> order;
   std::unordered_set<Node*> visited;
@@ -81,7 +106,13 @@ void Var::Backward() {
   AccumGrad(node_.get(), Tensor::Ones(node_->value.shape()));
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* n = *it;
-    if (n->backward_fn && n->has_grad) n->backward_fn(*n);
+    if (n->backward_fn) {
+      if (n->has_grad) n->backward_fn(*n);
+      // The tape is single-shot: release the closure (and every tensor it
+      // captured) as soon as this node has propagated, so peak memory
+      // shrinks while the backward pass is still running.
+      n->backward_fn = nullptr;
+    }
   }
 }
 
@@ -123,10 +154,11 @@ BroadcastKind ClassifyBroadcast(const Tensor& a, const Tensor& b,
 // length `n` (the last axis), summing over all leading positions.
 Tensor ReduceToBias(const Tensor& g, int64_t n) {
   Tensor out(Shape{n});
+  float* dst = out.data();
   const int64_t rows = g.numel() / n;
+  const float* src = g.data();
   for (int64_t r = 0; r < rows; ++r) {
-    const float* src = g.data() + r * n;
-    for (int64_t i = 0; i < n; ++i) out[i] += src[i];
+    for (int64_t i = 0; i < n; ++i) dst[i] += src[r * n + i];
   }
   return out;
 }
@@ -136,20 +168,23 @@ Tensor ReduceToBias(const Tensor& g, int64_t n) {
 Var Add(const Var& a, const Var& b) {
   const BroadcastKind kind =
       ClassifyBroadcast(a.value(), b.value(), /*allow_bias=*/true);
-  Tensor out = a.value();
+  Tensor out;
   switch (kind) {
     case BroadcastKind::kSame:
-      out.AddInPlace(b.value());
+      out = a.value().Add(b.value());
       break;
     case BroadcastKind::kScalar:
-      out = out.AddScalar(b.value()[0]);
+      out = a.value().AddScalar(b.value()[0]);
       break;
     case BroadcastKind::kBias: {
+      out = Tensor(a.value().shape());
       const int64_t n = b.value().dim(0);
       const int64_t rows = out.numel() / n;
+      const float* pa = a.value().data();
+      const float* pb = b.value().data();
+      float* po = out.data();
       for (int64_t r = 0; r < rows; ++r) {
-        float* dst = out.data() + r * n;
-        for (int64_t i = 0; i < n; ++i) dst[i] += b.value()[i];
+        for (int64_t i = 0; i < n; ++i) po[r * n + i] = pa[r * n + i] + pb[i];
       }
       break;
     }
@@ -177,12 +212,9 @@ Var Add(const Var& a, const Var& b) {
 Var Sub(const Var& a, const Var& b) {
   const BroadcastKind kind =
       ClassifyBroadcast(a.value(), b.value(), /*allow_bias=*/false);
-  Tensor out = a.value();
-  if (kind == BroadcastKind::kSame) {
-    out.SubInPlace(b.value());
-  } else {
-    out = out.AddScalar(-b.value()[0]);
-  }
+  Tensor out = (kind == BroadcastKind::kSame)
+                   ? a.value().Sub(b.value())
+                   : a.value().AddScalar(-b.value()[0]);
   return MakeOp(std::move(out), {a, b}, [kind](Node& self) {
     Node* pa = self.parents[0].get();
     Node* pb = self.parents[1].get();
@@ -234,11 +266,12 @@ Var Div(const Var& a, const Var& b) {
       if (pa->requires_grad) AccumGrad(pa, self.grad.Div(pb->value));
       if (pb->requires_grad) {
         // d/db (a/b) = -a / b^2
-        Tensor gb = self.grad.Mul(pa->value);
-        for (int64_t i = 0; i < gb.numel(); ++i) {
-          const float bv = pb->value[i];
-          gb[i] = -gb[i] / (bv * bv);
-        }
+        Tensor gb(pb->value.shape());
+        kernels::Map3(CData(self.grad), CData(pa->value), CData(pb->value),
+                      gb.data(), gb.numel(),
+                      [](float g, float av, float bv) {
+                        return -(g * av) / (bv * bv);
+                      });
         AccumGrad(pb, gb);
       }
     } else {
@@ -273,29 +306,36 @@ namespace {
 Var MinMaxImpl(const Var& a, const Var& b, bool is_min) {
   CIT_CHECK(a.value().shape() == b.value().shape());
   const int64_t n = a.numel();
-  Tensor out = a.value();
+  Tensor out(a.value().shape());
   auto mask = std::make_shared<std::vector<uint8_t>>(n);
-  for (int64_t i = 0; i < n; ++i) {
-    const bool a_wins = is_min ? (a.value()[i] <= b.value()[i])
-                               : (a.value()[i] >= b.value()[i]);
-    (*mask)[i] = a_wins ? 1 : 0;
-    if (!a_wins) out[i] = b.value()[i];
+  {
+    const float* pa = a.value().data();
+    const float* pb = b.value().data();
+    float* po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+      const bool a_wins = is_min ? (pa[i] <= pb[i]) : (pa[i] >= pb[i]);
+      (*mask)[i] = a_wins ? 1 : 0;
+      po[i] = a_wins ? pa[i] : pb[i];
+    }
   }
   return MakeOp(std::move(out), {a, b}, [mask](Node& self) {
     Node* pa = self.parents[0].get();
     Node* pb = self.parents[1].get();
     const int64_t n = self.grad.numel();
+    const float* g = CData(self.grad);
     if (pa->requires_grad) {
       Tensor ga(self.grad.shape());
+      float* p = ga.data();
       for (int64_t i = 0; i < n; ++i) {
-        if ((*mask)[i]) ga[i] = self.grad[i];
+        if ((*mask)[i]) p[i] = g[i];
       }
       AccumGrad(pa, ga);
     }
     if (pb->requires_grad) {
       Tensor gb(self.grad.shape());
+      float* p = gb.data();
       for (int64_t i = 0; i < n; ++i) {
-        if (!(*mask)[i]) gb[i] = self.grad[i];
+        if (!(*mask)[i]) p[i] = g[i];
       }
       AccumGrad(pb, gb);
     }
@@ -309,17 +349,17 @@ Var Min(const Var& a, const Var& b) { return MinMaxImpl(a, b, true); }
 Var Max(const Var& a, const Var& b) { return MinMaxImpl(a, b, false); }
 
 Var Clamp(const Var& a, float lo, float hi) {
-  Tensor out = a.value();
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    out[i] = std::min(hi, std::max(lo, out[i]));
-  }
+  Tensor out(a.value().shape());
+  kernels::Map(a.value().data(), out.data(), out.numel(), [lo, hi](float x) {
+    return std::min(hi, std::max(lo, x));
+  });
   return MakeOp(std::move(out), {a}, [lo, hi](Node& self) {
     Node* pa = self.parents[0].get();
     Tensor g(self.grad.shape());
-    for (int64_t i = 0; i < g.numel(); ++i) {
-      const float v = pa->value[i];
-      if (v > lo && v < hi) g[i] = self.grad[i];
-    }
+    kernels::Map2(CData(self.grad), CData(pa->value), g.data(), g.numel(),
+                  [lo, hi](float gy, float x) {
+                    return (x > lo && x < hi) ? gy : 0.0f;
+                  });
     AccumGrad(pa, g);
   });
 }
@@ -328,14 +368,16 @@ namespace {
 
 template <typename Fwd, typename Bwd>
 Var UnaryOp(const Var& a, Fwd fwd, Bwd bwd_from_inout) {
-  Tensor out = a.value();
-  for (int64_t i = 0; i < out.numel(); ++i) out[i] = fwd(out[i]);
+  Tensor out(a.value().shape());
+  kernels::Map(a.value().data(), out.data(), out.numel(), fwd);
   return MakeOp(std::move(out), {a}, [bwd_from_inout](Node& self) {
     Node* pa = self.parents[0].get();
     Tensor g(self.grad.shape());
-    for (int64_t i = 0; i < g.numel(); ++i) {
-      g[i] = self.grad[i] * bwd_from_inout(pa->value[i], self.value[i]);
-    }
+    kernels::Map3(CData(self.grad), CData(pa->value), CData(self.value),
+                  g.data(), g.numel(),
+                  [bwd_from_inout](float gy, float x, float y) {
+                    return gy * bwd_from_inout(x, y);
+                  });
     AccumGrad(pa, g);
   });
 }
@@ -393,7 +435,7 @@ Var Abs(const Var& a) {
 Var Sum(const Var& a) {
   return MakeOp(Tensor::Scalar(a.value().Sum()), {a}, [](Node& self) {
     Node* pa = self.parents[0].get();
-    AccumGrad(pa, Tensor::Full(pa->value.shape(), self.grad[0]));
+    AccumGrad(pa, Tensor::Full(pa->value.shape(), CData(self.grad)[0]));
   });
 }
 
@@ -401,7 +443,8 @@ Var Mean(const Var& a) {
   const float inv_n = 1.0f / static_cast<float>(a.numel());
   return MakeOp(Tensor::Scalar(a.value().Mean()), {a}, [inv_n](Node& self) {
     Node* pa = self.parents[0].get();
-    AccumGrad(pa, Tensor::Full(pa->value.shape(), self.grad[0] * inv_n));
+    AccumGrad(pa,
+              Tensor::Full(pa->value.shape(), CData(self.grad)[0] * inv_n));
   });
 }
 
@@ -422,10 +465,12 @@ Var SumAxisImpl(const Var& a, int64_t axis, float scale) {
                 [outer, inner, axis_len, scale](Node& self) {
                   Node* pa = self.parents[0].get();
                   Tensor g(pa->value.shape());
+                  float* dst_base = g.data();
+                  const float* src_base = CData(self.grad);
                   for (int64_t o = 0; o < outer; ++o) {
-                    const float* src = self.grad.data() + o * inner;
+                    const float* src = src_base + o * inner;
                     for (int64_t k = 0; k < axis_len; ++k) {
-                      float* dst = g.data() + (o * axis_len + k) * inner;
+                      float* dst = dst_base + (o * axis_len + k) * inner;
                       for (int64_t i = 0; i < inner; ++i) {
                         dst[i] = src[i] * scale;
                       }
@@ -450,11 +495,22 @@ Var MatMul(const Var& a, const Var& b) {
   return MakeOp(std::move(out), {a, b}, [](Node& self) {
     Node* pa = self.parents[0].get();
     Node* pb = self.parents[1].get();
+    const int64_t p = pa->value.dim(0);
+    const int64_t q = pa->value.dim(1);
+    const int64_t r = pb->value.dim(1);
     if (pa->requires_grad) {
-      AccumGrad(pa, Tensor::MatMul(self.grad, pb->value.Transpose2D()));
+      // grad_a = g @ b^T, reading b in its stored layout.
+      Tensor ga(pa->value.shape());
+      kernels::MatMulTransB(CData(self.grad), CData(pb->value), ga.data(),
+                            p, r, q);
+      AccumGrad(pa, ga);
     }
     if (pb->requires_grad) {
-      AccumGrad(pb, Tensor::MatMul(pa->value.Transpose2D(), self.grad));
+      // grad_b = a^T @ g, reading a in its stored layout.
+      Tensor gb(pb->value.shape());
+      kernels::MatMulTransA(CData(pa->value), CData(self.grad), gb.data(),
+                            p, q, r);
+      AccumGrad(pb, gb);
     }
   });
 }
@@ -488,10 +544,12 @@ Tensor PermuteTensor(const Tensor& x, const std::vector<int64_t>& perm) {
   }
   std::vector<int64_t> idx(nd, 0);
   const int64_t n = x.numel();
+  const float* src = x.data();
+  float* dst = out.data();
   for (int64_t flat = 0; flat < n; ++flat) {
-    int64_t src = 0;
-    for (int64_t i = 0; i < nd; ++i) src += idx[i] * in_strides[perm[i]];
-    out[flat] = x[src];
+    int64_t s = 0;
+    for (int64_t i = 0; i < nd; ++i) s += idx[i] * in_strides[perm[i]];
+    dst[flat] = src[s];
     // Advance the multi-index over the *output* shape.
     for (int64_t i = nd - 1; i >= 0; --i) {
       if (++idx[i] < out_shape[i]) break;
@@ -537,32 +595,34 @@ Var Concat(const std::vector<Var>& parts, int64_t axis) {
   part_lens.reserve(parts.size());
   for (const Var& p : parts) part_lens.push_back(p.value().dim(ax));
   // Copy each part's rows into the right offset of the output.
+  float* out_base = out.data();
   int64_t offset = 0;
   for (size_t pi = 0; pi < parts.size(); ++pi) {
     const Tensor& x = parts[pi].value();
     const int64_t len = part_lens[pi];
+    const float* src = x.data();
     for (int64_t o = 0; o < outer; ++o) {
-      const float* src = x.data() + o * len * inner;
-      float* dst = out.data() + (o * total + offset) * inner;
-      std::copy(src, src + len * inner, dst);
+      kernels::Copy(src + o * len * inner,
+                    out_base + (o * total + offset) * inner, len * inner);
     }
     offset += len;
   }
   return MakeOp(std::move(out), parts,
                 [part_lens, outer, inner, total](Node& self) {
+                  const float* g = CData(self.grad);
                   int64_t offset = 0;
                   for (size_t pi = 0; pi < self.parents.size(); ++pi) {
                     Node* p = self.parents[pi].get();
                     const int64_t len = part_lens[pi];
                     if (p->requires_grad) {
-                      Tensor g(p->value.shape());
+                      // Accumulate straight into the parent's grad region —
+                      // no per-part zero tensor, no second add pass.
+                      float* dst = GradAccumPtr(p);
                       for (int64_t o = 0; o < outer; ++o) {
-                        const float* src =
-                            self.grad.data() + (o * total + offset) * inner;
-                        float* dst = g.data() + o * len * inner;
-                        std::copy(src, src + len * inner, dst);
+                        kernels::AddInto(
+                            dst + o * len * inner,
+                            g + (o * total + offset) * inner, len * inner);
                       }
-                      AccumGrad(p, g);
                     }
                     offset += len;
                   }
@@ -581,53 +641,35 @@ Var Slice(const Var& a, int64_t axis, int64_t start, int64_t len) {
   return MakeOp(std::move(out), {a},
                 [outer, inner, axis_len, start, len](Node& self) {
                   Node* pa = self.parents[0].get();
-                  Tensor g(pa->value.shape());
+                  // Accumulate the slice's gradient directly into the
+                  // parent's [start, start+len) region.
+                  float* dst = GradAccumPtr(pa);
+                  const float* src = CData(self.grad);
                   for (int64_t o = 0; o < outer; ++o) {
-                    const float* src = self.grad.data() + o * len * inner;
-                    float* dst =
-                        g.data() + (o * axis_len + start) * inner;
-                    std::copy(src, src + len * inner, dst);
+                    kernels::AddInto(
+                        dst + (o * axis_len + start) * inner,
+                        src + o * len * inner, len * inner);
                   }
-                  AccumGrad(pa, g);
                 });
 }
 
-namespace {
-
-// Numerically-stable softmax over the last axis of [outer, n].
-Tensor SoftmaxTensor(const Tensor& x) {
-  const int64_t n = x.dim(-1);
-  const int64_t outer = x.numel() / n;
-  Tensor out = x;
-  for (int64_t o = 0; o < outer; ++o) {
-    float* row = out.data() + o * n;
-    float mx = row[0];
-    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
-    float total = 0.0f;
-    for (int64_t i = 0; i < n; ++i) {
-      row[i] = std::exp(row[i] - mx);
-      total += row[i];
-    }
-    for (int64_t i = 0; i < n; ++i) row[i] /= total;
-  }
-  return out;
-}
-
-}  // namespace
-
 Var Softmax(const Var& a) {
-  Tensor out = SoftmaxTensor(a.value());
+  Tensor out = a.value();
   const int64_t n = a.value().dim(-1);
+  kernels::SoftmaxLastAxis(out.data(), out.numel() / n, n);
   return MakeOp(std::move(out), {a}, [n](Node& self) {
     Node* pa = self.parents[0].get();
     const int64_t outer = self.value.numel() / n;
     Tensor g(pa->value.shape());
+    float* g_base = g.data();
+    const float* s_base = CData(self.value);
+    const float* gy_base = CData(self.grad);
     for (int64_t o = 0; o < outer; ++o) {
-      const float* s = self.value.data() + o * n;
-      const float* gy = self.grad.data() + o * n;
+      const float* s = s_base + o * n;
+      const float* gy = gy_base + o * n;
       float dot = 0.0f;
       for (int64_t i = 0; i < n; ++i) dot += gy[i] * s[i];
-      float* gx = g.data() + o * n;
+      float* gx = g_base + o * n;
       for (int64_t i = 0; i < n; ++i) gx[i] = s[i] * (gy[i] - dot);
     }
     AccumGrad(pa, g);
@@ -635,29 +677,22 @@ Var Softmax(const Var& a) {
 }
 
 Var LogSoftmax(const Var& a) {
-  const Tensor& x = a.value();
-  const int64_t n = x.dim(-1);
-  const int64_t outer = x.numel() / n;
-  Tensor out = x;
-  for (int64_t o = 0; o < outer; ++o) {
-    float* row = out.data() + o * n;
-    float mx = row[0];
-    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
-    float total = 0.0f;
-    for (int64_t i = 0; i < n; ++i) total += std::exp(row[i] - mx);
-    const float lse = mx + std::log(total);
-    for (int64_t i = 0; i < n; ++i) row[i] -= lse;
-  }
+  Tensor out = a.value();
+  const int64_t n = a.value().dim(-1);
+  kernels::LogSoftmaxLastAxis(out.data(), out.numel() / n, n);
   return MakeOp(std::move(out), {a}, [n](Node& self) {
     Node* pa = self.parents[0].get();
     const int64_t outer = self.value.numel() / n;
     Tensor g(pa->value.shape());
+    float* g_base = g.data();
+    const float* y_base = CData(self.value);
+    const float* gy_base = CData(self.grad);
     for (int64_t o = 0; o < outer; ++o) {
-      const float* y = self.value.data() + o * n;
-      const float* gy = self.grad.data() + o * n;
+      const float* y = y_base + o * n;
+      const float* gy = gy_base + o * n;
       float total = 0.0f;
       for (int64_t i = 0; i < n; ++i) total += gy[i];
-      float* gx = g.data() + o * n;
+      float* gx = g_base + o * n;
       for (int64_t i = 0; i < n; ++i) {
         gx[i] = gy[i] - std::exp(y[i]) * total;
       }
@@ -685,28 +720,10 @@ Var CausalConv1d(const Var& x, const Var& w, const Var& b, int64_t dilation) {
   }
 
   Tensor out(Shape{batch, cout, len});
-  for (int64_t bi = 0; bi < batch; ++bi) {
-    for (int64_t co = 0; co < cout; ++co) {
-      float* orow = out.data() + (bi * cout + co) * len;
-      if (has_bias) {
-        const float bias = b.value()[co];
-        for (int64_t t = 0; t < len; ++t) orow[t] = bias;
-      }
-      for (int64_t ci = 0; ci < cin; ++ci) {
-        const float* xrow = xv.data() + (bi * cin + ci) * len;
-        const float* wrow = wv.data() + (co * cin + ci) * ksize;
-        for (int64_t k = 0; k < ksize; ++k) {
-          // Tap k reads the sample `shift` steps in the past (causal).
-          const int64_t shift = (ksize - 1 - k) * dilation;
-          const float wk = wrow[k];
-          if (wk == 0.0f) continue;
-          for (int64_t t = shift; t < len; ++t) {
-            orow[t] += wk * xrow[t - shift];
-          }
-        }
-      }
-    }
-  }
+  kernels::CausalConv1dForward(xv.data(), wv.data(),
+                               has_bias ? b.value().data() : nullptr,
+                               out.data(), batch, cin, cout, len, ksize,
+                               dilation);
 
   std::vector<Var> inputs = {x, w};
   if (has_bias) inputs.push_back(b);
@@ -719,33 +736,10 @@ Var CausalConv1d(const Var& x, const Var& w, const Var& b, int64_t dilation) {
         Tensor gx(px->value.shape());
         Tensor gw(pw->value.shape());
         Tensor gb = has_bias ? Tensor(pb->value.shape()) : Tensor();
-        for (int64_t bi = 0; bi < batch; ++bi) {
-          for (int64_t co = 0; co < cout; ++co) {
-            const float* grow = self.grad.data() + (bi * cout + co) * len;
-            if (has_bias) {
-              float s = 0.0f;
-              for (int64_t t = 0; t < len; ++t) s += grow[t];
-              gb[co] += s;
-            }
-            for (int64_t ci = 0; ci < cin; ++ci) {
-              const float* xrow = px->value.data() + (bi * cin + ci) * len;
-              const float* wrow = pw->value.data() + (co * cin + ci) * ksize;
-              float* gxrow = gx.data() + (bi * cin + ci) * len;
-              float* gwrow = gw.data() + (co * cin + ci) * ksize;
-              for (int64_t k = 0; k < ksize; ++k) {
-                const int64_t shift = (ksize - 1 - k) * dilation;
-                const float wk = wrow[k];
-                float gwk = 0.0f;
-                for (int64_t t = shift; t < len; ++t) {
-                  const float g = grow[t];
-                  gxrow[t - shift] += wk * g;
-                  gwk += g * xrow[t - shift];
-                }
-                gwrow[k] += gwk;
-              }
-            }
-          }
-        }
+        kernels::CausalConv1dBackward(
+            CData(px->value), CData(pw->value), CData(self.grad), gx.data(),
+            gw.data(), has_bias ? gb.data() : nullptr, batch, cin, cout, len,
+            ksize, dilation);
         AccumGrad(px, gx);
         AccumGrad(pw, gw);
         if (has_bias) AccumGrad(pb, gb);

@@ -1,0 +1,400 @@
+#include "math/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace cit::math::kernels {
+namespace {
+
+ThreadPool& Pool() { return ThreadPool::Global(); }
+
+// Rows per chunk so a chunk carries at least ~2^16 flops of GEMM work.
+int64_t RowGrain(int64_t flops_per_row) {
+  return std::max<int64_t>(1, (1 << 16) / std::max<int64_t>(1, flops_per_row))
+         + 1;
+}
+
+// ---- Blocked GEMM ----------------------------------------------------------
+// Register tile: MR rows of A against an NR-wide packed panel of B, saxpy
+// over k. KC limits the packed panel to ~KC*NR floats (L1-resident). Each
+// output element accumulates in ascending-k order no matter how rows are
+// partitioned, so the result is thread-count invariant.
+constexpr int64_t kMr = 4;
+constexpr int64_t kNr = 32;
+constexpr int64_t kKc = 256;
+
+void GemmRowRange(const float* a, const float* b, float* c, int64_t i_lo,
+                  int64_t i_hi, int64_t q, int64_t r) {
+  std::memset(c + i_lo * r, 0,
+              sizeof(float) * static_cast<size_t>((i_hi - i_lo) * r));
+  if (q == 0 || r == 0) return;
+  std::vector<float> pack(kKc * kNr);
+  for (int64_t j0 = 0; j0 < r; j0 += kNr) {
+    const int64_t nr = std::min<int64_t>(kNr, r - j0);
+    for (int64_t k0 = 0; k0 < q; k0 += kKc) {
+      const int64_t kc = std::min<int64_t>(kKc, q - k0);
+      // Pack B[k0:k0+kc, j0:j0+nr] into [kc, NR], zero-padding the tail
+      // columns so the microkernel always runs the full NR width.
+      for (int64_t k = 0; k < kc; ++k) {
+        const float* src = b + (k0 + k) * r + j0;
+        float* dst = pack.data() + k * kNr;
+        int64_t j = 0;
+        for (; j < nr; ++j) dst[j] = src[j];
+        for (; j < kNr; ++j) dst[j] = 0.0f;
+      }
+      for (int64_t i0 = i_lo; i0 < i_hi; i0 += kMr) {
+        const int64_t mr = std::min<int64_t>(kMr, i_hi - i0);
+        float acc[kMr][kNr];
+        for (int64_t i = 0; i < mr; ++i) {
+          std::memset(acc[i], 0, sizeof(float) * kNr);
+        }
+        if (mr == kMr) {
+          const float* a0 = a + (i0 + 0) * q + k0;
+          const float* a1 = a + (i0 + 1) * q + k0;
+          const float* a2 = a + (i0 + 2) * q + k0;
+          const float* a3 = a + (i0 + 3) * q + k0;
+          for (int64_t k = 0; k < kc; ++k) {
+            const float* bp = pack.data() + k * kNr;
+            const float x0 = a0[k], x1 = a1[k], x2 = a2[k], x3 = a3[k];
+            for (int64_t j = 0; j < kNr; ++j) {
+              const float bj = bp[j];
+              acc[0][j] += x0 * bj;
+              acc[1][j] += x1 * bj;
+              acc[2][j] += x2 * bj;
+              acc[3][j] += x3 * bj;
+            }
+          }
+        } else {
+          for (int64_t i = 0; i < mr; ++i) {
+            const float* ai = a + (i0 + i) * q + k0;
+            float* ac = acc[i];
+            for (int64_t k = 0; k < kc; ++k) {
+              const float x = ai[k];
+              const float* bp = pack.data() + k * kNr;
+              for (int64_t j = 0; j < kNr; ++j) ac[j] += x * bp[j];
+            }
+          }
+        }
+        for (int64_t i = 0; i < mr; ++i) {
+          float* cr = c + (i0 + i) * r + j0;
+          const float* ac = acc[i];
+          for (int64_t j = 0; j < nr; ++j) cr[j] += ac[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---- Elementwise -----------------------------------------------------------
+
+void Fill(float* dst, float v, int64_t n) {
+  std::fill(dst, dst + n, v);
+}
+
+void Copy(const float* src, float* dst, int64_t n) {
+  std::memcpy(dst, src, sizeof(float) * static_cast<size_t>(n));
+}
+
+void Add(const float* a, const float* b, float* out, int64_t n) {
+  Map2(a, b, out, n, [](float x, float y) { return x + y; });
+}
+
+void Sub(const float* a, const float* b, float* out, int64_t n) {
+  Map2(a, b, out, n, [](float x, float y) { return x - y; });
+}
+
+void Mul(const float* a, const float* b, float* out, int64_t n) {
+  Map2(a, b, out, n, [](float x, float y) { return x * y; });
+}
+
+void Div(const float* a, const float* b, float* out, int64_t n) {
+  Map2(a, b, out, n, [](float x, float y) { return x / y; });
+}
+
+void AddScalar(const float* a, float v, float* out, int64_t n) {
+  Map(a, out, n, [v](float x) { return x + v; });
+}
+
+void MulScalar(const float* a, float v, float* out, int64_t n) {
+  Map(a, out, n, [v](float x) { return x * v; });
+}
+
+void AddInto(float* dst, const float* src, int64_t n) {
+  Map2(dst, src, dst, n, [](float x, float y) { return x + y; });
+}
+
+void SubInto(float* dst, const float* src, int64_t n) {
+  Map2(dst, src, dst, n, [](float x, float y) { return x - y; });
+}
+
+void ScaleInto(float* dst, float v, int64_t n) {
+  Map(dst, dst, n, [v](float x) { return x * v; });
+}
+
+void Axpy(float alpha, const float* x, float* y, int64_t n) {
+  Map2(y, x, y, n, [alpha](float yi, float xi) { return yi + alpha * xi; });
+}
+
+// ---- Reductions ------------------------------------------------------------
+
+double Sum(const float* a, int64_t n) {
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) s += a[i];
+  return s;
+}
+
+void SumAxis(const float* x, float* out, int64_t outer, int64_t axis_len,
+             int64_t inner) {
+  const int64_t grain =
+      std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(
+                                                   1, axis_len * inner));
+  Pool().ParallelFor(0, outer, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      float* dst = out + o * inner;
+      std::memset(dst, 0, sizeof(float) * static_cast<size_t>(inner));
+      for (int64_t k = 0; k < axis_len; ++k) {
+        const float* src = x + (o * axis_len + k) * inner;
+        for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+      }
+    }
+  });
+}
+
+// ---- Linear algebra --------------------------------------------------------
+
+void MatMul(const float* a, const float* b, float* c, int64_t p, int64_t q,
+            int64_t r) {
+  Pool().ParallelFor(0, p, RowGrain(2 * q * r),
+                     [&](int64_t lo, int64_t hi) {
+                       GemmRowRange(a, b, c, lo, hi, q, r);
+                     });
+}
+
+void MatMulTransB(const float* a, const float* bT, float* c, int64_t p,
+                  int64_t q, int64_t r) {
+  Pool().ParallelFor(0, p, RowGrain(2 * q * r), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* ar = a + i * q;
+      float* cr = c + i * r;
+      int64_t j = 0;
+      // Four independent dot-product chains give the vectorizer ILP.
+      for (; j + 3 < r; j += 4) {
+        const float* b0 = bT + (j + 0) * q;
+        const float* b1 = bT + (j + 1) * q;
+        const float* b2 = bT + (j + 2) * q;
+        const float* b3 = bT + (j + 3) * q;
+        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+        for (int64_t k = 0; k < q; ++k) {
+          const float av = ar[k];
+          s0 += av * b0[k];
+          s1 += av * b1[k];
+          s2 += av * b2[k];
+          s3 += av * b3[k];
+        }
+        cr[j + 0] = s0;
+        cr[j + 1] = s1;
+        cr[j + 2] = s2;
+        cr[j + 3] = s3;
+      }
+      for (; j < r; ++j) {
+        const float* bj = bT + j * q;
+        float s = 0.0f;
+        for (int64_t k = 0; k < q; ++k) s += ar[k] * bj[k];
+        cr[j] = s;
+      }
+    }
+  });
+}
+
+void MatMulTransA(const float* a, const float* b, float* c, int64_t p,
+                  int64_t q, int64_t r) {
+  // c[j, :] = sum_i a[i, j] * b[i, :]; parallel over j so each thread owns
+  // disjoint output rows while scanning i in ascending order (deterministic).
+  Pool().ParallelFor(0, q, RowGrain(2 * p * r), [&](int64_t lo, int64_t hi) {
+    std::memset(c + lo * r, 0,
+                sizeof(float) * static_cast<size_t>((hi - lo) * r));
+    for (int64_t i = 0; i < p; ++i) {
+      const float* br = b + i * r;
+      const float* ar = a + i * q;
+      for (int64_t j = lo; j < hi; ++j) {
+        const float av = ar[j];
+        if (av == 0.0f) continue;
+        float* cr = c + j * r;
+        for (int64_t l = 0; l < r; ++l) cr[l] += av * br[l];
+      }
+    }
+  });
+}
+
+void Transpose(const float* in, float* out, int64_t rows, int64_t cols) {
+  constexpr int64_t kTile = 32;
+  for (int64_t r0 = 0; r0 < rows; r0 += kTile) {
+    const int64_t r1 = std::min(rows, r0 + kTile);
+    for (int64_t c0 = 0; c0 < cols; c0 += kTile) {
+      const int64_t c1 = std::min(cols, c0 + kTile);
+      for (int64_t r = r0; r < r1; ++r) {
+        for (int64_t c = c0; c < c1; ++c) {
+          out[c * rows + r] = in[r * cols + c];
+        }
+      }
+    }
+  }
+}
+
+// ---- Softmax family --------------------------------------------------------
+
+void SoftmaxLastAxis(float* x, int64_t outer, int64_t n) {
+  const int64_t grain =
+      std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, n));
+  Pool().ParallelFor(0, outer, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      float* row = x + o * n;
+      float mx = row[0];
+      for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+      float total = 0.0f;
+      for (int64_t i = 0; i < n; ++i) {
+        row[i] = std::exp(row[i] - mx);
+        total += row[i];
+      }
+      for (int64_t i = 0; i < n; ++i) row[i] /= total;
+    }
+  });
+}
+
+void LogSoftmaxLastAxis(float* x, int64_t outer, int64_t n) {
+  const int64_t grain =
+      std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, n));
+  Pool().ParallelFor(0, outer, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      float* row = x + o * n;
+      float mx = row[0];
+      for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+      float total = 0.0f;
+      for (int64_t i = 0; i < n; ++i) total += std::exp(row[i] - mx);
+      const float lse = mx + std::log(total);
+      for (int64_t i = 0; i < n; ++i) row[i] -= lse;
+    }
+  });
+}
+
+// ---- Causal dilated 1-D convolution ----------------------------------------
+
+namespace {
+
+// Direct triple loop, one (batch, cout) output row at a time. Accumulation
+// over (cin, tap) ascends exactly like the im2col GEMM's k dimension.
+void ConvDirect(const float* x, const float* w, const float* bias, float* out,
+                int64_t batch, int64_t cin, int64_t cout, int64_t len,
+                int64_t k, int64_t dilation) {
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    for (int64_t co = 0; co < cout; ++co) {
+      float* orow = out + (bi * cout + co) * len;
+      std::memset(orow, 0, sizeof(float) * static_cast<size_t>(len));
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        const float* xrow = x + (bi * cin + ci) * len;
+        const float* wrow = w + (co * cin + ci) * k;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const int64_t shift = (k - 1 - kk) * dilation;
+          const float wk = wrow[kk];
+          if (wk == 0.0f) continue;
+          for (int64_t t = shift; t < len; ++t) {
+            orow[t] += wk * xrow[t - shift];
+          }
+        }
+      }
+      if (bias != nullptr) {
+        const float bv = bias[co];
+        for (int64_t t = 0; t < len; ++t) orow[t] += bv;
+      }
+    }
+  }
+}
+
+// Fused im2col + GEMM: per batch, lower the causally-shifted input into
+// P:[cin*k, len] and compute out_b = W:[cout, cin*k] @ P with the blocked
+// MatMul (inheriting its parallelism and determinism).
+void ConvIm2col(const float* x, const float* w, const float* bias, float* out,
+                int64_t batch, int64_t cin, int64_t cout, int64_t len,
+                int64_t k, int64_t dilation) {
+  const int64_t q = cin * k;
+  std::vector<float> patch(static_cast<size_t>(q * len));
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    for (int64_t ci = 0; ci < cin; ++ci) {
+      const float* xrow = x + (bi * cin + ci) * len;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const int64_t shift = (k - 1 - kk) * dilation;
+        float* prow = patch.data() + (ci * k + kk) * len;
+        const int64_t zeros = std::min(shift, len);
+        std::memset(prow, 0, sizeof(float) * static_cast<size_t>(zeros));
+        if (shift < len) {
+          std::memcpy(prow + shift, xrow,
+                      sizeof(float) * static_cast<size_t>(len - shift));
+        }
+      }
+    }
+    float* obase = out + bi * cout * len;
+    MatMul(w, patch.data(), obase, cout, q, len);
+    if (bias != nullptr) {
+      for (int64_t co = 0; co < cout; ++co) {
+        float* orow = obase + co * len;
+        const float bv = bias[co];
+        for (int64_t t = 0; t < len; ++t) orow[t] += bv;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void CausalConv1dForward(const float* x, const float* w, const float* bias,
+                         float* out, int64_t batch, int64_t cin, int64_t cout,
+                         int64_t len, int64_t k, int64_t dilation) {
+  // The im2col lowering costs O(cin*k*len) extra writes per batch; it pays
+  // off once the GEMM on top is big enough. The gate depends only on
+  // shapes, keeping the result deterministic for any thread count.
+  const int64_t flops = 2 * cout * cin * k * len;
+  if (flops >= (1 << 16) && len >= 8) {
+    ConvIm2col(x, w, bias, out, batch, cin, cout, len, k, dilation);
+  } else {
+    ConvDirect(x, w, bias, out, batch, cin, cout, len, k, dilation);
+  }
+}
+
+void CausalConv1dBackward(const float* x, const float* w, const float* gout,
+                          float* gx, float* gw, float* gb, int64_t batch,
+                          int64_t cin, int64_t cout, int64_t len, int64_t k,
+                          int64_t dilation) {
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    for (int64_t co = 0; co < cout; ++co) {
+      const float* grow = gout + (bi * cout + co) * len;
+      if (gb != nullptr) {
+        float s = 0.0f;
+        for (int64_t t = 0; t < len; ++t) s += grow[t];
+        gb[co] += s;
+      }
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        const float* xrow = x + (bi * cin + ci) * len;
+        const float* wrow = w + (co * cin + ci) * k;
+        float* gxrow = gx + (bi * cin + ci) * len;
+        float* gwrow = gw + (co * cin + ci) * k;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const int64_t shift = (k - 1 - kk) * dilation;
+          const float wk = wrow[kk];
+          float gwk = 0.0f;
+          for (int64_t t = shift; t < len; ++t) {
+            const float g = grow[t];
+            gxrow[t - shift] += wk * g;
+            gwk += g * xrow[t - shift];
+          }
+          gwrow[kk] += gwk;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cit::math::kernels

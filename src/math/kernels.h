@@ -1,0 +1,115 @@
+#ifndef CIT_MATH_KERNELS_H_
+#define CIT_MATH_KERNELS_H_
+
+#include <cstdint>
+
+#include "common/thread_pool.h"
+
+// The numeric inner loops behind Tensor and the autodiff ops, extracted into
+// one unit so (a) every hot loop lives behind a seam future backends can
+// replace, and (b) parallelism policy is decided in exactly one place.
+//
+// Determinism contract: every kernel produces bitwise-identical output for
+// any thread count. Parallel kernels partition *output* elements across
+// threads (each element is computed by exactly one thread, with a fixed
+// per-element reduction order); no kernel ever splits a single element's
+// reduction across threads.
+namespace cit::math::kernels {
+
+// Elements below which elementwise kernels stay serial: a fork/join costs
+// more than streaming this many floats through one core.
+inline constexpr int64_t kElementwiseGrain = 1 << 15;
+
+// ---- Elementwise -----------------------------------------------------------
+void Fill(float* dst, float v, int64_t n);
+void Copy(const float* src, float* dst, int64_t n);
+void Add(const float* a, const float* b, float* out, int64_t n);
+void Sub(const float* a, const float* b, float* out, int64_t n);
+void Mul(const float* a, const float* b, float* out, int64_t n);
+void Div(const float* a, const float* b, float* out, int64_t n);
+void AddScalar(const float* a, float v, float* out, int64_t n);
+void MulScalar(const float* a, float v, float* out, int64_t n);
+// dst += src, the gradient-accumulation primitive.
+void AddInto(float* dst, const float* src, int64_t n);
+void SubInto(float* dst, const float* src, int64_t n);
+void ScaleInto(float* dst, float v, int64_t n);
+// y += alpha * x.
+void Axpy(float alpha, const float* x, float* y, int64_t n);
+
+// Applies f elementwise; used by the autodiff unary ops. Parallel above
+// kElementwiseGrain with the same partitioning as the named kernels.
+template <typename F>
+void Map(const float* in, float* out, int64_t n, F f) {
+  ThreadPool::Global().ParallelFor(
+      0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) out[i] = f(in[i]);
+      });
+}
+
+// Binary variant: out[i] = f(a[i], b[i]).
+template <typename F>
+void Map2(const float* a, const float* b, float* out, int64_t n, F f) {
+  ThreadPool::Global().ParallelFor(
+      0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) out[i] = f(a[i], b[i]);
+      });
+}
+
+// Ternary variant: out[i] = f(a[i], b[i], c[i]) — the shape of most
+// backward passes (grad, input, output).
+template <typename F>
+void Map3(const float* a, const float* b, const float* c, float* out,
+          int64_t n, F f) {
+  ThreadPool::Global().ParallelFor(
+      0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) out[i] = f(a[i], b[i], c[i]);
+      });
+}
+
+// ---- Reductions ------------------------------------------------------------
+// Serial, double-accumulated full sum (deterministic by construction).
+double Sum(const float* a, int64_t n);
+// out[o, i] = sum_k x[o, k, i] for x viewed as [outer, axis_len, inner].
+// `out` must be zero-initialized by the caller? No: it is overwritten.
+void SumAxis(const float* x, float* out, int64_t outer, int64_t axis_len,
+             int64_t inner);
+
+// ---- Linear algebra --------------------------------------------------------
+// c = a @ b with a:[p,q], b:[q,r], c:[p,r] (c overwritten). Cache-blocked
+// with packed B panels and an MR x NR register tile; parallel over rows.
+void MatMul(const float* a, const float* b, float* c, int64_t p, int64_t q,
+            int64_t r);
+// c = a @ b with b supplied transposed (bT:[r,q]): c[i,j] = <a_i, bT_j>.
+// This is the backward pass's grad_a = g @ b^T without materializing b^T.
+void MatMulTransB(const float* a, const float* bT, float* c, int64_t p,
+                  int64_t q, int64_t r);
+// c = a^T @ b with a:[p,q], b:[p,r], c:[q,r] (grad_b without transposing a).
+void MatMulTransA(const float* a, const float* b, float* c, int64_t p,
+                  int64_t q, int64_t r);
+// out[c, r] = in[r, c] for in:[rows, cols]; blocked for cache friendliness.
+void Transpose(const float* in, float* out, int64_t rows, int64_t cols);
+
+// ---- Softmax family (in place over the last axis) --------------------------
+void SoftmaxLastAxis(float* x, int64_t outer, int64_t n);
+void LogSoftmaxLastAxis(float* x, int64_t outer, int64_t n);
+
+// ---- Causal dilated 1-D convolution ----------------------------------------
+// x:[batch, cin, len], w:[cout, cin, k], bias:[cout] or nullptr,
+// out:[batch, cout, len] (overwritten). Left-pads implicitly with
+// (k-1)*dilation zeros. Large problems take a fused im2col + GEMM path
+// (reusing the blocked MatMul, hence its parallelism); small ones use a
+// direct loop. The path choice depends only on shapes, so results stay
+// deterministic across thread counts.
+void CausalConv1dForward(const float* x, const float* w, const float* bias,
+                         float* out, int64_t batch, int64_t cin, int64_t cout,
+                         int64_t len, int64_t k, int64_t dilation);
+// Accumulates into gx/gw/gb (callers pass zeroed or already-accumulated
+// buffers); gb may be nullptr when the conv has no bias.
+void CausalConv1dBackward(const float* x, const float* w, const float* gout,
+                          float* gx, float* gw, float* gb, int64_t batch,
+                          int64_t cin, int64_t cout, int64_t len, int64_t k,
+                          int64_t dilation);
+
+}  // namespace cit::math::kernels
+
+#endif  // CIT_MATH_KERNELS_H_

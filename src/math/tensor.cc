@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "common/check.h"
+#include "math/kernels.h"
 
 namespace cit::math {
 
@@ -18,12 +20,35 @@ int64_t Tensor::NumelOf(const Shape& shape) {
 }
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      data_(static_cast<size_t>(NumelOf(shape_)), 0.0f) {}
+    : shape_(std::move(shape)) {
+  numel_ = NumelOf(shape_);
+  storage_ = std::make_shared<detail::Storage>(numel_);
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
-  CIT_CHECK_EQ(NumelOf(shape_), static_cast<int64_t>(data_.size()));
+    : shape_(std::move(shape)) {
+  numel_ = NumelOf(shape_);
+  CIT_CHECK_EQ(numel_, static_cast<int64_t>(data.size()));
+  storage_ = std::make_shared<detail::Storage>(std::move(data));
+}
+
+Tensor::Tensor(std::shared_ptr<detail::Storage> storage, int64_t offset,
+               Shape shape)
+    : storage_(std::move(storage)), offset_(offset), shape_(std::move(shape)) {
+  numel_ = NumelOf(shape_);
+  CIT_CHECK_LE(offset_ + numel_,
+               static_cast<int64_t>(storage_->data.size()));
+}
+
+void Tensor::EnsureUnique() {
+  if (!storage_) return;
+  // Sole owner: in-place writes cannot be observed elsewhere, even for a
+  // view into a larger buffer (the parent handle is gone).
+  if (storage_.use_count() == 1) return;
+  auto fresh = std::make_shared<detail::Storage>(numel_);
+  kernels::Copy(storage_->data.data() + offset_, fresh->data.data(), numel_);
+  storage_ = std::move(fresh);
+  offset_ = 0;
 }
 
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -38,25 +63,32 @@ Tensor Tensor::Full(Shape shape, float value) {
 
 Tensor Tensor::Scalar(float value) {
   Tensor t(Shape{1});
-  t.data_[0] = value;
+  t.data()[0] = value;
   return t;
 }
 
 Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev) {
   Tensor t(std::move(shape));
-  for (auto& v : t.data_) v = static_cast<float>(rng.Normal(0.0, stddev));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel_; ++i) {
+    p[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  }
   return t;
 }
 
 Tensor Tensor::Uniform(Shape shape, Rng& rng, float lo, float hi) {
   Tensor t(std::move(shape));
-  for (auto& v : t.data_) v = static_cast<float>(rng.Uniform(lo, hi));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel_; ++i) {
+    p[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
   return t;
 }
 
 Tensor Tensor::Arange(int64_t n) {
   Tensor t(Shape{n});
-  for (int64_t i = 0; i < n; ++i) t.data_[i] = static_cast<float>(i);
+  float* p = t.data();
+  for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
   return t;
 }
 
@@ -67,13 +99,13 @@ int64_t Tensor::dim(int64_t i) const {
 }
 
 float& Tensor::operator[](int64_t flat_index) {
-  CIT_CHECK(flat_index >= 0 && flat_index < numel());
-  return data_[flat_index];
+  CIT_CHECK(flat_index >= 0 && flat_index < numel_);
+  return data()[flat_index];
 }
 
 float Tensor::operator[](int64_t flat_index) const {
-  CIT_CHECK(flat_index >= 0 && flat_index < numel());
-  return data_[flat_index];
+  CIT_CHECK(flat_index >= 0 && flat_index < numel_);
+  return data()[flat_index];
 }
 
 int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
@@ -89,33 +121,27 @@ int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
 }
 
 float& Tensor::At(std::initializer_list<int64_t> idx) {
-  return data_[FlatIndex(idx)];
+  return data()[FlatIndex(idx)];
 }
 
 float Tensor::At(std::initializer_list<int64_t> idx) const {
-  return data_[FlatIndex(idx)];
+  return data()[FlatIndex(idx)];
 }
 
 float Tensor::Item() const {
-  CIT_CHECK_EQ(numel(), 1);
-  return data_[0];
+  CIT_CHECK_EQ(numel_, 1);
+  return data()[0];
 }
 
 Tensor Tensor::Reshape(Shape new_shape) const {
-  CIT_CHECK_EQ(NumelOf(new_shape), numel());
-  return Tensor(std::move(new_shape), data_);
+  CIT_CHECK_EQ(NumelOf(new_shape), numel_);
+  return Tensor(storage_, offset_, std::move(new_shape));
 }
 
 Tensor Tensor::Transpose2D() const {
   CIT_CHECK_EQ(ndim(), 2);
-  const int64_t rows = shape_[0];
-  const int64_t cols = shape_[1];
-  Tensor out(Shape{cols, rows});
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t c = 0; c < cols; ++c) {
-      out.data_[c * rows + r] = data_[r * cols + c];
-    }
-  }
+  Tensor out(Shape{shape_[1], shape_[0]});
+  kernels::Transpose(data(), out.data(), shape_[0], shape_[1]);
   return out;
 }
 
@@ -125,18 +151,23 @@ Tensor Tensor::Slice(int64_t axis, int64_t start, int64_t len) const {
   CIT_CHECK(start >= 0 && len >= 0 && start + len <= shape_[axis]);
   Shape out_shape = shape_;
   out_shape[axis] = len;
-  Tensor out(out_shape);
   // The tensor decomposes as [outer, shape[axis], inner].
   int64_t outer = 1;
   for (int64_t i = 0; i < axis; ++i) outer *= shape_[i];
   int64_t inner = 1;
   for (int64_t i = axis + 1; i < ndim(); ++i) inner *= shape_[i];
+  if (outer == 1) {
+    // Contiguous region: O(1) shared view.
+    return Tensor(storage_, offset_ + start * inner, std::move(out_shape));
+  }
+  Tensor out(out_shape);
   const int64_t in_step = shape_[axis] * inner;
   const int64_t out_step = len * inner;
+  const float* base = data();
+  float* dst_base = out.data();
   for (int64_t o = 0; o < outer; ++o) {
-    const float* src = data_.data() + o * in_step + start * inner;
-    float* dst = out.data_.data() + o * out_step;
-    std::copy(src, src + len * inner, dst);
+    kernels::Copy(base + o * in_step + start * inner, dst_base + o * out_step,
+                  len * inner);
   }
   return out;
 }
@@ -151,79 +182,86 @@ void CheckSameShape(const Tensor& a, const Tensor& b) {
 
 Tensor Tensor::Add(const Tensor& other) const {
   CheckSameShape(*this, other);
-  Tensor out = *this;
-  for (int64_t i = 0; i < numel(); ++i) out.data_[i] += other.data_[i];
+  Tensor out(shape_);
+  kernels::Add(data(), other.data(), out.data(), numel_);
   return out;
 }
 
 Tensor Tensor::Sub(const Tensor& other) const {
   CheckSameShape(*this, other);
-  Tensor out = *this;
-  for (int64_t i = 0; i < numel(); ++i) out.data_[i] -= other.data_[i];
+  Tensor out(shape_);
+  kernels::Sub(data(), other.data(), out.data(), numel_);
   return out;
 }
 
 Tensor Tensor::Mul(const Tensor& other) const {
   CheckSameShape(*this, other);
-  Tensor out = *this;
-  for (int64_t i = 0; i < numel(); ++i) out.data_[i] *= other.data_[i];
+  Tensor out(shape_);
+  kernels::Mul(data(), other.data(), out.data(), numel_);
   return out;
 }
 
 Tensor Tensor::Div(const Tensor& other) const {
   CheckSameShape(*this, other);
-  Tensor out = *this;
-  for (int64_t i = 0; i < numel(); ++i) out.data_[i] /= other.data_[i];
+  Tensor out(shape_);
+  kernels::Div(data(), other.data(), out.data(), numel_);
   return out;
 }
 
 Tensor Tensor::AddScalar(float v) const {
-  Tensor out = *this;
-  for (auto& x : out.data_) x += v;
+  Tensor out(shape_);
+  kernels::AddScalar(data(), v, out.data(), numel_);
   return out;
 }
 
 Tensor Tensor::MulScalar(float v) const {
-  Tensor out = *this;
-  for (auto& x : out.data_) x *= v;
+  Tensor out(shape_);
+  kernels::MulScalar(data(), v, out.data(), numel_);
   return out;
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
   CheckSameShape(*this, other);
-  for (int64_t i = 0; i < numel(); ++i) data_[i] += other.data_[i];
+  kernels::AddInto(data(), other.data(), numel_);
 }
 
 void Tensor::SubInPlace(const Tensor& other) {
   CheckSameShape(*this, other);
-  for (int64_t i = 0; i < numel(); ++i) data_[i] -= other.data_[i];
+  kernels::SubInto(data(), other.data(), numel_);
 }
 
 void Tensor::MulScalarInPlace(float v) {
-  for (auto& x : data_) x *= v;
+  kernels::ScaleInto(data(), v, numel_);
 }
 
-void Tensor::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+void Tensor::Fill(float v) {
+  if (storage_ && storage_.use_count() > 1) {
+    // Every element is overwritten: detach without copying the old values.
+    storage_ = std::make_shared<detail::Storage>(numel_);
+    offset_ = 0;
+  }
+  if (storage_) kernels::Fill(data(), v, numel_);
+}
 
 float Tensor::Sum() const {
-  double s = 0.0;
-  for (float v : data_) s += v;
-  return static_cast<float>(s);
+  return static_cast<float>(kernels::Sum(data(), numel_));
 }
 
 float Tensor::Mean() const {
-  CIT_CHECK_GT(numel(), 0);
-  return Sum() / static_cast<float>(numel());
+  CIT_CHECK_GT(numel_, 0);
+  return Sum() / static_cast<float>(numel_);
 }
 
 float Tensor::Max() const {
-  CIT_CHECK_GT(numel(), 0);
-  return *std::max_element(data_.begin(), data_.end());
+  CIT_CHECK_GT(numel_, 0);
+  const float* p = data();
+  return *std::max_element(p, p + numel_);
 }
 
 float Tensor::Min() const {
-  CIT_CHECK_GT(numel(), 0);
-  return *std::min_element(data_.begin(), data_.end());
+  CIT_CHECK_GT(numel_, 0);
+  const float* p = data();
+  return *std::min_element(p, p + numel_);
 }
 
 Tensor Tensor::SumAxis(int64_t axis) const {
@@ -239,14 +277,7 @@ Tensor Tensor::SumAxis(int64_t axis) const {
   for (int64_t i = 0; i < axis; ++i) outer *= shape_[i];
   int64_t inner = 1;
   for (int64_t i = axis + 1; i < ndim(); ++i) inner *= shape_[i];
-  const int64_t axis_len = shape_[axis];
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t a = 0; a < axis_len; ++a) {
-      const float* src = data_.data() + (o * axis_len + a) * inner;
-      float* dst = out.data_.data() + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
-    }
-  }
+  kernels::SumAxis(data(), out.data(), outer, shape_[axis], inner);
   return out;
 }
 
@@ -265,17 +296,7 @@ Tensor Tensor::MatMul(const Tensor& a, const Tensor& b) {
   CIT_CHECK_EQ(b.shape_[0], q);
   const int64_t r = b.shape_[1];
   Tensor out(Shape{p, r});
-  // i-k-j ordering: streams through b and out rows contiguously.
-  for (int64_t i = 0; i < p; ++i) {
-    float* out_row = out.data_.data() + i * r;
-    const float* a_row = a.data_.data() + i * q;
-    for (int64_t k = 0; k < q; ++k) {
-      const float aik = a_row[k];
-      if (aik == 0.0f) continue;
-      const float* b_row = b.data_.data() + k * r;
-      for (int64_t j = 0; j < r; ++j) out_row[j] += aik * b_row[j];
-    }
-  }
+  kernels::MatMul(a.data(), b.data(), out.data(), p, q, r);
   return out;
 }
 
@@ -287,24 +308,33 @@ std::string Tensor::ToString(int64_t max_items) const {
     os << shape_[i];
   }
   os << "]{";
-  const int64_t n = std::min<int64_t>(numel(), max_items);
+  const int64_t n = std::min<int64_t>(numel_, max_items);
+  const float* p = data();
   for (int64_t i = 0; i < n; ++i) {
     if (i) os << ", ";
-    os << data_[i];
+    os << p[i];
   }
-  if (numel() > n) os << ", ...";
+  if (numel_ > n) os << ", ...";
   os << "}";
   return os.str();
 }
 
 bool TensorEquals(const Tensor& a, const Tensor& b) {
-  return a.shape() == b.shape() && a.vec() == b.vec();
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (pa[i] != pb[i]) return false;
+  }
+  return true;
 }
 
 bool TensorAllClose(const Tensor& a, const Tensor& b, float atol) {
   if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
   for (int64_t i = 0; i < a.numel(); ++i) {
-    if (std::fabs(a[i] - b[i]) > atol) return false;
+    if (std::fabs(pa[i] - pb[i]) > atol) return false;
   }
   return true;
 }

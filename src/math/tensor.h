@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,12 +13,30 @@ namespace cit::math {
 
 using Shape = std::vector<int64_t>;
 
-// A dense, contiguous, row-major float32 tensor. Copies are deep; moves are
-// cheap. This is the sole numeric container shared by the autodiff engine,
-// the NN modules and the trading environments. It intentionally has no
-// views/strides: slicing materializes, which keeps every kernel a tight loop
-// over contiguous memory — the right trade-off for the small networks used
-// in this system.
+namespace detail {
+// The refcounted flat buffer behind Tensor. Multiple tensors may point into
+// one Storage (copies, Reshape views, axis-0 Slice views); mutation detaches
+// via copy-on-write, so sharing is never observable through the value API.
+struct Storage {
+  explicit Storage(int64_t n) : data(static_cast<size_t>(n), 0.0f) {}
+  explicit Storage(std::vector<float> d) : data(std::move(d)) {}
+  std::vector<float> data;
+};
+}  // namespace detail
+
+// A dense, contiguous, row-major float32 tensor backed by a refcounted
+// Storage with copy-on-write semantics:
+//
+//  - Copying a Tensor is O(1): both handles share the Storage.
+//  - Reshape is O(1) metadata; Slice along the outermost axis is an O(1)
+//    view (an offset into the parent's Storage); other slices materialize.
+//  - Any mutable access (non-const data()/operator[]/At, the *InPlace ops,
+//    Fill) first detaches this handle onto its own buffer if the Storage is
+//    shared, so writes never leak into other handles.
+//
+// Value semantics are therefore exactly those of the old deep-copy tensor;
+// only the cost model changed. The numeric inner loops live in
+// math/kernels.h (see DESIGN.md "Storage, COW and kernel dispatch").
 class Tensor {
  public:
   Tensor() = default;
@@ -36,13 +55,18 @@ class Tensor {
   const Shape& shape() const { return shape_; }
   int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
   int64_t dim(int64_t i) const;
-  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
-  bool empty() const { return data_.empty(); }
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
-  const std::vector<float>& vec() const { return data_; }
+  // Mutable access detaches from shared Storage first (copy-on-write); take
+  // mutable pointers only after all copies of this tensor have been made.
+  float* data() {
+    EnsureUnique();
+    return storage_ ? storage_->data.data() + offset_ : nullptr;
+  }
+  const float* data() const {
+    return storage_ ? storage_->data.data() + offset_ : nullptr;
+  }
 
   float& operator[](int64_t flat_index);
   float operator[](int64_t flat_index) const;
@@ -53,12 +77,13 @@ class Tensor {
   // Value of a single-element tensor.
   float Item() const;
 
-  // Shape manipulation (Reshape shares nothing: data is copied with the
-  // tensor itself, so the result is an independent tensor).
+  // O(1) metadata change: the result shares this tensor's Storage.
   Tensor Reshape(Shape new_shape) const;
-  // Transpose of a 2-D tensor.
+  // Transpose of a 2-D tensor (materializes).
   Tensor Transpose2D() const;
-  // Materialized sub-tensor along `axis`: indices [start, start+len).
+  // Sub-tensor along `axis`: indices [start, start+len). An O(1) shared
+  // view when the sliced region is contiguous (axis 0, or all outer dims
+  // are 1); materializes otherwise.
   Tensor Slice(int64_t axis, int64_t start, int64_t len) const;
 
   // Elementwise arithmetic producing new tensors. Shapes must match exactly.
@@ -92,11 +117,25 @@ class Tensor {
 
   static int64_t NumelOf(const Shape& shape);
 
- private:
-  int64_t FlatIndex(std::initializer_list<int64_t> idx) const;
+  // True when both handles alias the same Storage (diagnostics/tests; code
+  // must never behave differently based on sharing).
+  bool SharesStorageWith(const Tensor& other) const {
+    return storage_ != nullptr && storage_ == other.storage_;
+  }
 
+ private:
+  Tensor(std::shared_ptr<detail::Storage> storage, int64_t offset,
+         Shape shape);
+
+  int64_t FlatIndex(std::initializer_list<int64_t> idx) const;
+  // Detaches onto a private exact-size buffer unless this handle is already
+  // the sole owner of its Storage.
+  void EnsureUnique();
+
+  std::shared_ptr<detail::Storage> storage_;
+  int64_t offset_ = 0;
+  int64_t numel_ = 0;
   Shape shape_;
-  std::vector<float> data_;
 };
 
 // True when both shape and every element match exactly.

@@ -29,9 +29,10 @@ Status SaveParameters(const Module& module, const std::string& path) {
       const int64_t dim = d;
       out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
     }
-    const auto& data = p.var.value().vec();
-    out.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size() * sizeof(float)));
+    const math::Tensor& value = p.var.value();
+    out.write(reinterpret_cast<const char*>(value.data()),
+              static_cast<std::streamsize>(value.numel() *
+                                           static_cast<int64_t>(sizeof(float))));
   }
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();

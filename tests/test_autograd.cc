@@ -195,6 +195,22 @@ TEST(GradCheck, CausalConv1d) {
       [&] { return Sum(Square(CausalConv1d(x, w, b, 2))); }, {x, w, b});
 }
 
+TEST(GradCheck, CausalConv1dDilatedNoBias) {
+  // dilation > 1 with the bias leg absent (Var{} sentinel).
+  Var x = Var::Param(RandTensor({2, 3, 8}, 31));
+  Var w = Var::Param(RandTensor({4, 3, 3}, 32));
+  ExpectGradientsMatch(
+      [&] { return Sum(Square(CausalConv1d(x, w, Var(), 3))); }, {x, w});
+}
+
+TEST(GradCheck, PermuteNonTrivialOrders) {
+  Var a = Var::Param(RandTensor({2, 3, 4}, 33));
+  ExpectGradientsMatch(
+      [&] { return Sum(Square(Permute(a, {1, 2, 0}))); }, {a});
+  ExpectGradientsMatch(
+      [&] { return Sum(Square(Permute(a, {2, 1, 0}))); }, {a});
+}
+
 TEST(Conv1dSemantics, CausalityNoFutureLeak) {
   // Changing a future input must not change past outputs.
   Rng rng(42);

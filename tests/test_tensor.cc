@@ -181,5 +181,68 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_NE(a.NextU64(), b.NextU64());
 }
 
+// ---- Copy-on-write storage sharing -----------------------------------------
+
+TEST(TensorCow, CopySharesStorageUntilFirstWrite) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b = a;
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  b[0] = 9.0f;  // mutable access detaches b
+  EXPECT_FALSE(a.SharesStorageWith(b));
+  EXPECT_FLOAT_EQ(a[0], 1.0f);
+  EXPECT_FLOAT_EQ(b[0], 9.0f);
+}
+
+TEST(TensorCow, ReshapeThenMutateDoesNotAliasOriginal) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_TRUE(r.SharesStorageWith(t));
+  r[5] = -1.0f;
+  EXPECT_FALSE(r.SharesStorageWith(t));
+  EXPECT_TRUE(TensorEquals(t, Tensor({2, 3}, {1, 2, 3, 4, 5, 6})));
+  EXPECT_TRUE(TensorEquals(r, Tensor({3, 2}, {1, 2, 3, 4, 5, -1})));
+}
+
+TEST(TensorCow, WriteToParentDoesNotChangeReshapeView) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  Tensor v = t.Reshape({4});
+  t[0] = 7.0f;  // parent detaches; the view keeps the old data
+  const Tensor& cv = v;
+  EXPECT_FLOAT_EQ(cv[0], 1.0f);
+  EXPECT_FLOAT_EQ(t[0], 7.0f);
+}
+
+TEST(TensorCow, OuterSliceIsViewAndWriteDetaches) {
+  Tensor t({4, 2});
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(i);
+  Tensor s = t.Slice(0, 1, 2);
+  EXPECT_TRUE(s.SharesStorageWith(t));
+  const Tensor& cs = s;
+  EXPECT_FLOAT_EQ(cs[0], t.At({1, 0}));
+  s.Fill(0.0f);
+  EXPECT_FALSE(s.SharesStorageWith(t));
+  EXPECT_FLOAT_EQ(t.At({1, 0}), 2.0f);  // parent untouched
+  EXPECT_FLOAT_EQ(cs[0], 0.0f);
+}
+
+TEST(TensorCow, InPlaceOpOnSharedHandleDetaches) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b = a;
+  b.MulScalarInPlace(2.0f);
+  EXPECT_FLOAT_EQ(a[1], 2.0f);
+  EXPECT_FLOAT_EQ(b[1], 4.0f);
+  EXPECT_FALSE(a.SharesStorageWith(b));
+}
+
+TEST(TensorCow, ConstReadsNeverDetach) {
+  Tensor a({2}, {1, 2});
+  Tensor b = a;
+  const Tensor& ca = a;
+  const Tensor& cb = b;
+  EXPECT_FLOAT_EQ(ca[0] + cb[1], 3.0f);
+  EXPECT_FLOAT_EQ(ca.Sum(), cb.Sum());
+  EXPECT_TRUE(a.SharesStorageWith(b));  // reads kept the sharing intact
+}
+
 }  // namespace
 }  // namespace cit::math
