@@ -4,7 +4,9 @@
 #      CIT_NUM_THREADS=1 and =4 — results must agree (the determinism
 #      tests inside the suite check bitwise identity in-process too).
 #   2. ASan and UBSan builds + full ctest at smoke scale (CIT_FAST=1).
-#   3. TSan build running the thread-pool / determinism tests.
+#   3. TSan build running the thread-pool / determinism / parallel-rollout
+#      tests with CIT_OVERSUBSCRIBE=1 so real multi-thread interleavings
+#      are exercised even on small hosts, plus a bench_train smoke run.
 #
 # Usage: scripts/check.sh [--quick]
 #   --quick skips the sanitizer builds (step 1 only).
@@ -35,11 +37,20 @@ for SAN in address undefined; do
   (cd "build-${SAN}" && run env CIT_FAST=1 ctest --output-on-failure -j2)
 done
 
-echo "=== thread sanitizer build + threading tests ==="
+echo "=== thread sanitizer build + threading/rollout tests ==="
 run cmake -B build-thread -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCIT_SANITIZE=thread
-run cmake --build build-thread -j"$(nproc)" --target test_threading
-(cd build-thread && run env CIT_FAST=1 ctest --output-on-failure \
-    -R 'ThreadPool|Determinism')
+run cmake --build build-thread -j"$(nproc)" --target test_threading \
+    test_rollout
+# CIT_OVERSUBSCRIBE lifts the hardware clamp so the pool really spawns the
+# requested workers: TSan then sees genuine cross-thread interleavings of
+# the rollout pipeline even on a 1-core container.
+(cd build-thread && run env CIT_FAST=1 CIT_OVERSUBSCRIBE=1 \
+    ctest --output-on-failure \
+    -R 'ThreadPool|Determinism|RngSplit|RolloutRunner|RolloutDeterminism')
+
+echo "=== bench_train smoke (JSON emission) ==="
+run cmake --build build -j"$(nproc)" --target bench_train
+run ./build/bench/bench_train /tmp/BENCH_train_smoke.json
 
 echo "ALL CHECKS PASSED"

@@ -36,6 +36,11 @@ int NumThreads() {
   return kThreads;
 }
 
+bool AllowOversubscribe() {
+  static const bool kAllow = EnvFlagSet("CIT_OVERSUBSCRIBE");
+  return kAllow;
+}
+
 int ScaledSeeds() {
   switch (GetRunScale()) {
     case RunScale::kFast:

@@ -18,6 +18,15 @@ RunScale GetRunScale();
 // lowered at runtime via ThreadPool::SetNumThreads.
 int NumThreads();
 
+// True when CIT_OVERSUBSCRIBE is set: the ThreadPool then honors thread
+// counts above hardware_concurrency() instead of clamping them. Off by
+// default because oversubscribing a small host makes every fork/join
+// strictly slower (BENCH_math.json once recorded 4-thread GEMM losing to
+// 1-thread on a 1-core box); the determinism contract makes the clamp
+// result-invariant. TSan runs enable it to exercise real cross-thread
+// interleavings regardless of host size.
+bool AllowOversubscribe();
+
 // Convenience multipliers derived from the run scale.
 int ScaledSeeds();           // seeds to average over (paper: 5)
 double ScaledStepFactor();   // multiplier applied to training-step budgets

@@ -21,11 +21,19 @@ ThreadPool& ThreadPool::Global() {
 namespace {
 // Absolute bound on workers a pool will ever spawn.
 constexpr int kHardMaxThreads = 64;
+
+// Effective cap: hardware concurrency unless CIT_OVERSUBSCRIBE lifts the
+// clamp (hardware_concurrency() may report 0 when unknown — no clamp then).
+int EffectiveMaxThreads() {
+  if (AllowOversubscribe()) return kHardMaxThreads;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw >= 1 ? std::min(hw, kHardMaxThreads) : kHardMaxThreads;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
-    : max_threads_(kHardMaxThreads),
-      active_threads_(std::clamp(num_threads, 1, kHardMaxThreads)) {
+    : max_threads_(EffectiveMaxThreads()),
+      active_threads_(std::clamp(num_threads, 1, max_threads_)) {
   workers_.reserve(static_cast<size_t>(active_threads_ - 1));
   for (int i = 0; i < active_threads_ - 1; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

@@ -29,7 +29,13 @@ namespace cit {
 // workers (see env_config.h; CIT_NUM_THREADS sets it). SetNumThreads()
 // adjusts the active count at runtime, spawning further workers on demand
 // (capped at max_threads()) — used by tests and benchmarks to compare
-// thread counts inside one process even when the host has fewer cores.
+// thread counts inside one process.
+//
+// Thread counts above hardware_concurrency() are clamped: oversubscribing
+// only adds contention on every fork/join (a 1-core host once measured
+// 4-thread GEMM *slower* than 1-thread), and the determinism contract
+// guarantees the clamp cannot change any result. Set CIT_OVERSUBSCRIBE=1
+// to lift the clamp (TSan runs do, so races are exercised on any host).
 class ThreadPool {
  public:
   // The process-wide pool used by the math kernels.
@@ -43,7 +49,9 @@ class ThreadPool {
 
   // Threads usable by the next ParallelFor (>= 1, counting the caller).
   int num_threads() const { return active_threads_; }
-  // Hard cap on SetNumThreads (not a promise that this many exist yet).
+  // Cap on SetNumThreads (not a promise that this many workers exist yet):
+  // min(64, hardware_concurrency) unless CIT_OVERSUBSCRIBE lifts the
+  // hardware clamp.
   int max_threads() const { return max_threads_; }
   // Clamped to [1, max_threads()]; spawns missing workers.
   void SetNumThreads(int n);

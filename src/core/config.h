@@ -64,6 +64,10 @@ struct CrossInsightConfig {
   double weight_decay = 1e-5; // paper: L2 regularizer 1e-5
   int64_t train_steps = 400;  // optimizer updates (rollouts)
   int64_t rollout_len = 16;
+  // Independent rollouts collected per optimizer update (gradient
+  // minibatch). Collection fans out across the thread pool; results are
+  // reduced in slot order, so curves are invariant to CIT_NUM_THREADS.
+  int64_t rollouts_per_update = 1;
   double entropy_coef = 0.01;
   double reward_scale = 100.0;
   double transaction_cost = 1e-3;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/check.h"
 #include "env/portfolio_env.h"
@@ -9,6 +11,7 @@
 #include "rl/gaussian_policy.h"
 #include "nn/serialize.h"
 #include "rl/returns.h"
+#include "rl/rollout.h"
 
 namespace cit::core {
 namespace {
@@ -94,15 +97,8 @@ void CrossInsightTrader::Reset() {
                           1.0 / static_cast<double>(num_assets_)));
 }
 
-const CrossInsightTrader::DayFeatures& CrossInsightTrader::FeaturesAt(
-    const market::PricePanel& panel, int64_t day) {
-  if (cached_panel_ != &panel) {
-    feature_cache_.clear();
-    cached_panel_ = &panel;
-  }
-  auto it = feature_cache_.find(day);
-  if (it != feature_cache_.end()) return it->second;
-
+CrossInsightTrader::DayFeatures CrossInsightTrader::ComputeFeatures(
+    const market::PricePanel& panel, int64_t day) const {
   // Critic inputs use the trailing `critic_market_days` of the window.
   const int64_t cd = std::min(config_.critic_market_days, config_.window);
   auto critic_view = [&](const Tensor& window) {
@@ -120,7 +116,29 @@ const CrossInsightTrader::DayFeatures& CrossInsightTrader::FeaturesAt(
       features.band_flats.push_back(critic_view(band));
     }
   }
-  return feature_cache_.emplace(day, std::move(features)).first->second;
+  return features;
+}
+
+const CrossInsightTrader::DayFeatures& CrossInsightTrader::FeaturesAt(
+    const market::PricePanel& panel, int64_t day) {
+  {
+    std::shared_lock<std::shared_mutex> lock(feature_mu_);
+    if (cached_panel_ == &panel) {
+      auto it = feature_cache_.find(day);
+      if (it != feature_cache_.end()) return it->second;
+    }
+  }
+  // Compute outside any lock so concurrent rollout slots that miss on
+  // different days don't serialize. Features are a pure function of
+  // (panel, day), so two slots racing on the same day just compute equal
+  // values; try_emplace keeps whichever landed first.
+  DayFeatures features = ComputeFeatures(panel, day);
+  std::unique_lock<std::shared_mutex> lock(feature_mu_);
+  if (cached_panel_ != &panel) {
+    feature_cache_.clear();
+    cached_panel_ = &panel;
+  }
+  return feature_cache_.try_emplace(day, std::move(features)).first->second;
 }
 
 std::vector<double> CrossInsightTrader::PolicyWeights(
@@ -162,6 +180,21 @@ struct StepRecord {
   double reward = 0.0;
 };
 
+// Everything one rollout slot produces during a parallel phase. Slots are
+// fully independent (own env clone, own RNG stream, own autograd graphs);
+// the serial reduction walks them in slot order so gradients accumulate
+// identically for any thread count.
+struct SlotData {
+  std::vector<StepRecord> rollout;
+  std::vector<double> rewards;
+  Tensor boot_pre;                  // [n*m] deterministic bootstrap means
+  std::vector<double> boot_action;
+  int64_t boot_day = -1;
+  std::vector<std::vector<double>> targets;      // [num_critics][len]
+  std::vector<std::vector<double>> horizon_adv;  // [n][len]
+  std::vector<double> cross_adv;                 // [len]
+};
+
 }  // namespace
 
 std::vector<double> CrossInsightTrader::Train(
@@ -181,287 +214,328 @@ std::vector<double> CrossInsightTrader::Train(
   const int64_t curve_every =
       std::max<int64_t>(1, config_.train_steps / curve_points);
   const float ent_coef = static_cast<float>(config_.entropy_coef);
+  const bool dec = config_.credit == CreditMode::kDecCritic;
+  const int64_t num_critics = dec ? n + 1 : 1;
+  const int64_t num_slots =
+      std::max<int64_t>(1, config_.rollouts_per_update);
+  const float inv_slots = 1.0f / static_cast<float>(num_slots);
+  // Per-update rollout fan-out. Each slot's stream is Split(seed, step,
+  // slot), so a slot's trajectory is a pure function of (params, step,
+  // slot) — never of which worker thread ran it or in what order.
+  rl::RolloutRunner runner(config_.seed, num_slots);
+
+  auto mean_of = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+  auto standardize = [](std::vector<double>* adv) {
+    double mean = 0.0;
+    for (double v : *adv) mean += v;
+    mean /= adv->size();
+    double var = 0.0;
+    for (double v : *adv) var += (v - mean) * (v - mean);
+    const double stddev = std::sqrt(var / adv->size());
+    if (stddev < 1e-8) return;
+    for (double& v : *adv) v /= stddev;
+  };
 
   for (int64_t step = 0; step < config_.train_steps; ++step) {
     const int64_t lo = env.earliest_start();
     const int64_t hi = env.end_day() - config_.rollout_len - 1;
-    env.ResetAt(lo + rng_.UniformInt(std::max<int64_t>(1, hi - lo)));
-    Reset();
+    std::vector<SlotData> slots(num_slots);
 
-    // ---- Rollout (graphs retained for the policy-gradient update) ----
-    std::vector<StepRecord> rollout;
-    std::vector<double> rewards;
-    while (static_cast<int64_t>(rollout.size()) < config_.rollout_len &&
-           !env.done()) {
-      const int64_t day = env.current_day();
-      const DayFeatures& f = FeaturesAt(panel, day);
-      StepRecord rec;
-      rec.day = day;
-      rec.pre.resize(n);
-      rec.mu.resize(n);
-      for (int64_t k = 0; k < n; ++k) {
-        Var mean = actors_[k]->Forward(f.bands[k], held_actions_[k]);
-        GaussianAction act =
-            SampleGaussianSimplex(mean, actors_[k]->log_std(), &rng_);
-        rec.pre[k] = act.weights;
-        rec.mu[k] = SoftmaxWeights(mean.value());
-        rec.horizon_logp.push_back(act.log_prob);
-        held_actions_[k] = act.weights;
+    // ---- Parallel rollout collection (forward passes only: params are
+    // read, never written; each slot owns its env clone, RNG stream, and
+    // retained policy-gradient graphs) ----
+    runner.Collect(step, [&](int64_t slot, math::Rng& rng) {
+      SlotData& sd = slots[slot];
+      env::PortfolioEnv senv = env.CloneAt(
+          lo + rng.UniformInt(std::max<int64_t>(1, hi - lo)));
+      std::vector<std::vector<double>> held(
+          std::max<int64_t>(n, 1),
+          std::vector<double>(num_assets_,
+                              1.0 / static_cast<double>(num_assets_)));
+      while (static_cast<int64_t>(sd.rollout.size()) < config_.rollout_len &&
+             !senv.done()) {
+        const int64_t day = senv.current_day();
+        const DayFeatures& f = FeaturesAt(panel, day);
+        StepRecord rec;
+        rec.day = day;
+        rec.pre.resize(n);
+        rec.mu.resize(n);
+        for (int64_t k = 0; k < n; ++k) {
+          Var mean = actors_[k]->Forward(f.bands[k], held[k]);
+          GaussianAction act =
+              SampleGaussianSimplex(mean, actors_[k]->log_std(), &rng);
+          rec.pre[k] = act.weights;
+          rec.mu[k] = SoftmaxWeights(mean.value());
+          rec.horizon_logp.push_back(act.log_prob);
+          held[k] = act.weights;
+        }
+        rec.pre_dec = n > 0 ? ConcatWeights(rec.pre, num_assets_)
+                            : Tensor({0});
+        Var cross_mean = cross_actor_->Forward(f.market, rec.pre_dec);
+        GaussianAction cross_act = SampleGaussianSimplex(
+            cross_mean, cross_actor_->log_std(), &rng);
+        rec.cross_logp = cross_act.log_prob;
+        rec.action = cross_act.weights;
+        rec.cross_mu = SoftmaxWeights(cross_mean.value());
+        const env::StepResult sr = senv.Step(rec.action);
+        rec.reward = sr.reward * config_.reward_scale;
+        sd.rewards.push_back(rec.reward);
+        sd.rollout.push_back(std::move(rec));
       }
-      rec.pre_dec = n > 0 ? ConcatWeights(rec.pre, num_assets_)
-                          : Tensor({0});
-      Var cross_mean = cross_actor_->Forward(f.market, rec.pre_dec);
-      GaussianAction cross_act = SampleGaussianSimplex(
-          cross_mean, cross_actor_->log_std(), &rng_);
-      rec.cross_logp = cross_act.log_prob;
-      rec.action = cross_act.weights;
-      rec.cross_mu = SoftmaxWeights(cross_mean.value());
-      const env::StepResult sr = env.Step(rec.action);
-      rec.reward = sr.reward * config_.reward_scale;
-      rewards.push_back(rec.reward);
-      rollout.push_back(std::move(rec));
-    }
-    const int64_t len = static_cast<int64_t>(rollout.size());
+      const int64_t len = static_cast<int64_t>(sd.rollout.size());
 
-    // ---- Critic targets (Eq. 6-7) and update ----
-    const bool dec = config_.credit == CreditMode::kDecCritic;
-    // Bootstrap actions at the post-rollout state (deterministic means).
-    Tensor boot_pre({std::max<int64_t>(n, 0) * num_assets_});
-    std::vector<double> boot_action;
-    int64_t boot_day = -1;
-    if (!env.done()) {
-      boot_day = env.current_day();
-      const DayFeatures& f = FeaturesAt(panel, boot_day);
-      std::vector<std::vector<double>> pre(n);
-      for (int64_t k = 0; k < n; ++k) {
-        Var mean = actors_[k]->Forward(f.bands[k], held_actions_[k]);
-        pre[k] = SoftmaxWeights(mean.value());
+      // Bootstrap actions at the post-rollout state (deterministic means).
+      sd.boot_pre = Tensor({std::max<int64_t>(n, 0) * num_assets_});
+      if (!senv.done()) {
+        sd.boot_day = senv.current_day();
+        const DayFeatures& f = FeaturesAt(panel, sd.boot_day);
+        std::vector<std::vector<double>> pre(n);
+        for (int64_t k = 0; k < n; ++k) {
+          Var mean = actors_[k]->Forward(f.bands[k], held[k]);
+          pre[k] = SoftmaxWeights(mean.value());
+        }
+        if (n > 0) sd.boot_pre = ConcatWeights(pre, num_assets_);
+        Var cm = cross_actor_->Forward(f.market, sd.boot_pre);
+        sd.boot_action = SoftmaxWeights(cm.value());
       }
-      if (n > 0) boot_pre = ConcatWeights(pre, num_assets_);
-      Var cm = cross_actor_->Forward(f.market, boot_pre);
-      boot_action = SoftmaxWeights(cm.value());
-    }
 
-    const int64_t num_critics = dec ? n + 1 : 1;
-    std::vector<std::vector<double>> all_targets(num_critics);
-    for (int64_t c = 0; c < num_critics; ++c) {
-      std::vector<double> values(len + 1, 0.0);
+      // ---- Critic targets (Eq. 6-7) from the pre-update critic ----
+      sd.targets.resize(num_critics);
+      for (int64_t c = 0; c < num_critics; ++c) {
+        std::vector<double> values(len + 1, 0.0);
+        for (int64_t t = 0; t < len; ++t) {
+          const StepRecord& rec = sd.rollout[t];
+          const DayFeatures& f = FeaturesAt(panel, rec.day);
+          Var q;
+          if (dec) {
+            if (c < n) {
+              q = dec_critics_[c]->Forward(f.band_flats[c],
+                                           WeightsTensor(rec.pre[c]));
+            } else {
+              q = dec_critics_[c]->Forward(f.market_flat,
+                                           WeightsTensor(rec.action));
+            }
+          } else {
+            q = critic_->Forward(f.market_flat, rec.pre_dec,
+                                 WeightsTensor(rec.action));
+          }
+          values[t] = q.value().Item();
+        }
+        if (sd.boot_day >= 0) {
+          const DayFeatures& f = FeaturesAt(panel, sd.boot_day);
+          Var q;
+          if (dec) {
+            if (c < n) {
+              std::vector<double> own(
+                  sd.boot_pre.data() + c * num_assets_,
+                  sd.boot_pre.data() + (c + 1) * num_assets_);
+              q = dec_critics_[c]->Forward(f.band_flats[c],
+                                           WeightsTensor(own));
+            } else {
+              q = dec_critics_[c]->Forward(f.market_flat,
+                                           WeightsTensor(sd.boot_action));
+            }
+          } else {
+            q = critic_->Forward(f.market_flat, sd.boot_pre,
+                                 WeightsTensor(sd.boot_action));
+          }
+          values[len] = q.value().Item();
+        }
+        sd.targets[c] = rl::LambdaReturns(sd.rewards, values, config_.gamma,
+                                          config_.lambda, config_.n_step);
+      }
+    });
+
+    // ---- Critic update: per-slot losses reduced in slot order ----
+    critic_opt_->ZeroGrad();
+    for (const SlotData& sd : slots) {
+      const int64_t len = static_cast<int64_t>(sd.rollout.size());
+      if (len == 0) continue;
+      Var critic_loss = Var::Constant(Tensor::Scalar(0.0f));
       for (int64_t t = 0; t < len; ++t) {
-        const StepRecord& rec = rollout[t];
+        const StepRecord& rec = sd.rollout[t];
         const DayFeatures& f = FeaturesAt(panel, rec.day);
-        Var q;
         if (dec) {
-          if (c < n) {
-            q = dec_critics_[c]->Forward(f.band_flats[c],
-                                         WeightsTensor(rec.pre[c]));
-          } else {
-            q = dec_critics_[c]->Forward(f.market_flat,
-                                         WeightsTensor(rec.action));
+          for (int64_t c = 0; c < num_critics; ++c) {
+            Var q = (c < n)
+                        ? dec_critics_[c]->Forward(
+                              f.band_flats[c], WeightsTensor(rec.pre[c]))
+                        : dec_critics_[c]->Forward(
+                              f.market_flat, WeightsTensor(rec.action));
+            critic_loss = ag::Add(
+                critic_loss,
+                ag::Square(ag::AddScalar(
+                    q, -static_cast<float>(sd.targets[c][t]))));
           }
         } else {
-          q = critic_->Forward(f.market_flat, rec.pre_dec,
-                               WeightsTensor(rec.action));
-        }
-        values[t] = q.value().Item();
-      }
-      if (boot_day >= 0) {
-        const DayFeatures& f = FeaturesAt(panel, boot_day);
-        Var q;
-        if (dec) {
-          if (c < n) {
-            std::vector<double> own(boot_pre.data() + c * num_assets_,
-                                    boot_pre.data() + (c + 1) * num_assets_);
-            q = dec_critics_[c]->Forward(f.band_flats[c],
-                                         WeightsTensor(own));
-          } else {
-            q = dec_critics_[c]->Forward(f.market_flat,
-                                         WeightsTensor(boot_action));
-          }
-        } else {
-          q = critic_->Forward(f.market_flat, boot_pre,
-                               WeightsTensor(boot_action));
-        }
-        values[len] = q.value().Item();
-      }
-      all_targets[c] = rl::LambdaReturns(rewards, values, config_.gamma,
-                                         config_.lambda, config_.n_step);
-    }
-
-    Var critic_loss = Var::Constant(Tensor::Scalar(0.0f));
-    for (int64_t t = 0; t < len; ++t) {
-      const StepRecord& rec = rollout[t];
-      const DayFeatures& f = FeaturesAt(panel, rec.day);
-      if (dec) {
-        for (int64_t c = 0; c < num_critics; ++c) {
-          Var q = (c < n)
-                      ? dec_critics_[c]->Forward(
-                            f.band_flats[c], WeightsTensor(rec.pre[c]))
-                      : dec_critics_[c]->Forward(
-                            f.market_flat, WeightsTensor(rec.action));
+          Var q = critic_->Forward(f.market_flat, rec.pre_dec,
+                                   WeightsTensor(rec.action));
           critic_loss = ag::Add(
               critic_loss,
               ag::Square(ag::AddScalar(
-                  q, -static_cast<float>(all_targets[c][t]))));
+                  q, -static_cast<float>(sd.targets[0][t]))));
         }
-      } else {
-        Var q = critic_->Forward(f.market_flat, rec.pre_dec,
-                                 WeightsTensor(rec.action));
-        critic_loss = ag::Add(
-            critic_loss,
-            ag::Square(ag::AddScalar(
-                q, -static_cast<float>(all_targets[0][t]))));
       }
+      critic_loss = ag::MulScalar(
+          critic_loss, inv_slots / static_cast<float>(len));
+      critic_loss.Backward();
     }
-    critic_loss =
-        ag::MulScalar(critic_loss, 1.0f / static_cast<float>(len));
-    critic_opt_->ZeroGrad();
-    critic_loss.Backward();
     critic_opt_->ClipGradNorm(5.0f);
     critic_opt_->Step();
 
-    // ---- Actor update ----
-    // Fresh Q estimates with the updated critic; detached scalars.
-    std::vector<double> q_joint(len, 0.0);
-    std::vector<std::vector<double>> q_dec(num_critics,
-                                           std::vector<double>(len, 0.0));
-    std::vector<std::vector<double>> baselines(
-        n, std::vector<double>(len, 0.0));
-    std::vector<double> cross_baseline(len, 0.0);
-    for (int64_t t = 0; t < len; ++t) {
-      const StepRecord& rec = rollout[t];
-      const DayFeatures& f = FeaturesAt(panel, rec.day);
-      if (dec) {
-        for (int64_t c = 0; c < num_critics; ++c) {
-          Var q = (c < n)
-                      ? dec_critics_[c]->Forward(
-                            f.band_flats[c], WeightsTensor(rec.pre[c]))
-                      : dec_critics_[c]->Forward(
-                            f.market_flat, WeightsTensor(rec.action));
-          q_dec[c][t] = q.value().Item();
-        }
-        cross_baseline[t] =
-            dec_critics_[num_critics - 1]
-                ->Forward(f.market_flat, WeightsTensor(rec.cross_mu))
-                .value()
-                .Item();
-      } else {
-        q_joint[t] = critic_
-                         ->Forward(f.market_flat, rec.pre_dec,
-                                   WeightsTensor(rec.action))
-                         .value()
-                         .Item();
-        // Counterfactual baseline for the cross-insight policy itself:
-        // the executed trade action replaced by the Gaussian-mean action.
-        // State-dependent but independent of the sampled action, so it
-        // reduces variance without biasing Eq. (3)'s gradient.
-        cross_baseline[t] = critic_
-                                ->Forward(f.market_flat, rec.pre_dec,
-                                          WeightsTensor(rec.cross_mu))
-                                .value()
-                                .Item();
-        if (config_.credit == CreditMode::kCounterfactual) {
-          for (int64_t k = 0; k < n; ++k) {
-            // Counterfactual baseline B^k (Eq. 8): policy k's pre-decision
-            // replaced by its Gaussian-mean action.
-            Tensor cf = ReplaceSlot(rec.pre_dec, k, num_assets_, rec.mu[k]);
-            baselines[k][t] = critic_
-                                  ->Forward(f.market_flat, cf,
-                                            WeightsTensor(rec.action))
+    // ---- Advantages from the updated critic (parallel, forward-only;
+    // detached scalars, so no graphs survive this phase) ----
+    runner.ForEachSlot([&](int64_t slot) {
+      SlotData& sd = slots[slot];
+      const int64_t len = static_cast<int64_t>(sd.rollout.size());
+      std::vector<double> q_joint(len, 0.0);
+      std::vector<std::vector<double>> q_dec(num_critics,
+                                             std::vector<double>(len, 0.0));
+      std::vector<std::vector<double>> baselines(
+          n, std::vector<double>(len, 0.0));
+      std::vector<double> cross_baseline(len, 0.0);
+      for (int64_t t = 0; t < len; ++t) {
+        const StepRecord& rec = sd.rollout[t];
+        const DayFeatures& f = FeaturesAt(panel, rec.day);
+        if (dec) {
+          for (int64_t c = 0; c < num_critics; ++c) {
+            Var q = (c < n)
+                        ? dec_critics_[c]->Forward(
+                              f.band_flats[c], WeightsTensor(rec.pre[c]))
+                        : dec_critics_[c]->Forward(
+                              f.market_flat, WeightsTensor(rec.action));
+            q_dec[c][t] = q.value().Item();
+          }
+          cross_baseline[t] =
+              dec_critics_[num_critics - 1]
+                  ->Forward(f.market_flat, WeightsTensor(rec.cross_mu))
+                  .value()
+                  .Item();
+        } else {
+          q_joint[t] = critic_
+                           ->Forward(f.market_flat, rec.pre_dec,
+                                     WeightsTensor(rec.action))
+                           .value()
+                           .Item();
+          // Counterfactual baseline for the cross-insight policy itself:
+          // the executed trade action replaced by the Gaussian-mean action.
+          // State-dependent but independent of the sampled action, so it
+          // reduces variance without biasing Eq. (3)'s gradient.
+          cross_baseline[t] = critic_
+                                  ->Forward(f.market_flat, rec.pre_dec,
+                                            WeightsTensor(rec.cross_mu))
                                   .value()
                                   .Item();
+          if (config_.credit == CreditMode::kCounterfactual) {
+            for (int64_t k = 0; k < n; ++k) {
+              // Counterfactual baseline B^k (Eq. 8): policy k's
+              // pre-decision replaced by its Gaussian-mean action.
+              Tensor cf =
+                  ReplaceSlot(rec.pre_dec, k, num_assets_, rec.mu[k]);
+              baselines[k][t] = critic_
+                                    ->Forward(f.market_flat, cf,
+                                              WeightsTensor(rec.action))
+                                    .value()
+                                    .Item();
+            }
           }
         }
       }
-    }
-    // Constant (state-independent) baseline for Q-weighted terms: the
-    // rollout mean. This reduces variance without biasing the gradient.
-    auto mean_of = [](const std::vector<double>& v) {
-      double s = 0.0;
-      for (double x : v) s += x;
-      return v.empty() ? 0.0 : s / static_cast<double>(v.size());
-    };
-    std::vector<double> dec_means(num_critics, 0.0);
-    for (int64_t c = 0; c < num_critics; ++c) {
-      dec_means[c] = mean_of(q_dec[c]);
-    }
+      // Constant (state-independent) baseline for Q-weighted terms: the
+      // slot's rollout mean. Reduces variance without biasing the gradient.
+      auto slot_mean = [len](const std::vector<double>& v) {
+        double s = 0.0;
+        for (double x : v) s += x;
+        return len == 0 ? 0.0 : s / static_cast<double>(len);
+      };
+      std::vector<double> dec_means(num_critics, 0.0);
+      for (int64_t c = 0; c < num_critics; ++c) {
+        dec_means[c] = slot_mean(q_dec[c]);
+      }
 
-    // Per-policy advantage series; optionally standardized across the
-    // rollout (a state-independent rescaling that equalizes learning speed
-    // between the horizon policies and the cross-insight policy).
-    std::vector<std::vector<double>> horizon_adv(
-        n, std::vector<double>(len, 0.0));
-    std::vector<double> cross_adv(len, 0.0);
-    for (int64_t t = 0; t < len; ++t) {
-      for (int64_t k = 0; k < n; ++k) {
-        switch (config_.credit) {
-          case CreditMode::kCounterfactual:
-            horizon_adv[k][t] = q_joint[t] - baselines[k][t];
-            break;
-          case CreditMode::kSharedQ:
-            // The ablation's "same Q-value for every policy": the raw Q,
-            // no per-policy baseline — the variant Fig. 8 compares against.
-            horizon_adv[k][t] = q_joint[t];
-            break;
-          case CreditMode::kDecCritic:
-            horizon_adv[k][t] = q_dec[k][t] - dec_means[k];
-            break;
+      // Per-policy advantage series; optionally standardized across the
+      // slot's rollout (a state-independent rescaling that equalizes
+      // learning speed between the horizon and cross-insight policies).
+      sd.horizon_adv.assign(n, std::vector<double>(len, 0.0));
+      sd.cross_adv.assign(len, 0.0);
+      for (int64_t t = 0; t < len; ++t) {
+        for (int64_t k = 0; k < n; ++k) {
+          switch (config_.credit) {
+            case CreditMode::kCounterfactual:
+              sd.horizon_adv[k][t] = q_joint[t] - baselines[k][t];
+              break;
+            case CreditMode::kSharedQ:
+              // The ablation's "same Q-value for every policy": the raw
+              // Q, no per-policy baseline — Fig. 8's comparison variant.
+              sd.horizon_adv[k][t] = q_joint[t];
+              break;
+            case CreditMode::kDecCritic:
+              sd.horizon_adv[k][t] = q_dec[k][t] - dec_means[k];
+              break;
+          }
+        }
+        if (config_.credit == CreditMode::kSharedQ) {
+          sd.cross_adv[t] = q_joint[t];  // same Q for the cross policy too
+        } else {
+          sd.cross_adv[t] =
+              dec ? q_dec[num_critics - 1][t] - cross_baseline[t]
+                  : q_joint[t] - cross_baseline[t];
         }
       }
-      if (config_.credit == CreditMode::kSharedQ) {
-        cross_adv[t] = q_joint[t];  // same Q-value for the cross policy too
-      } else {
-        cross_adv[t] = dec ? q_dec[num_critics - 1][t] - cross_baseline[t]
-                           : q_joint[t] - cross_baseline[t];
+      if (config_.normalize_advantages && len > 0) {
+        for (auto& adv : sd.horizon_adv) standardize(&adv);
+        standardize(&sd.cross_adv);
       }
-    }
-    auto standardize = [&](std::vector<double>* adv) {
-      double mean = 0.0;
-      for (double v : *adv) mean += v;
-      mean /= adv->size();
-      double var = 0.0;
-      for (double v : *adv) var += (v - mean) * (v - mean);
-      const double stddev = std::sqrt(var / adv->size());
-      if (stddev < 1e-8) return;
-      for (double& v : *adv) v /= stddev;
-    };
-    if (config_.normalize_advantages) {
-      for (auto& adv : horizon_adv) standardize(&adv);
-      standardize(&cross_adv);
-    }
+    });
 
+    // ---- Actor update: per-slot losses reduced in slot order ----
     last_advantages_.assign(n, 0.0);
-    Var actor_loss = Var::Constant(Tensor::Scalar(0.0f));
-    for (int64_t t = 0; t < len; ++t) {
-      StepRecord& rec = rollout[t];
-      for (int64_t k = 0; k < n; ++k) {
-        last_advantages_[k] += horizon_adv[k][t] / static_cast<double>(len);
+    actor_opt_->ZeroGrad();
+    critic_opt_->ZeroGrad();
+    for (SlotData& sd : slots) {
+      const int64_t len = static_cast<int64_t>(sd.rollout.size());
+      if (len == 0) continue;
+      Var actor_loss = Var::Constant(Tensor::Scalar(0.0f));
+      for (int64_t t = 0; t < len; ++t) {
+        StepRecord& rec = sd.rollout[t];
+        for (int64_t k = 0; k < n; ++k) {
+          last_advantages_[k] +=
+              sd.horizon_adv[k][t] /
+              static_cast<double>(len * num_slots);
+          actor_loss = ag::Sub(
+              actor_loss,
+              ag::MulScalar(rec.horizon_logp[k],
+                            static_cast<float>(sd.horizon_adv[k][t])));
+        }
         actor_loss = ag::Sub(
             actor_loss,
-            ag::MulScalar(rec.horizon_logp[k],
-                          static_cast<float>(horizon_adv[k][t])));
+            ag::MulScalar(rec.cross_logp,
+                          static_cast<float>(sd.cross_adv[t])));
+      }
+      // Entropy regularization on every policy's exploration scale; per
+      // slot it contributes ent_coef/num_slots, ent_coef per update total.
+      Var entropy = rl::GaussianEntropy(cross_actor_->log_std());
+      for (int64_t k = 0; k < n; ++k) {
+        entropy =
+            ag::Add(entropy, rl::GaussianEntropy(actors_[k]->log_std()));
       }
       actor_loss = ag::Sub(
           actor_loss,
-          ag::MulScalar(rec.cross_logp,
-                        static_cast<float>(cross_adv[t])));
+          ag::MulScalar(entropy, ent_coef * static_cast<float>(len)));
+      actor_loss = ag::MulScalar(
+          actor_loss, inv_slots / static_cast<float>(len));
+      actor_loss.Backward();
     }
-    // Entropy regularization on every policy's exploration scale.
-    Var entropy = rl::GaussianEntropy(cross_actor_->log_std());
-    for (int64_t k = 0; k < n; ++k) {
-      entropy = ag::Add(entropy, rl::GaussianEntropy(actors_[k]->log_std()));
-    }
-    actor_loss = ag::Sub(
-        actor_loss,
-        ag::MulScalar(entropy, ent_coef * static_cast<float>(len)));
-    actor_loss =
-        ag::MulScalar(actor_loss, 1.0f / static_cast<float>(len));
-    actor_opt_->ZeroGrad();
-    critic_opt_->ZeroGrad();
-    actor_loss.Backward();
     actor_opt_->ClipGradNorm(5.0f);
     actor_opt_->Step();
 
-    curve_acc += mean_of(rewards);
+    double step_reward = 0.0;
+    for (const SlotData& sd : slots) step_reward += mean_of(sd.rewards);
+    curve_acc += step_reward / static_cast<double>(num_slots);
     ++curve_n;
     if ((step + 1) % curve_every == 0) {
       curve.push_back(curve_acc / static_cast<double>(curve_n));
@@ -560,7 +634,10 @@ Status CrossInsightTrader::LoadModel(const std::string& path) {
   TraderModules all(actors_, cross_actor_.get(), critic_.get(),
                     dec_critics_);
   const Status status = nn::LoadParameters(&all, path);
-  if (status.ok()) feature_cache_.clear();
+  if (status.ok()) {
+    std::unique_lock<std::shared_mutex> lock(feature_mu_);
+    feature_cache_.clear();
+  }
   return status;
 }
 

@@ -2,6 +2,7 @@
 #define CIT_CORE_TRADER_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -69,8 +70,14 @@ class CrossInsightTrader : public env::TradingAgent {
     std::vector<Tensor> band_flats;  // n tensors [z * m]
   };
 
+  // Thread-safe: parallel rollout slots hit the same days concurrently.
+  // Lookups take a shared lock; a miss computes outside any lock (features
+  // are a pure function of (panel, day)) and inserts under a unique lock.
   const DayFeatures& FeaturesAt(const market::PricePanel& panel,
                                 int64_t day);
+
+  DayFeatures ComputeFeatures(const market::PricePanel& panel,
+                              int64_t day) const;
 
   int64_t num_assets_;
   CrossInsightConfig config_;
@@ -88,6 +95,10 @@ class CrossInsightTrader : public env::TradingAgent {
   std::vector<std::vector<double>> held_actions_;
 
   // Per-day feature cache, keyed by day; invalidated when the panel changes.
+  // Guarded by feature_mu_; value references stay stable across inserts
+  // (unordered_map never moves mapped values), so returned references
+  // outlive the lock.
+  mutable std::shared_mutex feature_mu_;
   const market::PricePanel* cached_panel_ = nullptr;
   std::unordered_map<int64_t, DayFeatures> feature_cache_;
 

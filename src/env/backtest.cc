@@ -17,8 +17,16 @@ BacktestResult RunBacktest(TradingAgent& agent,
   result.wealth.push_back(1.0);
   result.days.push_back(env.current_day());
   while (!env.done()) {
-    const std::vector<double> weights =
+    std::vector<double> weights =
         agent.DecideWeights(panel, env.current_day());
+    // A single bad action (NaN/negative/unnormalized) from one agent must
+    // degrade gracefully, not CHECK-abort a comparison run covering every
+    // baseline: repair it onto the simplex and count the repair. A size
+    // mismatch stays fatal — that is a wiring bug, not a bad action.
+    if (!IsValidPortfolio(weights)) {
+      weights = NormalizeToSimplex(std::move(weights));
+      ++result.repaired_steps;
+    }
     const StepResult step = env.Step(weights);
     result.wealth.push_back(env.wealth());
     result.days.push_back(env.current_day());

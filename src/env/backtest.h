@@ -36,9 +36,16 @@ struct BacktestResult {
   std::vector<double> daily_returns;   // length T
   std::vector<int64_t> days;           // panel day index per step
   PerformanceMetrics metrics;
+  // Steps whose agent action was off the simplex (NaN, negative, or not
+  // summing to 1) and was repaired via NormalizeToSimplex before execution.
+  // 0 for a well-behaved agent; a non-zero count flags a defective policy
+  // without killing the whole comparison run it is part of.
+  int64_t repaired_steps = 0;
 };
 
 // Runs `agent` through the env's day range and records the wealth curve.
+// Off-simplex agent actions are projected back via NormalizeToSimplex and
+// counted in BacktestResult::repaired_steps rather than aborting the run.
 BacktestResult RunBacktest(TradingAgent& agent,
                            const market::PricePanel& panel,
                            const EnvConfig& config);

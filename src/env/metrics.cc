@@ -42,10 +42,17 @@ PerformanceMetrics ComputeMetrics(const std::vector<double>& wealth) {
   const double std_daily = std::sqrt(var);
 
   m.annualized_vol = std_daily * std::sqrt(kTradingDaysPerYear);
-  const double years = static_cast<double>(r.size()) / kTradingDaysPerYear;
+  // Annualizing a very short curve explodes: for a 2-point curve years is
+  // 1/252, so pow(total, 252) turns a mild daily move into an astronomical
+  // (or overflowing) rate, which then poisons Calmar. Floor the horizon at
+  // one trading month so a short curve is extrapolated at most ~12x, and
+  // exponentiate in log space so the guarded result stays finite.
+  const double years =
+      std::max(static_cast<double>(r.size()), kMinAnnualizationDays) /
+      kTradingDaysPerYear;
   const double total = wealth.back() / wealth.front();
   m.annualized_return =
-      total > 0.0 ? std::pow(total, 1.0 / years) - 1.0 : -1.0;
+      total > 0.0 ? std::expm1(std::log(total) / years) : -1.0;
   m.sharpe_ratio = std_daily > 0.0
                        ? mean / std_daily * std::sqrt(kTradingDaysPerYear)
                        : 0.0;

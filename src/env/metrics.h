@@ -23,6 +23,11 @@ struct PerformanceMetrics {
 // Trading days per year used for annualization.
 inline constexpr double kTradingDaysPerYear = 252.0;
 
+// Shortest horizon (in trading days) annualization extrapolates from.
+// Curves shorter than this are treated as one month long, bounding the
+// annualization exponent at ~12 instead of up to 252 (see ComputeMetrics).
+inline constexpr double kMinAnnualizationDays = 21.0;
+
 // Daily simple returns r_t = S_t/S_{t-1} - 1 of a wealth curve.
 std::vector<double> DailyReturns(const std::vector<double>& wealth);
 

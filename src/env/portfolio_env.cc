@@ -21,7 +21,8 @@ std::vector<double> NormalizeToSimplex(std::vector<double> w) {
     if (!std::isfinite(v) || v < 0.0) v = 0.0;
     total += v;
   }
-  if (total <= 1e-12) {
+  // The finite check covers huge entries whose sum overflows to infinity.
+  if (total <= 1e-12 || !std::isfinite(total)) {
     const double u = 1.0 / static_cast<double>(w.size());
     for (double& v : w) v = u;
   } else {
@@ -53,6 +54,12 @@ void PortfolioEnv::ResetAt(int64_t day) {
   // The paper initializes portfolios with the average assignment.
   held_.assign(panel_->num_assets(),
                1.0 / static_cast<double>(panel_->num_assets()));
+}
+
+PortfolioEnv PortfolioEnv::CloneAt(int64_t day) const {
+  PortfolioEnv clone = *this;
+  clone.ResetAt(day);
+  return clone;
 }
 
 StepResult PortfolioEnv::Step(const std::vector<double>& weights) {

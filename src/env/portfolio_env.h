@@ -40,6 +40,11 @@ class PortfolioEnv {
   // Resets to a specific day within [earliest_start, end_day).
   void ResetAt(int64_t day);
 
+  // An independent copy of this env reset at `day`. The price panel is
+  // shared (it is immutable), all mutable state is private to the clone —
+  // this is how parallel rollout collection gives every slot its own env.
+  PortfolioEnv CloneAt(int64_t day) const;
+
   // Executes target weights for the transition day -> day+1. `weights` must
   // be non-negative and sum to ~1 (checked).
   StepResult Step(const std::vector<double>& weights);

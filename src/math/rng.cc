@@ -112,4 +112,14 @@ std::vector<double> Rng::Dirichlet(int k, double alpha) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng Rng::Split(uint64_t seed, uint64_t stream, uint64_t substream) {
+  // Chain each word through a full SplitMix64 round so nearby
+  // (seed, stream, substream) triples land on unrelated states; the final
+  // output seeds the usual SplitMix64-based state expansion in Rng's ctor.
+  uint64_t s = seed;
+  s = SplitMix64(s) ^ stream;
+  s = SplitMix64(s) ^ substream;
+  return Rng(SplitMix64(s));
+}
+
 }  // namespace cit::math

@@ -42,6 +42,13 @@ class Rng {
   // Derives an independent stream for a sub-component (e.g. per policy).
   Rng Fork();
 
+  // Counter-split stream derivation: a generator that depends only on
+  // (seed, stream, substream), not on any sequential draw order. Parallel
+  // rollout collection uses Split(config.seed, step, slot) so every rollout
+  // slot owns an RNG stream that is identical no matter how many threads
+  // execute the collection or in which order slots run.
+  static Rng Split(uint64_t seed, uint64_t stream, uint64_t substream);
+
  private:
   uint64_t s_[4];
   bool has_cached_normal_ = false;

@@ -6,6 +6,7 @@
 #include "env/portfolio_env.h"
 #include "rl/features.h"
 #include "rl/returns.h"
+#include "rl/rollout.h"
 
 namespace cit::rl {
 
@@ -43,12 +44,12 @@ Tensor A2cAgent::ExtraState(const market::PricePanel&, int64_t) const {
   return Tensor();
 }
 
-ag::Var A2cAgent::PolicyInput(const market::PricePanel& panel,
-                              int64_t day) const {
+ag::Var A2cAgent::PolicyInput(const market::PricePanel& panel, int64_t day,
+                              const std::vector<double>& held) const {
   Tensor window = FlatWindow(panel, day, config_.window);
   Tensor prev({num_assets_});
   for (int64_t i = 0; i < num_assets_; ++i) {
-    prev[i] = static_cast<float>(held_[i]);
+    prev[i] = static_cast<float>(held[i]);
   }
   std::vector<ag::Var> parts = {ag::Var::Constant(window),
                                 ag::Var::Constant(prev)};
@@ -74,68 +75,95 @@ std::vector<double> A2cAgent::Train(const market::PricePanel& panel,
   int64_t curve_n = 0;
   const int64_t curve_every =
       std::max<int64_t>(1, config_.train_steps / curve_points);
+  const int64_t num_slots =
+      std::max<int64_t>(1, config_.rollouts_per_update);
+  // Each slot's stream is Split(seed, step, slot): trajectories are a pure
+  // function of (params, step, slot), independent of worker scheduling.
+  RolloutRunner runner(config_.seed, num_slots);
 
-  for (int64_t step = 0; step < config_.train_steps; ++step) {
-    // Random segment start within the training range.
-    const int64_t lo = env.earliest_start();
-    const int64_t hi = env.end_day() - config_.rollout_len - 1;
-    env.ResetAt(lo + rng_.UniformInt(std::max<int64_t>(1, hi - lo)));
-    Reset();
-
+  // Everything one rollout slot collects; graphs are retained and reduced
+  // serially in slot order after the parallel phase.
+  struct SlotData {
     std::vector<ag::Var> log_probs;
     std::vector<ag::Var> values;
     std::vector<ag::Var> entropies;
     std::vector<double> rewards;
-    for (int64_t t = 0; t < config_.rollout_len && !env.done(); ++t) {
-      ag::Var input = PolicyInput(panel, env.current_day());
-      ag::Var mean = actor_->Forward(input);
-      GaussianAction action = SampleGaussianSimplex(mean, log_std_, &rng_);
-      values.push_back(critic_->Forward(input));
-      log_probs.push_back(action.log_prob);
-      entropies.push_back(GaussianEntropy(log_std_));
-      const env::StepResult r = env.Step(action.weights);
-      rewards.push_back(r.reward * config_.reward_scale);
-      held_ = env.previous_weights();
-    }
-    // Bootstrap value of the final state.
-    double bootstrap = 0.0;
-    if (!env.done()) {
-      ag::Var input = PolicyInput(panel, env.current_day());
-      bootstrap = critic_->Forward(input).value().Item();
-    }
-    const std::vector<double> targets =
-        DiscountedReturns(rewards, config_.gamma, bootstrap);
+    std::vector<double> targets;
+  };
+
+  for (int64_t step = 0; step < config_.train_steps; ++step) {
+    // Random segment start within the training range, per slot.
+    const int64_t lo = env.earliest_start();
+    const int64_t hi = env.end_day() - config_.rollout_len - 1;
+    std::vector<SlotData> slots(num_slots);
+
+    runner.Collect(step, [&](int64_t slot, math::Rng& rng) {
+      SlotData& sd = slots[slot];
+      env::PortfolioEnv senv = env.CloneAt(
+          lo + rng.UniformInt(std::max<int64_t>(1, hi - lo)));
+      std::vector<double> held(num_assets_,
+                               1.0 / static_cast<double>(num_assets_));
+      for (int64_t t = 0; t < config_.rollout_len && !senv.done(); ++t) {
+        ag::Var input = PolicyInput(panel, senv.current_day(), held);
+        ag::Var mean = actor_->Forward(input);
+        GaussianAction action = SampleGaussianSimplex(mean, log_std_, &rng);
+        sd.values.push_back(critic_->Forward(input));
+        sd.log_probs.push_back(action.log_prob);
+        sd.entropies.push_back(GaussianEntropy(log_std_));
+        const env::StepResult r = senv.Step(action.weights);
+        sd.rewards.push_back(r.reward * config_.reward_scale);
+        held = senv.previous_weights();
+      }
+      // Bootstrap value of the final state.
+      double bootstrap = 0.0;
+      if (!senv.done()) {
+        ag::Var input = PolicyInput(panel, senv.current_day(), held);
+        bootstrap = critic_->Forward(input).value().Item();
+      }
+      sd.targets = DiscountedReturns(sd.rewards, config_.gamma, bootstrap);
+    });
 
     // Losses: policy gradient with advantage (target - V), value MSE.
-    ag::Var policy_loss = ag::Var::Constant(Tensor::Scalar(0.0f));
-    ag::Var value_loss = ag::Var::Constant(Tensor::Scalar(0.0f));
-    for (size_t t = 0; t < rewards.size(); ++t) {
-      const float advantage = static_cast<float>(targets[t]) -
-                              values[t].value().Item();
-      policy_loss = ag::Sub(
-          policy_loss, ag::MulScalar(log_probs[t], advantage));
-      policy_loss = ag::Sub(
-          policy_loss, ag::MulScalar(entropies[t],
-                                     static_cast<float>(
-                                         config_.entropy_coef)));
-      ag::Var err = ag::AddScalar(values[t],
-                                  -static_cast<float>(targets[t]));
-      value_loss = ag::Add(value_loss, ag::Square(err));
-    }
-    const float inv_len = 1.0f / static_cast<float>(rewards.size());
-    ag::Var total = ag::Add(ag::MulScalar(policy_loss, inv_len),
-                            ag::MulScalar(value_loss, inv_len));
+    // Per-slot gradients accumulate in slot order; one optimizer step.
     actor_opt_->ZeroGrad();
     critic_opt_->ZeroGrad();
-    total.Backward();
+    for (SlotData& sd : slots) {
+      if (sd.rewards.empty()) continue;
+      ag::Var policy_loss = ag::Var::Constant(Tensor::Scalar(0.0f));
+      ag::Var value_loss = ag::Var::Constant(Tensor::Scalar(0.0f));
+      for (size_t t = 0; t < sd.rewards.size(); ++t) {
+        const float advantage = static_cast<float>(sd.targets[t]) -
+                                sd.values[t].value().Item();
+        policy_loss = ag::Sub(
+            policy_loss, ag::MulScalar(sd.log_probs[t], advantage));
+        policy_loss = ag::Sub(
+            policy_loss, ag::MulScalar(sd.entropies[t],
+                                       static_cast<float>(
+                                           config_.entropy_coef)));
+        ag::Var err = ag::AddScalar(sd.values[t],
+                                    -static_cast<float>(sd.targets[t]));
+        value_loss = ag::Add(value_loss, ag::Square(err));
+      }
+      const float inv_len =
+          1.0f / static_cast<float>(sd.rewards.size() * num_slots);
+      ag::Var total = ag::Add(ag::MulScalar(policy_loss, inv_len),
+                              ag::MulScalar(value_loss, inv_len));
+      total.Backward();
+    }
     actor_opt_->ClipGradNorm(5.0f);
     critic_opt_->ClipGradNorm(5.0f);
     actor_opt_->Step();
     critic_opt_->Step();
 
-    double mean_reward = 0.0;
-    for (double r : rewards) mean_reward += r;
-    curve_acc += mean_reward / static_cast<double>(rewards.size());
+    double step_reward = 0.0;
+    for (const SlotData& sd : slots) {
+      double mean_reward = 0.0;
+      for (double r : sd.rewards) mean_reward += r;
+      if (!sd.rewards.empty()) {
+        step_reward += mean_reward / static_cast<double>(sd.rewards.size());
+      }
+    }
+    curve_acc += step_reward / static_cast<double>(num_slots);
     ++curve_n;
     if ((step + 1) % curve_every == 0) {
       curve.push_back(curve_acc / static_cast<double>(curve_n));
@@ -149,7 +177,7 @@ std::vector<double> A2cAgent::Train(const market::PricePanel& panel,
 
 std::vector<double> A2cAgent::DecideWeights(const market::PricePanel& panel,
                                             int64_t day) {
-  ag::Var input = PolicyInput(panel, day);
+  ag::Var input = PolicyInput(panel, day, held_);
   ag::Var mean = actor_->Forward(input);
   GaussianAction action =
       SampleGaussianSimplex(mean, log_std_, /*rng=*/nullptr);

@@ -47,7 +47,11 @@ class A2cAgent : public env::TradingAgent {
   virtual Tensor ExtraState(const market::PricePanel& panel,
                             int64_t day) const;
 
-  ag::Var PolicyInput(const market::PricePanel& panel, int64_t day) const;
+  // Builds the state input from the flattened window, the given previously
+  // held weights, and ExtraState(). Takes `held` explicitly (rather than
+  // reading held_) so parallel rollout slots can pass their own copies.
+  ag::Var PolicyInput(const market::PricePanel& panel, int64_t day,
+                      const std::vector<double>& held) const;
 
   int64_t num_assets_;
   int64_t extra_state_dim_;

@@ -6,6 +6,7 @@
 #include "env/portfolio_env.h"
 #include "rl/features.h"
 #include "rl/returns.h"
+#include "rl/rollout.h"
 
 namespace cit::rl {
 
@@ -33,13 +34,13 @@ void PpoAgent::Reset() {
   held_.assign(num_assets_, 1.0 / static_cast<double>(num_assets_));
 }
 
-Tensor PpoAgent::StateTensor(const market::PricePanel& panel,
-                             int64_t day) const {
+Tensor PpoAgent::StateTensor(const market::PricePanel& panel, int64_t day,
+                             const std::vector<double>& held) const {
   Tensor window = FlatWindow(panel, day, config_.window);
   Tensor state({config_.window * num_assets_ + num_assets_});
   for (int64_t i = 0; i < window.numel(); ++i) state[i] = window[i];
   for (int64_t i = 0; i < num_assets_; ++i) {
-    state[window.numel() + i] = static_cast<float>(held_[i]);
+    state[window.numel() + i] = static_cast<float>(held[i]);
   }
   return state;
 }
@@ -58,83 +59,118 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
   int64_t curve_n = 0;
   const int64_t curve_every =
       std::max<int64_t>(1, config_.train_steps / curve_points);
+  const int64_t num_slots =
+      std::max<int64_t>(1, config_.rollouts_per_update);
+  // Each slot's stream is Split(seed, step, slot): trajectories are a pure
+  // function of (params, step, slot), independent of worker scheduling.
+  RolloutRunner runner(config_.seed, num_slots);
 
-  for (int64_t step = 0; step < config_.train_steps; ++step) {
-    const int64_t lo = env.earliest_start();
-    const int64_t hi = env.end_day() - config_.rollout_len - 1;
-    env.ResetAt(lo + rng_.UniformInt(std::max<int64_t>(1, hi - lo)));
-    Reset();
-
-    // Collect the rollout with frozen (old) policy statistics.
+  // One slot's frozen (old-policy) rollout statistics; the surrogate
+  // epochs below re-walk slots serially in slot order.
+  struct SlotData {
     std::vector<Tensor> states;
     std::vector<Tensor> raw_actions;
     std::vector<double> old_log_probs;
     std::vector<double> rewards;
-    std::vector<double> values;
-    for (int64_t t = 0; t < config_.rollout_len && !env.done(); ++t) {
-      Tensor state = StateTensor(panel, env.current_day());
-      ag::Var input = ag::Var::Constant(state);
-      ag::Var mean = actor_->Forward(input);
-      GaussianAction action = SampleGaussianSimplex(mean, log_std_, &rng_);
-      values.push_back(critic_->Forward(input).value().Item());
-      states.push_back(std::move(state));
-      raw_actions.push_back(action.raw);
-      old_log_probs.push_back(action.log_prob.value().Item());
-      const env::StepResult r = env.Step(action.weights);
-      rewards.push_back(r.reward * config_.reward_scale);
-      held_ = env.previous_weights();
-    }
-    double bootstrap = 0.0;
-    if (!env.done()) {
-      bootstrap = critic_->Forward(
-                      ag::Var::Constant(StateTensor(panel,
-                                                    env.current_day())))
-                      .value()
-                      .Item();
-    }
-    values.push_back(bootstrap);
-    const std::vector<double> adv =
-        GaeAdvantages(rewards, values, config_.gamma, 0.95);
-    std::vector<double> targets(adv.size());
-    for (size_t t = 0; t < adv.size(); ++t) targets[t] = adv[t] + values[t];
+    std::vector<double> adv;
+    std::vector<double> targets;
+  };
 
-    // Clipped-surrogate epochs over the whole segment.
-    for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
-      ag::Var loss = ag::Var::Constant(Tensor::Scalar(0.0f));
-      for (size_t t = 0; t < states.size(); ++t) {
-        ag::Var input = ag::Var::Constant(states[t]);
+  for (int64_t step = 0; step < config_.train_steps; ++step) {
+    const int64_t lo = env.earliest_start();
+    const int64_t hi = env.end_day() - config_.rollout_len - 1;
+    std::vector<SlotData> slots(num_slots);
+
+    runner.Collect(step, [&](int64_t slot, math::Rng& rng) {
+      SlotData& sd = slots[slot];
+      env::PortfolioEnv senv = env.CloneAt(
+          lo + rng.UniformInt(std::max<int64_t>(1, hi - lo)));
+      std::vector<double> held(num_assets_,
+                               1.0 / static_cast<double>(num_assets_));
+      std::vector<double> values;
+      for (int64_t t = 0; t < config_.rollout_len && !senv.done(); ++t) {
+        Tensor state = StateTensor(panel, senv.current_day(), held);
+        ag::Var input = ag::Var::Constant(state);
         ag::Var mean = actor_->Forward(input);
-        ag::Var logp = GaussianLogProb(mean, log_std_, raw_actions[t]);
-        ag::Var ratio = ag::Exp(ag::AddScalar(
-            logp, -static_cast<float>(old_log_probs[t])));
-        const float a = static_cast<float>(adv[t]);
-        ag::Var surr1 = ag::MulScalar(ratio, a);
-        ag::Var surr2 = ag::MulScalar(
-            ag::Clamp(ratio, 1.0f - static_cast<float>(config_.clip),
-                      1.0f + static_cast<float>(config_.clip)),
-            a);
-        loss = ag::Sub(loss, ag::Min(surr1, surr2));
-        loss = ag::Sub(loss,
-                       ag::MulScalar(GaussianEntropy(log_std_),
-                                     static_cast<float>(
-                                         config_.entropy_coef)));
-        ag::Var v = critic_->Forward(input);
-        ag::Var err = ag::AddScalar(v, -static_cast<float>(targets[t]));
-        loss = ag::Add(loss, ag::MulScalar(ag::Square(err), 0.5f));
+        GaussianAction action = SampleGaussianSimplex(mean, log_std_, &rng);
+        values.push_back(critic_->Forward(input).value().Item());
+        sd.states.push_back(std::move(state));
+        sd.raw_actions.push_back(action.raw);
+        sd.old_log_probs.push_back(action.log_prob.value().Item());
+        const env::StepResult r = senv.Step(action.weights);
+        sd.rewards.push_back(r.reward * config_.reward_scale);
+        held = senv.previous_weights();
       }
-      loss = ag::MulScalar(loss, 1.0f / static_cast<float>(states.size()));
+      double bootstrap = 0.0;
+      if (!senv.done()) {
+        bootstrap =
+            critic_
+                ->Forward(ag::Var::Constant(
+                    StateTensor(panel, senv.current_day(), held)))
+                .value()
+                .Item();
+      }
+      values.push_back(bootstrap);
+      sd.adv = GaeAdvantages(sd.rewards, values, config_.gamma, 0.95);
+      sd.targets.resize(sd.adv.size());
+      for (size_t t = 0; t < sd.adv.size(); ++t) {
+        sd.targets[t] = sd.adv[t] + values[t];
+      }
+    });
+
+    int64_t total_steps = 0;
+    for (const SlotData& sd : slots) {
+      total_steps += static_cast<int64_t>(sd.states.size());
+    }
+    if (total_steps == 0) continue;
+
+    // Clipped-surrogate epochs over all collected segments; per-slot
+    // gradients accumulate in slot order, one optimizer step per epoch.
+    for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
       actor_opt_->ZeroGrad();
       critic_opt_->ZeroGrad();
-      loss.Backward();
+      for (const SlotData& sd : slots) {
+        if (sd.states.empty()) continue;
+        ag::Var loss = ag::Var::Constant(Tensor::Scalar(0.0f));
+        for (size_t t = 0; t < sd.states.size(); ++t) {
+          ag::Var input = ag::Var::Constant(sd.states[t]);
+          ag::Var mean = actor_->Forward(input);
+          ag::Var logp = GaussianLogProb(mean, log_std_, sd.raw_actions[t]);
+          ag::Var ratio = ag::Exp(ag::AddScalar(
+              logp, -static_cast<float>(sd.old_log_probs[t])));
+          const float a = static_cast<float>(sd.adv[t]);
+          ag::Var surr1 = ag::MulScalar(ratio, a);
+          ag::Var surr2 = ag::MulScalar(
+              ag::Clamp(ratio, 1.0f - static_cast<float>(config_.clip),
+                        1.0f + static_cast<float>(config_.clip)),
+              a);
+          loss = ag::Sub(loss, ag::Min(surr1, surr2));
+          loss = ag::Sub(loss,
+                         ag::MulScalar(GaussianEntropy(log_std_),
+                                       static_cast<float>(
+                                           config_.entropy_coef)));
+          ag::Var v = critic_->Forward(input);
+          ag::Var err = ag::AddScalar(v, -static_cast<float>(sd.targets[t]));
+          loss = ag::Add(loss, ag::MulScalar(ag::Square(err), 0.5f));
+        }
+        loss = ag::MulScalar(loss, 1.0f / static_cast<float>(total_steps));
+        loss.Backward();
+      }
       actor_opt_->ClipGradNorm(5.0f);
       critic_opt_->ClipGradNorm(5.0f);
       actor_opt_->Step();
       critic_opt_->Step();
     }
 
-    double mean_reward = 0.0;
-    for (double r : rewards) mean_reward += r;
-    curve_acc += mean_reward / static_cast<double>(rewards.size());
+    double step_reward = 0.0;
+    for (const SlotData& sd : slots) {
+      double mean_reward = 0.0;
+      for (double r : sd.rewards) mean_reward += r;
+      if (!sd.rewards.empty()) {
+        step_reward += mean_reward / static_cast<double>(sd.rewards.size());
+      }
+    }
+    curve_acc += step_reward / static_cast<double>(num_slots);
     ++curve_n;
     if ((step + 1) % curve_every == 0) {
       curve.push_back(curve_acc / static_cast<double>(curve_n));
@@ -148,7 +184,7 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
 
 std::vector<double> PpoAgent::DecideWeights(const market::PricePanel& panel,
                                             int64_t day) {
-  ag::Var input = ag::Var::Constant(StateTensor(panel, day));
+  ag::Var input = ag::Var::Constant(StateTensor(panel, day, held_));
   ag::Var mean = actor_->Forward(input);
   GaussianAction action =
       SampleGaussianSimplex(mean, log_std_, /*rng=*/nullptr);

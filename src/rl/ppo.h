@@ -36,7 +36,10 @@ class PpoAgent : public env::TradingAgent {
                                     int64_t day) override;
 
  private:
-  Tensor StateTensor(const market::PricePanel& panel, int64_t day) const;
+  // Takes `held` explicitly (rather than reading held_) so parallel
+  // rollout slots can pass their own copies.
+  Tensor StateTensor(const market::PricePanel& panel, int64_t day,
+                     const std::vector<double>& held) const;
 
   int64_t num_assets_;
   PpoConfig config_;

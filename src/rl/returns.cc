@@ -1,6 +1,6 @@
 #include "rl/returns.h"
 
-#include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
@@ -13,30 +13,30 @@ std::vector<double> LambdaReturns(const std::vector<double>& rewards,
   const int64_t len = static_cast<int64_t>(rewards.size());
   CIT_CHECK_EQ(values.size(), rewards.size() + 1);
   CIT_CHECK_GE(n_max, 1);
+  // The truncated forward view collapses to a TD-error sum:
+  //   y_t = V_t + sum_{l=0}^{n_max-1} (gamma*lambda)^l delta_{t+l},
+  //   delta_j = r_j + gamma*V_{j+1} - V_j   (delta_j = 0 for j >= len,
+  //   which encodes the bootstrap-at-trajectory-end clamping of G^(n)).
+  // That sum obeys the O(T) backward recursion
+  //   A_t = delta_t + gamma*lambda * A_{t+1}
+  //         - (gamma*lambda)^{n_max} * delta_{t+n_max},
+  // replacing the old O(T*n_max) per-timestep rebuild (equivalence is
+  // brute-force-tested over random gamma/lambda/n_max in test_rl.cc).
   std::vector<double> targets(len, 0.0);
+  std::vector<double> delta(len, 0.0);
   for (int64_t t = 0; t < len; ++t) {
-    // G^(n) built incrementally: running discounted reward sum plus
-    // bootstrap at t+n (clamped to the trajectory end).
-    double reward_sum = 0.0;
-    double discount = 1.0;
-    double mix = 0.0;
-    double lambda_pow = 1.0;  // lambda^{n-1}
-    for (int64_t n = 1; n <= n_max; ++n) {
-      const int64_t step = t + n - 1;
-      if (step < len) {
-        reward_sum += discount * rewards[step];
-        discount *= gamma;
-      }
-      const int64_t boot = std::min<int64_t>(t + n, len);
-      const double g_n = reward_sum + discount * values[boot];
-      if (n < n_max) {
-        mix += (1.0 - lambda) * lambda_pow * g_n;
-        lambda_pow *= lambda;
-      } else {
-        mix += lambda_pow * g_n;
-      }
-    }
-    targets[t] = mix;
+    delta[t] = rewards[t] + gamma * values[t + 1] - values[t];
+  }
+  const double gl = gamma * lambda;
+  // For n_max >= len the tail term never lands inside the trajectory, so
+  // the (potentially denormal) power is never used.
+  const double gl_tail =
+      n_max < len ? std::pow(gl, static_cast<double>(n_max)) : 0.0;
+  double acc = 0.0;
+  for (int64_t t = len - 1; t >= 0; --t) {
+    acc = delta[t] + gl * acc;
+    if (t + n_max < len) acc -= gl_tail * delta[t + n_max];
+    targets[t] = values[t] + acc;
   }
   return targets;
 }

@@ -14,7 +14,8 @@ namespace cit::rl {
 // `rewards` has length L; `values` has length L+1 (critic estimates for the
 // states visited, including the bootstrap state after the last reward).
 // Returns targets y_0..y_{L-1}. Beyond the trajectory end the recursion
-// bootstraps with the final value.
+// bootstraps with the final value. Computed as the equivalent O(L) backward
+// recursion over TD errors (not the literal O(L*n_max) forward view above).
 std::vector<double> LambdaReturns(const std::vector<double>& rewards,
                                   const std::vector<double>& values,
                                   double gamma, double lambda,

@@ -1,0 +1,34 @@
+#include "rl/rollout.h"
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace cit::rl {
+
+RolloutRunner::RolloutRunner(uint64_t seed, int64_t num_slots)
+    : seed_(seed), num_slots_(num_slots) {
+  CIT_CHECK_GE(num_slots, 1);
+}
+
+void RolloutRunner::Collect(
+    int64_t step,
+    const std::function<void(int64_t, math::Rng&)>& body) const {
+  ThreadPool::Global().ParallelFor(
+      0, num_slots_, /*grain=*/1, [&](int64_t lo, int64_t hi) {
+        for (int64_t slot = lo; slot < hi; ++slot) {
+          math::Rng rng = math::Rng::Split(
+              seed_, static_cast<uint64_t>(step), static_cast<uint64_t>(slot));
+          body(slot, rng);
+        }
+      });
+}
+
+void RolloutRunner::ForEachSlot(
+    const std::function<void(int64_t)>& body) const {
+  ThreadPool::Global().ParallelFor(
+      0, num_slots_, /*grain=*/1, [&](int64_t lo, int64_t hi) {
+        for (int64_t slot = lo; slot < hi; ++slot) body(slot);
+      });
+}
+
+}  // namespace cit::rl

@@ -1,0 +1,65 @@
+#ifndef CIT_RL_ROLLOUT_H_
+#define CIT_RL_ROLLOUT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "math/rng.h"
+
+namespace cit::rl {
+
+// Deterministic parallel rollout collection.
+//
+// Every on-policy trainer in this repo spends most of its wall time
+// collecting rollouts: stepping a PortfolioEnv while running policy
+// forward passes to sample actions. The rollouts of one update are
+// mutually independent — they read frozen parameters and an immutable
+// price panel — so a RolloutRunner schedules the K slots of an update
+// onto the global ThreadPool and lets each slot fill its own storage.
+//
+// The determinism contract mirrors the kernel layer's: results are
+// bitwise identical for any CIT_NUM_THREADS. Three rules deliver it:
+//
+//  1. Per-slot RNG streams are counter-split, not sequential: slot j of
+//     update `step` draws from Rng::Split(seed, step, slot), a stream
+//     that depends only on those integers — never on which thread runs
+//     the slot or in which order slots finish.
+//  2. A slot writes only its own storage (its env clone, its autograd
+//     tape, its record vectors). Shared inputs (panel, parameters,
+//     feature caches) are read-only or internally synchronized.
+//  3. Consumers walk the slots in index order after Collect returns —
+//     in particular, per-rollout losses are backpropagated and their
+//     gradients accumulated in fixed slot order on the calling thread.
+//
+// Nested parallelism is already handled by the pool: math kernels invoked
+// from inside a slot detect the surrounding parallel region and run
+// serially, and every kernel is bitwise thread-count-invariant, so a slot
+// computes the same floats whether its inner kernels ran parallel (K=1 or
+// a 1-thread pool) or inline under a busy pool.
+class RolloutRunner {
+ public:
+  // `seed` is the trainer's config seed; `num_slots` is K, the number of
+  // independent rollouts collected per update.
+  RolloutRunner(uint64_t seed, int64_t num_slots);
+
+  int64_t num_slots() const { return num_slots_; }
+
+  // Runs body(slot, rng) for every slot in [0, num_slots) on the global
+  // ThreadPool, where rng == Rng::Split(seed, step, slot). Returns after
+  // every slot finished. `body` must only write per-slot storage.
+  void Collect(int64_t step,
+               const std::function<void(int64_t, math::Rng&)>& body) const;
+
+  // Parallel sweep over the slots without an RNG stream — used for
+  // forward-only recomputation phases (e.g. re-estimating Q-values after
+  // a critic update). Same write-isolation contract as Collect.
+  void ForEachSlot(const std::function<void(int64_t)>& body) const;
+
+ private:
+  uint64_t seed_;
+  int64_t num_slots_;
+};
+
+}  // namespace cit::rl
+
+#endif  // CIT_RL_ROLLOUT_H_

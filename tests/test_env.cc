@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -69,6 +70,47 @@ TEST(Metrics, ConstantCurveHasZeroSharpe) {
   EXPECT_EQ(m.accumulative_return, 0.0);
 }
 
+TEST(Metrics, TwoPointCurveAnnualizationStaysBounded) {
+  // The shortest legal curve: one daily move. Unguarded annualization
+  // raises 1.05 to the 252nd power (~2e5) and poisons Calmar; the
+  // one-month floor caps extrapolation at ~12x the horizon.
+  const auto m = ComputeMetrics({1.0, 1.05});
+  EXPECT_TRUE(std::isfinite(m.annualized_return));
+  EXPECT_GT(m.annualized_return, 0.0);
+  EXPECT_LT(m.annualized_return, std::pow(1.05, 12.1) - 1.0);
+  EXPECT_TRUE(std::isfinite(m.calmar_ratio));
+  // A large single-day loss must not annualize below -100%.
+  const auto loss = ComputeMetrics({1.0, 0.4});
+  EXPECT_TRUE(std::isfinite(loss.annualized_return));
+  EXPECT_GT(loss.annualized_return, -1.0);
+  EXPECT_LT(loss.annualized_return, 0.0);
+  EXPECT_TRUE(std::isfinite(loss.calmar_ratio));
+  EXPECT_LT(loss.calmar_ratio, 0.0);
+}
+
+TEST(Metrics, FlatCurveHasZeroRatesAndRatios) {
+  const auto m = ComputeMetrics(std::vector<double>(5, 2.5));
+  EXPECT_EQ(m.accumulative_return, 0.0);
+  EXPECT_NEAR(m.annualized_return, 0.0, 1e-12);
+  EXPECT_EQ(m.annualized_vol, 0.0);
+  EXPECT_EQ(m.max_drawdown, 0.0);
+  EXPECT_NEAR(m.calmar_ratio, 0.0, 1e-10);
+}
+
+TEST(Metrics, AllLossCurveStaysFinite) {
+  // Steady decay to ~0.5% of the start: every metric must stay finite
+  // and the annualized rate must stay above total loss (-100%).
+  std::vector<double> wealth = {1.0};
+  for (int i = 0; i < 40; ++i) wealth.push_back(wealth.back() * 0.875);
+  const auto m = ComputeMetrics(wealth);
+  EXPECT_TRUE(std::isfinite(m.annualized_return));
+  EXPECT_GT(m.annualized_return, -1.0);
+  EXPECT_LT(m.annualized_return, 0.0);
+  EXPECT_LT(m.sharpe_ratio, 0.0);
+  EXPECT_TRUE(std::isfinite(m.calmar_ratio));
+  EXPECT_GT(m.max_drawdown, 0.99);
+}
+
 // ---- Simplex helpers --------------------------------------------------------
 
 TEST(Simplex, IsValidPortfolio) {
@@ -87,6 +129,26 @@ TEST(Simplex, NormalizeToSimplexHandlesDegenerateInput) {
   auto w3 = NormalizeToSimplex({-1.0, 3.0});
   EXPECT_NEAR(w3[0], 0.0, 1e-12);
   EXPECT_NEAR(w3[1], 1.0, 1e-12);
+}
+
+TEST(Simplex, NormalizeToSimplexHandlesNonFiniteSums) {
+  // An infinite entry (or finite entries whose sum overflows) must fall
+  // back to uniform weights, not emit zeros or NaNs from x/inf.
+  const double huge = std::numeric_limits<double>::max();
+  for (const auto& bad :
+       {std::vector<double>{std::numeric_limits<double>::infinity(), 1.0},
+        std::vector<double>{huge, huge},
+        std::vector<double>{std::nan(""), std::nan("")}}) {
+    const auto w = NormalizeToSimplex(bad);
+    ASSERT_EQ(w.size(), bad.size());
+    double sum = 0.0;
+    for (double v : w) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
 }
 
 // ---- PortfolioEnv -----------------------------------------------------------
@@ -212,6 +274,52 @@ TEST(Backtest, TestSplitStartsAtTrainEnd) {
   const BacktestResult result = RunTestBacktest(agent, panel, 8);
   EXPECT_EQ(result.days.front(), panel.train_end());
   EXPECT_EQ(result.days.back(), panel.num_days() - 1);
+}
+
+// Emits NaN weights on every odd decision (a diverged policy); valid
+// uniform weights otherwise.
+class NanEveryOtherAgent : public TradingAgent {
+ public:
+  std::string name() const override { return "nan-agent"; }
+  std::vector<double> DecideWeights(const market::PricePanel& panel,
+                                    int64_t) override {
+    ++calls_;
+    if (calls_ % 2 == 0) {
+      return std::vector<double>(panel.num_assets(), std::nan(""));
+    }
+    return std::vector<double>(panel.num_assets(),
+                               1.0 / panel.num_assets());
+  }
+  void Reset() override { calls_ = 0; }
+
+ private:
+  int64_t calls_ = 0;
+};
+
+TEST(Backtest, RepairsInvalidAgentActionsInsteadOfAborting) {
+  auto panel = MakePanel(120, 4, 11);
+  NanEveryOtherAgent agent;
+  EnvConfig cfg;
+  cfg.window = 8;
+  // Must complete without CHECK-aborting, repairing the NaN actions onto
+  // the simplex and counting them.
+  const BacktestResult result = RunBacktest(agent, panel, cfg);
+  EXPECT_GT(result.repaired_steps, 0);
+  EXPECT_LT(result.repaired_steps,
+            static_cast<int64_t>(result.daily_returns.size()));
+  for (double w : result.wealth) {
+    EXPECT_TRUE(std::isfinite(w));
+    EXPECT_GT(w, 0.0);
+  }
+  EXPECT_TRUE(std::isfinite(result.metrics.sharpe_ratio));
+}
+
+TEST(Backtest, WellBehavedAgentHasNoRepairs) {
+  auto panel = MakePanel(100, 3, 12);
+  UniformAgent agent;
+  EnvConfig cfg;
+  cfg.window = 8;
+  EXPECT_EQ(RunBacktest(agent, panel, cfg).repaired_steps, 0);
 }
 
 }  // namespace

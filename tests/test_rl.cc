@@ -1,8 +1,10 @@
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
 
 #include "env/backtest.h"
+#include "math/rng.h"
 #include "market/simulator.h"
 #include "rl/a2c.h"
 #include "rl/ddpg.h"
@@ -58,6 +60,66 @@ TEST(Returns, LambdaMixtureIsConvexCombination) {
     const double hi = std::max(y_lo[t], y_hi[t]) + 1e-9;
     EXPECT_GE(y_mid[t], lo);
     EXPECT_LE(y_mid[t], hi);
+  }
+}
+
+// Literal transcription of the truncated forward view (Eq. 6-7): for each
+// t, build every G^(n) incrementally and mix. O(T*n_max) — the reference
+// the production O(T) backward recursion must reproduce.
+std::vector<double> LambdaReturnsBruteForce(const std::vector<double>& rewards,
+                                            const std::vector<double>& values,
+                                            double gamma, double lambda,
+                                            int64_t n_max) {
+  const int64_t len = static_cast<int64_t>(rewards.size());
+  std::vector<double> targets(len, 0.0);
+  for (int64_t t = 0; t < len; ++t) {
+    double reward_sum = 0.0;
+    double discount = 1.0;
+    double mix = 0.0;
+    double lambda_pow = 1.0;  // lambda^{n-1}
+    for (int64_t n = 1; n <= n_max; ++n) {
+      const int64_t step = t + n - 1;
+      if (step < len) {
+        reward_sum += discount * rewards[step];
+        discount *= gamma;
+      }
+      const int64_t boot = std::min<int64_t>(t + n, len);
+      const double g_n = reward_sum + discount * values[boot];
+      if (n < n_max) {
+        mix += (1.0 - lambda) * lambda_pow * g_n;
+        lambda_pow *= lambda;
+      } else {
+        mix += lambda_pow * g_n;
+      }
+    }
+    targets[t] = mix;
+  }
+  return targets;
+}
+
+TEST(Returns, LambdaReturnsMatchesBruteForceForward) {
+  math::Rng rng(20260806);
+  const double gammas[] = {0.0, 0.3, 0.6, 0.9, 1.0};
+  const double lambdas[] = {0.0, 0.25, 0.5, 0.9, 1.0};
+  for (int trial = 0; trial < 200; ++trial) {
+    const int64_t len = 1 + rng.UniformInt(24);
+    const int64_t n_max = 1 + rng.UniformInt(2 * len);  // straddles len
+    const double gamma = gammas[rng.UniformInt(5)];
+    const double lambda = lambdas[rng.UniformInt(5)];
+    std::vector<double> rewards(len);
+    std::vector<double> values(len + 1);
+    for (auto& r : rewards) r = rng.Normal() * 2.0;
+    for (auto& v : values) v = rng.Normal() * 3.0;
+    const auto fast = LambdaReturns(rewards, values, gamma, lambda, n_max);
+    const auto ref =
+        LambdaReturnsBruteForce(rewards, values, gamma, lambda, n_max);
+    ASSERT_EQ(fast.size(), ref.size());
+    for (int64_t t = 0; t < len; ++t) {
+      EXPECT_NEAR(fast[t], ref[t], 1e-8 * (1.0 + std::abs(ref[t])))
+          << "trial=" << trial << " t=" << t << " len=" << len
+          << " n_max=" << n_max << " gamma=" << gamma
+          << " lambda=" << lambda;
+    }
   }
 }
 

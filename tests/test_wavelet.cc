@@ -46,6 +46,24 @@ TEST(HaarDwt, PerfectReconstructionOddLengths) {
   }
 }
 
+TEST(HaarDwt, RoundtripPropertyOddAndPrimeLengths) {
+  // Property sweep: every odd/prime length times every level count up to
+  // (and past) the maximum effective depth must reconstruct exactly. Odd
+  // levels exercise the pad-with-last-sample path at every scale.
+  for (int64_t n : {1, 2, 3, 5, 7, 11, 17, 19, 23, 29, 37, 41, 53, 61, 97}) {
+    const auto x = RandomSignal(n, 1000 + static_cast<uint64_t>(n));
+    for (int64_t levels = 1; levels <= 8; ++levels) {
+      const DwtCoeffs c = HaarDecompose(x, levels);
+      const auto y = HaarReconstruct(c);
+      ASSERT_EQ(y.size(), x.size()) << "n=" << n << " L=" << levels;
+      for (size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(y[i], x[i], 1e-9)
+            << "n=" << n << " L=" << levels << " i=" << i;
+      }
+    }
+  }
+}
+
 TEST(HaarDwt, ParsevalEnergyConservation) {
   const auto x = RandomSignal(32, 5);
   DwtCoeffs c = HaarDecompose(x, 3);
