@@ -3,8 +3,12 @@
 #   1. Release build + full ctest (the tier-1 gate), run twice with
 #      CIT_NUM_THREADS=1 and =4 — results must agree (the determinism
 #      tests inside the suite check bitwise identity in-process too).
-#   2. ASan and UBSan builds + full ctest at smoke scale (CIT_FAST=1).
-#   3. TSan build running the thread-pool / determinism / parallel-rollout
+#   2. A focused checkpoint/resume gate: container corruption fuzz plus
+#      the kill-at-k bitwise-resume tests for every trainer.
+#   3. ASan and UBSan builds + full ctest at smoke scale (CIT_FAST=1) —
+#      this reruns the checkpoint fuzz under ASan, so corrupt-length
+#      allocations and parser overreads trip immediately.
+#   4. TSan build running the thread-pool / determinism / parallel-rollout
 #      tests with CIT_OVERSUBSCRIBE=1 so real multi-thread interleavings
 #      are exercised even on small hosts, plus a bench_train smoke run.
 #
@@ -23,6 +27,10 @@ run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build -j"$(nproc)"
 (cd build && run env CIT_NUM_THREADS=1 ctest --output-on-failure -j2)
 (cd build && run env CIT_NUM_THREADS=4 ctest --output-on-failure -j2)
+
+echo "=== checkpoint/resume gate (container fuzz + kill-at-k resume) ==="
+(cd build && run ctest --output-on-failure \
+    -R 'Checkpoint|TrainProgress|OptimizerState|EnvCursor|Serialize')
 
 if [[ "$QUICK" == "1" ]]; then
   echo "--quick: skipping sanitizer builds"

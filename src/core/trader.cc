@@ -208,9 +208,6 @@ std::vector<double> CrossInsightTrader::Train(
   env_config.end_day = panel.train_end() - 1;
   env::PortfolioEnv env(&panel, env_config);
 
-  std::vector<double> curve;
-  double curve_acc = 0.0;
-  int64_t curve_n = 0;
   const int64_t curve_every =
       std::max<int64_t>(1, config_.train_steps / curve_points);
   const float ent_coef = static_cast<float>(config_.entropy_coef);
@@ -223,6 +220,17 @@ std::vector<double> CrossInsightTrader::Train(
   // slot), so a slot's trajectory is a pure function of (params, step,
   // slot) — never of which worker thread ran it or in what order.
   rl::RolloutRunner runner(config_.seed, num_slots);
+
+  // Resuming restores weights, Adam moments, and progress_; because the
+  // rollout streams are counter-split, continuing from update k replays
+  // exactly the trajectories the uninterrupted run would have collected.
+  if (!config_.resume_from.empty()) {
+    const Status resume = LoadCheckpoint(config_.resume_from);
+    CIT_CHECK_MSG(resume.ok(), resume.message().c_str());
+  } else {
+    progress_ = {};
+  }
+  runner.set_next_step(progress_.next_update);
 
   auto mean_of = [](const std::vector<double>& v) {
     double s = 0.0;
@@ -240,7 +248,8 @@ std::vector<double> CrossInsightTrader::Train(
     for (double& v : *adv) v /= stddev;
   };
 
-  for (int64_t step = 0; step < config_.train_steps; ++step) {
+  while (runner.next_step() < config_.train_steps) {
+    const int64_t step = runner.next_step();
     const int64_t lo = env.earliest_start();
     const int64_t hi = env.end_day() - config_.rollout_len - 1;
     std::vector<SlotData> slots(num_slots);
@@ -248,7 +257,7 @@ std::vector<double> CrossInsightTrader::Train(
     // ---- Parallel rollout collection (forward passes only: params are
     // read, never written; each slot owns its env clone, RNG stream, and
     // retained policy-gradient graphs) ----
-    runner.Collect(step, [&](int64_t slot, math::Rng& rng) {
+    runner.Collect([&](int64_t slot, math::Rng& rng) {
       SlotData& sd = slots[slot];
       env::PortfolioEnv senv = env.CloneAt(
           lo + rng.UniformInt(std::max<int64_t>(1, hi - lo)));
@@ -535,14 +544,23 @@ std::vector<double> CrossInsightTrader::Train(
 
     double step_reward = 0.0;
     for (const SlotData& sd : slots) step_reward += mean_of(sd.rewards);
-    curve_acc += step_reward / static_cast<double>(num_slots);
-    ++curve_n;
+    progress_.curve_acc += step_reward / static_cast<double>(num_slots);
+    ++progress_.curve_n;
     if ((step + 1) % curve_every == 0) {
-      curve.push_back(curve_acc / static_cast<double>(curve_n));
-      curve_acc = 0.0;
-      curve_n = 0;
+      progress_.curve.push_back(progress_.curve_acc /
+                                static_cast<double>(progress_.curve_n));
+      progress_.curve_acc = 0.0;
+      progress_.curve_n = 0;
+    }
+    progress_.next_update = step + 1;
+    if (config_.checkpoint_every > 0 && !config_.checkpoint_path.empty() &&
+        (step + 1) % config_.checkpoint_every == 0) {
+      const Status saved = SaveCheckpoint(config_.checkpoint_path);
+      CIT_CHECK_MSG(saved.ok(), saved.message().c_str());
     }
   }
+  std::vector<double> curve = std::move(progress_.curve);
+  progress_ = {};
   Reset();
   return curve;
 }
@@ -586,59 +604,73 @@ std::unique_ptr<env::TradingAgent> CrossInsightTrader::MakePolicyAgent(
   return std::make_unique<SinglePolicyAgent>(this, k);
 }
 
-namespace {
-
-// Flattens all of a trader's networks into one Module for serialization.
-class TraderModules : public nn::Module {
- public:
-  TraderModules(const std::vector<std::unique_ptr<HorizonActor>>& actors,
-                const CrossInsightActor* cross,
-                const CentralizedCritic* critic,
-                const std::vector<std::unique_ptr<DecentralizedCritic>>&
-                    dec_critics)
-      : actors_(actors),
-        cross_(cross),
-        critic_(critic),
-        dec_critics_(dec_critics) {}
-
-  void CollectParameters(const std::string& prefix,
-                         std::vector<nn::NamedParam>* out) const override {
-    for (size_t k = 0; k < actors_.size(); ++k) {
-      actors_[k]->CollectParameters(
-          prefix + "actor" + std::to_string(k) + ".", out);
-    }
-    cross_->CollectParameters(prefix + "cross.", out);
-    if (critic_ != nullptr) critic_->CollectParameters(prefix + "critic.", out);
-    for (size_t k = 0; k < dec_critics_.size(); ++k) {
-      dec_critics_[k]->CollectParameters(
-          prefix + "dec_critic" + std::to_string(k) + ".", out);
-    }
+nn::ModuleGroup CrossInsightTrader::AllModules() const {
+  nn::ModuleGroup group;
+  for (size_t k = 0; k < actors_.size(); ++k) {
+    group.Add("actor" + std::to_string(k) + ".", actors_[k].get());
   }
-
- private:
-  const std::vector<std::unique_ptr<HorizonActor>>& actors_;
-  const CrossInsightActor* cross_;
-  const CentralizedCritic* critic_;
-  const std::vector<std::unique_ptr<DecentralizedCritic>>& dec_critics_;
-};
-
-}  // namespace
+  group.Add("cross.", cross_actor_.get());
+  if (critic_ != nullptr) group.Add("critic.", critic_.get());
+  for (size_t k = 0; k < dec_critics_.size(); ++k) {
+    group.Add("dec_critic" + std::to_string(k) + ".",
+              dec_critics_[k].get());
+  }
+  return group;
+}
 
 Status CrossInsightTrader::SaveModel(const std::string& path) const {
-  TraderModules all(actors_, cross_actor_.get(), critic_.get(),
-                    dec_critics_);
+  nn::ModuleGroup all = AllModules();
   return nn::SaveParameters(all, path);
 }
 
 Status CrossInsightTrader::LoadModel(const std::string& path) {
-  TraderModules all(actors_, cross_actor_.get(), critic_.get(),
-                    dec_critics_);
+  nn::ModuleGroup all = AllModules();
   const Status status = nn::LoadParameters(&all, path);
   if (status.ok()) {
     std::unique_lock<std::shared_mutex> lock(feature_mu_);
     feature_cache_.clear();
   }
   return status;
+}
+
+namespace {
+
+nn::CheckpointMeta TraderMeta(int64_t num_assets,
+                              const CrossInsightConfig& config) {
+  nn::CheckpointMeta meta;
+  meta.trainer = "CIT";
+  meta.num_assets = num_assets;
+  meta.seed = config.seed;
+  meta.arch_tag = config.num_policies;
+  return meta;
+}
+
+}  // namespace
+
+Status CrossInsightTrader::SaveCheckpoint(const std::string& path) const {
+  nn::ModuleGroup all = AllModules();
+  rl::TrainerCheckpointParts parts;
+  parts.meta = TraderMeta(num_assets_, config_);
+  parts.modules = &all;
+  parts.opt_actor = actor_opt_.get();
+  parts.opt_critic = critic_opt_.get();
+  // SaveTrainerCheckpoint only reads through the non-const pointers.
+  parts.progress = const_cast<rl::TrainProgress*>(&progress_);
+  return rl::SaveTrainerCheckpoint(parts, path);
+}
+
+Status CrossInsightTrader::LoadCheckpoint(const std::string& path) {
+  nn::ModuleGroup all = AllModules();
+  rl::TrainerCheckpointParts parts;
+  parts.meta = TraderMeta(num_assets_, config_);
+  parts.modules = &all;
+  parts.opt_actor = actor_opt_.get();
+  parts.opt_critic = critic_opt_.get();
+  parts.progress = &progress_;
+  if (Status s = rl::LoadTrainerCheckpoint(parts, path); !s.ok()) return s;
+  std::unique_lock<std::shared_mutex> lock(feature_mu_);
+  feature_cache_.clear();
+  return Status::OK();
 }
 
 }  // namespace cit::core

@@ -14,7 +14,9 @@
 #include "env/backtest.h"
 #include "market/panel.h"
 #include "math/rng.h"
+#include "nn/checkpoint.h"
 #include "nn/optimizer.h"
+#include "rl/rollout.h"
 
 namespace cit::core {
 
@@ -53,6 +55,14 @@ class CrossInsightTrader : public env::TradingAgent {
   Status SaveModel(const std::string& path) const;
   Status LoadModel(const std::string& path);
 
+  // Full crash-safe training state (weights + both Adam states + training
+  // progress), written atomically. Train() calls this periodically when
+  // config.checkpoint_every > 0 and restores from config.resume_from; a
+  // resumed run is bitwise identical to the uninterrupted one. Loading is
+  // transactional: on any error the trader is unchanged.
+  Status SaveCheckpoint(const std::string& path) const;
+  Status LoadCheckpoint(const std::string& path);
+
   const CrossInsightConfig& config() const { return config_; }
   int64_t num_assets() const { return num_assets_; }
 
@@ -79,6 +89,10 @@ class CrossInsightTrader : public env::TradingAgent {
   DayFeatures ComputeFeatures(const market::PricePanel& panel,
                               int64_t day) const;
 
+  // All networks flattened under stable name prefixes — the parameter set
+  // for SaveModel/LoadModel and checkpoints.
+  nn::ModuleGroup AllModules() const;
+
   int64_t num_assets_;
   CrossInsightConfig config_;
   math::Rng rng_;
@@ -93,6 +107,9 @@ class CrossInsightTrader : public env::TradingAgent {
 
   // Execution state (previous action per horizon policy).
   std::vector<std::vector<double>> held_actions_;
+
+  // In-flight training progress; checkpointed and restored on resume.
+  rl::TrainProgress progress_;
 
   // Per-day feature cache, keyed by day; invalidated when the panel changes.
   // Guarded by feature_mu_; value references stay stable across inserts

@@ -62,6 +62,32 @@ PortfolioEnv PortfolioEnv::CloneAt(int64_t day) const {
   return clone;
 }
 
+PortfolioEnv::EnvCursor PortfolioEnv::Cursor() const {
+  EnvCursor cursor;
+  cursor.day = day_;
+  cursor.wealth = wealth_;
+  cursor.held = held_;
+  return cursor;
+}
+
+Status PortfolioEnv::RestoreCursor(const EnvCursor& cursor) {
+  // day == end_day_ is allowed: that is the done() state.
+  if (cursor.day < config_.window || cursor.day > end_day_) {
+    return Status::InvalidArgument("env cursor day out of range");
+  }
+  if (!std::isfinite(cursor.wealth) || cursor.wealth <= 0.0) {
+    return Status::InvalidArgument("env cursor wealth must be positive");
+  }
+  if (static_cast<int64_t>(cursor.held.size()) != panel_->num_assets() ||
+      !IsValidPortfolio(cursor.held)) {
+    return Status::InvalidArgument("env cursor holdings are not a portfolio");
+  }
+  day_ = cursor.day;
+  wealth_ = cursor.wealth;
+  held_ = cursor.held;
+  return Status::OK();
+}
+
 StepResult PortfolioEnv::Step(const std::vector<double>& weights) {
   CIT_CHECK(!done());
   CIT_CHECK_EQ(static_cast<int64_t>(weights.size()), panel_->num_assets());

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "market/panel.h"
 
 namespace cit::env {
@@ -56,6 +57,19 @@ class PortfolioEnv {
   // Weights executed at the previous step, drifted by realized returns
   // (what the portfolio currently holds before rebalancing).
   const std::vector<double>& previous_weights() const { return held_; }
+
+  // Snapshot of the mutable MDP state, sufficient to recreate this env's
+  // position exactly (the panel and config are reconstructed by the owner).
+  // Used by trainer checkpoints.
+  struct EnvCursor {
+    int64_t day = 0;
+    double wealth = 1.0;
+    std::vector<double> held;
+  };
+  EnvCursor Cursor() const;
+  // Restores a cursor, validating day range and holdings size/feasibility;
+  // on error the env is unchanged.
+  Status RestoreCursor(const EnvCursor& cursor);
 
   // The trailing close-price window ending at the current day, as a
   // [window * num_assets] row-major (time, asset) vector.

@@ -67,6 +67,12 @@ const Tensor& Var::grad() const {
   return node_->grad;
 }
 
+Tensor& Var::mutable_grad() {
+  CIT_CHECK(node_ != nullptr);
+  CIT_CHECK_MSG(node_->has_grad, "gradient not populated; call Backward()");
+  return node_->grad;
+}
+
 void Var::ZeroGrad() {
   CIT_CHECK(node_ != nullptr);
   node_->has_grad = false;

@@ -46,6 +46,10 @@ class Var {
   const Tensor& value() const;
   Tensor& mutable_value();
   const Tensor& grad() const;
+  // Mutable access to the accumulated gradient (requires has_grad()). Used
+  // by the optimizer to rescale gradients in place; going through the
+  // tensor's mutable path keeps copy-on-write storage sharing honest.
+  Tensor& mutable_grad();
   bool has_grad() const { return node_ && node_->has_grad; }
   bool requires_grad() const { return node_ && node_->requires_grad; }
 

@@ -112,6 +112,20 @@ std::vector<double> Rng::Dirichlet(int k, double alpha) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 Rng Rng::Split(uint64_t seed, uint64_t stream, uint64_t substream) {
   // Chain each word through a full SplitMix64 round so nearby
   // (seed, stream, substream) triples land on unrelated states; the final

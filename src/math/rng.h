@@ -49,6 +49,16 @@ class Rng {
   // execute the collection or in which order slots run.
   static Rng Split(uint64_t seed, uint64_t stream, uint64_t substream);
 
+  // Full generator state, exposed so trainers with a sequential RNG (DDPG)
+  // can checkpoint mid-run and resume bitwise-identically.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
   uint64_t s_[4];
   bool has_cached_normal_ = false;

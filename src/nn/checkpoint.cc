@@ -1,0 +1,449 @@
+#include "nn/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+namespace cit::nn {
+namespace {
+
+constexpr char kMagic[] = "CITC1\n";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+constexpr size_t kMaxSectionName = 256;
+// Per-tensor sanity bounds shared by every parser: real models in this
+// repo are far below them, and corrupt length fields must never drive
+// allocations.
+constexpr uint64_t kMaxRank = 16;
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+// ---- CRC32 ------------------------------------------------------------------
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---- ByteWriter -------------------------------------------------------------
+
+void ByteWriter::Raw(const void* data, size_t size) {
+  if (size == 0) return;
+  const auto* p = static_cast<const uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + size);
+}
+
+void ByteWriter::U8(uint8_t v) { Raw(&v, sizeof(v)); }
+void ByteWriter::U32(uint32_t v) { Raw(&v, sizeof(v)); }
+void ByteWriter::U64(uint64_t v) { Raw(&v, sizeof(v)); }
+void ByteWriter::I64(int64_t v) { Raw(&v, sizeof(v)); }
+void ByteWriter::F32(float v) { Raw(&v, sizeof(v)); }
+void ByteWriter::F64(double v) { Raw(&v, sizeof(v)); }
+
+void ByteWriter::Str(const std::string& s) {
+  U64(s.size());
+  Raw(s.data(), s.size());
+}
+
+void ByteWriter::TensorPayload(const math::Tensor& t) {
+  U64(static_cast<uint64_t>(t.ndim()));
+  for (int64_t d : t.shape()) I64(d);
+  Raw(t.data(), static_cast<size_t>(t.numel()) * sizeof(float));
+}
+
+void ByteWriter::DoubleVec(const std::vector<double>& v) {
+  U64(v.size());
+  Raw(v.data(), v.size() * sizeof(double));
+}
+
+// ---- ByteReader -------------------------------------------------------------
+
+bool ByteReader::Take(void* out, size_t n) {
+  if (n == 0) return ok_;
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    std::memset(out, 0, n);
+    return false;
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+uint8_t ByteReader::U8() {
+  uint8_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+uint32_t ByteReader::U32() {
+  uint32_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+uint64_t ByteReader::U64() {
+  uint64_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+int64_t ByteReader::I64() {
+  int64_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+float ByteReader::F32() {
+  float v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+double ByteReader::F64() {
+  double v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+void ByteReader::Bytes(void* out, size_t n) { Take(out, n); }
+
+std::string ByteReader::Str(size_t max_len) {
+  const uint64_t len = U64();
+  if (!ok_ || len > max_len || len > remaining()) {
+    ok_ = false;
+    return std::string();
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<size_t>(len));
+  pos_ += static_cast<size_t>(len);
+  return s;
+}
+
+math::Tensor ByteReader::TensorPayload() {
+  const uint64_t ndim = U64();
+  if (!ok_ || ndim > kMaxRank) {
+    ok_ = false;
+    return math::Tensor();
+  }
+  math::Shape shape(ndim);
+  uint64_t numel = 1;
+  // Each dim and the running product are capped at 2^30 before
+  // multiplying, so the product can never wrap; the payload must also fit
+  // in what is left of the span before anything is allocated.
+  constexpr uint64_t kMaxNumel = uint64_t{1} << 30;
+  for (auto& d : shape) {
+    d = I64();
+    if (!ok_ || d < 0 || static_cast<uint64_t>(d) > kMaxNumel) {
+      ok_ = false;
+      return math::Tensor();
+    }
+    numel *= static_cast<uint64_t>(d);
+    if (numel > kMaxNumel || numel * sizeof(float) > remaining()) {
+      ok_ = false;
+      return math::Tensor();
+    }
+  }
+  math::Tensor t(std::move(shape));
+  Take(t.data(), static_cast<size_t>(numel) * sizeof(float));
+  return t;
+}
+
+std::vector<double> ByteReader::DoubleVec() {
+  const uint64_t len = U64();
+  if (!ok_ || len * sizeof(double) > remaining()) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<double> v(static_cast<size_t>(len));
+  Take(v.data(), v.size() * sizeof(double));
+  return v;
+}
+
+// ---- Atomic file I/O --------------------------------------------------------
+
+Status AtomicWriteFile(const std::string& path, const void* data,
+                       size_t size) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(Errno("cannot open", tmp));
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, p + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IoError(Errno("write failed on", tmp));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  // Order matters: data must be durable before the rename publishes it,
+  // and the directory entry must be durable before we report success.
+  if (::fsync(fd) != 0) {
+    const Status status = Status::IoError(Errno("fsync failed on", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(Errno("close failed on", tmp));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = Status::IoError(Errno("rename failed onto", path));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);  // best effort: rename durability
+    ::close(dirfd);
+  }
+  return Status::OK();
+}
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  out->assign(static_cast<size_t>(size), 0);
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(out->data()), size)) {
+    return Status::IoError("read failed: " + path);
+  }
+  return Status::OK();
+}
+
+// ---- Checkpoint container ---------------------------------------------------
+
+void CheckpointWriter::AddSection(const std::string& name,
+                                  std::vector<uint8_t> payload) {
+  sections_.emplace_back(name, std::move(payload));
+}
+
+Status CheckpointWriter::WriteAtomic(const std::string& path) const {
+  ByteWriter w;
+  w.Raw(kMagic, kMagicLen);
+  w.U64(sections_.size());
+  for (const auto& [name, payload] : sections_) {
+    if (name.empty() || name.size() > kMaxSectionName) {
+      return Status::InvalidArgument("bad section name: " + name);
+    }
+    w.Str(name);
+    w.U64(payload.size());
+    w.U32(Crc32(payload.data(), payload.size()));
+    w.Raw(payload.data(), payload.size());
+  }
+  return AtomicWriteFile(path, w.bytes().data(), w.bytes().size());
+}
+
+Result<CheckpointReader> CheckpointReader::Open(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  if (Status s = ReadFileBytes(path, &bytes); !s.ok()) return s;
+  if (bytes.size() < kMagicLen ||
+      std::memcmp(bytes.data(), kMagic, kMagicLen) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic in " + path);
+  }
+  ByteReader r(bytes.data() + kMagicLen, bytes.size() - kMagicLen);
+  const uint64_t count = r.U64();
+  if (!r.ok()) {
+    return Status::InvalidArgument("truncated checkpoint header in " + path);
+  }
+  CheckpointReader reader;
+  for (uint64_t i = 0; i < count; ++i) {
+    const std::string name = r.Str(kMaxSectionName);
+    const uint64_t payload_len = r.U64();
+    const uint32_t crc = r.U32();
+    if (!r.ok() || name.empty() || payload_len > r.remaining()) {
+      return Status::InvalidArgument("corrupt section header in " + path);
+    }
+    std::vector<uint8_t> payload(static_cast<size_t>(payload_len));
+    r.Bytes(payload.data(), payload.size());
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      return Status::InvalidArgument("checksum mismatch in section '" +
+                                     name + "' of " + path);
+    }
+    if (!reader.sections_.emplace(name, std::move(payload)).second) {
+      return Status::InvalidArgument("duplicate section '" + name +
+                                     "' in " + path);
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after last section in " +
+                                   path);
+  }
+  return reader;
+}
+
+bool CheckpointReader::HasSection(const std::string& name) const {
+  return sections_.count(name) > 0;
+}
+
+Result<ByteReader> CheckpointReader::Section(const std::string& name) const {
+  const auto it = sections_.find(name);
+  if (it == sections_.end()) {
+    return Status::NotFound("checkpoint section '" + name + "' missing");
+  }
+  return ByteReader(it->second);
+}
+
+// ---- Module parameter blobs -------------------------------------------------
+
+void AppendModuleParameters(const Module& module, ByteWriter* out) {
+  const auto params = module.Parameters();
+  out->U64(params.size());
+  for (const auto& p : params) {
+    out->Str(p.name);
+    out->TensorPayload(p.var.value());
+  }
+}
+
+Status ParseParameters(ByteReader* in, const Module& module,
+                       std::vector<math::Tensor>* staged) {
+  const auto params = module.Parameters();
+  const uint64_t count = in->U64();
+  if (!in->ok()) {
+    return Status::InvalidArgument("truncated parameter header");
+  }
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: expected " +
+        std::to_string(params.size()) + ", got " + std::to_string(count));
+  }
+  staged->clear();
+  staged->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const std::string name = in->Str();
+    if (!in->ok()) {
+      return Status::InvalidArgument("corrupt parameter name");
+    }
+    if (name != params[i].name) {
+      return Status::InvalidArgument("parameter name mismatch: expected " +
+                                     params[i].name + ", got " + name);
+    }
+    math::Tensor t = in->TensorPayload();
+    if (!in->ok()) {
+      return Status::InvalidArgument("truncated parameter data for " + name);
+    }
+    if (t.shape() != params[i].var.value().shape()) {
+      return Status::InvalidArgument("parameter shape mismatch for " + name);
+    }
+    const float* data = t.data();
+    for (int64_t j = 0; j < t.numel(); ++j) {
+      if (!std::isfinite(data[j])) {
+        return Status::InvalidArgument("non-finite weight value in " + name);
+      }
+    }
+    staged->push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+void CommitParameters(std::vector<math::Tensor> staged,
+                      const Module& module) {
+  auto params = module.Parameters();
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].var.mutable_value() = std::move(staged[i]);
+  }
+}
+
+Status ReadModuleParameters(ByteReader* in, Module* module) {
+  std::vector<math::Tensor> staged;
+  if (Status s = ParseParameters(in, *module, &staged); !s.ok()) return s;
+  CommitParameters(std::move(staged), *module);
+  return Status::OK();
+}
+
+// ---- Meta section -----------------------------------------------------------
+
+void AppendMeta(const CheckpointMeta& meta, ByteWriter* out) {
+  out->Str(meta.trainer);
+  out->I64(meta.num_assets);
+  out->U64(meta.seed);
+  out->I64(meta.arch_tag);
+}
+
+Status ValidateMeta(ByteReader* in, const CheckpointMeta& expected) {
+  CheckpointMeta got;
+  got.trainer = in->Str(64);
+  got.num_assets = in->I64();
+  got.seed = in->U64();
+  got.arch_tag = in->I64();
+  if (!in->ok() || !in->AtEnd()) {
+    return Status::InvalidArgument("corrupt checkpoint meta section");
+  }
+  if (got.trainer != expected.trainer) {
+    return Status::InvalidArgument("checkpoint is for trainer '" +
+                                   got.trainer + "', expected '" +
+                                   expected.trainer + "'");
+  }
+  if (got.num_assets != expected.num_assets) {
+    return Status::InvalidArgument(
+        "checkpoint asset count mismatch: saved " +
+        std::to_string(got.num_assets) + ", expected " +
+        std::to_string(expected.num_assets));
+  }
+  if (got.seed != expected.seed) {
+    return Status::InvalidArgument("checkpoint seed mismatch: saved " +
+                                   std::to_string(got.seed) +
+                                   ", expected " +
+                                   std::to_string(expected.seed));
+  }
+  if (got.arch_tag != expected.arch_tag) {
+    return Status::InvalidArgument("checkpoint architecture mismatch");
+  }
+  return Status::OK();
+}
+
+// ---- Module grouping --------------------------------------------------------
+
+ModuleGroup& ModuleGroup::Add(const std::string& prefix,
+                              const Module* module) {
+  entries_.push_back({prefix, module, ag::Var()});
+  return *this;
+}
+
+ModuleGroup& ModuleGroup::AddVar(const std::string& name,
+                                 const ag::Var& var) {
+  entries_.push_back({name, nullptr, var});
+  return *this;
+}
+
+void ModuleGroup::CollectParameters(const std::string& prefix,
+                                    std::vector<NamedParam>* out) const {
+  for (const auto& e : entries_) {
+    if (e.module != nullptr) {
+      e.module->CollectParameters(prefix + e.name, out);
+    } else {
+      out->push_back({prefix + e.name, e.var});
+    }
+  }
+}
+
+}  // namespace cit::nn

@@ -1,0 +1,206 @@
+#ifndef CIT_NN_CHECKPOINT_H_
+#define CIT_NN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "math/tensor.h"
+#include "nn/module.h"
+
+namespace cit::nn {
+
+// Crash-safe checkpoint container ("CITC1"), plus the byte-stream helpers
+// every serialization path in the repo builds on.
+//
+// Layout:
+//   magic "CITC1\n"
+//   u64 section_count
+//   per section: u64 name_len, name bytes, u64 payload_len,
+//                u32 crc32(payload), payload bytes
+//
+// Guarantees (see DESIGN.md "Checkpointing"):
+//  - WriteAtomic never leaves a torn file at `path`: the container is
+//    written to `path + ".tmp"`, fsync'd, renamed over `path`, and the
+//    parent directory is fsync'd. A crash at any instant leaves either the
+//    previous checkpoint or the new one.
+//  - Open validates the magic, every section header, every section CRC32,
+//    and that no bytes trail the last section before returning a reader,
+//    so any torn, truncated, or bit-flipped file is rejected with a clean
+//    Status — consumers never parse unverified bytes.
+
+// ---- CRC32 ------------------------------------------------------------------
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `size` bytes.
+uint32_t Crc32(const void* data, size_t size);
+
+// ---- Byte-stream helpers ----------------------------------------------------
+
+// Appends fixed-width little-endian primitives and length-prefixed
+// composites to a growing byte buffer.
+class ByteWriter {
+ public:
+  void U8(uint8_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v);
+  void F32(float v);
+  void F64(double v);
+  void Raw(const void* data, size_t size);
+  // u64 length + bytes.
+  void Str(const std::string& s);
+  // u64 ndim, i64 dims, raw float payload.
+  void TensorPayload(const math::Tensor& t);
+  // u64 length + f64 elements.
+  void DoubleVec(const std::vector<double>& v);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// Bounds-checked reads over a borrowed byte span. Any underflow or
+// out-of-range length permanently fails the reader (`ok()` turns false and
+// every subsequent read returns a zero value); callers validate `ok()` —
+// and usually `AtEnd()` — once after parsing instead of after every field.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64();
+  float F32();
+  double F64();
+  // Raw bytes (zero-filled on underflow, like every other read).
+  void Bytes(void* out, size_t n);
+  // Rejects lengths above `max_len` (corrupt length fields must not drive
+  // allocations).
+  std::string Str(size_t max_len = 4096);
+  // Validates rank <= 16, non-negative dims, and that the float payload
+  // fits in the remaining bytes before allocating.
+  math::Tensor TensorPayload();
+  std::vector<double> DoubleVec();
+
+ private:
+  bool Take(void* out, size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- Atomic file I/O --------------------------------------------------------
+
+// Writes `size` bytes to `path` via tmp-file + fsync + rename (+ directory
+// fsync), so `path` always holds either its previous contents or the full
+// new contents — never a torn write.
+Status AtomicWriteFile(const std::string& path, const void* data,
+                       size_t size);
+
+// Reads a whole file. Missing/unreadable files are IoError.
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+// ---- Checkpoint container ---------------------------------------------------
+
+class CheckpointWriter {
+ public:
+  // Adds a named section (names must be unique; checked on write).
+  void AddSection(const std::string& name, std::vector<uint8_t> payload);
+
+  // Serializes the container and writes it atomically to `path`.
+  Status WriteAtomic(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> sections_;
+};
+
+class CheckpointReader {
+ public:
+  // Reads and fully validates a container: magic, section headers, CRC32
+  // of every payload, no duplicate names, no trailing bytes. A failure
+  // here is the only way corruption surfaces — sections handed out below
+  // are already checksum-verified.
+  static Result<CheckpointReader> Open(const std::string& path);
+
+  bool HasSection(const std::string& name) const;
+  // Reader over a section's payload (borrowed from this object, which must
+  // outlive it). NotFound if absent.
+  Result<ByteReader> Section(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::vector<uint8_t>> sections_;
+};
+
+// ---- Module parameter blobs -------------------------------------------------
+
+// Appends every named parameter of `module`: u64 count, then per parameter
+// a name string, u64 ndim, i64 dims, raw float payload. This is also the
+// body of the standalone CITW1 weights file (nn/serialize.h).
+void AppendModuleParameters(const Module& module, ByteWriter* out);
+
+// Parses a parameter blob, validating the count, every name, every shape,
+// and that every value is finite against `module` — without touching the
+// module. On success `staged` holds one tensor per parameter, in order.
+Status ParseParameters(ByteReader* in, const Module& module,
+                       std::vector<math::Tensor>* staged);
+
+// Installs tensors staged by ParseParameters (infallible).
+void CommitParameters(std::vector<math::Tensor> staged, const Module& module);
+
+// ParseParameters + CommitParameters: fails without modifying `module`.
+Status ReadModuleParameters(ByteReader* in, Module* module);
+
+// ---- Meta section -----------------------------------------------------------
+
+// Identity of the producer of a checkpoint; a resume validates it against
+// the consuming trainer so a checkpoint never silently loads into the
+// wrong trainer, asset universe, or architecture.
+struct CheckpointMeta {
+  std::string trainer;    // e.g. "CIT", "A2C", "PPO", "DDPG"
+  int64_t num_assets = 0;
+  uint64_t seed = 0;
+  int64_t arch_tag = 0;   // trainer-specific (num_policies, hidden, ...)
+};
+
+void AppendMeta(const CheckpointMeta& meta, ByteWriter* out);
+// Parses a meta section and checks every field against `expected`.
+Status ValidateMeta(ByteReader* in, const CheckpointMeta& expected);
+
+// ---- Module grouping --------------------------------------------------------
+
+// Flattens several modules (each under a name prefix) plus bare named Vars
+// into one Module view, so a trainer's whole parameter set serializes as a
+// single blob. Borrows the modules; they must outlive the group.
+class ModuleGroup : public Module {
+ public:
+  ModuleGroup& Add(const std::string& prefix, const Module* module);
+  ModuleGroup& AddVar(const std::string& name, const ag::Var& var);
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) const override;
+
+ private:
+  struct Entry {
+    std::string name;          // prefix (module) or full name (var)
+    const Module* module;      // nullptr for a bare var
+    ag::Var var;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace cit::nn
+
+#endif  // CIT_NN_CHECKPOINT_H_

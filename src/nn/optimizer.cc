@@ -1,6 +1,8 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "common/check.h"
 
@@ -24,11 +26,70 @@ float Optimizer::ClipGradNorm(float max_norm) {
     const float scale = max_norm / norm;
     for (auto& p : params_) {
       if (!p.has_grad()) continue;
-      // Scale in place through the node.
-      const_cast<Tensor&>(p.grad()).MulScalarInPlace(scale);
+      // mutable_grad (not const_cast on grad()) so copy-on-write storage
+      // detaches: a gradient whose buffer is shared with another tensor
+      // view must not rescale that view too.
+      p.mutable_grad().MulScalarInPlace(scale);
     }
   }
   return norm;
+}
+
+Status Optimizer::LoadState(ByteReader* in) {
+  StagedState staged;
+  if (Status s = ParseState(in, &staged); !s.ok()) return s;
+  CommitState(std::move(staged));
+  return Status::OK();
+}
+
+void Optimizer::AppendSlots(const std::vector<Tensor>& slots,
+                            ByteWriter* out) const {
+  out->U64(slots.size());
+  for (const Tensor& t : slots) {
+    // Lazily-initialized slots serialize as absent; a default Tensor has no
+    // shape, so it cannot round-trip through TensorPayload.
+    out->U8(t.empty() ? 0 : 1);
+    if (!t.empty()) out->TensorPayload(t);
+  }
+}
+
+Status Optimizer::ParseSlots(ByteReader* in, const char* what,
+                             std::vector<Tensor>* staged) const {
+  const uint64_t count = in->U64();
+  if (!in->ok() || count != params_.size()) {
+    return Status::InvalidArgument(std::string("optimizer ") + what +
+                                   " slot count mismatch");
+  }
+  staged->clear();
+  staged->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t present = in->U8();
+    if (!in->ok() || present > 1) {
+      return Status::InvalidArgument(std::string("corrupt optimizer ") + what +
+                                     " slot flag");
+    }
+    if (!present) {
+      staged->emplace_back();
+      continue;
+    }
+    Tensor t = in->TensorPayload();
+    if (!in->ok()) {
+      return Status::InvalidArgument(std::string("truncated optimizer ") +
+                                     what + " slot");
+    }
+    if (!(t.shape() == params_[i].shape())) {
+      return Status::InvalidArgument(std::string("optimizer ") + what +
+                                     " slot shape mismatch");
+    }
+    for (int64_t j = 0; j < t.numel(); ++j) {
+      if (!std::isfinite(t[j])) {
+        return Status::InvalidArgument(std::string("non-finite optimizer ") +
+                                       what + " slot value");
+      }
+    }
+    staged->push_back(std::move(t));
+  }
+  return Status::OK();
 }
 
 Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
@@ -53,6 +114,23 @@ void Sgd::Step() {
       for (int64_t j = 0; j < w.numel(); ++j) w[j] -= lr_ * g[j];
     }
   }
+}
+
+void Sgd::SaveState(ByteWriter* out) const {
+  out->I64(0);  // no step counter
+  AppendSlots(velocity_, out);
+}
+
+Status Sgd::ParseState(ByteReader* in, StagedState* staged) const {
+  staged->t = in->I64();
+  if (!in->ok() || staged->t != 0) {
+    return Status::InvalidArgument("corrupt SGD state header");
+  }
+  return ParseSlots(in, "velocity", &staged->slots_a);
+}
+
+void Sgd::CommitState(StagedState staged) {
+  velocity_ = std::move(staged.slots_a);
 }
 
 Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
@@ -95,6 +173,27 @@ void Adam::Step() {
   }
 }
 
+void Adam::SaveState(ByteWriter* out) const {
+  out->I64(t_);
+  AppendSlots(m_, out);
+  AppendSlots(v_, out);
+}
+
+Status Adam::ParseState(ByteReader* in, StagedState* staged) const {
+  staged->t = in->I64();
+  if (!in->ok() || staged->t < 0) {
+    return Status::InvalidArgument("corrupt Adam state header");
+  }
+  if (Status s = ParseSlots(in, "m", &staged->slots_a); !s.ok()) return s;
+  return ParseSlots(in, "v", &staged->slots_b);
+}
+
+void Adam::CommitState(StagedState staged) {
+  t_ = staged.t;
+  m_ = std::move(staged.slots_a);
+  v_ = std::move(staged.slots_b);
+}
+
 void CopyParameters(const Module& src, Module* dst) {
   const auto from = src.Parameters();
   auto to = dst->Parameters();
@@ -110,6 +209,10 @@ void SoftUpdateParameters(const Module& src, Module* dst, float tau) {
   auto to = dst->Parameters();
   CIT_CHECK_EQ(from.size(), to.size());
   for (size_t i = 0; i < from.size(); ++i) {
+    // Count equality alone is not enough: two nets can have the same number
+    // of parameter tensors with different shapes, and blending mismatched
+    // buffers would read out of bounds.
+    CIT_CHECK(from[i].var.shape() == to[i].var.shape());
     Tensor& w = to[i].var.mutable_value();
     const Tensor& s = from[i].var.value();
     for (int64_t j = 0; j < w.numel(); ++j) {

@@ -3,7 +3,9 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "math/autograd.h"
+#include "nn/checkpoint.h"
 #include "nn/module.h"
 
 namespace cit::nn {
@@ -27,7 +29,30 @@ class Optimizer {
 
   const std::vector<Var>& params() const { return params_; }
 
+  // Checkpoint support. Serialized state: i64 step counter, then one or two
+  // groups of per-parameter slot tensors (Adam: m then v; SGD: velocity),
+  // each slot a u8 present flag + tensor payload (lazily-initialized slots
+  // stay absent). Loading is staged: ParseState validates slot count,
+  // shapes, and finiteness against `params_` without mutating anything, and
+  // CommitState installs the result, so LoadState fails cleanly.
+  struct StagedState {
+    std::vector<Tensor> slots_a;
+    std::vector<Tensor> slots_b;
+    int64_t t = 0;
+  };
+  virtual void SaveState(ByteWriter* out) const = 0;
+  virtual Status ParseState(ByteReader* in, StagedState* staged) const = 0;
+  virtual void CommitState(StagedState staged) = 0;
+  // ParseState + CommitState.
+  Status LoadState(ByteReader* in);
+
  protected:
+  // Shared slot-group (de)serialization for the SaveState/ParseState
+  // implementations.
+  void AppendSlots(const std::vector<Tensor>& slots, ByteWriter* out) const;
+  Status ParseSlots(ByteReader* in, const char* what,
+                    std::vector<Tensor>* staged) const;
+
   std::vector<Var> params_;
 };
 
@@ -39,6 +64,10 @@ class Sgd : public Optimizer {
   void Step() override;
 
   void set_lr(float lr) { lr_ = lr; }
+
+  void SaveState(ByteWriter* out) const override;
+  Status ParseState(ByteReader* in, StagedState* staged) const override;
+  void CommitState(StagedState staged) override;
 
  private:
   float lr_;
@@ -57,6 +86,10 @@ class Adam : public Optimizer {
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
+
+  void SaveState(ByteWriter* out) const override;
+  Status ParseState(ByteReader* in, StagedState* staged) const override;
+  void CommitState(StagedState staged) override;
 
  private:
   float lr_;

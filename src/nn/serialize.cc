@@ -1,97 +1,45 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
-#include <fstream>
+#include <cstring>
 #include <vector>
+
+#include "nn/checkpoint.h"
 
 namespace cit::nn {
 namespace {
 
 constexpr char kMagic[] = "CITW1\n";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
 
 }  // namespace
 
 Status SaveParameters(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out.write(kMagic, sizeof(kMagic) - 1);
-  const auto params = module.Parameters();
-  const uint64_t count = params.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& p : params) {
-    const uint64_t name_len = p.name.size();
-    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    out.write(p.name.data(), static_cast<std::streamsize>(name_len));
-    const auto& shape = p.var.value().shape();
-    const uint64_t ndim = shape.size();
-    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
-    for (int64_t d : shape) {
-      const int64_t dim = d;
-      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
-    }
-    const math::Tensor& value = p.var.value();
-    out.write(reinterpret_cast<const char*>(value.data()),
-              static_cast<std::streamsize>(value.numel() *
-                                           static_cast<int64_t>(sizeof(float))));
-  }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  ByteWriter w;
+  w.Raw(kMagic, kMagicLen);
+  AppendModuleParameters(module, &w);
+  return AtomicWriteFile(path, w.bytes().data(), w.bytes().size());
 }
 
 Status LoadParameters(Module* module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  char magic[sizeof(kMagic) - 1];
-  in.read(magic, sizeof(magic));
-  if (!in || std::string(magic, sizeof(magic)) != kMagic) {
+  std::vector<uint8_t> bytes;
+  if (Status s = ReadFileBytes(path, &bytes); !s.ok()) return s;
+  if (bytes.size() < kMagicLen ||
+      std::memcmp(bytes.data(), kMagic, kMagicLen) != 0) {
     return Status::InvalidArgument("bad magic in " + path);
   }
-  uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  auto params = module->Parameters();
-  if (count != params.size()) {
-    return Status::InvalidArgument("parameter count mismatch in " + path);
-  }
-
-  // Parse everything into staging first so a malformed file leaves the
-  // module untouched.
+  ByteReader r(bytes.data() + kMagicLen, bytes.size() - kMagicLen);
+  // Parse everything into staging first (validating names, shapes, and
+  // finiteness) so a malformed file leaves the module untouched.
   std::vector<math::Tensor> staged;
-  staged.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t name_len = 0;
-    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    if (!in || name_len > 4096) {
-      return Status::InvalidArgument("corrupt parameter name length");
-    }
-    std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
-    if (name != params[i].name) {
-      return Status::InvalidArgument("parameter name mismatch: expected " +
-                                     params[i].name + ", got " + name);
-    }
-    uint64_t ndim = 0;
-    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
-    if (!in || ndim > 16) {
-      return Status::InvalidArgument("corrupt parameter rank");
-    }
-    math::Shape shape(ndim);
-    for (auto& d : shape) {
-      in.read(reinterpret_cast<char*>(&d), sizeof(d));
-      if (!in || d < 0) return Status::InvalidArgument("corrupt dim");
-    }
-    if (shape != params[i].var.value().shape()) {
-      return Status::InvalidArgument("parameter shape mismatch for " +
-                                     name);
-    }
-    math::Tensor t(shape);
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
-    if (!in) return Status::InvalidArgument("truncated parameter data");
-    staged.push_back(std::move(t));
+  if (Status s = ParseParameters(&r, *module, &staged); !s.ok()) {
+    return Status(s.code(), s.message() + " in " + path);
   }
-  for (uint64_t i = 0; i < count; ++i) {
-    params[i].var.mutable_value() = std::move(staged[i]);
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after last tensor in " +
+                                   path);
   }
+  CommitParameters(std::move(staged), *module);
   return Status::OK();
 }
 

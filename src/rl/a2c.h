@@ -5,13 +5,16 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "env/backtest.h"
 #include "market/panel.h"
 #include "math/rng.h"
+#include "nn/checkpoint.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 #include "rl/config.h"
 #include "rl/gaussian_policy.h"
+#include "rl/rollout.h"
 
 namespace cit::rl {
 
@@ -36,6 +39,13 @@ class A2cAgent : public env::TradingAgent {
   std::vector<double> DecideWeights(const market::PricePanel& panel,
                                     int64_t day) override;
 
+  // Full crash-safe training state (weights + Adam states + progress),
+  // written atomically; driven by config.checkpoint_every / resume_from. A
+  // resumed run is bitwise identical to the uninterrupted one. Loading is
+  // transactional: on any error the agent is unchanged.
+  Status SaveCheckpoint(const std::string& path) const;
+  Status LoadCheckpoint(const std::string& path);
+
  protected:
   // Subclasses (e.g. SARL) may extend the state with `extra_state_dim`
   // additional features produced by ExtraState().
@@ -53,6 +63,10 @@ class A2cAgent : public env::TradingAgent {
   ag::Var PolicyInput(const market::PricePanel& panel, int64_t day,
                       const std::vector<double>& held) const;
 
+  // Actor + critic + log_std under stable names — the checkpoint parameter
+  // set.
+  nn::ModuleGroup AllModules() const;
+
   int64_t num_assets_;
   int64_t extra_state_dim_;
   RlTrainConfig config_;
@@ -63,6 +77,7 @@ class A2cAgent : public env::TradingAgent {
   std::unique_ptr<nn::Adam> actor_opt_;
   std::unique_ptr<nn::Adam> critic_opt_;
   std::vector<double> held_;  // previous weights (part of the state)
+  TrainProgress progress_;    // in-flight training progress (checkpointed)
 };
 
 }  // namespace cit::rl

@@ -2,6 +2,7 @@
 #define CIT_RL_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 namespace cit::rl {
 
@@ -28,6 +29,15 @@ struct RlTrainConfig {
   int64_t hidden = 32;
   uint64_t seed = 1;
   float init_log_std = -1.0f;
+
+  // Crash-safe checkpointing (see DESIGN.md "Checkpointing"). Every
+  // `checkpoint_every` updates the full training state is written
+  // atomically to `checkpoint_path`; 0 disables. A non-empty `resume_from`
+  // makes Train() restore that checkpoint and continue — bitwise identical
+  // to the uninterrupted run, at any CIT_NUM_THREADS.
+  int64_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  std::string resume_from;
 };
 
 }  // namespace cit::rl

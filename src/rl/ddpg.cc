@@ -1,6 +1,7 @@
 #include "rl/ddpg.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "env/portfolio_env.h"
@@ -113,13 +114,26 @@ std::vector<double> DdpgAgent::Train(const market::PricePanel& panel,
   env.ResetAt(env.earliest_start());
   Reset();
 
-  std::vector<double> curve;
-  double curve_acc = 0.0;
-  int64_t curve_n = 0;
   const int64_t total_steps = config_.train_steps;
   const int64_t curve_every = std::max<int64_t>(1, total_steps / curve_points);
 
-  for (int64_t step = 0; step < total_steps; ++step) {
+  // Resuming restores weights (incl. target nets), Adam moments, the
+  // sequential RNG, the replay buffer, held_, and progress_; the env is
+  // put back exactly where the checkpointed run stood, so the continuation
+  // is bitwise identical to an uninterrupted run.
+  if (!config_.resume_from.empty()) {
+    const Status resume = LoadCheckpoint(config_.resume_from);
+    CIT_CHECK_MSG(resume.ok(), resume.message().c_str());
+    if (has_env_cursor_) {
+      const Status cursor = env.RestoreCursor(env_cursor_);
+      CIT_CHECK_MSG(cursor.ok(), cursor.message().c_str());
+    }
+  } else {
+    progress_ = {};
+    has_env_cursor_ = false;
+  }
+
+  for (int64_t step = progress_.next_update; step < total_steps; ++step) {
     if (env.done()) {
       env.ResetAt(env.earliest_start() +
                   rng_.UniformInt(std::max<int64_t>(
@@ -152,16 +166,198 @@ std::vector<double> DdpgAgent::Train(const market::PricePanel& panel,
     }
     if (step >= config_.warmup_steps) UpdateFromReplay();
 
-    curve_acc += r.reward * config_.reward_scale;
-    ++curve_n;
+    progress_.curve_acc += r.reward * config_.reward_scale;
+    ++progress_.curve_n;
     if ((step + 1) % curve_every == 0) {
-      curve.push_back(curve_acc / static_cast<double>(curve_n));
-      curve_acc = 0.0;
-      curve_n = 0;
+      progress_.curve.push_back(progress_.curve_acc /
+                                static_cast<double>(progress_.curve_n));
+      progress_.curve_acc = 0.0;
+      progress_.curve_n = 0;
+    }
+    progress_.next_update = step + 1;
+    env_cursor_ = env.Cursor();
+    has_env_cursor_ = true;
+    if (config_.checkpoint_every > 0 && !config_.checkpoint_path.empty() &&
+        (step + 1) % config_.checkpoint_every == 0) {
+      const Status saved = SaveCheckpoint(config_.checkpoint_path);
+      CIT_CHECK_MSG(saved.ok(), saved.message().c_str());
     }
   }
+  std::vector<double> curve = std::move(progress_.curve);
+  progress_ = {};
+  has_env_cursor_ = false;
   Reset();
   return curve;
+}
+
+nn::ModuleGroup DdpgAgent::AllModules() const {
+  nn::ModuleGroup group;
+  group.Add("actor.", actor_.get());
+  group.Add("critic.", critic_.get());
+  group.Add("target_actor.", target_actor_.get());
+  group.Add("target_critic.", target_critic_.get());
+  return group;
+}
+
+nn::CheckpointMeta DdpgAgent::Meta() const {
+  nn::CheckpointMeta meta;
+  meta.trainer = name();
+  meta.num_assets = num_assets_;
+  meta.seed = config_.seed;
+  meta.arch_tag = config_.hidden;
+  return meta;
+}
+
+Status DdpgAgent::SaveCheckpoint(const std::string& path) const {
+  nn::ModuleGroup all = AllModules();
+  TrainerCheckpointParts parts;
+  parts.meta = Meta();
+  parts.modules = &all;
+  parts.opt_actor = actor_opt_.get();
+  parts.opt_critic = critic_opt_.get();
+  // SaveTrainerCheckpoint only reads through the non-const pointers.
+  parts.progress = const_cast<TrainProgress*>(&progress_);
+  return SaveTrainerCheckpoint(parts, path, [&](nn::CheckpointWriter* w) {
+    {
+      nn::ByteWriter b;
+      const math::Rng::State rs = rng_.SaveState();
+      for (uint64_t word : rs.s) b.U64(word);
+      b.U8(rs.has_cached_normal ? 1 : 0);
+      b.F64(rs.cached_normal);
+      w->AddSection("rng", b.Take());
+    }
+    {
+      nn::ByteWriter b;
+      b.U64(replay_.size());
+      b.U64(static_cast<uint64_t>(replay_next_));
+      for (const Transition& tr : replay_) {
+        b.TensorPayload(tr.state);
+        b.TensorPayload(tr.action);
+        b.F64(tr.reward);
+        b.TensorPayload(tr.next_state);
+      }
+      w->AddSection("replay", b.Take());
+    }
+    {
+      nn::ByteWriter b;
+      b.U8(has_env_cursor_ ? 1 : 0);
+      b.I64(env_cursor_.day);
+      b.F64(env_cursor_.wealth);
+      b.DoubleVec(env_cursor_.held);
+      b.DoubleVec(held_);
+      w->AddSection("env", b.Take());
+    }
+  });
+}
+
+Status DdpgAgent::LoadCheckpoint(const std::string& path) {
+  nn::ModuleGroup all = AllModules();
+  TrainerCheckpointParts parts;
+  parts.meta = Meta();
+  parts.modules = &all;
+  parts.opt_actor = actor_opt_.get();
+  parts.opt_critic = critic_opt_.get();
+  parts.progress = &progress_;
+
+  // Trainer-specific state is staged here by the parse callback and only
+  // committed after every section of the checkpoint validated.
+  math::Rng::State rng_state;
+  std::vector<Transition> replay;
+  int64_t replay_next = 0;
+  env::PortfolioEnv::EnvCursor cursor;
+  bool has_cursor = false;
+  std::vector<double> held;
+  const int64_t state_dim = config_.window * num_assets_ + num_assets_;
+
+  auto finite = [](const Tensor& t) {
+    for (int64_t j = 0; j < t.numel(); ++j) {
+      if (!std::isfinite(t[j])) return false;
+    }
+    return true;
+  };
+
+  const Status status = LoadTrainerCheckpoint(
+      parts, path, [&](const nn::CheckpointReader& ckpt) -> Status {
+        {
+          auto section = ckpt.Section("rng");
+          if (!section.ok()) return section.status();
+          nn::ByteReader b = section.value();
+          for (uint64_t& word : rng_state.s) word = b.U64();
+          const uint8_t cached = b.U8();
+          rng_state.cached_normal = b.F64();
+          if (!b.ok() || !b.AtEnd() || cached > 1 ||
+              (cached == 1 && !std::isfinite(rng_state.cached_normal))) {
+            return Status::InvalidArgument("corrupt rng section");
+          }
+          rng_state.has_cached_normal = cached == 1;
+        }
+        {
+          auto section = ckpt.Section("replay");
+          if (!section.ok()) return section.status();
+          nn::ByteReader b = section.value();
+          const uint64_t size = b.U64();
+          const uint64_t next = b.U64();
+          if (!b.ok() ||
+              size > static_cast<uint64_t>(config_.replay_capacity) ||
+              next > size ||
+              next >= static_cast<uint64_t>(config_.replay_capacity)) {
+            return Status::InvalidArgument("corrupt replay header");
+          }
+          replay.reserve(size);
+          for (uint64_t i = 0; i < size; ++i) {
+            Transition tr;
+            tr.state = b.TensorPayload();
+            tr.action = b.TensorPayload();
+            tr.reward = b.F64();
+            tr.next_state = b.TensorPayload();
+            if (!b.ok() || tr.state.numel() != state_dim ||
+                tr.action.numel() != num_assets_ ||
+                tr.next_state.numel() != state_dim ||
+                !std::isfinite(tr.reward) || !finite(tr.state) ||
+                !finite(tr.action) || !finite(tr.next_state)) {
+              return Status::InvalidArgument("corrupt replay transition");
+            }
+            replay.push_back(std::move(tr));
+          }
+          if (!b.AtEnd()) {
+            return Status::InvalidArgument(
+                "trailing bytes in replay section");
+          }
+          replay_next = static_cast<int64_t>(next);
+        }
+        {
+          auto section = ckpt.Section("env");
+          if (!section.ok()) return section.status();
+          nn::ByteReader b = section.value();
+          const uint8_t flag = b.U8();
+          cursor.day = b.I64();
+          cursor.wealth = b.F64();
+          cursor.held = b.DoubleVec();
+          held = b.DoubleVec();
+          if (!b.ok() || !b.AtEnd() || flag > 1 ||
+              static_cast<int64_t>(held.size()) != num_assets_ ||
+              !env::IsValidPortfolio(held)) {
+            return Status::InvalidArgument("corrupt env section");
+          }
+          if (flag == 1 &&
+              (static_cast<int64_t>(cursor.held.size()) != num_assets_ ||
+               !env::IsValidPortfolio(cursor.held) ||
+               !std::isfinite(cursor.wealth) || cursor.wealth <= 0.0)) {
+            return Status::InvalidArgument("corrupt env cursor");
+          }
+          has_cursor = flag == 1;
+        }
+        return Status::OK();
+      });
+  if (!status.ok()) return status;
+
+  rng_.RestoreState(rng_state);
+  replay_ = std::move(replay);
+  replay_next_ = replay_next;
+  env_cursor_ = std::move(cursor);
+  has_env_cursor_ = has_cursor;
+  held_ = std::move(held);
+  return Status::OK();
 }
 
 std::vector<double> DdpgAgent::DecideWeights(const market::PricePanel& panel,

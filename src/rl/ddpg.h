@@ -5,13 +5,17 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "env/backtest.h"
+#include "env/portfolio_env.h"
 #include "market/panel.h"
 #include "math/rng.h"
+#include "nn/checkpoint.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 #include "rl/config.h"
 #include "rl/gaussian_policy.h"
+#include "rl/rollout.h"
 
 namespace cit::rl {
 
@@ -40,6 +44,16 @@ class DdpgAgent : public env::TradingAgent {
   std::vector<double> DecideWeights(const market::PricePanel& panel,
                                     int64_t day) override;
 
+  // Full crash-safe training state, written atomically; driven by
+  // config.checkpoint_every / resume_from. On top of the shared sections
+  // (weights incl. target nets, both Adam states, progress) DDPG
+  // checkpoints its sequential RNG, the replay buffer, the env cursor, and
+  // the held weights, so a resumed run is bitwise identical to the
+  // uninterrupted one. Loading is transactional: on any error the agent is
+  // unchanged.
+  Status SaveCheckpoint(const std::string& path) const;
+  Status LoadCheckpoint(const std::string& path);
+
  private:
   struct Transition {
     Tensor state;
@@ -50,6 +64,11 @@ class DdpgAgent : public env::TradingAgent {
 
   Tensor StateTensor(const market::PricePanel& panel, int64_t day) const;
   void UpdateFromReplay();
+
+  // All four networks under stable names — the checkpoint parameter set.
+  // Target networks are included: soft updates make them distinct state.
+  nn::ModuleGroup AllModules() const;
+  nn::CheckpointMeta Meta() const;
 
   int64_t num_assets_;
   DdpgConfig config_;
@@ -63,6 +82,11 @@ class DdpgAgent : public env::TradingAgent {
   std::vector<Transition> replay_;
   int64_t replay_next_ = 0;
   std::vector<double> held_;
+  TrainProgress progress_;  // in-flight training progress (checkpointed)
+  // Where Train's env stood after the last completed update; restored on
+  // resume so the episode continues mid-stream.
+  env::PortfolioEnv::EnvCursor env_cursor_;
+  bool has_env_cursor_ = false;
 };
 
 }  // namespace cit::rl

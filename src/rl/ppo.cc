@@ -54,9 +54,6 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
   env_config.end_day = panel.train_end() - 1;
   env::PortfolioEnv env(&panel, env_config);
 
-  std::vector<double> curve;
-  double curve_acc = 0.0;
-  int64_t curve_n = 0;
   const int64_t curve_every =
       std::max<int64_t>(1, config_.train_steps / curve_points);
   const int64_t num_slots =
@@ -64,6 +61,17 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
   // Each slot's stream is Split(seed, step, slot): trajectories are a pure
   // function of (params, step, slot), independent of worker scheduling.
   RolloutRunner runner(config_.seed, num_slots);
+
+  // Resuming restores weights, Adam moments, and progress_; counter-split
+  // streams make the continuation bitwise identical to an uninterrupted
+  // run.
+  if (!config_.resume_from.empty()) {
+    const Status resume = LoadCheckpoint(config_.resume_from);
+    CIT_CHECK_MSG(resume.ok(), resume.message().c_str());
+  } else {
+    progress_ = {};
+  }
+  runner.set_next_step(progress_.next_update);
 
   // One slot's frozen (old-policy) rollout statistics; the surrogate
   // epochs below re-walk slots serially in slot order.
@@ -76,12 +84,13 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
     std::vector<double> targets;
   };
 
-  for (int64_t step = 0; step < config_.train_steps; ++step) {
+  while (runner.next_step() < config_.train_steps) {
+    const int64_t step = runner.next_step();
     const int64_t lo = env.earliest_start();
     const int64_t hi = env.end_day() - config_.rollout_len - 1;
     std::vector<SlotData> slots(num_slots);
 
-    runner.Collect(step, [&](int64_t slot, math::Rng& rng) {
+    runner.Collect([&](int64_t slot, math::Rng& rng) {
       SlotData& sd = slots[slot];
       env::PortfolioEnv senv = env.CloneAt(
           lo + rng.UniformInt(std::max<int64_t>(1, hi - lo)));
@@ -122,7 +131,10 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
     for (const SlotData& sd : slots) {
       total_steps += static_cast<int64_t>(sd.states.size());
     }
-    if (total_steps == 0) continue;
+    if (total_steps == 0) {
+      progress_.next_update = step + 1;
+      continue;
+    }
 
     // Clipped-surrogate epochs over all collected segments; per-slot
     // gradients accumulate in slot order, one optimizer step per epoch.
@@ -170,16 +182,62 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
         step_reward += mean_reward / static_cast<double>(sd.rewards.size());
       }
     }
-    curve_acc += step_reward / static_cast<double>(num_slots);
-    ++curve_n;
+    progress_.curve_acc += step_reward / static_cast<double>(num_slots);
+    ++progress_.curve_n;
     if ((step + 1) % curve_every == 0) {
-      curve.push_back(curve_acc / static_cast<double>(curve_n));
-      curve_acc = 0.0;
-      curve_n = 0;
+      progress_.curve.push_back(progress_.curve_acc /
+                                static_cast<double>(progress_.curve_n));
+      progress_.curve_acc = 0.0;
+      progress_.curve_n = 0;
+    }
+    progress_.next_update = step + 1;
+    if (config_.checkpoint_every > 0 && !config_.checkpoint_path.empty() &&
+        (step + 1) % config_.checkpoint_every == 0) {
+      const Status saved = SaveCheckpoint(config_.checkpoint_path);
+      CIT_CHECK_MSG(saved.ok(), saved.message().c_str());
     }
   }
+  std::vector<double> curve = std::move(progress_.curve);
+  progress_ = {};
   Reset();
   return curve;
+}
+
+nn::ModuleGroup PpoAgent::AllModules() const {
+  nn::ModuleGroup group;
+  group.Add("actor.", actor_.get());
+  group.Add("critic.", critic_.get());
+  group.AddVar("log_std", log_std_);
+  return group;
+}
+
+Status PpoAgent::SaveCheckpoint(const std::string& path) const {
+  nn::ModuleGroup all = AllModules();
+  TrainerCheckpointParts parts;
+  parts.meta.trainer = name();
+  parts.meta.num_assets = num_assets_;
+  parts.meta.seed = config_.seed;
+  parts.meta.arch_tag = config_.hidden;
+  parts.modules = &all;
+  parts.opt_actor = actor_opt_.get();
+  parts.opt_critic = critic_opt_.get();
+  // SaveTrainerCheckpoint only reads through the non-const pointers.
+  parts.progress = const_cast<TrainProgress*>(&progress_);
+  return SaveTrainerCheckpoint(parts, path);
+}
+
+Status PpoAgent::LoadCheckpoint(const std::string& path) {
+  nn::ModuleGroup all = AllModules();
+  TrainerCheckpointParts parts;
+  parts.meta.trainer = name();
+  parts.meta.num_assets = num_assets_;
+  parts.meta.seed = config_.seed;
+  parts.meta.arch_tag = config_.hidden;
+  parts.modules = &all;
+  parts.opt_actor = actor_opt_.get();
+  parts.opt_critic = critic_opt_.get();
+  parts.progress = &progress_;
+  return LoadTrainerCheckpoint(parts, path);
 }
 
 std::vector<double> PpoAgent::DecideWeights(const market::PricePanel& panel,

@@ -5,13 +5,16 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "env/backtest.h"
 #include "market/panel.h"
 #include "math/rng.h"
+#include "nn/checkpoint.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 #include "rl/config.h"
 #include "rl/gaussian_policy.h"
+#include "rl/rollout.h"
 
 namespace cit::rl {
 
@@ -35,11 +38,22 @@ class PpoAgent : public env::TradingAgent {
   std::vector<double> DecideWeights(const market::PricePanel& panel,
                                     int64_t day) override;
 
+  // Full crash-safe training state (weights + Adam states + progress),
+  // written atomically; driven by config.checkpoint_every / resume_from. A
+  // resumed run is bitwise identical to the uninterrupted one. Loading is
+  // transactional: on any error the agent is unchanged.
+  Status SaveCheckpoint(const std::string& path) const;
+  Status LoadCheckpoint(const std::string& path);
+
  private:
   // Takes `held` explicitly (rather than reading held_) so parallel
   // rollout slots can pass their own copies.
   Tensor StateTensor(const market::PricePanel& panel, int64_t day,
                      const std::vector<double>& held) const;
+
+  // Actor + critic + log_std under stable names — the checkpoint parameter
+  // set.
+  nn::ModuleGroup AllModules() const;
 
   int64_t num_assets_;
   PpoConfig config_;
@@ -50,6 +64,7 @@ class PpoAgent : public env::TradingAgent {
   std::unique_ptr<nn::Adam> actor_opt_;
   std::unique_ptr<nn::Adam> critic_opt_;
   std::vector<double> held_;
+  TrainProgress progress_;  // in-flight training progress (checkpointed)
 };
 
 }  // namespace cit::rl

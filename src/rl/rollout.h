@@ -3,8 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
+#include "common/status.h"
 #include "math/rng.h"
+#include "nn/checkpoint.h"
+#include "nn/optimizer.h"
 
 namespace cit::rl {
 
@@ -55,10 +59,66 @@ class RolloutRunner {
   // a critic update). Same write-isolation contract as Collect.
   void ForEachSlot(const std::function<void(int64_t)>& body) const;
 
+  // Update counter for resumable training. Because the per-slot streams are
+  // counter-split on (seed, step, slot), the entire RNG state of an
+  // interrupted run is captured by the next update index alone: restore it
+  // with set_next_step() and collection continues on exactly the streams an
+  // uninterrupted run would have used.
+  int64_t next_step() const { return next_step_; }
+  void set_next_step(int64_t step) { next_step_ = step; }
+
+  // Stateful form of Collect: uses next_step() as the update index, then
+  // advances it.
+  void Collect(const std::function<void(int64_t, math::Rng&)>& body);
+
  private:
   uint64_t seed_;
   int64_t num_slots_;
+  int64_t next_step_ = 0;
 };
+
+// Mutable progress of a training loop, checkpointed alongside parameters
+// and optimizer state: the next update index plus the partially-filled
+// learning-curve accumulators. Restoring it and set_next_step() is all a
+// counter-split trainer needs to continue a killed run bitwise-identically.
+struct TrainProgress {
+  int64_t next_update = 0;
+  std::vector<double> curve;
+  double curve_acc = 0.0;
+  int64_t curve_n = 0;
+};
+
+void AppendTrainProgress(const TrainProgress& progress, nn::ByteWriter* out);
+// Parses into `*out` (overwriting it) with validation; on error `*out` is
+// unspecified — parse into a temporary when transactionality matters.
+Status ParseTrainProgress(nn::ByteReader* in, TrainProgress* out);
+
+// The checkpoint sections every trainer shares: identity meta, the flat
+// parameter blob, two optimizer states, and training progress. All members
+// are borrowed; they must outlive the Save/Load call.
+struct TrainerCheckpointParts {
+  nn::CheckpointMeta meta;
+  const nn::Module* modules = nullptr;
+  nn::Optimizer* opt_actor = nullptr;
+  nn::Optimizer* opt_critic = nullptr;
+  TrainProgress* progress = nullptr;
+};
+
+// Writes the shared sections (plus any trainer-specific ones added by
+// `extra`) atomically to `path`.
+Status SaveTrainerCheckpoint(
+    const TrainerCheckpointParts& parts, const std::string& path,
+    const std::function<void(nn::CheckpointWriter*)>& extra = nullptr);
+
+// Transactional load: every section — including `parse_extra`, which must
+// only parse trainer-specific sections into caller-owned staging — is
+// validated before anything is committed, so a corrupt or mismatched
+// checkpoint leaves the trainer untouched. Callers commit their extra
+// staged state only after this returns OK.
+Status LoadTrainerCheckpoint(
+    const TrainerCheckpointParts& parts, const std::string& path,
+    const std::function<Status(const nn::CheckpointReader&)>& parse_extra =
+        nullptr);
 
 }  // namespace cit::rl
 

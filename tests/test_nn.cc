@@ -236,6 +236,32 @@ TEST(Optimizer, ClipGradNormScalesLargeGradients) {
   EXPECT_NEAR(std::sqrt(g[0] * g[0] + g[1] * g[1]), 1.0f, 1e-5f);
 }
 
+TEST(Optimizer, ClipGradNormDetachesSharedGradStorage) {
+  // Regression: a gradient installed via AccumGrad shares the caller's
+  // tensor storage (COW handle copy). Clipping must detach before scaling
+  // in place — never rescale the caller's tensor through the shared view.
+  Var w = Var::Param(Tensor({2}, {0.0f, 0.0f}));
+  Tensor g({2}, {30.0f, 40.0f});  // norm 50
+  ag::AccumGrad(w.node().get(), g);
+  Sgd sgd({w}, 1.0f);
+  const float norm = sgd.ClipGradNorm(1.0f);
+  EXPECT_NEAR(norm, 50.0f, 1e-4f);
+  EXPECT_NEAR(w.grad()[0], 30.0f / 50.0f, 1e-6f);
+  EXPECT_NEAR(w.grad()[1], 40.0f / 50.0f, 1e-6f);
+  // The tensor the gradient was accumulated from is untouched.
+  EXPECT_FLOAT_EQ(g[0], 30.0f);
+  EXPECT_FLOAT_EQ(g[1], 40.0f);
+}
+
+TEST(ParamUtilDeathTest, SoftUpdateRejectsShapeMismatch) {
+  Rng rng(31);
+  // Same number of parameter tensors, different shapes: blending the
+  // buffers would read out of bounds, so the shape check must fire.
+  Mlp src({4, 8, 2}, rng);
+  Mlp dst({4, 9, 2}, rng);
+  EXPECT_DEATH(SoftUpdateParameters(src, &dst, 0.5f), "shape");
+}
+
 TEST(ParamUtil, CopyAndSoftUpdate) {
   Rng rng(13);
   Linear a(2, 2, rng), b(2, 2, rng);

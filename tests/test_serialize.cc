@@ -1,12 +1,17 @@
 #include "nn/serialize.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/trader.h"
 #include "env/backtest.h"
 #include "market/simulator.h"
+#include "nn/checkpoint.h"
 #include "nn/conv.h"
 #include "nn/layers.h"
 
@@ -18,6 +23,29 @@ using math::Tensor;
 
 std::string TempPath(const char* name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  EXPECT_TRUE(ReadFileBytes(path, &bytes).ok()) << path;
+  return bytes;
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// Every stored weight of `m`, flattened, for before/after comparisons.
+std::vector<float> FlatWeights(const Module& m) {
+  std::vector<float> out;
+  for (const auto& p : m.Parameters()) {
+    const Tensor& t = p.var.value();
+    out.insert(out.end(), t.data(), t.data() + t.numel());
+  }
+  return out;
 }
 
 TEST(Serialize, RoundTripRestoresExactWeights) {
@@ -73,6 +101,69 @@ TEST(Serialize, RejectsGarbageFile) {
   const Status status = LoadParameters(&m, path);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsTruncatedHeader) {
+  Rng rng(6);
+  Mlp a({4, 8, 2}, rng);
+  Mlp b({4, 8, 2}, rng);
+  const std::string path = TempPath("truncated_header.bin");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  const std::vector<uint8_t> full = ReadAll(path);
+  const std::vector<float> before = FlatWeights(b);
+
+  // Cut mid-way through the parameter count, right after the magic: the
+  // loader must report truncation, not a bogus count mismatch, and must
+  // not touch the target module.
+  WriteAll(path, std::vector<uint8_t>(full.begin(), full.begin() + 6 + 4));
+  const Status status = LoadParameters(&b, path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("truncated"), std::string::npos)
+      << status.message();
+  EXPECT_EQ(FlatWeights(b), before);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsNonFiniteWeights) {
+  Rng rng(7);
+  Mlp a({4, 8, 2}, rng);
+  Mlp b({4, 8, 2}, rng);
+  const std::string path = TempPath("nan_weights.bin");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  std::vector<uint8_t> bytes = ReadAll(path);
+  // The file ends with the last tensor's float payload; poison its final
+  // element.
+  const float nan = std::nanf("");
+  std::memcpy(bytes.data() + bytes.size() - sizeof(float), &nan, sizeof(nan));
+  WriteAll(path, bytes);
+
+  const std::vector<float> before = FlatWeights(b);
+  const Status status = LoadParameters(&b, path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("non-finite"), std::string::npos)
+      << status.message();
+  EXPECT_EQ(FlatWeights(b), before);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsTrailingBytes) {
+  Rng rng(8);
+  Mlp a({4, 8, 2}, rng);
+  Mlp b({4, 8, 2}, rng);
+  const std::string path = TempPath("trailing_bytes.bin");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes.push_back(0x5a);
+  WriteAll(path, bytes);
+
+  const std::vector<float> before = FlatWeights(b);
+  const Status status = LoadParameters(&b, path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("trailing"), std::string::npos)
+      << status.message();
+  EXPECT_EQ(FlatWeights(b), before);
   std::remove(path.c_str());
 }
 
