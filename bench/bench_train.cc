@@ -11,6 +11,7 @@
 // run produces the whole table regardless of CIT_NUM_THREADS. On hosts
 // whose hardware clamp caps the pool (e.g. a 1-core container), higher
 // rows collapse onto the clamped count; the JSON records the bound.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -28,6 +29,7 @@
 #include "math/kernels.h"
 #include "math/rng.h"
 #include "math/tensor.h"
+#include "obs/telemetry.h"
 #include "rl/rollout.h"
 
 namespace {
@@ -58,10 +60,15 @@ struct TrainRow {
   double env_steps_per_sec = 0.0;
 };
 
-TrainRow BenchTrainRun(const market::PricePanel& panel, int threads) {
+TrainRow BenchTrainRun(const market::PricePanel& panel, int threads,
+                       bool telemetry = false) {
   auto& pool = ThreadPool::Global();
   pool.SetNumThreads(threads);
-  const core::CrossInsightConfig cfg = BenchConfig();
+  core::CrossInsightConfig cfg = BenchConfig();
+  // Runtime-enabled telemetry (spans, counters, gauges recording; no trace
+  // or snapshot files) vs. the default disabled state. The numeric work is
+  // identical either way — telemetry only observes.
+  cfg.telemetry.enabled = telemetry;
   // Fresh trader per thread count: identical initial params and identical
   // (seed, step, slot) streams, so every row does the same numeric work.
   core::CrossInsightTrader trader(panel.num_assets(), cfg);
@@ -152,6 +159,24 @@ int main(int argc, char** argv) {
                 r.threads_requested, r.threads_effective,
                 Fmt(r.seconds).c_str());
   }
+  // Telemetry overhead at 1 thread: the same training run with every
+  // instrumentation site recording vs. runtime-disabled. Best-of-3 per
+  // side so a stray scheduler hiccup does not dominate the short run. The
+  // acceptance bar is <= 2% when enabled (see DESIGN.md "Observability").
+  double telemetry_off_s = 1e300;
+  double telemetry_on_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    telemetry_off_s =
+        std::min(telemetry_off_s, BenchTrainRun(panel, 1, false).seconds);
+    telemetry_on_s =
+        std::min(telemetry_on_s, BenchTrainRun(panel, 1, true).seconds);
+  }
+  const double telemetry_overhead_pct =
+      (telemetry_on_s - telemetry_off_s) / telemetry_off_s * 100.0;
+  std::printf("telemetry overhead (1 thread): off=%ss on=%ss -> %s%%%s\n",
+              Fmt(telemetry_off_s).c_str(), Fmt(telemetry_on_s).c_str(),
+              Fmt(telemetry_overhead_pct).c_str(),
+              obs::kCompiledIn ? "" : " (compiled out)");
   ThreadPool::Global().SetNumThreads(1);
 
   std::ostringstream js;
@@ -183,6 +208,12 @@ int main(int argc, char** argv) {
        << (i + 1 < fanout_rows.size() ? "," : "") << "\n";
   }
   js << "  ],\n";
+  js << "  \"telemetry\": {\"compiled_in\": "
+     << (obs::kCompiledIn ? "true" : "false")
+     << ", \"seconds_off\": " << Fmt(telemetry_off_s)
+     << ", \"seconds_on\": " << Fmt(telemetry_on_s)
+     << ", \"telemetry_overhead_pct\": " << Fmt(telemetry_overhead_pct)
+     << "},\n";
   js << "  \"note\": \"Rollout collection fans K=rollouts_per_update slots "
         "out over the pool; curves are bitwise thread-count-invariant, so "
         "rows differ only in wall time. threads_effective reflects the "

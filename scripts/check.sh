@@ -3,8 +3,10 @@
 #   1. Release build + full ctest (the tier-1 gate), run twice with
 #      CIT_NUM_THREADS=1 and =4 — results must agree (the determinism
 #      tests inside the suite check bitwise identity in-process too).
-#   2. A focused checkpoint/resume gate: container corruption fuzz plus
-#      the kill-at-k bitwise-resume tests for every trainer.
+#   2. Focused gates: observability (bitwise-identical curves with
+#      telemetry on/off at 1 and 4 threads, trace/snapshot JSON parses)
+#      and checkpoint/resume (container corruption fuzz plus the
+#      kill-at-k bitwise-resume tests for every trainer).
 #   3. ASan and UBSan builds + full ctest at smoke scale (CIT_FAST=1) —
 #      this reruns the checkpoint fuzz under ASan, so corrupt-length
 #      allocations and parser overreads trip immediately.
@@ -27,6 +29,13 @@ run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build -j"$(nproc)"
 (cd build && run env CIT_NUM_THREADS=1 ctest --output-on-failure -j2)
 (cd build && run env CIT_NUM_THREADS=4 ctest --output-on-failure -j2)
+
+echo "=== observability gate (bitwise curves with telemetry on/off) ==="
+# test_obs proves training curves are bitwise identical with telemetry off
+# vs. fully on (spans + trace + snapshots) and that the emitted trace /
+# snapshot JSON parses; run it serial and parallel.
+(cd build && run env CIT_NUM_THREADS=1 ./tests/test_obs)
+(cd build && run env CIT_NUM_THREADS=4 ./tests/test_obs)
 
 echo "=== checkpoint/resume gate (container fuzz + kill-at-k resume) ==="
 (cd build && run ctest --output-on-failure \
@@ -57,8 +66,15 @@ run cmake --build build-thread -j"$(nproc)" --target test_threading \
     ctest --output-on-failure \
     -R 'ThreadPool|Determinism|RngSplit|RolloutRunner|RolloutDeterminism')
 
+echo "=== CIT_OBS=OFF build (instrumentation compiles out) ==="
+run cmake -B build-noobs -S . -DCMAKE_BUILD_TYPE=Release -DCIT_OBS=OFF
+run cmake --build build-noobs -j"$(nproc)" --target test_obs
+(cd build-noobs && run ./tests/test_obs)
+
 echo "=== bench_train smoke (JSON emission) ==="
 run cmake --build build -j"$(nproc)" --target bench_train
 run ./build/bench/bench_train /tmp/BENCH_train_smoke.json
+# The bench must report the telemetry overhead alongside the thread table.
+run grep -q '"telemetry_overhead_pct"' /tmp/BENCH_train_smoke.json
 
 echo "ALL CHECKS PASSED"

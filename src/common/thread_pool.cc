@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/env_config.h"
+#include "obs/telemetry.h"
 
 namespace cit {
 namespace {
@@ -81,9 +82,13 @@ void ThreadPool::WorkerLoop() {
       }
       const int64_t lo = job_begin_ + chunk * job_chunk_size_;
       const int64_t hi = std::min(job_end_, lo + job_chunk_size_);
-      t_in_parallel_region = true;
-      (*job)(lo, hi);
-      t_in_parallel_region = false;
+      {
+        CIT_OBS_SPAN("threadpool.chunk_worker");
+        CIT_OBS_COUNT("threadpool.chunks_worker", 1);
+        t_in_parallel_region = true;
+        (*job)(lo, hi);
+        t_in_parallel_region = false;
+      }
       {
         std::unique_lock<std::mutex> lock(mu_);
         if (++done_chunks_ == num_chunks_) done_cv_.notify_all();
@@ -106,6 +111,7 @@ void ThreadPool::ParallelFor(
     if (t_in_parallel_region || threads <= 1 || n <= grain ||
         job_ != nullptr) {
       lock.unlock();
+      CIT_OBS_COUNT("threadpool.inline_jobs", 1);
       body(begin, end);
       return;
     }
@@ -120,6 +126,11 @@ void ThreadPool::ParallelFor(
     job_ = &body;
     ++job_id_;
   }
+  // Fork-to-join latency of the whole job; the chunk spans below break the
+  // same interval down per executing thread.
+  CIT_OBS_SPAN("threadpool.job");
+  CIT_OBS_COUNT("threadpool.jobs", 1);
+  CIT_OBS_GAUGE("threadpool.queue_depth", num_chunks_);
   work_cv_.notify_all();
   // The caller participates: claim chunks like a worker.
   while (true) {
@@ -131,9 +142,13 @@ void ThreadPool::ParallelFor(
     }
     const int64_t lo = begin + chunk * job_chunk_size_;
     const int64_t hi = std::min(end, lo + job_chunk_size_);
-    t_in_parallel_region = true;
-    body(lo, hi);
-    t_in_parallel_region = false;
+    {
+      CIT_OBS_SPAN("threadpool.chunk_caller");
+      CIT_OBS_COUNT("threadpool.chunks_caller", 1);
+      t_in_parallel_region = true;
+      body(lo, hi);
+      t_in_parallel_region = false;
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (++done_chunks_ == num_chunks_) done_cv_.notify_all();

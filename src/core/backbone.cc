@@ -1,6 +1,7 @@
 #include "core/backbone.h"
 
 #include "common/check.h"
+#include "obs/telemetry.h"
 
 namespace cit::core {
 
@@ -63,6 +64,10 @@ ActorBackbone::ActorBackbone(BackboneKind kind, int64_t num_assets,
 }
 
 Var ActorBackbone::Forward(const Var& x, Var* attention_out) const {
+  // The forward-pass side of the env-step vs forward split (rollout.slot
+  // minus env.step time is dominated by these calls).
+  CIT_OBS_SPAN("backbone.forward");
+  CIT_OBS_COUNT("backbone.forward_calls", 1);
   CIT_CHECK_EQ(x.value().ndim(), 3);
   CIT_CHECK_EQ(x.value().dim(0), num_assets_);
   CIT_CHECK_EQ(x.value().dim(2), window_);

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "env/portfolio_env.h"
+#include "obs/telemetry.h"
 #include "rl/features.h"
 #include "rl/gaussian_policy.h"
 #include "nn/serialize.h"
@@ -232,6 +233,11 @@ std::vector<double> CrossInsightTrader::Train(
   }
   runner.set_next_step(progress_.next_update);
 
+  // Scopes this run's telemetry: flips the runtime flag, starts/stops the
+  // trace, and appends periodic snapshot lines. Observational only — the
+  // curve is bitwise identical with telemetry on or off.
+  obs::TelemetrySession telemetry(config_.telemetry);
+
   auto mean_of = [](const std::vector<double>& v) {
     double s = 0.0;
     for (double x : v) s += x;
@@ -249,6 +255,7 @@ std::vector<double> CrossInsightTrader::Train(
   };
 
   while (runner.next_step() < config_.train_steps) {
+    CIT_OBS_SPAN("train.update");
     const int64_t step = runner.next_step();
     const int64_t lo = env.earliest_start();
     const int64_t hi = env.end_day() - config_.rollout_len - 1;
@@ -257,6 +264,8 @@ std::vector<double> CrossInsightTrader::Train(
     // ---- Parallel rollout collection (forward passes only: params are
     // read, never written; each slot owns its env clone, RNG stream, and
     // retained policy-gradient graphs) ----
+    {
+    CIT_OBS_SPAN("train.rollout");
     runner.Collect([&](int64_t slot, math::Rng& rng) {
       SlotData& sd = slots[slot];
       env::PortfolioEnv senv = env.CloneAt(
@@ -358,8 +367,11 @@ std::vector<double> CrossInsightTrader::Train(
                                           config_.lambda, config_.n_step);
       }
     });
+    }
 
     // ---- Critic update: per-slot losses reduced in slot order ----
+    {
+    CIT_OBS_SPAN("train.critic_update");
     critic_opt_->ZeroGrad();
     for (const SlotData& sd : slots) {
       const int64_t len = static_cast<int64_t>(sd.rollout.size());
@@ -392,12 +404,17 @@ std::vector<double> CrossInsightTrader::Train(
       critic_loss = ag::MulScalar(
           critic_loss, inv_slots / static_cast<float>(len));
       critic_loss.Backward();
+      CIT_OBS_GAUGE("train.critic_loss", critic_loss.value().Item());
     }
-    critic_opt_->ClipGradNorm(5.0f);
+    [[maybe_unused]] const float critic_gn = critic_opt_->ClipGradNorm(5.0f);
+    CIT_OBS_GAUGE("train.critic_grad_norm", critic_gn);
     critic_opt_->Step();
+    }
 
     // ---- Advantages from the updated critic (parallel, forward-only;
     // detached scalars, so no graphs survive this phase) ----
+    {
+    CIT_OBS_SPAN("train.advantages");
     runner.ForEachSlot([&](int64_t slot) {
       SlotData& sd = slots[slot];
       const int64_t len = static_cast<int64_t>(sd.rollout.size());
@@ -500,8 +517,11 @@ std::vector<double> CrossInsightTrader::Train(
         standardize(&sd.cross_adv);
       }
     });
+    }
 
     // ---- Actor update: per-slot losses reduced in slot order ----
+    {
+    CIT_OBS_SPAN("train.actor_update");
     last_advantages_.assign(n, 0.0);
     actor_opt_->ZeroGrad();
     critic_opt_->ZeroGrad();
@@ -538,12 +558,17 @@ std::vector<double> CrossInsightTrader::Train(
       actor_loss = ag::MulScalar(
           actor_loss, inv_slots / static_cast<float>(len));
       actor_loss.Backward();
+      CIT_OBS_GAUGE("train.actor_loss", actor_loss.value().Item());
     }
-    actor_opt_->ClipGradNorm(5.0f);
+    [[maybe_unused]] const float actor_gn = actor_opt_->ClipGradNorm(5.0f);
+    CIT_OBS_GAUGE("train.actor_grad_norm", actor_gn);
     actor_opt_->Step();
+    }
 
     double step_reward = 0.0;
     for (const SlotData& sd : slots) step_reward += mean_of(sd.rewards);
+    CIT_OBS_GAUGE("train.reward",
+                  step_reward / static_cast<double>(num_slots));
     progress_.curve_acc += step_reward / static_cast<double>(num_slots);
     ++progress_.curve_n;
     if ((step + 1) % curve_every == 0) {
@@ -555,9 +580,11 @@ std::vector<double> CrossInsightTrader::Train(
     progress_.next_update = step + 1;
     if (config_.checkpoint_every > 0 && !config_.checkpoint_path.empty() &&
         (step + 1) % config_.checkpoint_every == 0) {
+      CIT_OBS_SPAN("train.checkpoint");
       const Status saved = SaveCheckpoint(config_.checkpoint_path);
       CIT_CHECK_MSG(saved.ok(), saved.message().c_str());
     }
+    telemetry.Tick(step);
   }
   std::vector<double> curve = std::move(progress_.curve);
   progress_ = {};

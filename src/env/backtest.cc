@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/telemetry.h"
 
 namespace cit::env {
 
@@ -17,6 +18,8 @@ BacktestResult RunBacktest(TradingAgent& agent,
   result.wealth.push_back(1.0);
   result.days.push_back(env.current_day());
   while (!env.done()) {
+    CIT_OBS_SPAN("backtest.step");
+    CIT_OBS_COUNT("backtest.steps", 1);
     std::vector<double> weights =
         agent.DecideWeights(panel, env.current_day());
     // A single bad action (NaN/negative/unnormalized) from one agent must
@@ -26,13 +29,16 @@ BacktestResult RunBacktest(TradingAgent& agent,
     if (!IsValidPortfolio(weights)) {
       weights = NormalizeToSimplex(std::move(weights));
       ++result.repaired_steps;
+      CIT_OBS_COUNT("backtest.repaired_steps", 1);
     }
     const StepResult step = env.Step(weights);
+    result.turnover += step.turnover;
     result.wealth.push_back(env.wealth());
     result.days.push_back(env.current_day());
     result.daily_returns.push_back(std::exp(step.reward) - 1.0);
   }
   result.metrics = ComputeMetrics(result.wealth);
+  CIT_OBS_GAUGE("backtest.turnover", result.turnover);
   return result;
 }
 

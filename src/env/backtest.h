@@ -41,6 +41,9 @@ struct BacktestResult {
   // 0 for a well-behaved agent; a non-zero count flags a defective policy
   // without killing the whole comparison run it is part of.
   int64_t repaired_steps = 0;
+  // Total rebalancing turnover sum_t sum_i |w_ti - held_ti| executed over
+  // the run — the quantity transaction costs are charged on.
+  double turnover = 0.0;
 };
 
 // Runs `agent` through the env's day range and records the wealth curve.

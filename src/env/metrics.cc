@@ -53,7 +53,11 @@ PerformanceMetrics ComputeMetrics(const std::vector<double>& wealth) {
   const double total = wealth.back() / wealth.front();
   m.annualized_return =
       total > 0.0 ? std::expm1(std::log(total) / years) : -1.0;
-  m.sharpe_ratio = std_daily > 0.0
+  // Zero-variance return series (constant wealth, or any curve with <= 2
+  // points whose single return repeats) have no risk to normalize by;
+  // dividing by std_daily == 0 used to emit Inf/NaN here. Convention:
+  // Sharpe = 0 for zero-vol series, and annualized_vol stays a finite 0.
+  m.sharpe_ratio = std_daily > 0.0 && std::isfinite(std_daily)
                        ? mean / std_daily * std::sqrt(kTradingDaysPerYear)
                        : 0.0;
   m.max_drawdown = MaxDrawdown(wealth);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/telemetry.h"
 
 namespace cit::env {
 
@@ -89,6 +90,8 @@ Status PortfolioEnv::RestoreCursor(const EnvCursor& cursor) {
 }
 
 StepResult PortfolioEnv::Step(const std::vector<double>& weights) {
+  CIT_OBS_SPAN("env.step");
+  CIT_OBS_COUNT("env.steps", 1);
   CIT_CHECK(!done());
   CIT_CHECK_EQ(static_cast<int64_t>(weights.size()), panel_->num_assets());
   CIT_CHECK_MSG(IsValidPortfolio(weights), "action must lie on the simplex");
@@ -121,6 +124,7 @@ StepResult PortfolioEnv::Step(const std::vector<double>& weights) {
   StepResult result;
   result.portfolio_return = growth;
   result.cost = 1.0 - cost_factor;
+  result.turnover = turnover;
   result.reward = std::log(net);
   result.done = done();
   return result;

@@ -22,6 +22,7 @@ struct StepResult {
   double reward = 0.0;          // log of the net portfolio growth
   double portfolio_return = 0.0;  // gross growth ratio a^T x_t
   double cost = 0.0;            // transaction cost paid this step
+  double turnover = 0.0;        // sum_i |w_i - held_i| rebalanced this step
   bool done = false;
 };
 

@@ -1,5 +1,7 @@
 #include "market/csv.h"
 
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -26,19 +28,68 @@ Status SavePanelCsv(const PricePanel& panel, const std::string& path) {
   return Status::OK();
 }
 
+namespace {
+
+// CRLF files reach us with the '\r' still attached (getline only strips
+// '\n'); without this the last asset name and every row's last cell carry
+// a carriage return that used to silently corrupt names and parses.
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+// Full-string integer parse; atoll's silent 0-on-garbage is exactly the
+// bug this replaces.
+bool ParseInt64(const std::string& text, int64_t* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+// Full-cell price parse: rejects empty cells, partial parses ("12abc"),
+// non-finite values (strtod happily produces NaN/Inf from "nan"/"inf",
+// which the old `v <= 0` guard let through), and non-positive prices.
+Status ParsePriceCell(const std::string& cell, double* out) {
+  if (cell.empty()) {
+    return Status::InvalidArgument("empty price cell in CSV");
+  }
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) {
+    return Status::InvalidArgument("non-numeric price cell: '" + cell + "'");
+  }
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument("non-finite price in CSV: '" + cell + "'");
+  }
+  if (v <= 0.0) {
+    return Status::InvalidArgument("non-positive price in CSV: '" + cell +
+                                   "'");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<PricePanel> LoadPanelCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
 
   int64_t train_end = 0;
+  bool saw_train_end = false;
   std::string line;
   // Optional comment lines before the header.
   while (std::getline(in, line)) {
+    StripTrailingCr(&line);
     if (line.empty()) continue;
     if (line[0] == '#') {
       const std::string key = "#train_end=";
       if (line.rfind(key, 0) == 0) {
-        train_end = std::atoll(line.c_str() + key.size());
+        if (!ParseInt64(line.substr(key.size()), &train_end)) {
+          return Status::InvalidArgument("malformed #train_end header: '" +
+                                         line + "'");
+        }
+        saw_train_end = true;
       }
       continue;
     }
@@ -52,9 +103,14 @@ Result<PricePanel> LoadPanelCsv(const std::string& path) {
     std::string cell;
     bool first = true;
     while (std::getline(ss, cell, ',')) {
+      StripTrailingCr(&cell);
       if (first) {
         first = false;  // day column
       } else {
+        if (cell.empty()) {
+          return Status::InvalidArgument("empty asset name in CSV header: " +
+                                         path);
+        }
         names.push_back(cell);
       }
     }
@@ -65,6 +121,7 @@ Result<PricePanel> LoadPanelCsv(const std::string& path) {
 
   std::vector<std::vector<double>> rows;
   while (std::getline(in, line)) {
+    StripTrailingCr(&line);
     if (line.empty() || line[0] == '#') continue;
     std::stringstream ss(line);
     std::string cell;
@@ -75,25 +132,32 @@ Result<PricePanel> LoadPanelCsv(const std::string& path) {
         first = false;
         continue;
       }
-      char* end = nullptr;
-      const double v = std::strtod(cell.c_str(), &end);
-      if (end == cell.c_str()) {
-        return Status::InvalidArgument("non-numeric price cell: " + cell);
-      }
-      if (v <= 0.0) {
-        return Status::InvalidArgument("non-positive price in CSV: " + cell);
-      }
+      double v = 0.0;
+      const Status parsed = ParsePriceCell(cell, &v);
+      if (!parsed.ok()) return parsed;
       row.push_back(v);
     }
     if (row.size() != names.size()) {
-      return Status::InvalidArgument("ragged CSV row in " + path);
+      return Status::InvalidArgument(
+          "ragged CSV row in " + path + ": expected " +
+          std::to_string(names.size()) + " prices, got " +
+          std::to_string(row.size()));
     }
     rows.push_back(std::move(row));
   }
   if (rows.empty()) return Status::InvalidArgument("CSV has no data rows");
 
-  PricePanel panel(static_cast<int64_t>(rows.size()),
-                   static_cast<int64_t>(names.size()));
+  const int64_t num_days = static_cast<int64_t>(rows.size());
+  // A split outside the panel makes every train/test-range consumer
+  // misbehave later (empty test split, CHECK failures deep in training);
+  // reject it here with the file context still in hand.
+  if (saw_train_end && (train_end < 0 || train_end > num_days)) {
+    return Status::InvalidArgument(
+        "#train_end=" + std::to_string(train_end) +
+        " outside [0, " + std::to_string(num_days) + "] in " + path);
+  }
+
+  PricePanel panel(num_days, static_cast<int64_t>(names.size()));
   panel.asset_names() = names;
   panel.set_train_end(train_end);
   for (size_t t = 0; t < rows.size(); ++t) {

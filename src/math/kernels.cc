@@ -5,10 +5,23 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/telemetry.h"
+
 namespace cit::math::kernels {
 namespace {
 
 ThreadPool& Pool() { return ThreadPool::Global(); }
+
+// Telemetry for one GEMM-shaped call: multiply-add FLOPs plus the bytes the
+// kernel touches (both operands and the output, once each). Counter-only on
+// purpose — these calls are too frequent and too small to afford clock reads.
+inline void CountGemm([[maybe_unused]] int64_t p, [[maybe_unused]] int64_t q,
+                      [[maybe_unused]] int64_t r) {
+  CIT_OBS_COUNT("kernels.gemm_calls", 1);
+  CIT_OBS_COUNT("kernels.gemm_flops", 2 * p * q * r);
+  CIT_OBS_COUNT("kernels.gemm_bytes",
+                int64_t{4} * (p * q + q * r + p * r));
+}
 
 // Rows per chunk so a chunk carries at least ~2^16 flops of GEMM work.
 int64_t RowGrain(int64_t flops_per_row) {
@@ -168,6 +181,7 @@ void SumAxis(const float* x, float* out, int64_t outer, int64_t axis_len,
 
 void MatMul(const float* a, const float* b, float* c, int64_t p, int64_t q,
             int64_t r) {
+  CountGemm(p, q, r);
   Pool().ParallelFor(0, p, RowGrain(2 * q * r),
                      [&](int64_t lo, int64_t hi) {
                        GemmRowRange(a, b, c, lo, hi, q, r);
@@ -176,6 +190,7 @@ void MatMul(const float* a, const float* b, float* c, int64_t p, int64_t q,
 
 void MatMulTransB(const float* a, const float* bT, float* c, int64_t p,
                   int64_t q, int64_t r) {
+  CountGemm(p, q, r);
   Pool().ParallelFor(0, p, RowGrain(2 * q * r), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       const float* ar = a + i * q;
@@ -212,6 +227,7 @@ void MatMulTransB(const float* a, const float* bT, float* c, int64_t p,
 
 void MatMulTransA(const float* a, const float* b, float* c, int64_t p,
                   int64_t q, int64_t r) {
+  CountGemm(p, q, r);
   // c[j, :] = sum_i a[i, j] * b[i, :]; parallel over j so each thread owns
   // disjoint output rows while scanning i in ascending order (deterministic).
   Pool().ParallelFor(0, q, RowGrain(2 * p * r), [&](int64_t lo, int64_t hi) {
@@ -357,6 +373,11 @@ void CausalConv1dForward(const float* x, const float* w, const float* bias,
   // off once the GEMM on top is big enough. The gate depends only on
   // shapes, keeping the result deterministic for any thread count.
   const int64_t flops = 2 * cout * cin * k * len;
+  CIT_OBS_COUNT("kernels.conv_calls", 1);
+  CIT_OBS_COUNT("kernels.conv_flops", batch * flops);
+  CIT_OBS_COUNT("kernels.conv_bytes",
+                int64_t{4} * (batch * cin * len + cout * cin * k +
+                              batch * cout * len));
   if (flops >= (1 << 16) && len >= 8) {
     ConvIm2col(x, w, bias, out, batch, cin, cout, len, k, dilation);
   } else {
@@ -368,6 +389,8 @@ void CausalConv1dBackward(const float* x, const float* w, const float* gout,
                           float* gx, float* gw, float* gb, int64_t batch,
                           int64_t cin, int64_t cout, int64_t len, int64_t k,
                           int64_t dilation) {
+  CIT_OBS_COUNT("kernels.conv_backward_calls", 1);
+  CIT_OBS_COUNT("kernels.conv_flops", 4 * batch * cout * cin * k * len);
   for (int64_t bi = 0; bi < batch; ++bi) {
     for (int64_t co = 0; co < cout; ++co) {
       const float* grow = gout + (bi * cout + co) * len;

@@ -1,0 +1,296 @@
+#include "obs/telemetry.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace cit::obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+void SetEnabled(bool on) {
+  if constexpr (!kCompiledIn) {
+    (void)on;
+    return;
+  }
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+uint64_t Gauge::Encode(double v) { return std::bit_cast<uint64_t>(v); }
+double Gauge::Decode(uint64_t bits) { return std::bit_cast<double>(bits); }
+
+namespace {
+
+int BucketOf(uint64_t sample) {
+  if (sample == 0) return 0;
+  int width = std::bit_width(sample);  // >= 1
+  return width < Histogram::kBuckets ? width : Histogram::kBuckets - 1;
+}
+
+// Upper bound of bucket i (inclusive range end used for quantile reports).
+uint64_t BucketUpper(int i) {
+  if (i <= 0) return 0;
+  return (uint64_t{1} << i) - 1;
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t sample) {
+  if (!Enabled()) return;
+  Shard& s = shards_[internal::ThisThreadShard()];
+  s.buckets[BucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(sample, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (sample > seen &&
+         !max_.compare_exchange_weak(seen, sample,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Get() const {
+  Snapshot out;
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    for (int i = 0; i < kBuckets; ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  out.max = max_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+  max_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Snapshot::ApproxQuantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(q * double(count - 1));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) return i == kBuckets - 1 ? max : BucketUpper(i);
+  }
+  return max;
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map: stable element addresses are required (references escape),
+  // and ordered iteration keeps snapshot key order deterministic.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {
+  // Env fallback so any binary can be observed without plumbing a config.
+  const char* v = std::getenv("CIT_TELEMETRY");
+  if (v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0')) {
+    SetEnabled(true);
+  }
+}
+
+Registry& Registry::Global() {
+  static Registry* g = new Registry;  // leaked: outlives static destructors
+  return *g;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->Reset();
+  for (auto& [name, g] : impl_->gauges) g->Reset();
+  for (auto& [name, h] : impl_->histograms) h->Reset();
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no Inf/NaN
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string Registry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out;
+  out.reserve(1024);
+  out += "{\"ts_us\":";
+  out += std::to_string(MonotonicMicros());
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    out += std::to_string(c->Total());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : impl_->gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    AppendJsonDouble(&out, g->Get());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    Histogram::Snapshot s = h->Get();
+    out += ":{\"count\":";
+    out += std::to_string(s.count);
+    out += ",\"sum\":";
+    out += std::to_string(s.sum);
+    out += ",\"max\":";
+    out += std::to_string(s.max);
+    out += ",\"mean\":";
+    AppendJsonDouble(&out, s.Mean());
+    out += ",\"p50\":";
+    out += std::to_string(s.ApproxQuantile(0.5));
+    out += ",\"p99\":";
+    out += std::to_string(s.ApproxQuantile(0.99));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+bool Registry::AppendSnapshotLine(const std::string& path) const {
+  std::string line = SnapshotJson();
+  line.push_back('\n');
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(line.data(), 1, line.size(), f) == line.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!armed_) return;
+  uint64_t end_us = MonotonicMicros();
+  uint64_t dur = end_us - start_us_;
+  hist_->Record(dur);
+  TraceWriter& tw = TraceWriter::Global();
+  if (tw.active()) tw.Record(name_, start_us_, dur);
+}
+
+TelemetrySession::TelemetrySession(const TelemetryConfig& config)
+    : resolved_(config) {
+  if constexpr (!kCompiledIn) return;
+  const char* trace_env = std::getenv("CIT_TRACE");
+  if (trace_env != nullptr && trace_env[0] != '\0') {
+    resolved_.trace_path = trace_env;
+  }
+  const char* metrics_env = std::getenv("CIT_METRICS");
+  if (metrics_env != nullptr && metrics_env[0] != '\0') {
+    resolved_.metrics_path = metrics_env;
+  }
+  const char* on_env = std::getenv("CIT_TELEMETRY");
+  if (on_env != nullptr && on_env[0] != '\0' &&
+      !(on_env[0] == '0' && on_env[1] == '\0')) {
+    resolved_.enabled = true;
+  }
+  // A trace or metrics destination implies the run wants telemetry.
+  if (!resolved_.trace_path.empty() || !resolved_.metrics_path.empty()) {
+    resolved_.enabled = true;
+  }
+  if (!resolved_.enabled) return;
+  active_ = true;
+  prev_enabled_ = Enabled();
+  SetEnabled(true);
+  if (!resolved_.trace_path.empty()) {
+    TraceWriter::Global().Start();
+    tracing_ = true;
+  }
+}
+
+void TelemetrySession::Tick(int64_t update_index) {
+  if (!active_ || resolved_.metrics_path.empty()) return;
+  if (resolved_.snapshot_every <= 0) return;
+  if ((update_index + 1) % resolved_.snapshot_every != 0) return;
+  Registry::Global().AppendSnapshotLine(resolved_.metrics_path);
+}
+
+TelemetrySession::~TelemetrySession() {
+  if (!active_) return;
+  if (!resolved_.metrics_path.empty()) {
+    Registry::Global().AppendSnapshotLine(resolved_.metrics_path);
+  }
+  if (tracing_) TraceWriter::Global().Stop(resolved_.trace_path);
+  SetEnabled(prev_enabled_);
+}
+
+}  // namespace cit::obs

@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace cit::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  uint64_t start_us;
+  uint64_t dur_us;
+};
+
+struct ThreadBuf {
+  std::mutex mu;  // uncontended except when Stop/Start sweeps the buffer
+  uint32_t tid;
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+};
+
+// tmp + flush + fsync + rename, the same discipline as checkpoint writes;
+// a crash leaves either the old trace or the new one, never a torn file.
+bool AtomicWriteText(const std::string& path, const std::string& body) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  ok = std::fflush(f) == 0 && ok;
+  if (ok) ok = ::fsync(::fileno(f)) == 0;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+struct TraceWriter::Impl {
+  std::mutex mu;  // guards the buffer list and t0
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+  uint64_t t0 = 0;
+
+  ThreadBuf* BufForThisThread() {
+    thread_local ThreadBuf* t_buf = nullptr;
+    if (t_buf == nullptr) {
+      auto owned = std::make_unique<ThreadBuf>();
+      t_buf = owned.get();
+      std::lock_guard<std::mutex> lock(mu);
+      t_buf->tid = static_cast<uint32_t>(bufs.size());
+      bufs.push_back(std::move(owned));
+    }
+    return t_buf;
+  }
+};
+
+TraceWriter::TraceWriter() : impl_(new Impl) {}
+
+TraceWriter& TraceWriter::Global() {
+  static TraceWriter* g = new TraceWriter;  // leaked, like the Registry
+  return *g;
+}
+
+void TraceWriter::Start() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& buf : impl_->bufs) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+    buf->dropped = 0;
+  }
+  impl_->t0 = MonotonicMicros();
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void TraceWriter::Record(const char* name, uint64_t start_us,
+                         uint64_t dur_us) {
+  ThreadBuf* buf = impl_->BufForThisThread();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  if (buf->events.size() >= kMaxEventsPerThread) {
+    ++buf->dropped;
+    return;
+  }
+  buf->events.push_back(TraceEvent{name, start_us, dur_us});
+}
+
+bool TraceWriter::Stop(const std::string& path) {
+  active_.store(false, std::memory_order_relaxed);
+  std::string body;
+  body.reserve(1 << 16);
+  body += "{\"traceEvents\":[";
+  uint64_t dropped = 0;
+  bool first = true;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    const uint64_t t0 = impl_->t0;
+    for (auto& buf : impl_->bufs) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      for (const TraceEvent& e : buf->events) {
+        if (!first) body.push_back(',');
+        first = false;
+        uint64_t ts = e.start_us >= t0 ? e.start_us - t0 : 0;
+        body += "{\"name\":\"";
+        body += e.name;  // span names are literals without JSON-special chars
+        body += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+        body += std::to_string(buf->tid);
+        body += ",\"ts\":";
+        body += std::to_string(ts);
+        body += ",\"dur\":";
+        body += std::to_string(e.dur_us);
+        body += "}";
+      }
+      dropped += buf->dropped;
+      buf->events.clear();
+      buf->dropped = 0;
+    }
+  }
+  body += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":\"";
+  body += std::to_string(dropped);
+  body += "\"}}";
+  return AtomicWriteText(path, body);
+}
+
+}  // namespace cit::obs

@@ -1,0 +1,54 @@
+#ifndef CIT_OBS_TRACE_H_
+#define CIT_OBS_TRACE_H_
+
+// chrome://tracing-compatible trace writer. ScopedTimer spans record
+// complete ("ph":"X") events into per-thread buffers while a trace is
+// active; Stop() merges the buffers and writes one JSON document
+// atomically (tmp file + rename, mirroring the checkpoint discipline) so
+// a crash mid-flush never leaves a truncated trace behind.
+//
+// Load the output at chrome://tracing or https://ui.perfetto.dev.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace cit::obs {
+
+class TraceWriter {
+ public:
+  static TraceWriter& Global();
+
+  // Begins a new trace: clears any buffered events and starts accepting
+  // Record() calls. Events are timestamped relative to this call.
+  void Start();
+
+  // True while a trace is being collected (relaxed read; spans check this
+  // once per event).
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  // Appends one complete event to the calling thread's buffer. `name`
+  // must be a string literal / static storage: the pointer is kept until
+  // Stop(). Timestamps are MonotonicMicros() values.
+  void Record(const char* name, uint64_t start_us, uint64_t dur_us);
+
+  // Stops collection, merges all thread buffers, and writes the JSON
+  // document to `path` atomically. Returns false on I/O failure. The
+  // number of dropped events (per-thread buffer overflow) is reported in
+  // the trace metadata.
+  bool Stop(const std::string& path);
+
+  // Events buffered per thread before new ones are dropped; bounds memory
+  // for long traced runs (64k events * 32 B = 2 MiB/thread).
+  static constexpr size_t kMaxEventsPerThread = 1 << 16;
+
+ private:
+  TraceWriter();
+  struct Impl;
+  Impl* impl_;  // leaked: worker threads may outlive static destructors
+  std::atomic<bool> active_{false};
+};
+
+}  // namespace cit::obs
+
+#endif  // CIT_OBS_TRACE_H_

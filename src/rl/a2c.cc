@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "env/portfolio_env.h"
+#include "obs/telemetry.h"
 #include "rl/features.h"
 #include "rl/returns.h"
 #include "rl/rollout.h"
@@ -89,6 +90,10 @@ std::vector<double> A2cAgent::Train(const market::PricePanel& panel,
   }
   runner.set_next_step(progress_.next_update);
 
+  // Observational only: phase spans, loss/grad-norm gauges, optional
+  // trace/snapshot files; the curve is bitwise identical either way.
+  obs::TelemetrySession telemetry(config_.telemetry);
+
   // Everything one rollout slot collects; graphs are retained and reduced
   // serially in slot order after the parallel phase.
   struct SlotData {
@@ -100,12 +105,15 @@ std::vector<double> A2cAgent::Train(const market::PricePanel& panel,
   };
 
   while (runner.next_step() < config_.train_steps) {
+    CIT_OBS_SPAN("train.update");
     const int64_t step = runner.next_step();
     // Random segment start within the training range, per slot.
     const int64_t lo = env.earliest_start();
     const int64_t hi = env.end_day() - config_.rollout_len - 1;
     std::vector<SlotData> slots(num_slots);
 
+    {
+    CIT_OBS_SPAN("train.rollout");
     runner.Collect([&](int64_t slot, math::Rng& rng) {
       SlotData& sd = slots[slot];
       env::PortfolioEnv senv = env.CloneAt(
@@ -131,9 +139,12 @@ std::vector<double> A2cAgent::Train(const market::PricePanel& panel,
       }
       sd.targets = DiscountedReturns(sd.rewards, config_.gamma, bootstrap);
     });
+    }
 
     // Losses: policy gradient with advantage (target - V), value MSE.
     // Per-slot gradients accumulate in slot order; one optimizer step.
+    {
+    CIT_OBS_SPAN("train.update_losses");
     actor_opt_->ZeroGrad();
     critic_opt_->ZeroGrad();
     for (SlotData& sd : slots) {
@@ -158,11 +169,16 @@ std::vector<double> A2cAgent::Train(const market::PricePanel& panel,
       ag::Var total = ag::Add(ag::MulScalar(policy_loss, inv_len),
                               ag::MulScalar(value_loss, inv_len));
       total.Backward();
+      CIT_OBS_GAUGE("train.actor_loss", policy_loss.value().Item());
+      CIT_OBS_GAUGE("train.critic_loss", value_loss.value().Item());
     }
-    actor_opt_->ClipGradNorm(5.0f);
-    critic_opt_->ClipGradNorm(5.0f);
+    [[maybe_unused]] const float actor_gn = actor_opt_->ClipGradNorm(5.0f);
+    [[maybe_unused]] const float critic_gn = critic_opt_->ClipGradNorm(5.0f);
+    CIT_OBS_GAUGE("train.actor_grad_norm", actor_gn);
+    CIT_OBS_GAUGE("train.critic_grad_norm", critic_gn);
     actor_opt_->Step();
     critic_opt_->Step();
+    }
 
     double step_reward = 0.0;
     for (const SlotData& sd : slots) {
@@ -172,6 +188,8 @@ std::vector<double> A2cAgent::Train(const market::PricePanel& panel,
         step_reward += mean_reward / static_cast<double>(sd.rewards.size());
       }
     }
+    CIT_OBS_GAUGE("train.reward",
+                  step_reward / static_cast<double>(num_slots));
     progress_.curve_acc += step_reward / static_cast<double>(num_slots);
     ++progress_.curve_n;
     if ((step + 1) % curve_every == 0) {
@@ -183,9 +201,11 @@ std::vector<double> A2cAgent::Train(const market::PricePanel& panel,
     progress_.next_update = step + 1;
     if (config_.checkpoint_every > 0 && !config_.checkpoint_path.empty() &&
         (step + 1) % config_.checkpoint_every == 0) {
+      CIT_OBS_SPAN("train.checkpoint");
       const Status saved = SaveCheckpoint(config_.checkpoint_path);
       CIT_CHECK_MSG(saved.ok(), saved.message().c_str());
     }
+    telemetry.Tick(step);
   }
   std::vector<double> curve = std::move(progress_.curve);
   progress_ = {};

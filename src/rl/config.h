@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/telemetry.h"
+
 namespace cit::rl {
 
 // Shared hyper-parameters of the deep-RL baseline trainers. Defaults are
@@ -38,6 +40,12 @@ struct RlTrainConfig {
   int64_t checkpoint_every = 0;
   std::string checkpoint_path;
   std::string resume_from;
+
+  // Telemetry for this run (see DESIGN.md "Observability"): phase timings,
+  // loss/grad-norm gauges, optional trace + snapshot files. Off by default;
+  // CIT_TELEMETRY / CIT_TRACE / CIT_METRICS override at runtime. Purely
+  // observational — curves are bitwise identical with it on or off.
+  obs::TelemetryConfig telemetry;
 };
 
 }  // namespace cit::rl

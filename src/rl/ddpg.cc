@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "env/portfolio_env.h"
+#include "obs/telemetry.h"
 #include "rl/features.h"
 #include "rl/gaussian_policy.h"
 
@@ -79,7 +80,9 @@ void DdpgAgent::UpdateFromReplay() {
       critic_loss, 1.0f / static_cast<float>(config_.batch_size));
   critic_opt_->ZeroGrad();
   critic_loss.Backward();
-  critic_opt_->ClipGradNorm(5.0f);
+  CIT_OBS_GAUGE("train.critic_loss", critic_loss.value().Item());
+  [[maybe_unused]] const float critic_gn = critic_opt_->ClipGradNorm(5.0f);
+  CIT_OBS_GAUGE("train.critic_grad_norm", critic_gn);
   critic_opt_->Step();
 
   // Actor update: maximize Q(s, softmax(actor(s))).
@@ -95,7 +98,9 @@ void DdpgAgent::UpdateFromReplay() {
   actor_opt_->ZeroGrad();
   critic_opt_->ZeroGrad();  // clear grads the actor pass pushed into Q
   actor_loss.Backward();
-  actor_opt_->ClipGradNorm(5.0f);
+  CIT_OBS_GAUGE("train.actor_loss", actor_loss.value().Item());
+  [[maybe_unused]] const float actor_gn = actor_opt_->ClipGradNorm(5.0f);
+  CIT_OBS_GAUGE("train.actor_grad_norm", actor_gn);
   actor_opt_->Step();
 
   nn::SoftUpdateParameters(*actor_, target_actor_.get(),
@@ -133,13 +138,21 @@ std::vector<double> DdpgAgent::Train(const market::PricePanel& panel,
     has_env_cursor_ = false;
   }
 
+  // Observational only: phase spans, loss/grad-norm gauges, optional
+  // trace/snapshot files; the curve is bitwise identical either way.
+  obs::TelemetrySession telemetry(config_.telemetry);
+
   for (int64_t step = progress_.next_update; step < total_steps; ++step) {
+    CIT_OBS_SPAN("train.update");
     if (env.done()) {
       env.ResetAt(env.earliest_start() +
                   rng_.UniformInt(std::max<int64_t>(
                       1, env.end_day() - env.earliest_start() - 2)));
       Reset();
     }
+    env::StepResult r;
+    {
+    CIT_OBS_SPAN("train.rollout");  // acting + replay insert
     Tensor state = StateTensor(panel, env.current_day());
     ag::Var scores = actor_->Forward(ag::Var::Constant(state));
     Tensor noisy = scores.value();
@@ -148,7 +161,7 @@ std::vector<double> DdpgAgent::Train(const market::PricePanel& panel,
           rng_.Normal(0.0, config_.explore_noise));
     }
     std::vector<double> weights = SoftmaxWeights(noisy);
-    const env::StepResult r = env.Step(weights);
+    r = env.Step(weights);
     held_ = env.previous_weights();
     Tensor action({num_assets_});
     for (int64_t i = 0; i < num_assets_; ++i) {
@@ -164,8 +177,13 @@ std::vector<double> DdpgAgent::Train(const market::PricePanel& panel,
       replay_[replay_next_] = std::move(tr);
       replay_next_ = (replay_next_ + 1) % config_.replay_capacity;
     }
-    if (step >= config_.warmup_steps) UpdateFromReplay();
+    }
+    if (step >= config_.warmup_steps) {
+      CIT_OBS_SPAN("train.replay_update");
+      UpdateFromReplay();
+    }
 
+    CIT_OBS_GAUGE("train.reward", r.reward * config_.reward_scale);
     progress_.curve_acc += r.reward * config_.reward_scale;
     ++progress_.curve_n;
     if ((step + 1) % curve_every == 0) {
@@ -179,9 +197,11 @@ std::vector<double> DdpgAgent::Train(const market::PricePanel& panel,
     has_env_cursor_ = true;
     if (config_.checkpoint_every > 0 && !config_.checkpoint_path.empty() &&
         (step + 1) % config_.checkpoint_every == 0) {
+      CIT_OBS_SPAN("train.checkpoint");
       const Status saved = SaveCheckpoint(config_.checkpoint_path);
       CIT_CHECK_MSG(saved.ok(), saved.message().c_str());
     }
+    telemetry.Tick(step);
   }
   std::vector<double> curve = std::move(progress_.curve);
   progress_ = {};

@@ -1,5 +1,6 @@
 #include "rl/gaussian_policy.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -8,6 +9,18 @@ namespace cit::rl {
 
 namespace {
 const float kHalfLog2Pi = 0.9189385332f;  // 0.5 * log(2*pi)
+
+// exp(log_std) underflows to exactly 0 in float once log_std < ~-87.3 (and
+// overflows to +Inf above ~88.7); the z-score below then divides by zero
+// and a collapsed log-std emits an Inf log-prob whose backward pass NaNs
+// every policy gradient. Clamp log_std BEFORE exponentiating: clamping the
+// std after Exp still backprops through the overflowed Exp node, whose
+// local gradient is the stored Inf output, so the Clamp's zero incoming
+// gradient turns into 0 * Inf = NaN. On [kMinLogStd, kMaxLogStd] — any
+// realistic spread — the clamp is the identity with unit gradient, so
+// training curves are bitwise unchanged.
+const float kMinLogStd = -13.815511f;  // log(1e-6)
+const float kMaxLogStd = 13.815511f;   // log(1e6)
 }  // namespace
 
 Var GaussianLogProb(const Var& mean, const Var& log_std, const Tensor& raw) {
@@ -15,10 +28,13 @@ Var GaussianLogProb(const Var& mean, const Var& log_std, const Tensor& raw) {
   CIT_CHECK(mean.shape() == raw.shape());
   const int64_t m = mean.numel();
   Var u = Var::Constant(raw);
-  Var std = ag::Exp(log_std);
+  // The clamped log-std is used both for the scale and the normalizer so
+  // the density integrates to one for the distribution actually sampled.
+  Var ls = ag::Clamp(log_std, kMinLogStd, kMaxLogStd);
+  Var std = ag::Exp(ls);
   Var z = ag::Div(ag::Sub(u, mean), std);
   // logp = -0.5 z^2 - log_std - 0.5 log(2 pi), summed over dimensions.
-  Var per_dim = ag::Add(ag::MulScalar(ag::Square(z), 0.5f), log_std);
+  Var per_dim = ag::Add(ag::MulScalar(ag::Square(z), 0.5f), ls);
   return ag::AddScalar(ag::Neg(ag::Sum(per_dim)),
                        -kHalfLog2Pi * static_cast<float>(m));
 }
@@ -50,7 +66,10 @@ GaussianAction SampleGaussianSimplex(const Var& mean, const Var& log_std,
   Tensor raw = mean.value();
   if (rng != nullptr) {
     for (int64_t i = 0; i < m; ++i) {
-      const float std = std::exp(log_std.value()[i]);
+      // Same clamp as GaussianLogProb so the sampling distribution matches
+      // the density the log-prob scores it with.
+      const float std = std::exp(
+          std::clamp(log_std.value()[i], kMinLogStd, kMaxLogStd));
       raw[i] += std * static_cast<float>(rng->Normal());
     }
   }

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "env/portfolio_env.h"
+#include "obs/telemetry.h"
 #include "rl/features.h"
 #include "rl/returns.h"
 #include "rl/rollout.h"
@@ -73,6 +74,10 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
   }
   runner.set_next_step(progress_.next_update);
 
+  // Observational only: phase spans, loss/grad-norm gauges, optional
+  // trace/snapshot files; the curve is bitwise identical either way.
+  obs::TelemetrySession telemetry(config_.telemetry);
+
   // One slot's frozen (old-policy) rollout statistics; the surrogate
   // epochs below re-walk slots serially in slot order.
   struct SlotData {
@@ -85,11 +90,14 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
   };
 
   while (runner.next_step() < config_.train_steps) {
+    CIT_OBS_SPAN("train.update");
     const int64_t step = runner.next_step();
     const int64_t lo = env.earliest_start();
     const int64_t hi = env.end_day() - config_.rollout_len - 1;
     std::vector<SlotData> slots(num_slots);
 
+    {
+    CIT_OBS_SPAN("train.rollout");
     runner.Collect([&](int64_t slot, math::Rng& rng) {
       SlotData& sd = slots[slot];
       env::PortfolioEnv senv = env.CloneAt(
@@ -126,6 +134,7 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
         sd.targets[t] = sd.adv[t] + values[t];
       }
     });
+    }
 
     int64_t total_steps = 0;
     for (const SlotData& sd : slots) {
@@ -139,6 +148,7 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
     // Clipped-surrogate epochs over all collected segments; per-slot
     // gradients accumulate in slot order, one optimizer step per epoch.
     for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+      CIT_OBS_SPAN("train.update_epoch");
       actor_opt_->ZeroGrad();
       critic_opt_->ZeroGrad();
       for (const SlotData& sd : slots) {
@@ -167,9 +177,13 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
         }
         loss = ag::MulScalar(loss, 1.0f / static_cast<float>(total_steps));
         loss.Backward();
+        CIT_OBS_GAUGE("train.loss", loss.value().Item());
       }
-      actor_opt_->ClipGradNorm(5.0f);
-      critic_opt_->ClipGradNorm(5.0f);
+      [[maybe_unused]] const float actor_gn = actor_opt_->ClipGradNorm(5.0f);
+      [[maybe_unused]] const float critic_gn =
+          critic_opt_->ClipGradNorm(5.0f);
+      CIT_OBS_GAUGE("train.actor_grad_norm", actor_gn);
+      CIT_OBS_GAUGE("train.critic_grad_norm", critic_gn);
       actor_opt_->Step();
       critic_opt_->Step();
     }
@@ -182,6 +196,8 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
         step_reward += mean_reward / static_cast<double>(sd.rewards.size());
       }
     }
+    CIT_OBS_GAUGE("train.reward",
+                  step_reward / static_cast<double>(num_slots));
     progress_.curve_acc += step_reward / static_cast<double>(num_slots);
     ++progress_.curve_n;
     if ((step + 1) % curve_every == 0) {
@@ -193,9 +209,11 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
     progress_.next_update = step + 1;
     if (config_.checkpoint_every > 0 && !config_.checkpoint_path.empty() &&
         (step + 1) % config_.checkpoint_every == 0) {
+      CIT_OBS_SPAN("train.checkpoint");
       const Status saved = SaveCheckpoint(config_.checkpoint_path);
       CIT_CHECK_MSG(saved.ok(), saved.message().c_str());
     }
+    telemetry.Tick(step);
   }
   std::vector<double> curve = std::move(progress_.curve);
   progress_ = {};

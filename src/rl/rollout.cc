@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/telemetry.h"
 
 namespace cit::rl {
 
@@ -20,6 +21,10 @@ void RolloutRunner::Collect(
   ThreadPool::Global().ParallelFor(
       0, num_slots_, /*grain=*/1, [&](int64_t lo, int64_t hi) {
         for (int64_t slot = lo; slot < hi; ++slot) {
+          // Per-slot wall time; together with env.step_us this splits a
+          // rollout into env-step vs forward-pass cost.
+          CIT_OBS_SPAN("rollout.slot");
+          CIT_OBS_COUNT("rollout.slots", 1);
           math::Rng rng = math::Rng::Split(
               seed_, static_cast<uint64_t>(step), static_cast<uint64_t>(slot));
           body(slot, rng);

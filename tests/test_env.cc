@@ -70,6 +70,30 @@ TEST(Metrics, ConstantCurveHasZeroSharpe) {
   EXPECT_EQ(m.accumulative_return, 0.0);
 }
 
+TEST(Metrics, ZeroVarianceGrowthCurveHasZeroSharpe) {
+  // Doubling every day: every daily return is exactly 1.0, so the return
+  // variance is exactly zero while the mean is large. The unguarded Sharpe
+  // divided mean by std == 0 and emitted +Inf here (the constant-curve case
+  // has mean == 0 too and hides the bug behind 0/0). Convention: zero-vol
+  // series report Sharpe = 0 and a finite zero vol.
+  const auto m = ComputeMetrics({1.0, 2.0, 4.0, 8.0});
+  EXPECT_EQ(m.sharpe_ratio, 0.0);
+  EXPECT_EQ(m.annualized_vol, 0.0);
+  EXPECT_TRUE(std::isfinite(m.sharpe_ratio));
+  EXPECT_NEAR(m.accumulative_return, 7.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(m.annualized_return));
+  EXPECT_TRUE(std::isfinite(m.calmar_ratio));
+}
+
+TEST(Metrics, TwoPointZeroVolCurveHasZeroSharpe) {
+  // Shortest legal curve with a nonzero move: the single return has
+  // (n-1 == 0)-guarded variance 0, another mean/0 Sharpe trap.
+  const auto m = ComputeMetrics({1.0, 1.07});
+  EXPECT_EQ(m.sharpe_ratio, 0.0);
+  EXPECT_EQ(m.annualized_vol, 0.0);
+  EXPECT_TRUE(std::isfinite(m.annualized_return));
+}
+
 TEST(Metrics, TwoPointCurveAnnualizationStaysBounded) {
   // The shortest legal curve: one daily move. Unguarded annualization
   // raises 1.05 to the 252nd power (~2e5) and poisons Calmar; the
@@ -312,6 +336,74 @@ TEST(Backtest, RepairsInvalidAgentActionsInsteadOfAborting) {
     EXPECT_GT(w, 0.0);
   }
   EXPECT_TRUE(std::isfinite(result.metrics.sharpe_ratio));
+}
+
+// Always moves everything into asset 0, whatever it holds.
+class AllInFirstAssetAgent : public TradingAgent {
+ public:
+  std::string name() const override { return "all-in-first"; }
+  std::vector<double> DecideWeights(const market::PricePanel& panel,
+                                    int64_t) override {
+    std::vector<double> w(panel.num_assets(), 0.0);
+    w[0] = 1.0;
+    return w;
+  }
+};
+
+TEST(Backtest, ClosedFormTwoAssetCostAccounting) {
+  // Hand-checkable panel: asset 0 is flat until day 2, then gains 10% on
+  // each of days 3 and 4; asset 1 never moves. Agent goes all-in on
+  // asset 0 every step.
+  //
+  //   step day 2->3: held starts uniform {0.5, 0.5}, target {1, 0}
+  //     turnover    = |1-0.5| + |0-0.5| = 1.0
+  //     cost_factor = 1 - tc = 0.99
+  //     growth      = 1.1,  net = 1.1 * 0.99
+  //   step day 3->4: holdings already {1, 0}, target {1, 0}
+  //     turnover = 0, growth = net = 1.1
+  //
+  // so wealth = 1.1 * 0.99 * 1.1 and total turnover = 1.0 exactly.
+  market::PricePanel panel(5, 2);
+  const double p0[] = {100.0, 100.0, 100.0, 110.0, 121.0};
+  for (int64_t t = 0; t < 5; ++t) {
+    panel.SetClose(t, 0, p0[t]);
+    panel.SetClose(t, 1, 100.0);
+  }
+  AllInFirstAssetAgent agent;
+  EnvConfig cfg;
+  cfg.window = 2;
+  cfg.transaction_cost = 0.01;
+  const BacktestResult result = RunBacktest(agent, panel, cfg);
+  ASSERT_EQ(result.wealth.size(), 3u);
+  EXPECT_EQ(result.repaired_steps, 0);
+  EXPECT_NEAR(result.wealth[1], 1.1 * 0.99, 1e-12);
+  EXPECT_NEAR(result.wealth[2], 1.1 * 0.99 * 1.1, 1e-12);
+  EXPECT_NEAR(result.turnover, 1.0, 1e-12);
+  ASSERT_EQ(result.daily_returns.size(), 2u);
+  EXPECT_NEAR(result.daily_returns[0], 1.1 * 0.99 - 1.0, 1e-12);
+  EXPECT_NEAR(result.daily_returns[1], 0.1, 1e-12);
+
+  // The same run without costs keeps the full gross growth; the cost run
+  // loses exactly tc * turnover of the first step's wealth.
+  EnvConfig free_cfg = cfg;
+  free_cfg.transaction_cost = 0.0;
+  const BacktestResult free_run = RunBacktest(agent, panel, free_cfg);
+  EXPECT_NEAR(free_run.wealth.back(), 1.1 * 1.1, 1e-12);
+  EXPECT_NEAR(free_run.turnover, result.turnover, 1e-12);
+}
+
+TEST(Backtest, TurnoverAccumulatesOverRebalancing) {
+  // A rebalancing agent on a drifting panel must rack up turnover; the
+  // total is the sum over steps of per-step |target - held| mass.
+  auto panel = MakePanel(80, 4, 13);
+  UniformAgent agent;
+  EnvConfig cfg;
+  cfg.window = 8;
+  const BacktestResult result = RunBacktest(agent, panel, cfg);
+  EXPECT_GT(result.turnover, 0.0);
+  // Each step moves at most the whole portfolio (2.0 in L1 mass).
+  EXPECT_LE(result.turnover,
+            2.0 * static_cast<double>(result.daily_returns.size()));
 }
 
 TEST(Backtest, WellBehavedAgentHasNoRepairs) {

@@ -193,6 +193,98 @@ TEST(Csv, LoadRejectsRaggedRows) {
   std::remove(path.c_str());
 }
 
+// ---- malformed-CSV matrix (regressions for the LoadPanelCsv parsing
+// fixes: CRLF \r stripping, full-cell numeric parses, NaN rejection,
+// #train_end validation) ----
+
+namespace {
+std::string WriteCsv(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  FILE* f = fopen(path.c_str(), "w");
+  fputs(body.c_str(), f);
+  fclose(f);
+  return path;
+}
+}  // namespace
+
+TEST(Csv, CrlfFileParsesCleanly) {
+  // Pre-fix, getline left '\r' on every line: the last asset was named
+  // "B\r" and the last cell of each row parsed only up to the '\r' via a
+  // partial strtod — or, with strict parsing, failed outright.
+  const std::string path = WriteCsv(
+      "crlf_panel.csv",
+      "#train_end=2\r\nday,A,B\r\n0,100,200\r\n1,110,190\r\n2,105,195\r\n");
+  auto r = LoadPanelCsv(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const PricePanel& p = r.value();
+  EXPECT_EQ(p.num_days(), 3);
+  EXPECT_EQ(p.train_end(), 2);
+  ASSERT_EQ(p.asset_names().size(), 2u);
+  EXPECT_EQ(p.asset_names()[1], "B");  // no trailing '\r'
+  EXPECT_EQ(p.Close(2, 1), 195.0);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LoadRejectsJunkCell) {
+  // "12abc" used to silently parse as 12 (only `end == begin` was checked).
+  const std::string path =
+      WriteCsv("junk_cell.csv", "day,A\n0,100\n1,12abc\n");
+  auto r = LoadPanelCsv(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LoadRejectsEmptyCell) {
+  const std::string path =
+      WriteCsv("empty_cell.csv", "day,A,B\n0,100,200\n1,,190\n");
+  auto r = LoadPanelCsv(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LoadRejectsNanPrice) {
+  // strtod accepts "nan", and NaN <= 0.0 is false — pre-fix a NaN price
+  // sailed straight into the panel and poisoned every downstream metric.
+  const std::string path = WriteCsv("nan_cell.csv", "day,A\n0,100\n1,nan\n");
+  auto r = LoadPanelCsv(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LoadRejectsMissingColumn) {
+  // Row with one price short of the header (a "missing column" row).
+  const std::string path =
+      WriteCsv("missing_col.csv", "day,A,B,C\n0,1,2,3\n1,1,2\n");
+  auto r = LoadPanelCsv(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LoadRejectsTrainEndOutOfRange) {
+  for (const char* header : {"#train_end=999\n", "#train_end=-3\n"}) {
+    const std::string path = WriteCsv(
+        "bad_train_end.csv", std::string(header) + "day,A\n0,100\n1,110\n");
+    auto r = LoadPanelCsv(path);
+    EXPECT_FALSE(r.ok()) << header;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Csv, LoadRejectsMalformedTrainEnd) {
+  // atoll("abc") was a silent 0; now the header must parse completely.
+  const std::string path = WriteCsv(
+      "junk_train_end.csv", "#train_end=abc\nday,A\n0,100\n1,110\n");
+  auto r = LoadPanelCsv(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
 TEST(StatusResult, BasicBehaviour) {
   Status ok = Status::OK();
   EXPECT_TRUE(ok.ok());

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "env/backtest.h"
+#include "gradcheck.h"
 #include "math/rng.h"
 #include "market/simulator.h"
 #include "rl/a2c.h"
@@ -189,6 +190,56 @@ TEST(GaussianPolicy, SampledActionsAverageNearSoftmaxMean) {
   }
   const double det = SampleGaussianSimplex(mean, log_std, nullptr).weights[0];
   EXPECT_NEAR(acc / n, det, 0.05);
+}
+
+TEST(GaussianPolicy, CollapsedLogStdKeepsLogProbAndGradsFinite) {
+  // exp(log_std) underflows to exactly 0 in float below log_std ~ -87.3.
+  // Pre-clamp, the z-score divided by zero: an Inf log-prob whose backward
+  // pass NaN'd every policy gradient. The clamp keeps both sides finite.
+  ag::Var mean = ag::Var::Param(math::Tensor({2}, {0.1f, -0.1f}));
+  ag::Var log_std = ag::Var::Param(math::Tensor::Full({2}, -200.0f));
+  math::Tensor raw({2}, {0.3f, -0.2f});
+  ag::Var lp = GaussianLogProb(mean, log_std, raw);
+  EXPECT_TRUE(std::isfinite(lp.value().Item()));
+  lp.Backward();
+  for (int64_t j = 0; j < 2; ++j) {
+    EXPECT_TRUE(std::isfinite(mean.grad()[j])) << j;
+    EXPECT_TRUE(std::isfinite(log_std.grad()[j])) << j;
+  }
+  // Sampling with a collapsed std must also produce a finite log-prob
+  // (pre-clamp: raw == mean exactly, then z = 0/0 = NaN).
+  math::Rng rng(17);
+  const GaussianAction a = SampleGaussianSimplex(mean, log_std, &rng);
+  EXPECT_TRUE(std::isfinite(a.log_prob.value().Item()));
+}
+
+TEST(GaussianPolicy, ExplodedLogStdKeepsLogProbAndGradsFinite) {
+  // The mirror failure: exp(log_std) overflows to +Inf above ~88.7, and
+  // the backward pass multiplied a zero local gradient by that Inf (0 *
+  // Inf = NaN). The upper clamp caps std at a large finite value.
+  ag::Var mean = ag::Var::Param(math::Tensor({2}, {0.5f, -0.5f}));
+  ag::Var log_std = ag::Var::Param(math::Tensor::Full({2}, 200.0f));
+  math::Tensor raw({2}, {1.0f, 0.0f});
+  ag::Var lp = GaussianLogProb(mean, log_std, raw);
+  EXPECT_TRUE(std::isfinite(lp.value().Item()));
+  lp.Backward();
+  for (int64_t j = 0; j < 2; ++j) {
+    EXPECT_TRUE(std::isfinite(mean.grad()[j])) << j;
+    EXPECT_TRUE(std::isfinite(log_std.grad()[j])) << j;
+  }
+}
+
+TEST(GaussianPolicy, GradcheckAtExtremeButUncollapsedLogStd) {
+  // Inside the clamp's identity interval the gradients must still match
+  // finite differences, even at stds far from the usual ~e^0 regime.
+  for (const float ls : {-4.0f, 3.0f}) {
+    ag::Var mean = ag::Var::Param(math::Tensor({2}, {0.1f, -0.1f}));
+    ag::Var log_std = ag::Var::Param(math::Tensor::Full({2}, ls));
+    math::Tensor raw({2}, {0.12f, -0.11f});
+    cit::testing::ExpectGradientsMatch(
+        [&] { return GaussianLogProb(mean, log_std, raw); },
+        {mean, log_std}, /*eps=*/5e-3f);
+  }
 }
 
 // ---- Features ---------------------------------------------------------------
