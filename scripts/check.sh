@@ -4,9 +4,11 @@
 #      CIT_NUM_THREADS=1 and =4 — results must agree (the determinism
 #      tests inside the suite check bitwise identity in-process too).
 #   2. Focused gates: observability (bitwise-identical curves with
-#      telemetry on/off at 1 and 4 threads, trace/snapshot JSON parses)
-#      and checkpoint/resume (container corruption fuzz plus the
-#      kill-at-k bitwise-resume tests for every trainer).
+#      telemetry on/off at 1 and 4 threads, trace/snapshot JSON parses),
+#      checkpoint/resume (container corruption fuzz plus the kill-at-k
+#      bitwise-resume tests for every trainer), and inference (bitwise
+#      backtests with the graph-free no-grad path on vs. off at 1 and 4
+#      threads, plus a bench_infer smoke run emitting nograd_speedup).
 #   3. ASan and UBSan builds + full ctest at smoke scale (CIT_FAST=1) —
 #      this reruns the checkpoint fuzz under ASan, so corrupt-length
 #      allocations and parser overreads trip immediately.
@@ -41,6 +43,19 @@ echo "=== checkpoint/resume gate (container fuzz + kill-at-k resume) ==="
 (cd build && run ctest --output-on-failure \
     -R 'Checkpoint|TrainProgress|OptimizerState|EnvCursor|Serialize')
 
+echo "=== inference gate (graph-free path bitwise + bench ratio) ==="
+# test_inference proves every agent's backtest is bitwise identical with the
+# no-grad fast path on vs. forced off (CIT_NOGRAD=0 semantics), and that
+# guarded ops build no graph; run it serial and parallel.
+(cd build && run env CIT_NUM_THREADS=1 ./tests/test_inference)
+(cd build && run env CIT_NUM_THREADS=4 ./tests/test_inference)
+run cmake --build build -j"$(nproc)" --target bench_infer
+run ./build/bench/bench_infer /tmp/BENCH_infer_smoke.json
+# The bench must emit the gated headline ratio (check its presence here;
+# the >= 1.5x bar is asserted on the committed BENCH_infer.json, not on
+# this smoke run, which may sit on a loaded CI host).
+run grep -q '"nograd_speedup"' /tmp/BENCH_infer_smoke.json
+
 if [[ "$QUICK" == "1" ]]; then
   echo "--quick: skipping sanitizer builds"
   exit 0
@@ -58,13 +73,15 @@ echo "=== thread sanitizer build + threading/rollout tests ==="
 run cmake -B build-thread -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCIT_SANITIZE=thread
 run cmake --build build-thread -j"$(nproc)" --target test_threading \
-    test_rollout
+    test_rollout test_inference
 # CIT_OVERSUBSCRIBE lifts the hardware clamp so the pool really spawns the
 # requested workers: TSan then sees genuine cross-thread interleavings of
-# the rollout pipeline even on a 1-core container.
-(cd build-thread && run env CIT_FAST=1 CIT_OVERSUBSCRIBE=1 \
+# the rollout pipeline even on a 1-core container. test_inference rides
+# along so the grad-mode thread-local, the NoGradAllowed atomic, and the
+# pool's lock-free inline-dispatch check are raced against real workers.
+(cd build-thread && run env CIT_FAST=1 CIT_OVERSUBSCRIBE=1 CIT_NUM_THREADS=4 \
     ctest --output-on-failure \
-    -R 'ThreadPool|Determinism|RngSplit|RolloutRunner|RolloutDeterminism')
+    -R 'ThreadPool|Determinism|RngSplit|RolloutRunner|RolloutDeterminism|InferenceIdentity|GradMode\.|Arena\.')
 
 echo "=== CIT_OBS=OFF build (instrumentation compiles out) ==="
 run cmake -B build-noobs -S . -DCMAKE_BUILD_TYPE=Release -DCIT_OBS=OFF

@@ -27,6 +27,21 @@
     }                                                                       \
   } while (0)
 
+// Debug-only variants for per-element validation too hot for release
+// builds (e.g. positivity of every ag::Log input). Compiled out under
+// NDEBUG; the condition is not evaluated there.
+#ifndef NDEBUG
+#define CIT_DCHECK(cond) CIT_CHECK(cond)
+#define CIT_DCHECK_MSG(cond, msg) CIT_CHECK_MSG(cond, msg)
+#else
+#define CIT_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#define CIT_DCHECK_MSG(cond, msg) \
+  do {                            \
+  } while (0)
+#endif
+
 #define CIT_CHECK_EQ(a, b) CIT_CHECK((a) == (b))
 #define CIT_CHECK_NE(a, b) CIT_CHECK((a) != (b))
 #define CIT_CHECK_LT(a, b) CIT_CHECK((a) < (b))

@@ -97,7 +97,9 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(
+bool ThreadPool::InParallelRegion() { return t_in_parallel_region; }
+
+void ThreadPool::ForkJoin(
     int64_t begin, int64_t end, int64_t grain,
     const std::function<void(int64_t, int64_t)>& body) {
   const int64_t n = end - begin;
@@ -106,7 +108,7 @@ void ThreadPool::ParallelFor(
   int threads;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    threads = active_threads_;
+    threads = active_threads_.load(std::memory_order_relaxed);
     // A nested call, a tiny range, or a pool already mid-job runs inline.
     if (t_in_parallel_region || threads <= 1 || n <= grain ||
         job_ != nullptr) {

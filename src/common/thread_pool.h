@@ -1,12 +1,16 @@
 #ifndef CIT_COMMON_THREAD_POOL_H_
 #define CIT_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/telemetry.h"
 
 namespace cit {
 
@@ -57,17 +61,41 @@ class ThreadPool {
   void SetNumThreads(int n);
 
   // Runs body(chunk_begin, chunk_end) over a deterministic partition of
-  // [begin, end). Ranges shorter than `grain` (or with one active thread)
-  // run inline on the caller. `body` must be safe to invoke concurrently
-  // on disjoint sub-ranges.
+  // [begin, end). Ranges shorter than `grain` (or with one active thread,
+  // or issued from inside another ParallelFor chunk) run inline on the
+  // caller — on that path `body` is invoked directly, with no pool lock
+  // and no std::function wrapping, so serial kernel dispatch costs a
+  // branch rather than a mutex and a heap allocation. `body` must be safe
+  // to invoke concurrently on disjoint sub-ranges.
+  template <typename Body>
   void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                   const std::function<void(int64_t, int64_t)>& body);
+                   const Body& body) {
+    if (end <= begin) return;
+    if (InParallelRegion() ||
+        active_threads_.load(std::memory_order_relaxed) <= 1 ||
+        end - begin <= std::max<int64_t>(grain, 1)) {
+      CIT_OBS_COUNT("threadpool.inline_jobs", 1);
+      body(begin, end);
+      return;
+    }
+    ForkJoin(begin, end, grain, std::function<void(int64_t, int64_t)>(body));
+  }
+
+  // True while the calling thread is executing a ParallelFor chunk;
+  // nested calls from such a thread always run inline.
+  static bool InParallelRegion();
 
  private:
   void WorkerLoop();
 
+  // The locked fork/join slow path. Re-checks the inline conditions under
+  // the pool mutex (another thread may hold an in-flight job), then fans
+  // `body` out across the workers and blocks until every chunk finished.
+  void ForkJoin(int64_t begin, int64_t end, int64_t grain,
+                const std::function<void(int64_t, int64_t)>& body);
+
   const int max_threads_;
-  int active_threads_;
+  std::atomic<int> active_threads_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers: job posted / exit

@@ -146,6 +146,7 @@ std::vector<double> CrossInsightTrader::PolicyWeights(
     const market::PricePanel& panel, int64_t day, int64_t k,
     const std::vector<double>& prev_action) {
   CIT_CHECK(k >= 0 && k < config_.num_policies);
+  ag::NoGradGuard no_grad;
   const DayFeatures& f = FeaturesAt(panel, day);
   Var mean = actors_[k]->Forward(f.bands[k], prev_action);
   return SoftmaxWeights(mean.value());
@@ -153,6 +154,7 @@ std::vector<double> CrossInsightTrader::PolicyWeights(
 
 std::vector<double> CrossInsightTrader::DecideWeights(
     const market::PricePanel& panel, int64_t day) {
+  ag::NoGradGuard no_grad;
   const DayFeatures& f = FeaturesAt(panel, day);
   const int64_t n = config_.num_policies;
   std::vector<std::vector<double>> pre(n);
@@ -306,6 +308,11 @@ std::vector<double> CrossInsightTrader::Train(
       }
       const int64_t len = static_cast<int64_t>(sd.rollout.size());
 
+      // Everything below reads forwards as detached numbers (bootstrap
+      // means, critic targets), so it runs graph-free; the sampled taped
+      // forwards above already captured what the actor update needs.
+      ag::NoGradGuard no_grad;
+
       // Bootstrap actions at the post-rollout state (deterministic means).
       sd.boot_pre = Tensor({std::max<int64_t>(n, 0) * num_assets_});
       if (!senv.done()) {
@@ -416,6 +423,8 @@ std::vector<double> CrossInsightTrader::Train(
     {
     CIT_OBS_SPAN("train.advantages");
     runner.ForEachSlot([&](int64_t slot) {
+      // Forward-only phase: every critic read below lands in a double.
+      ag::NoGradGuard no_grad;
       SlotData& sd = slots[slot];
       const int64_t len = static_cast<int64_t>(sd.rollout.size());
       std::vector<double> q_joint(len, 0.0);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "math/autograd.h"
 #include "obs/telemetry.h"
 
 namespace cit::env {
@@ -17,6 +18,10 @@ BacktestResult RunBacktest(TradingAgent& agent,
   result.agent_name = agent.name();
   result.wealth.push_back(1.0);
   result.days.push_back(env.current_day());
+  // A backtest only ever reads policy outputs, so the whole evaluation loop
+  // runs graph-free: model forwards inside DecideWeights allocate no tape
+  // and recycle their temporaries through the per-thread arena.
+  ag::NoGradGuard no_grad;
   while (!env.done()) {
     CIT_OBS_SPAN("backtest.step");
     CIT_OBS_COUNT("backtest.steps", 1);

@@ -1,7 +1,9 @@
 #include "math/autograd.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -10,6 +12,34 @@
 namespace cit::ag {
 
 namespace kernels = math::kernels;
+
+namespace {
+
+// CIT_NOGRAD=0 disables the inference fast path process-wide; any other
+// value (or unset) leaves it available.
+bool InitialNoGradAllowed() {
+  const char* v = std::getenv("CIT_NOGRAD");
+  return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool> g_nograd_allowed{InitialNoGradAllowed()};
+
+}  // namespace
+
+void SetNoGradAllowed(bool allowed) {
+  g_nograd_allowed.store(allowed, std::memory_order_relaxed);
+}
+
+bool NoGradAllowed() {
+  return g_nograd_allowed.load(std::memory_order_relaxed);
+}
+
+NoGradGuard::NoGradGuard()
+    : prev_(detail::GradEnabledFlag()), arena_(NoGradAllowed()) {
+  if (NoGradAllowed()) detail::GradEnabledFlag() = false;
+}
+
+NoGradGuard::~NoGradGuard() { detail::GradEnabledFlag() = prev_; }
 
 void AccumGrad(Node* n, const Tensor& g) {
   if (n == nullptr || !n->requires_grad) return;
@@ -42,6 +72,13 @@ float* GradAccumPtr(Node* n) {
 }  // namespace
 
 Var::Var(Tensor value, bool requires_grad) {
+  // Constants created while grads are off skip the Node entirely; trainable
+  // leaves always get one (parameters must outlive any guard).
+  if (!requires_grad && !GradEnabled()) {
+    const_value_ = std::move(value);
+    is_const_ = true;
+    return;
+  }
   node_ = std::make_shared<Node>();
   node_->value = std::move(value);
   node_->requires_grad = requires_grad;
@@ -52,13 +89,13 @@ Var Var::Param(Tensor value) { return Var(std::move(value), true); }
 Var Var::Constant(Tensor value) { return Var(std::move(value), false); }
 
 const Tensor& Var::value() const {
-  CIT_CHECK(node_ != nullptr);
-  return node_->value;
+  CIT_CHECK(defined());
+  return node_ ? node_->value : const_value_;
 }
 
 Tensor& Var::mutable_value() {
-  CIT_CHECK(node_ != nullptr);
-  return node_->value;
+  CIT_CHECK(defined());
+  return node_ ? node_->value : const_value_;
 }
 
 const Tensor& Var::grad() const {
@@ -74,13 +111,16 @@ Tensor& Var::mutable_grad() {
 }
 
 void Var::ZeroGrad() {
-  CIT_CHECK(node_ != nullptr);
+  CIT_CHECK(defined());
+  if (node_ == nullptr) return;  // node-free constants never hold gradients
   node_->has_grad = false;
   node_->grad = Tensor();
 }
 
 void Var::Backward() {
-  CIT_CHECK(node_ != nullptr);
+  CIT_CHECK_MSG(node_ != nullptr,
+                "Backward() on a graph-free Var: this value was computed "
+                "under NoGradGuard, so no tape exists to differentiate");
   CIT_CHECK_MSG(node_->value.numel() == 1 &&
                     node_->value.shape() == Shape{1},
                 "Backward() root must be a scalar of shape [1]; reduce the "
@@ -124,8 +164,8 @@ void Var::Backward() {
 
 Var Var::Detach() const { return Var::Constant(value()); }
 
-Var MakeOp(Tensor value, std::vector<Var> inputs,
-           std::function<void(Node&)> backward_fn) {
+Var MakeOpImpl(Tensor value, std::vector<Var> inputs,
+               std::function<void(Node&)> backward_fn) {
   bool requires_grad = false;
   for (const Var& v : inputs) requires_grad |= v.requires_grad();
   auto node = std::make_shared<Node>();
@@ -133,7 +173,17 @@ Var MakeOp(Tensor value, std::vector<Var> inputs,
   node->requires_grad = requires_grad;
   if (requires_grad) {
     node->parents.reserve(inputs.size());
-    for (Var& v : inputs) node->parents.push_back(v.node());
+    for (Var& v : inputs) {
+      std::shared_ptr<Node> p = v.node();
+      if (p == nullptr && v.defined()) {
+        // A node-free constant (produced under an earlier NoGradGuard) is
+        // feeding a graph op: lift it to a constant leaf so backward
+        // closures can read parents[i]->value.
+        p = std::make_shared<Node>();
+        p->value = v.value();
+      }
+      node->parents.push_back(std::move(p));
+    }
     node->backward_fn = std::move(backward_fn);
   }
   // Without requires_grad the node is a pruned leaf: no parents, no closure.
@@ -313,14 +363,17 @@ Var MinMaxImpl(const Var& a, const Var& b, bool is_min) {
   CIT_CHECK(a.value().shape() == b.value().shape());
   const int64_t n = a.numel();
   Tensor out(a.value().shape());
-  auto mask = std::make_shared<std::vector<uint8_t>>(n);
+  // The winner mask only feeds the backward pass; skip it under NoGradGuard
+  // (the closure below is discarded unseen there).
+  auto mask = GradEnabled() ? std::make_shared<std::vector<uint8_t>>(n)
+                            : nullptr;
   {
     const float* pa = a.value().data();
     const float* pb = b.value().data();
     float* po = out.data();
     for (int64_t i = 0; i < n; ++i) {
       const bool a_wins = is_min ? (pa[i] <= pb[i]) : (pa[i] >= pb[i]);
-      (*mask)[i] = a_wins ? 1 : 0;
+      if (mask) (*mask)[i] = a_wins ? 1 : 0;
       po[i] = a_wins ? pa[i] : pb[i];
     }
   }
@@ -397,6 +450,19 @@ Var Exp(const Var& a) {
 }
 
 Var Log(const Var& a) {
+#ifndef NDEBUG
+  // The header promises "caller guarantees positive input"; a violation
+  // would otherwise surface as a downstream NaN far from the culprit.
+  // Enforced per element in debug builds only (too hot for release).
+  {
+    const Tensor& x = a.value();
+    const float* p = x.data();
+    for (int64_t i = 0; i < x.numel(); ++i) {
+      CIT_DCHECK_MSG(std::isfinite(p[i]) && p[i] > 0.0f,
+                     "ag::Log input must be finite and positive");
+    }
+  }
+#endif
   return UnaryOp(
       a, [](float x) { return std::log(x); },
       [](float x, float) { return 1.0f / x; });
@@ -613,7 +679,7 @@ Var Concat(const std::vector<Var>& parts, int64_t axis) {
     }
     offset += len;
   }
-  return MakeOp(std::move(out), parts,
+  return MakeOpVec(std::move(out), parts,
                 [part_lens, outer, inner, total](Node& self) {
                   const float* g = CData(self.grad);
                   int64_t offset = 0;
@@ -733,7 +799,7 @@ Var CausalConv1d(const Var& x, const Var& w, const Var& b, int64_t dilation) {
 
   std::vector<Var> inputs = {x, w};
   if (has_bias) inputs.push_back(b);
-  return MakeOp(
+  return MakeOpVec(
       std::move(out), std::move(inputs),
       [batch, cin, cout, len, ksize, dilation, has_bias](Node& self) {
         Node* px = self.parents[0].get();

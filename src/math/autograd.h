@@ -12,6 +12,50 @@ namespace cit::ag {
 using math::Shape;
 using math::Tensor;
 
+// ---- Grad mode -------------------------------------------------------------
+// Graph construction is controlled by a per-thread flag: while a NoGradGuard
+// is live on a thread, every op returns a node-free constant Var carrying
+// only its value tensor — no Node, no parents, no backward closure — so any
+// module stack becomes graph-free under the guard with zero per-module
+// changes. Forward numerics are untouched; the mode is purely about what is
+// *retained*.
+
+namespace detail {
+inline bool& GradEnabledFlag() {
+  thread_local bool enabled = true;
+  return enabled;
+}
+}  // namespace detail
+
+// True when ops on the calling thread build the backward graph (default).
+inline bool GradEnabled() { return detail::GradEnabledFlag(); }
+
+// Process-wide kill switch for the no-grad fast path (also CIT_NOGRAD=0 in
+// the environment): when disallowed, NoGradGuard is a no-op and every
+// forward builds the full graph. Exists so benches and A/B checks can
+// drive the graph path through unchanged call sites.
+void SetNoGradAllowed(bool allowed);
+bool NoGradAllowed();
+
+// RAII: disables graph construction on the current thread and opens the
+// per-thread tensor-buffer arena (math::ArenaScope) for the same extent, so
+// repeated inference forwards recycle their temporaries. Purely a
+// performance mode — values are bitwise identical with or without the
+// guard. Nests; the previous mode is restored on destruction. Thread-local
+// by design: rollout workers building training graphs are unaffected by a
+// guard on another thread.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+  math::ArenaScope arena_;
+};
+
 // One vertex of the dynamically-built computation DAG. Nodes are created by
 // the op functions below and traversed in reverse topological order by
 // Var::Backward(). The backward closure holds raw pointers to parent nodes;
@@ -42,7 +86,7 @@ class Var {
   // A non-differentiable constant input.
   static Var Constant(Tensor value);
 
-  bool defined() const { return node_ != nullptr; }
+  bool defined() const { return node_ != nullptr || is_const_; }
   const Tensor& value() const;
   Tensor& mutable_value();
   const Tensor& grad() const;
@@ -67,20 +111,65 @@ class Var {
   // A new constant leaf sharing this node's current value.
   Var Detach() const;
 
+  // Null for node-free constants (ops evaluated under NoGradGuard).
   std::shared_ptr<Node> node() const { return node_; }
 
  private:
   explicit Var(std::shared_ptr<Node> node) : node_(std::move(node)) {}
-  friend Var MakeOp(Tensor value, std::vector<Var> inputs,
-                    std::function<void(Node&)> backward_fn);
+  friend Var MakeOpImpl(Tensor value, std::vector<Var> inputs,
+                        std::function<void(Node&)> backward_fn);
 
   std::shared_ptr<Node> node_;
+  // Node-free representation: ops evaluated (and constants created) under
+  // NoGradGuard carry only the value tensor.
+  Tensor const_value_;
+  bool is_const_ = false;
 };
 
+// Graph-building slow path of MakeOp (grad mode only).
+Var MakeOpImpl(Tensor value, std::vector<Var> inputs,
+               std::function<void(Node&)> backward_fn);
+
+namespace detail {
+// Non-owning input handle for MakeOp's braced input lists. A braced list
+// of VarRefs puts plain pointers on the stack, so the no-grad fast path
+// never copies a Var (a constant Var copy allocates a fresh shape vector)
+// and never heap-allocates an input container.
+struct VarRef {
+  VarRef(const Var& v) : ptr(&v) {}  // NOLINT(runtime/explicit)
+  const Var* ptr;
+};
+}  // namespace detail
+
 // Builds an op node: output `value`, edges to `inputs`, and a backward
-// closure. requires_grad is inherited from the inputs.
-Var MakeOp(Tensor value, std::vector<Var> inputs,
-           std::function<void(Node&)> backward_fn);
+// closure. requires_grad is inherited from the inputs. Under NoGradGuard
+// the inputs and closure are discarded and a node-free constant is
+// returned: the closure is never converted to std::function and the
+// inputs are never copied, so the no-grad path pays no type-erasure or
+// container allocation.
+template <typename BackwardFn>
+Var MakeOp(Tensor value, std::initializer_list<detail::VarRef> inputs,
+           BackwardFn&& backward_fn) {
+  if (!GradEnabled()) return Var::Constant(std::move(value));
+  std::vector<Var> ins;
+  ins.reserve(inputs.size());
+  for (const detail::VarRef& r : inputs) ins.push_back(*r.ptr);
+  return MakeOpImpl(
+      std::move(value), std::move(ins),
+      std::function<void(Node&)>(std::forward<BackwardFn>(backward_fn)));
+}
+
+// Variant for ops whose input count is only known at runtime (Concat,
+// optional-bias Conv): takes the materialized vector. Call sites on hot
+// forward paths should prefer the braced-list overload.
+template <typename BackwardFn>
+Var MakeOpVec(Tensor value, std::vector<Var> inputs,
+              BackwardFn&& backward_fn) {
+  if (!GradEnabled()) return Var::Constant(std::move(value));
+  return MakeOpImpl(
+      std::move(value), std::move(inputs),
+      std::function<void(Node&)>(std::forward<BackwardFn>(backward_fn)));
+}
 
 // ---- Arithmetic ------------------------------------------------------------
 // Add/Sub/Mul/Div require equal shapes, with two broadcast conveniences:

@@ -22,7 +22,37 @@ struct Storage {
   explicit Storage(std::vector<float> d) : data(std::move(d)) {}
   std::vector<float> data;
 };
+
+// Allocates a Storage of n zero-initialized floats. Inside an ArenaScope the
+// buffer is recycled from (and eventually returned to) the calling thread's
+// freelist; `zero_fill` may be false only when the caller overwrites every
+// element before any read.
+std::shared_ptr<Storage> NewStorage(int64_t n, bool zero_fill);
 }  // namespace detail
+
+// RAII: while at least one enabled ArenaScope is live on a thread, tensor
+// buffers freed on that thread are parked in a per-thread size-bucketed
+// freelist and subsequent allocations are served from it instead of the
+// global allocator. ag::NoGradGuard opens one so repeated graph-free
+// forwards (backtest inference, target-network evaluation) stop churning
+// malloc. Reuse is invisible to the value API: a recycled buffer is
+// re-zeroed wherever a fresh buffer would have been zero-initialized. The
+// freelist is bounded and survives between scopes, which is what makes the
+// reuse effective across per-step guards.
+class ArenaScope {
+ public:
+  explicit ArenaScope(bool enable = true);
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  bool enabled_;
+};
+
+// Number of allocations served from the calling thread's arena freelist so
+// far (diagnostics/tests; code must never branch on it).
+int64_t ArenaReuseCount();
 
 // A dense, contiguous, row-major float32 tensor backed by a refcounted
 // Storage with copy-on-write semantics:

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "math/kernels.h"
 
 namespace cit::nn {
 
@@ -200,7 +201,14 @@ void CopyParameters(const Module& src, Module* dst) {
   CIT_CHECK_EQ(from.size(), to.size());
   for (size_t i = 0; i < from.size(); ++i) {
     CIT_CHECK(from[i].var.shape() == to[i].var.shape());
-    to[i].var.mutable_value() = from[i].var.value();
+    // Materialize a private buffer instead of assigning the COW handle: a
+    // target network must never alias the source's storage, so that code
+    // taking raw pointers into either side (optimizer steps, serialization)
+    // can never observe writes through the other.
+    const Tensor& s = from[i].var.value();
+    Tensor copy(s.shape());
+    math::kernels::Copy(s.data(), copy.data(), s.numel());
+    to[i].var.mutable_value() = std::move(copy);
   }
 }
 

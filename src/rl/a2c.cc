@@ -131,9 +131,12 @@ std::vector<double> A2cAgent::Train(const market::PricePanel& panel,
         sd.rewards.push_back(r.reward * config_.reward_scale);
         held = senv.previous_weights();
       }
-      // Bootstrap value of the final state.
+      // Bootstrap value of the final state: a detached scalar, so the
+      // critic forward runs graph-free (thread-local guard — the worker's
+      // taped forwards above are unaffected).
       double bootstrap = 0.0;
       if (!senv.done()) {
+        ag::NoGradGuard no_grad;
         ag::Var input = PolicyInput(panel, senv.current_day(), held);
         bootstrap = critic_->Forward(input).value().Item();
       }
@@ -252,6 +255,7 @@ Status A2cAgent::LoadCheckpoint(const std::string& path) {
 
 std::vector<double> A2cAgent::DecideWeights(const market::PricePanel& panel,
                                             int64_t day) {
+  ag::NoGradGuard no_grad;
   ag::Var input = PolicyInput(panel, day, held_);
   ag::Var mean = actor_->Forward(input);
   GaussianAction action =

@@ -62,14 +62,19 @@ void DdpgAgent::UpdateFromReplay() {
     batch.push_back(&replay_[rng_.UniformInt(size)]);
   }
   for (const Transition* tr : batch) {
-    ag::Var next_state = ag::Var::Constant(tr->next_state);
-    ag::Var next_scores = target_actor_->Forward(next_state);
-    ag::Var next_action = ag::Softmax(next_scores);
-    ag::Var next_q = target_critic_->Forward(
-        ag::Concat({next_state, next_action}, 0));
-    const float y = static_cast<float>(tr->reward) +
-                    static_cast<float>(config_.gamma) *
-                        next_q.value().Item();
+    float y;
+    {
+      // Target-network bootstrap: consumed as a number, never
+      // differentiated — run it graph-free.
+      ag::NoGradGuard no_grad;
+      ag::Var next_state = ag::Var::Constant(tr->next_state);
+      ag::Var next_scores = target_actor_->Forward(next_state);
+      ag::Var next_action = ag::Softmax(next_scores);
+      ag::Var next_q = target_critic_->Forward(
+          ag::Concat({next_state, next_action}, 0));
+      y = static_cast<float>(tr->reward) +
+          static_cast<float>(config_.gamma) * next_q.value().Item();
+    }
     ag::Var q = critic_->Forward(
         ag::Concat({ag::Var::Constant(tr->state),
                     ag::Var::Constant(tr->action)},
@@ -154,8 +159,13 @@ std::vector<double> DdpgAgent::Train(const market::PricePanel& panel,
     {
     CIT_OBS_SPAN("train.rollout");  // acting + replay insert
     Tensor state = StateTensor(panel, env.current_day());
-    ag::Var scores = actor_->Forward(ag::Var::Constant(state));
-    Tensor noisy = scores.value();
+    Tensor noisy;
+    {
+      // Acting is forward-only; the graph for the actor update is rebuilt
+      // later from the replay batch.
+      ag::NoGradGuard no_grad;
+      noisy = actor_->Forward(ag::Var::Constant(state)).value();
+    }
     for (int64_t i = 0; i < num_assets_; ++i) {
       noisy[i] += static_cast<float>(
           rng_.Normal(0.0, config_.explore_noise));
@@ -382,6 +392,7 @@ Status DdpgAgent::LoadCheckpoint(const std::string& path) {
 
 std::vector<double> DdpgAgent::DecideWeights(const market::PricePanel& panel,
                                              int64_t day) {
+  ag::NoGradGuard no_grad;
   ag::Var scores = actor_->Forward(
       ag::Var::Constant(StateTensor(panel, day)));
   std::vector<double> weights = SoftmaxWeights(scores.value());

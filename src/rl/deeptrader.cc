@@ -72,6 +72,7 @@ ag::Var DeepTraderAgent::Weights(const market::PricePanel& panel,
 
 double DeepTraderAgent::RiskAppetite(const market::PricePanel& panel,
                                      int64_t day) const {
+  ag::NoGradGuard no_grad;
   return MarketRho(panel, day).value().Item();
 }
 
@@ -135,6 +136,7 @@ std::vector<double> DeepTraderAgent::Train(const market::PricePanel& panel,
 
 std::vector<double> DeepTraderAgent::DecideWeights(
     const market::PricePanel& panel, int64_t day) {
+  ag::NoGradGuard no_grad;
   ag::Var w = Weights(panel, day);
   std::vector<double> weights(num_assets_);
   for (int64_t i = 0; i < num_assets_; ++i) {

@@ -105,6 +105,7 @@ std::vector<double> EiieAgent::Train(const market::PricePanel& panel,
 
 std::vector<double> EiieAgent::DecideWeights(const market::PricePanel& panel,
                                              int64_t day) {
+  ag::NoGradGuard no_grad;
   Tensor prev({num_assets_});
   for (int64_t i = 0; i < num_assets_; ++i) {
     prev[i] = static_cast<float>(held_[i]);

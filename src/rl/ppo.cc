@@ -99,6 +99,10 @@ std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
     {
     CIT_OBS_SPAN("train.rollout");
     runner.Collect([&](int64_t slot, math::Rng& rng) {
+      // PPO freezes the old policy's statistics as plain numbers and
+      // rebuilds the graph in the surrogate epochs, so the entire
+      // collection pass is graph-free (guard is per worker thread).
+      ag::NoGradGuard no_grad;
       SlotData& sd = slots[slot];
       env::PortfolioEnv senv = env.CloneAt(
           lo + rng.UniformInt(std::max<int64_t>(1, hi - lo)));
@@ -260,6 +264,7 @@ Status PpoAgent::LoadCheckpoint(const std::string& path) {
 
 std::vector<double> PpoAgent::DecideWeights(const market::PricePanel& panel,
                                             int64_t day) {
+  ag::NoGradGuard no_grad;
   ag::Var input = ag::Var::Constant(StateTensor(panel, day, held_));
   ag::Var mean = actor_->Forward(input);
   GaussianAction action =

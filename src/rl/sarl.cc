@@ -18,6 +18,9 @@ SarlAgent::SarlAgent(int64_t num_assets, const RlTrainConfig& config)
 Tensor SarlAgent::PredictMovement(const market::PricePanel& panel,
                                   int64_t day) const {
   // Shared logistic predictor applied to every asset's normalized window.
+  // Only the probabilities leave this function (they re-enter the policy
+  // input as a constant), so the forward is graph-free even mid-rollout.
+  ag::NoGradGuard no_grad;
   Tensor window = NormalizedWindow(panel, day, config_.window);  // [m,1,z]
   ag::Var flat = ag::Var::Constant(
       window.Reshape({num_assets_, config_.window}));

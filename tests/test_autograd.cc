@@ -1,6 +1,7 @@
 #include "math/autograd.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -184,6 +185,42 @@ TEST(GradCheck, SoftmaxAndLogSoftmax) {
   ExpectGradientsMatch(
       [&] { return Sum(Mul(LogSoftmax(a), target)); }, {a});
 }
+
+TEST(GradCheck, SoftmaxLogSoftmaxComposition) {
+  // Negative entropy sum(softmax(a) * log_softmax(a)): the two branches
+  // share the input, so backward must accumulate through both softmax
+  // Jacobians at once — a composition the per-op checks above never hit.
+  Var a = Var::Param(RandTensor({2, 5}, 24));
+  ExpectGradientsMatch(
+      [&] { return Sum(Mul(Softmax(a), LogSoftmax(a))); }, {a});
+}
+
+TEST(LogDomain, PositiveInputsUnaffectedByDomainCheck) {
+  // Regression companion to the debug-build domain check: well-formed
+  // positive inputs must pass through with exact values and gradients.
+  Var a = Var::Param(RandTensor({3, 4}, 25, 0.1f, 3.0f));
+  Var y = Log(a);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y.value()[i], std::log(a.value()[i]));
+  }
+  ExpectGradientsMatch([&] { return Sum(Log(a)); }, {a});
+}
+
+#ifndef NDEBUG
+TEST(LogDomainDeathTest, NonPositiveOrNonFiniteInputDiesInDebug) {
+  // ag::Log's contract is "caller guarantees positive input"; debug builds
+  // promote silent NaN/-inf propagation into an immediate failure at the
+  // offending op.
+  EXPECT_DEATH(Log(Var::Param(Tensor::Scalar(-1.0f))),
+               "finite and positive");
+  EXPECT_DEATH(Log(Var::Param(Tensor::Scalar(0.0f))),
+               "finite and positive");
+  EXPECT_DEATH(
+      Log(Var::Param(Tensor::Scalar(
+          std::numeric_limits<float>::quiet_NaN()))),
+      "finite and positive");
+}
+#endif
 
 TEST(GradCheck, CausalConv1d) {
   Var x = Var::Param(RandTensor({2, 3, 6}, 21));

@@ -276,6 +276,56 @@ TEST(ParamUtil, CopyAndSoftUpdate) {
   EXPECT_NEAR(after - before, 0.5f, 1e-6f);
 }
 
+TEST(ParamUtil, CopyNeverAliasesSourceStorage) {
+  // Regression for COW aliasing: CopyParameters must materialize a private
+  // buffer per target tensor. If it merely copied the COW handle, an
+  // optimizer-style in-place write to the source (which detaches the
+  // *source* handle, or worse, writes through a shared buffer) could leak
+  // into the target net — a target network silently tracking its source.
+  Rng rng(32);
+  Mlp src({3, 4, 2}, rng);
+  Mlp dst({3, 4, 2}, rng);
+  CopyParameters(src, &dst);
+  auto from = src.Parameters();
+  auto to = dst.Parameters();
+  ASSERT_EQ(from.size(), to.size());
+  for (size_t i = 0; i < from.size(); ++i) {
+    EXPECT_FALSE(
+        from[i].var.value().SharesStorageWith(to[i].var.value()))
+        << "param " << i << " aliases its source after CopyParameters";
+  }
+  // Mutate every source parameter the way an optimizer step does (through
+  // mutable_value) and check the copies are bitwise unchanged.
+  std::vector<Tensor> snapshot;
+  for (auto& p : to) snapshot.push_back(p.var.value());
+  for (auto& p : src.Parameters()) {
+    Tensor& w = p.var.mutable_value();
+    for (int64_t j = 0; j < w.numel(); ++j) w[j] += 1.0f;
+  }
+  for (size_t i = 0; i < to.size(); ++i) {
+    EXPECT_TRUE(math::TensorEquals(snapshot[i], to[i].var.value()))
+        << "param " << i << " changed when its source was mutated";
+  }
+}
+
+TEST(SpatialAttention, GradCheckThroughAttentionMatrix) {
+  // The diagnostics output (the row-softmax attention matrix) shares the
+  // graph with the mixed output; differentiating a loss that reads *both*
+  // exercises the score path (w1/w2/w3) and the mixing path (vs/bs) with
+  // non-degenerate gradients.
+  Rng rng(33);
+  SpatialAttention attn(3, 2, 4, rng);
+  Var x = Var::Constant(Tensor::Uniform({3, 2, 4}, rng, -1, 1));
+  ExpectGradientsMatch(
+      [&] {
+        Var s;
+        Var y = attn.Forward(x, &s);
+        return ag::Add(ag::Mean(ag::Square(y)),
+                       ag::Mean(ag::Square(s)));
+      },
+      AllParams(attn), /*eps=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/4e-3f);
+}
+
 TEST(Init, XavierBoundsRespected) {
   Rng rng(14);
   Tensor w = XavierUniform({100, 100}, 100, 100, rng);
