@@ -6,9 +6,13 @@
 #   2. Focused gates: observability (bitwise-identical curves with
 #      telemetry on/off at 1 and 4 threads, trace/snapshot JSON parses),
 #      checkpoint/resume (container corruption fuzz plus the kill-at-k
-#      bitwise-resume tests for every trainer), and inference (bitwise
+#      bitwise-resume tests for every trainer), inference (bitwise
 #      backtests with the graph-free no-grad path on vs. off at 1 and 4
-#      threads, plus a bench_infer smoke run emitting nograd_speedup).
+#      threads, plus a bench_infer smoke run emitting nograd_speedup),
+#      and compiled forward (bitwise backtests with plan replay on vs.
+#      off at 1 and 4 threads, staleness/fusion/eviction structure, and
+#      the committed compiled_speedup >= 1.25 / nograd_speedup >= 1.5
+#      ratios in BENCH_infer.json).
 #   3. ASan and UBSan builds + full ctest at smoke scale (CIT_FAST=1) —
 #      this reruns the checkpoint fuzz under ASan, so corrupt-length
 #      allocations and parser overreads trip immediately.
@@ -51,10 +55,33 @@ echo "=== inference gate (graph-free path bitwise + bench ratio) ==="
 (cd build && run env CIT_NUM_THREADS=4 ./tests/test_inference)
 run cmake --build build -j"$(nproc)" --target bench_infer
 run ./build/bench/bench_infer /tmp/BENCH_infer_smoke.json
-# The bench must emit the gated headline ratio (check its presence here;
-# the >= 1.5x bar is asserted on the committed BENCH_infer.json, not on
-# this smoke run, which may sit on a loaded CI host).
+# The bench must emit the gated headline ratios (check their presence here;
+# the >= 1.5x / >= 1.25x bars are asserted on the committed
+# BENCH_infer.json, not on this smoke run, which may sit on a loaded CI
+# host).
 run grep -q '"nograd_speedup"' /tmp/BENCH_infer_smoke.json
+run grep -q '"compiled_speedup"' /tmp/BENCH_infer_smoke.json
+
+echo "=== compiled-forward gate (plan replay bitwise + committed ratio) ==="
+# test_plan proves every agent's backtest is bitwise identical with plan
+# replay on vs. forced off (CIT_COMPILE=0 semantics) at 1 and 4 pool
+# threads, that parameter mutations (optimizer steps, checkpoint reloads)
+# invalidate stale plans, and that fusion/eviction/kill-switch behave; run
+# it serial and parallel.
+(cd build && run env CIT_NUM_THREADS=1 ./tests/test_plan)
+(cd build && run env CIT_NUM_THREADS=4 ./tests/test_plan)
+# The committed benchmark must show plan replay buying at least 1.25x
+# single-thread decision throughput over the interpreted graph-free path
+# (the nograd >= 1.5x bar below it is asserted the same way).
+run python3 - <<'EOF'
+import json
+with open("BENCH_infer.json") as f:
+    bench = json.load(f)
+for key, bar in (("compiled_speedup", 1.25), ("nograd_speedup", 1.5)):
+    value = float(bench[key])
+    assert value >= bar, f"{key} {value} < {bar}"
+    print(f"{key} {value} >= {bar} OK")
+EOF
 
 if [[ "$QUICK" == "1" ]]; then
   echo "--quick: skipping sanitizer builds"
@@ -73,15 +100,18 @@ echo "=== thread sanitizer build + threading/rollout tests ==="
 run cmake -B build-thread -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCIT_SANITIZE=thread
 run cmake --build build-thread -j"$(nproc)" --target test_threading \
-    test_rollout test_inference
+    test_rollout test_inference test_plan
 # CIT_OVERSUBSCRIBE lifts the hardware clamp so the pool really spawns the
 # requested workers: TSan then sees genuine cross-thread interleavings of
 # the rollout pipeline even on a 1-core container. test_inference rides
 # along so the grad-mode thread-local, the NoGradAllowed atomic, and the
-# pool's lock-free inline-dispatch check are raced against real workers.
+# pool's lock-free inline-dispatch check are raced against real workers;
+# test_plan rides along so plan replays (fused sweeps, slab writes, the
+# CompileAllowed atomic, the recording thread-local) are raced the same
+# way.
 (cd build-thread && run env CIT_FAST=1 CIT_OVERSUBSCRIBE=1 CIT_NUM_THREADS=4 \
     ctest --output-on-failure \
-    -R 'ThreadPool|Determinism|RngSplit|RolloutRunner|RolloutDeterminism|InferenceIdentity|GradMode\.|Arena\.')
+    -R 'ThreadPool|Determinism|RngSplit|RolloutRunner|RolloutDeterminism|InferenceIdentity|GradMode\.|Arena\.|Compiled|ArenaStats\.')
 
 echo "=== CIT_OBS=OFF build (instrumentation compiles out) ==="
 run cmake -B build-noobs -S . -DCMAKE_BUILD_TYPE=Release -DCIT_OBS=OFF

@@ -24,6 +24,16 @@ Var HorizonActor::Forward(const Tensor& band_window,
                           const std::vector<double>& prev_action,
                           Var* attention_out) const {
   CIT_CHECK_EQ(static_cast<int64_t>(prev_action.size()), num_assets_);
+  Tensor prev({num_assets_, 1});
+  for (int64_t i = 0; i < num_assets_; ++i) {
+    prev.At({i, 0}) = static_cast<float>(prev_action[i]);
+  }
+  return Forward(band_window, prev, attention_out);
+}
+
+Var HorizonActor::Forward(const Tensor& band_window, const Tensor& prev,
+                          Var* attention_out) const {
+  CIT_CHECK_EQ(prev.numel(), num_assets_);
   Var features =
       backbone_.Forward(Var::Constant(band_window), attention_out);
   // Per-asset state rows [m, f + 1 + n]: the asset's encoded features
@@ -31,10 +41,6 @@ Var HorizonActor::Forward(const Tensor& band_window,
   // executed weight, and the policy's one-hot ID. The head is shared
   // across assets (an "identical evaluator"), so the policy learns
   // relational rules rather than memorizing asset identities.
-  Tensor prev({num_assets_, 1});
-  for (int64_t i = 0; i < num_assets_; ++i) {
-    prev.At({i, 0}) = static_cast<float>(prev_action[i]);
-  }
   Tensor id_rows({num_assets_, num_policies_});
   for (int64_t i = 0; i < num_assets_; ++i) {
     id_rows.At({i, policy_id_}) = 1.0f;
@@ -77,13 +83,13 @@ Var CrossInsightActor::Forward(const Tensor& market_window,
   // fuses the horizon insights per asset.
   Var state = features;
   if (num_policies_ > 0) {
-    Tensor pre_rows({num_assets_, num_policies_});
-    for (int64_t k = 0; k < num_policies_; ++k) {
-      for (int64_t i = 0; i < num_assets_; ++i) {
-        pre_rows.At({i, k}) = pre_decisions[k * num_assets_ + i];
-      }
-    }
-    state = ag::Concat({features, Var::Constant(pre_rows)}, /*axis=*/1);
+    // [n*m] -> [m, n] via reshape+transpose rather than a raw scatter
+    // loop: expressed as ops, the rearrangement stays visible to the
+    // plan recorder, so compiled replays rebind pre_decisions instead of
+    // baking the first call's values. Values are identical either way.
+    Var pre_rows = ag::Transpose(ag::Reshape(
+        Var::Constant(pre_decisions), {num_policies_, num_assets_}));
+    state = ag::Concat({features, pre_rows}, /*axis=*/1);
   }
   Var scores = ag::Reshape(head_.Forward(state), {num_assets_});
   return ag::MulScalar(ag::Tanh(ag::MulScalar(scores, 1.0f / score_bound_)),

@@ -28,6 +28,13 @@ class HorizonActor : public nn::Module {
               const std::vector<double>& prev_action,
               Var* attention_out = nullptr) const;
 
+  // Same forward with the previous action already materialized as an
+  // [m, 1] tensor. This is the compiled-inference entry point: the caller
+  // passes `prev` to plan::CompiledFn::Run as a varying input, so replays
+  // rebind it instead of baking the first call's weights into the plan.
+  Var Forward(const Tensor& band_window, const Tensor& prev,
+              Var* attention_out = nullptr) const;
+
   const Var& log_std() const { return log_std_; }
   int64_t policy_id() const { return policy_id_; }
 

@@ -88,6 +88,7 @@ CrossInsightTrader::CrossInsightTrader(int64_t num_assets,
   critic_opt_ = std::make_unique<nn::Adam>(
       std::move(critic_params), static_cast<float>(config_.lr), 0.9f,
       0.999f, 1e-8f, static_cast<float>(config_.weight_decay));
+  actor_plans_ = std::vector<plan::CompiledFn>(config_.num_policies);
   Reset();
 }
 
@@ -142,14 +143,23 @@ const CrossInsightTrader::DayFeatures& CrossInsightTrader::FeaturesAt(
   return feature_cache_.try_emplace(day, std::move(features)).first->second;
 }
 
+Tensor CrossInsightTrader::ActorMean(
+    int64_t k, const Tensor& band, const std::vector<double>& prev_action) {
+  Tensor prev({num_assets_, 1});
+  for (int64_t i = 0; i < num_assets_; ++i) {
+    prev.At({i, 0}) = static_cast<float>(prev_action[i]);
+  }
+  return actor_plans_[k].Run(
+      {&band, &prev}, [&] { return actors_[k]->Forward(band, prev); });
+}
+
 std::vector<double> CrossInsightTrader::PolicyWeights(
     const market::PricePanel& panel, int64_t day, int64_t k,
     const std::vector<double>& prev_action) {
   CIT_CHECK(k >= 0 && k < config_.num_policies);
   ag::NoGradGuard no_grad;
   const DayFeatures& f = FeaturesAt(panel, day);
-  Var mean = actors_[k]->Forward(f.bands[k], prev_action);
-  return SoftmaxWeights(mean.value());
+  return SoftmaxWeights(ActorMean(k, f.bands[k], prev_action));
 }
 
 std::vector<double> CrossInsightTrader::DecideWeights(
@@ -159,13 +169,19 @@ std::vector<double> CrossInsightTrader::DecideWeights(
   const int64_t n = config_.num_policies;
   std::vector<std::vector<double>> pre(n);
   for (int64_t k = 0; k < n; ++k) {
-    Var mean = actors_[k]->Forward(f.bands[k], held_actions_[k]);
-    pre[k] = SoftmaxWeights(mean.value());
+    pre[k] = SoftmaxWeights(ActorMean(k, f.bands[k], held_actions_[k]));
     held_actions_[k] = pre[k];
   }
   Tensor pre_dec = n > 0 ? ConcatWeights(pre, num_assets_) : Tensor({0});
-  Var cross_mean = cross_actor_->Forward(f.market, pre_dec);
-  return SoftmaxWeights(cross_mean.value());
+  auto cross_forward = [&] {
+    return cross_actor_->Forward(f.market, pre_dec);
+  };
+  // pre_dec only feeds the forward when there are horizon policies; with
+  // n == 0 it is an empty placeholder and must not be bound as an input.
+  Tensor cross_mean =
+      n > 0 ? cross_plan_.Run({&f.market, &pre_dec}, cross_forward)
+            : cross_plan_.Run({&f.market}, cross_forward);
+  return SoftmaxWeights(cross_mean);
 }
 
 namespace {

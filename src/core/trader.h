@@ -13,6 +13,7 @@
 #include "core/critic.h"
 #include "env/backtest.h"
 #include "market/panel.h"
+#include "math/plan.h"
 #include "math/rng.h"
 #include "nn/checkpoint.h"
 #include "nn/optimizer.h"
@@ -89,6 +90,14 @@ class CrossInsightTrader : public env::TradingAgent {
   DayFeatures ComputeFeatures(const market::PricePanel& panel,
                               int64_t day) const;
 
+  // Deterministic Gaussian mean of policy k for (band, prev_action),
+  // served through the policy's compiled plan: the first call per input
+  // shape records the forward, later calls replay it allocation-free.
+  // Shared by DecideWeights and PolicyWeights so both paths hit the same
+  // plan cache.
+  Tensor ActorMean(int64_t k, const Tensor& band,
+                   const std::vector<double>& prev_action);
+
   // All networks flattened under stable name prefixes — the parameter set
   // for SaveModel/LoadModel and checkpoints.
   nn::ModuleGroup AllModules() const;
@@ -107,6 +116,13 @@ class CrossInsightTrader : public env::TradingAgent {
 
   // Execution state (previous action per horizon policy).
   std::vector<std::vector<double>> held_actions_;
+
+  // Compiled-forward caches for the deterministic inference path: one per
+  // horizon policy plus one for the cross-insight policy. Parameter
+  // staleness is handled inside the plans (per-parameter version
+  // snapshots), so training between backtests just re-records.
+  std::vector<plan::CompiledFn> actor_plans_;
+  plan::CompiledFn cross_plan_;
 
   // In-flight training progress; checkpointed and restored on resume.
   rl::TrainProgress progress_;

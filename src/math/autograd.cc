@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "math/kernels.h"
+#include "math/plan.h"
 
 namespace cit::ag {
 
@@ -95,7 +96,12 @@ const Tensor& Var::value() const {
 
 Tensor& Var::mutable_value() {
   CIT_CHECK(defined());
-  return node_ ? node_->value : const_value_;
+  if (node_ == nullptr) return const_value_;
+  // Every parameter mutation funnels through here (optimizer Step,
+  // CopyParameters/SoftUpdate, checkpoint restore, LoadParameters), so the
+  // version bump is what keeps compiled plans from replaying stale weights.
+  ++node_->version;
+  return node_->value;
 }
 
 const Tensor& Var::grad() const {
@@ -245,6 +251,40 @@ Var Add(const Var& a, const Var& b) {
       break;
     }
   }
+  if (plan::Recording()) {
+    const int64_t n = out.numel();
+    switch (kind) {
+      case BroadcastKind::kSame:
+        plan::RecordStep(out, {&a, &b},
+                         [n](const float* const* ins, float* o) {
+                           kernels::Add(ins[0], ins[1], o, n);
+                         });
+        break;
+      case BroadcastKind::kScalar:
+        // The scalar operand is read at replay time, so a varying scalar
+        // input replays correctly.
+        plan::RecordStep(out, {&a, &b},
+                         [n](const float* const* ins, float* o) {
+                           kernels::AddScalar(ins[0], ins[1][0], o, n);
+                         });
+        break;
+      case BroadcastKind::kBias: {
+        const int64_t bn = b.value().dim(0);
+        const int64_t rows = n / bn;
+        plan::RecordStep(out, {&a, &b},
+                         [rows, bn](const float* const* ins, float* o) {
+                           const float* pa = ins[0];
+                           const float* pb = ins[1];
+                           for (int64_t r = 0; r < rows; ++r) {
+                             for (int64_t i = 0; i < bn; ++i) {
+                               o[r * bn + i] = pa[r * bn + i] + pb[i];
+                             }
+                           }
+                         });
+        break;
+      }
+    }
+  }
   return MakeOp(std::move(out), {a, b}, [kind](Node& self) {
     Node* pa = self.parents[0].get();
     Node* pb = self.parents[1].get();
@@ -271,6 +311,20 @@ Var Sub(const Var& a, const Var& b) {
   Tensor out = (kind == BroadcastKind::kSame)
                    ? a.value().Sub(b.value())
                    : a.value().AddScalar(-b.value()[0]);
+  if (plan::Recording()) {
+    const int64_t n = out.numel();
+    if (kind == BroadcastKind::kSame) {
+      plan::RecordStep(out, {&a, &b},
+                       [n](const float* const* ins, float* o) {
+                         kernels::Sub(ins[0], ins[1], o, n);
+                       });
+    } else {
+      plan::RecordStep(out, {&a, &b},
+                       [n](const float* const* ins, float* o) {
+                         kernels::AddScalar(ins[0], -ins[1][0], o, n);
+                       });
+    }
+  }
   return MakeOp(std::move(out), {a, b}, [kind](Node& self) {
     Node* pa = self.parents[0].get();
     Node* pb = self.parents[1].get();
@@ -291,6 +345,20 @@ Var Mul(const Var& a, const Var& b) {
   Tensor out = (kind == BroadcastKind::kSame) ? a.value().Mul(b.value())
                                               : a.value().MulScalar(
                                                     b.value()[0]);
+  if (plan::Recording()) {
+    const int64_t n = out.numel();
+    if (kind == BroadcastKind::kSame) {
+      plan::RecordStep(out, {&a, &b},
+                       [n](const float* const* ins, float* o) {
+                         kernels::Mul(ins[0], ins[1], o, n);
+                       });
+    } else {
+      plan::RecordStep(out, {&a, &b},
+                       [n](const float* const* ins, float* o) {
+                         kernels::MulScalar(ins[0], ins[1][0], o, n);
+                       });
+    }
+  }
   return MakeOp(std::move(out), {a, b}, [kind](Node& self) {
     Node* pa = self.parents[0].get();
     Node* pb = self.parents[1].get();
@@ -315,6 +383,20 @@ Var Div(const Var& a, const Var& b) {
   Tensor out = (kind == BroadcastKind::kSame)
                    ? a.value().Div(b.value())
                    : a.value().MulScalar(1.0f / b.value()[0]);
+  if (plan::Recording()) {
+    const int64_t n = out.numel();
+    if (kind == BroadcastKind::kSame) {
+      plan::RecordStep(out, {&a, &b},
+                       [n](const float* const* ins, float* o) {
+                         kernels::Div(ins[0], ins[1], o, n);
+                       });
+    } else {
+      plan::RecordStep(out, {&a, &b},
+                       [n](const float* const* ins, float* o) {
+                         kernels::MulScalar(ins[0], 1.0f / ins[1][0], o, n);
+                       });
+    }
+  }
   return MakeOp(std::move(out), {a, b}, [kind](Node& self) {
     Node* pa = self.parents[0].get();
     Node* pb = self.parents[1].get();
@@ -345,13 +427,21 @@ Var Div(const Var& a, const Var& b) {
 Var Neg(const Var& a) { return MulScalar(a, -1.0f); }
 
 Var AddScalar(const Var& a, float v) {
-  return MakeOp(a.value().AddScalar(v), {a}, [](Node& self) {
+  Tensor out = a.value().AddScalar(v);
+  if (plan::Recording()) {
+    plan::RecordElem(out, a, {kernels::ElemOpKind::kAddScalar, v});
+  }
+  return MakeOp(std::move(out), {a}, [](Node& self) {
     AccumGrad(self.parents[0].get(), self.grad);
   });
 }
 
 Var MulScalar(const Var& a, float v) {
-  return MakeOp(a.value().MulScalar(v), {a}, [v](Node& self) {
+  Tensor out = a.value().MulScalar(v);
+  if (plan::Recording()) {
+    plan::RecordElem(out, a, {kernels::ElemOpKind::kMulScalar, v});
+  }
+  return MakeOp(std::move(out), {a}, [v](Node& self) {
     AccumGrad(self.parents[0].get(), self.grad.MulScalar(v));
   });
 }
@@ -376,6 +466,18 @@ Var MinMaxImpl(const Var& a, const Var& b, bool is_min) {
       if (mask) (*mask)[i] = a_wins ? 1 : 0;
       po[i] = a_wins ? pa[i] : pb[i];
     }
+  }
+  if (plan::Recording()) {
+    plan::RecordStep(out, {&a, &b},
+                     [n, is_min](const float* const* ins, float* o) {
+                       const float* pa = ins[0];
+                       const float* pb = ins[1];
+                       for (int64_t i = 0; i < n; ++i) {
+                         const bool a_wins =
+                             is_min ? (pa[i] <= pb[i]) : (pa[i] >= pb[i]);
+                         o[i] = a_wins ? pa[i] : pb[i];
+                       }
+                     });
   }
   return MakeOp(std::move(out), {a, b}, [mask](Node& self) {
     Node* pa = self.parents[0].get();
@@ -409,9 +511,10 @@ Var Max(const Var& a, const Var& b) { return MinMaxImpl(a, b, false); }
 
 Var Clamp(const Var& a, float lo, float hi) {
   Tensor out(a.value().shape());
-  kernels::Map(a.value().data(), out.data(), out.numel(), [lo, hi](float x) {
-    return std::min(hi, std::max(lo, x));
-  });
+  const kernels::ElemOp op{kernels::ElemOpKind::kClamp, lo, hi};
+  kernels::Map(a.value().data(), out.data(), out.numel(),
+               [op](float x) { return kernels::ElemApply(op, x); });
+  if (plan::Recording()) plan::RecordElem(out, a, op);
   return MakeOp(std::move(out), {a}, [lo, hi](Node& self) {
     Node* pa = self.parents[0].get();
     Tensor g(self.grad.shape());
@@ -425,10 +528,16 @@ Var Clamp(const Var& a, float lo, float hi) {
 
 namespace {
 
-template <typename Fwd, typename Bwd>
-Var UnaryOp(const Var& a, Fwd fwd, Bwd bwd_from_inout) {
+// The forward formula comes from kernels::ElemApply so the interpreted
+// path, an unfused replay, and a fused sweep all evaluate the identical
+// scalar expression.
+template <typename Bwd>
+Var UnaryOp(const Var& a, kernels::ElemOpKind kind, Bwd bwd_from_inout) {
   Tensor out(a.value().shape());
-  kernels::Map(a.value().data(), out.data(), out.numel(), fwd);
+  const kernels::ElemOp op{kind};
+  kernels::Map(a.value().data(), out.data(), out.numel(),
+               [op](float x) { return kernels::ElemApply(op, x); });
+  if (plan::Recording()) plan::RecordElem(out, a, op);
   return MakeOp(std::move(out), {a}, [bwd_from_inout](Node& self) {
     Node* pa = self.parents[0].get();
     Tensor g(self.grad.shape());
@@ -444,9 +553,8 @@ Var UnaryOp(const Var& a, Fwd fwd, Bwd bwd_from_inout) {
 }  // namespace
 
 Var Exp(const Var& a) {
-  return UnaryOp(
-      a, [](float x) { return std::exp(x); },
-      [](float, float y) { return y; });
+  return UnaryOp(a, kernels::ElemOpKind::kExp,
+                 [](float, float y) { return y; });
 }
 
 Var Log(const Var& a) {
@@ -463,49 +571,49 @@ Var Log(const Var& a) {
     }
   }
 #endif
-  return UnaryOp(
-      a, [](float x) { return std::log(x); },
-      [](float x, float) { return 1.0f / x; });
+  return UnaryOp(a, kernels::ElemOpKind::kLog,
+                 [](float x, float) { return 1.0f / x; });
 }
 
 Var Tanh(const Var& a) {
-  return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
-      [](float, float y) { return 1.0f - y * y; });
+  return UnaryOp(a, kernels::ElemOpKind::kTanh,
+                 [](float, float y) { return 1.0f - y * y; });
 }
 
 Var Sigmoid(const Var& a) {
-  return UnaryOp(
-      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
-      [](float, float y) { return y * (1.0f - y); });
+  return UnaryOp(a, kernels::ElemOpKind::kSigmoid,
+                 [](float, float y) { return y * (1.0f - y); });
 }
 
 Var Relu(const Var& a) {
-  return UnaryOp(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+  return UnaryOp(a, kernels::ElemOpKind::kRelu,
+                 [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Var Sqrt(const Var& a) {
-  return UnaryOp(
-      a, [](float x) { return std::sqrt(x); },
-      [](float, float y) { return 0.5f / y; });
+  return UnaryOp(a, kernels::ElemOpKind::kSqrt,
+                 [](float, float y) { return 0.5f / y; });
 }
 
 Var Square(const Var& a) {
-  return UnaryOp(
-      a, [](float x) { return x * x; },
-      [](float x, float) { return 2.0f * x; });
+  return UnaryOp(a, kernels::ElemOpKind::kSquare,
+                 [](float x, float) { return 2.0f * x; });
 }
 
 Var Abs(const Var& a) {
-  return UnaryOp(
-      a, [](float x) { return std::fabs(x); },
-      [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; });
+  return UnaryOp(a, kernels::ElemOpKind::kAbs,
+                 [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; });
 }
 
 Var Sum(const Var& a) {
-  return MakeOp(Tensor::Scalar(a.value().Sum()), {a}, [](Node& self) {
+  Tensor out = Tensor::Scalar(a.value().Sum());
+  if (plan::Recording()) {
+    const int64_t n = a.numel();
+    plan::RecordStep(out, {&a}, [n](const float* const* ins, float* o) {
+      o[0] = static_cast<float>(kernels::Sum(ins[0], n));
+    });
+  }
+  return MakeOp(std::move(out), {a}, [](Node& self) {
     Node* pa = self.parents[0].get();
     AccumGrad(pa, Tensor::Full(pa->value.shape(), CData(self.grad)[0]));
   });
@@ -513,7 +621,16 @@ Var Sum(const Var& a) {
 
 Var Mean(const Var& a) {
   const float inv_n = 1.0f / static_cast<float>(a.numel());
-  return MakeOp(Tensor::Scalar(a.value().Mean()), {a}, [inv_n](Node& self) {
+  Tensor out = Tensor::Scalar(a.value().Mean());
+  if (plan::Recording()) {
+    const int64_t n = a.numel();
+    plan::RecordStep(out, {&a}, [n](const float* const* ins, float* o) {
+      // Same float sequence as Tensor::Mean: float(Sum) / float(n).
+      o[0] = static_cast<float>(kernels::Sum(ins[0], n)) /
+             static_cast<float>(n);
+    });
+  }
+  return MakeOp(std::move(out), {a}, [inv_n](Node& self) {
     Node* pa = self.parents[0].get();
     AccumGrad(pa,
               Tensor::Full(pa->value.shape(), CData(self.grad)[0] * inv_n));
@@ -533,6 +650,16 @@ Var SumAxisImpl(const Var& a, int64_t axis, float scale) {
   int64_t inner = 1;
   for (int64_t i = ax + 1; i < x.ndim(); ++i) inner *= x.dim(i);
   const int64_t axis_len = x.dim(ax);
+  if (plan::Recording()) {
+    plan::RecordStep(out, {&a},
+                     [outer, axis_len, inner,
+                      scale](const float* const* ins, float* o) {
+                       kernels::SumAxis(ins[0], o, outer, axis_len, inner);
+                       if (scale != 1.0f) {
+                         kernels::ScaleInto(o, scale, outer * inner);
+                       }
+                     });
+  }
   return MakeOp(std::move(out), {a},
                 [outer, inner, axis_len, scale](Node& self) {
                   Node* pa = self.parents[0].get();
@@ -564,6 +691,15 @@ Var MeanAxis(const Var& a, int64_t axis) {
 
 Var MatMul(const Var& a, const Var& b) {
   Tensor out = Tensor::MatMul(a.value(), b.value());
+  if (plan::Recording()) {
+    const int64_t p = a.value().dim(0);
+    const int64_t q = a.value().dim(1);
+    const int64_t r = b.value().dim(1);
+    plan::RecordStep(out, {&a, &b},
+                     [p, q, r](const float* const* ins, float* o) {
+                       kernels::MatMul(ins[0], ins[1], o, p, q, r);
+                     });
+  }
   return MakeOp(std::move(out), {a, b}, [](Node& self) {
     Node* pa = self.parents[0].get();
     Node* pb = self.parents[1].get();
@@ -588,13 +724,23 @@ Var MatMul(const Var& a, const Var& b) {
 }
 
 Var Transpose(const Var& a) {
-  return MakeOp(a.value().Transpose2D(), {a}, [](Node& self) {
+  Tensor out = a.value().Transpose2D();
+  if (plan::Recording()) {
+    const int64_t rows = a.value().dim(0);
+    const int64_t cols = a.value().dim(1);
+    plan::RecordStep(out, {&a},
+                     [rows, cols](const float* const* ins, float* o) {
+                       kernels::Transpose(ins[0], o, rows, cols);
+                     });
+  }
+  return MakeOp(std::move(out), {a}, [](Node& self) {
     AccumGrad(self.parents[0].get(), self.grad.Transpose2D());
   });
 }
 
 Var Reshape(const Var& a, Shape shape) {
   Tensor out = a.value().Reshape(std::move(shape));
+  if (plan::Recording()) plan::RecordAlias(out, a);
   return MakeOp(std::move(out), {a}, [](Node& self) {
     Node* pa = self.parents[0].get();
     AccumGrad(pa, self.grad.Reshape(pa->value.shape()));
@@ -603,21 +749,14 @@ Var Reshape(const Var& a, Shape shape) {
 
 namespace {
 
-Tensor PermuteTensor(const Tensor& x, const std::vector<int64_t>& perm) {
-  const int64_t nd = x.ndim();
-  CIT_CHECK_EQ(static_cast<int64_t>(perm.size()), nd);
-  Shape out_shape(nd);
-  for (int64_t i = 0; i < nd; ++i) out_shape[i] = x.dim(perm[i]);
-  Tensor out(out_shape);
-  // Strides of the input.
-  std::vector<int64_t> in_strides(nd, 1);
-  for (int64_t i = nd - 2; i >= 0; --i) {
-    in_strides[i] = in_strides[i + 1] * x.dim(i + 1);
-  }
+// Raw strided-copy core shared by the interpreted path and replay closures.
+void PermuteRaw(const float* src, float* dst, const Shape& out_shape,
+                const std::vector<int64_t>& in_strides,
+                const std::vector<int64_t>& perm) {
+  const int64_t nd = static_cast<int64_t>(out_shape.size());
   std::vector<int64_t> idx(nd, 0);
-  const int64_t n = x.numel();
-  const float* src = x.data();
-  float* dst = out.data();
+  int64_t n = 1;
+  for (int64_t d : out_shape) n *= d;
   for (int64_t flat = 0; flat < n; ++flat) {
     int64_t s = 0;
     for (int64_t i = 0; i < nd; ++i) s += idx[i] * in_strides[perm[i]];
@@ -628,6 +767,24 @@ Tensor PermuteTensor(const Tensor& x, const std::vector<int64_t>& perm) {
       idx[i] = 0;
     }
   }
+}
+
+std::vector<int64_t> StridesOf(const Tensor& x) {
+  const int64_t nd = x.ndim();
+  std::vector<int64_t> strides(nd, 1);
+  for (int64_t i = nd - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * x.dim(i + 1);
+  }
+  return strides;
+}
+
+Tensor PermuteTensor(const Tensor& x, const std::vector<int64_t>& perm) {
+  const int64_t nd = x.ndim();
+  CIT_CHECK_EQ(static_cast<int64_t>(perm.size()), nd);
+  Shape out_shape(nd);
+  for (int64_t i = 0; i < nd; ++i) out_shape[i] = x.dim(perm[i]);
+  Tensor out(out_shape);
+  PermuteRaw(x.data(), out.data(), out_shape, StridesOf(x), perm);
   return out;
 }
 
@@ -638,6 +795,14 @@ Var Permute(const Var& a, std::vector<int64_t> perm) {
   const int64_t nd = a.value().ndim();
   std::vector<int64_t> inverse(nd);
   for (int64_t i = 0; i < nd; ++i) inverse[perm[i]] = i;
+  if (plan::Recording()) {
+    plan::RecordStep(out, {&a},
+                     [out_shape = out.shape(),
+                      in_strides = StridesOf(a.value()),
+                      perm](const float* const* ins, float* o) {
+                       PermuteRaw(ins[0], o, out_shape, in_strides, perm);
+                     });
+  }
   return MakeOp(std::move(out), {a}, [inverse](Node& self) {
     AccumGrad(self.parents[0].get(), PermuteTensor(self.grad, inverse));
   });
@@ -679,6 +844,24 @@ Var Concat(const std::vector<Var>& parts, int64_t axis) {
     }
     offset += len;
   }
+  if (plan::Recording()) {
+    std::vector<const Var*> ins;
+    ins.reserve(parts.size());
+    for (const Var& p : parts) ins.push_back(&p);
+    plan::RecordStepVec(
+        out, ins,
+        [part_lens, outer, inner, total](const float* const* in, float* o) {
+          int64_t off = 0;
+          for (size_t pi = 0; pi < part_lens.size(); ++pi) {
+            const int64_t len = part_lens[pi];
+            for (int64_t ot = 0; ot < outer; ++ot) {
+              kernels::Copy(in[pi] + ot * len * inner,
+                            o + (ot * total + off) * inner, len * inner);
+            }
+            off += len;
+          }
+        });
+  }
   return MakeOpVec(std::move(out), parts,
                 [part_lens, outer, inner, total](Node& self) {
                   const float* g = CData(self.grad);
@@ -710,6 +893,22 @@ Var Slice(const Var& a, int64_t axis, int64_t start, int64_t len) {
   int64_t inner = 1;
   for (int64_t i = ax + 1; i < x.ndim(); ++i) inner *= x.dim(i);
   const int64_t axis_len = x.dim(ax);
+  if (plan::Recording()) {
+    if (out.SharesStorageWith(x)) {
+      plan::RecordAlias(out, a);  // contiguous region: O(1) view
+    } else {
+      plan::RecordStep(out, {&a},
+                       [outer, inner, axis_len, start,
+                        len](const float* const* ins, float* o) {
+                         const int64_t in_step = axis_len * inner;
+                         const int64_t out_step = len * inner;
+                         for (int64_t ot = 0; ot < outer; ++ot) {
+                           kernels::Copy(ins[0] + ot * in_step + start * inner,
+                                         o + ot * out_step, len * inner);
+                         }
+                       });
+    }
+  }
   return MakeOp(std::move(out), {a},
                 [outer, inner, axis_len, start, len](Node& self) {
                   Node* pa = self.parents[0].get();
@@ -729,6 +928,14 @@ Var Softmax(const Var& a) {
   Tensor out = a.value();
   const int64_t n = a.value().dim(-1);
   kernels::SoftmaxLastAxis(out.data(), out.numel() / n, n);
+  if (plan::Recording()) {
+    const int64_t total = out.numel();
+    plan::RecordStep(out, {&a},
+                     [total, n](const float* const* ins, float* o) {
+                       kernels::Copy(ins[0], o, total);
+                       kernels::SoftmaxLastAxis(o, total / n, n);
+                     });
+  }
   return MakeOp(std::move(out), {a}, [n](Node& self) {
     Node* pa = self.parents[0].get();
     const int64_t outer = self.value.numel() / n;
@@ -752,6 +959,14 @@ Var LogSoftmax(const Var& a) {
   Tensor out = a.value();
   const int64_t n = a.value().dim(-1);
   kernels::LogSoftmaxLastAxis(out.data(), out.numel() / n, n);
+  if (plan::Recording()) {
+    const int64_t total = out.numel();
+    plan::RecordStep(out, {&a},
+                     [total, n](const float* const* ins, float* o) {
+                       kernels::Copy(ins[0], o, total);
+                       kernels::LogSoftmaxLastAxis(o, total / n, n);
+                     });
+  }
   return MakeOp(std::move(out), {a}, [n](Node& self) {
     Node* pa = self.parents[0].get();
     const int64_t outer = self.value.numel() / n;
@@ -797,6 +1012,18 @@ Var CausalConv1d(const Var& x, const Var& w, const Var& b, int64_t dilation) {
                                out.data(), batch, cin, cout, len, ksize,
                                dilation);
 
+  if (plan::Recording()) {
+    std::vector<const Var*> ins = {&x, &w};
+    if (has_bias) ins.push_back(&b);
+    plan::RecordStepVec(
+        out, ins,
+        [batch, cin, cout, len, ksize, dilation,
+         has_bias](const float* const* in, float* o) {
+          kernels::CausalConv1dForward(in[0], in[1],
+                                       has_bias ? in[2] : nullptr, o, batch,
+                                       cin, cout, len, ksize, dilation);
+        });
+  }
   std::vector<Var> inputs = {x, w};
   if (has_bias) inputs.push_back(b);
   return MakeOpVec(

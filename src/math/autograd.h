@@ -7,6 +7,16 @@
 
 #include "math/tensor.h"
 
+namespace cit::plan::detail {
+// Trace-recorder hooks, defined in math/plan.cc. While a CompiledFn is
+// recording on a thread, MakeOp/MakeOpVec ping NoteOp() for every op
+// executed so the recorder can verify it saw a matching Record* call for
+// each one — an op added without a recording hook then poisons the plan
+// (permanent interpreted fallback) instead of replaying garbage.
+extern thread_local bool t_recording;
+void NoteOp();
+}  // namespace cit::plan::detail
+
 namespace cit::ag {
 
 using math::Shape;
@@ -67,6 +77,11 @@ struct Node {
   Tensor grad;            // allocated lazily on first accumulation
   bool requires_grad = false;
   bool has_grad = false;
+  // Bumped by every Var::mutable_value() — the single funnel for parameter
+  // mutation (optimizer steps, LoadParameters, checkpoint restore). Compiled
+  // execution plans snapshot the version of each bound parameter and refuse
+  // to replay against a mutated one (math/plan.cc re-records instead).
+  uint64_t version = 0;
   std::vector<std::shared_ptr<Node>> parents;
   std::function<void(Node&)> backward_fn;  // nullptr for leaves
 };
@@ -150,6 +165,7 @@ struct VarRef {
 template <typename BackwardFn>
 Var MakeOp(Tensor value, std::initializer_list<detail::VarRef> inputs,
            BackwardFn&& backward_fn) {
+  if (plan::detail::t_recording) plan::detail::NoteOp();
   if (!GradEnabled()) return Var::Constant(std::move(value));
   std::vector<Var> ins;
   ins.reserve(inputs.size());
@@ -165,6 +181,7 @@ Var MakeOp(Tensor value, std::initializer_list<detail::VarRef> inputs,
 template <typename BackwardFn>
 Var MakeOpVec(Tensor value, std::vector<Var> inputs,
               BackwardFn&& backward_fn) {
+  if (plan::detail::t_recording) plan::detail::NoteOp();
   if (!GradEnabled()) return Var::Constant(std::move(value));
   return MakeOpImpl(
       std::move(value), std::move(inputs),

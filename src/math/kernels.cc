@@ -152,6 +152,18 @@ void Axpy(float alpha, const float* x, float* y, int64_t n) {
   Map2(y, x, y, n, [alpha](float yi, float xi) { return yi + alpha * xi; });
 }
 
+void FusedElemwise(const float* in, float* out, int64_t n, const ElemOp* ops,
+                   int count) {
+  ThreadPool::Global().ParallelFor(
+      0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          float x = in[i];
+          for (int k = 0; k < count; ++k) x = ElemApply(ops[k], x);
+          out[i] = x;
+        }
+      });
+}
+
 // ---- Reductions ------------------------------------------------------------
 
 double Sum(const float* a, int64_t n) {

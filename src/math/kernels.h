@@ -1,6 +1,8 @@
 #ifndef CIT_MATH_KERNELS_H_
 #define CIT_MATH_KERNELS_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "common/thread_pool.h"
@@ -65,6 +67,56 @@ void Map3(const float* a, const float* b, const float* c, float* out,
         for (int64_t i = lo; i < hi; ++i) out[i] = f(a[i], b[i], c[i]);
       });
 }
+
+// ---- Fused elementwise -----------------------------------------------------
+// A tiny interpreted program over one float: the replayable form of the
+// autodiff unary ops (math/plan.cc fuses adjacent chains into one sweep).
+// ElemApply is the single source of truth for each op's scalar formula —
+// the autodiff forward lambdas route through it too, so the interpreted
+// path, an unfused replay, and a fused sweep all evaluate the identical
+// expression (every op is either IEEE-exact or one libm call, and chaining
+// float-returning calls rounds to float32 at each link exactly like a
+// store/reload, so results are bitwise equal no matter how many ops fuse).
+enum class ElemOpKind : uint8_t {
+  kExp,
+  kLog,
+  kTanh,
+  kSigmoid,
+  kRelu,
+  kSqrt,
+  kSquare,
+  kAbs,
+  kClamp,      // p0 = lo, p1 = hi
+  kAddScalar,  // p0 = addend
+  kMulScalar,  // p0 = factor
+};
+
+struct ElemOp {
+  ElemOpKind kind;
+  float p0 = 0.0f;
+  float p1 = 0.0f;
+};
+
+inline float ElemApply(const ElemOp& op, float x) {
+  switch (op.kind) {
+    case ElemOpKind::kExp: return std::exp(x);
+    case ElemOpKind::kLog: return std::log(x);
+    case ElemOpKind::kTanh: return std::tanh(x);
+    case ElemOpKind::kSigmoid: return 1.0f / (1.0f + std::exp(-x));
+    case ElemOpKind::kRelu: return x > 0.0f ? x : 0.0f;
+    case ElemOpKind::kSqrt: return std::sqrt(x);
+    case ElemOpKind::kSquare: return x * x;
+    case ElemOpKind::kAbs: return std::fabs(x);
+    case ElemOpKind::kClamp: return std::min(op.p1, std::max(op.p0, x));
+    case ElemOpKind::kAddScalar: return x + op.p0;
+    case ElemOpKind::kMulScalar: return x * op.p0;
+  }
+  return x;  // unreachable
+}
+
+// out[i] = ops[count-1](... ops[0](in[i])); one pass over the data.
+void FusedElemwise(const float* in, float* out, int64_t n, const ElemOp* ops,
+                   int count);
 
 // ---- Reductions ------------------------------------------------------------
 // Serial, double-accumulated full sum (deterministic by construction).

@@ -1,0 +1,549 @@
+#include "math/plan.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/telemetry.h"
+
+namespace cit::plan {
+
+namespace kernels = math::kernels;
+using math::Shape;
+
+namespace {
+
+// CIT_COMPILE=0 disables compiled replay process-wide; any other value (or
+// unset) leaves it available. Same contract as CIT_NOGRAD.
+bool InitialCompileAllowed() {
+  const char* v = std::getenv("CIT_COMPILE");
+  return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool> g_compile_allowed{InitialCompileAllowed()};
+
+}  // namespace
+
+bool CompileAllowed() {
+  return g_compile_allowed.load(std::memory_order_relaxed);
+}
+
+void SetCompileAllowed(bool allowed) {
+  g_compile_allowed.store(allowed, std::memory_order_relaxed);
+}
+
+namespace detail {
+thread_local bool t_recording = false;
+}  // namespace detail
+
+namespace {
+
+// ---- Plan data model -------------------------------------------------------
+
+// Identity of a tensor's backing buffer during recording. Every tensor the
+// recorder registers stays pinned (a COW handle is held) until recording
+// ends, so a live key can never be recycled onto a different value.
+struct BufKey {
+  const void* storage;
+  int64_t offset;
+  bool operator==(const BufKey& o) const {
+    return storage == o.storage && offset == o.offset;
+  }
+};
+
+struct BufKeyHash {
+  size_t operator()(const BufKey& k) const {
+    return std::hash<const void*>()(k.storage) ^
+           (static_cast<size_t>(k.offset) * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+// One value in the plan. Steps reference values by slot id; ids are
+// assigned in SSA order (every op output is a fresh slot).
+struct Slot {
+  enum Kind : uint8_t {
+    kInput,  // caller-provided tensor, rebound every replay
+    kParam,  // trainable leaf, bound live + revalidated by version
+    kConst,  // value baked at record time (pinned COW handle)
+    kInter,  // intermediate, lives in the slab at a fixed offset
+    kAlias,  // zero-copy view of another slot (Reshape / contiguous Slice)
+  };
+  Kind kind = kInter;
+  int64_t numel = 0;
+  int input_index = -1;             // kInput
+  std::shared_ptr<ag::Node> param;  // kParam
+  uint64_t param_version = 0;       // kParam: Node::version at record time
+  Tensor constant;                  // kConst
+  int64_t slab_off = -1;            // kInter
+  int alias_of = -1;                // kAlias (always a lower slot id)
+  int64_t alias_elem_off = 0;       // kAlias
+};
+
+constexpr size_t kMaxStepInputs = 16;
+
+struct Step {
+  ReplayFn fn;                          // null for elementwise steps
+  std::vector<int> ins;
+  int out = -1;
+  bool is_elem = false;                 // single-input elementwise, fusable
+  std::vector<kernels::ElemOp> chain;   // scalar program when is_elem
+  int64_t n = 0;                        // element count when is_elem
+};
+
+struct ExecPlan {
+  std::vector<Slot> slots;
+  std::vector<Step> steps;
+  int out_slot = -1;
+  Shape out_shape;
+  int64_t slab_size = 0;  // floats
+};
+
+int Root(const std::vector<Slot>& slots, int id) {
+  while (slots[id].kind == Slot::kAlias) id = slots[id].alias_of;
+  return id;
+}
+
+// ---- Recorder --------------------------------------------------------------
+
+struct Recorder {
+  ExecPlan plan;
+  std::unordered_map<BufKey, int, BufKeyHash> by_buf;
+  std::unordered_map<const ag::Node*, int> by_node;
+  // Pins every registered tensor for the duration of the recording so the
+  // arena cannot recycle a registered buffer onto a new value (which would
+  // make a by_buf key silently resolve to the wrong slot).
+  std::vector<Tensor> pins;
+  int64_t ops_seen = 0;      // MakeOp/MakeOpVec calls (via NoteOp)
+  int64_t ops_recorded = 0;  // Record* calls
+  bool failed = false;       // op the recorder cannot express (e.g. a
+                             // non-view aliasing pattern)
+};
+
+thread_local Recorder* t_recorder = nullptr;
+
+class RecorderScope {
+ public:
+  explicit RecorderScope(Recorder* r) {
+    CIT_CHECK(t_recorder == nullptr);
+    t_recorder = r;
+    detail::t_recording = true;
+  }
+  ~RecorderScope() {
+    t_recorder = nullptr;
+    detail::t_recording = false;
+  }
+};
+
+BufKey KeyOf(const Tensor& t) {
+  return BufKey{t.storage_ptr(), t.storage_offset()};
+}
+
+int AddSlot(Recorder& r, Slot s) {
+  r.plan.slots.push_back(std::move(s));
+  return static_cast<int>(r.plan.slots.size()) - 1;
+}
+
+void RegisterValue(Recorder& r, const Tensor& t, int slot_id) {
+  r.by_buf[KeyOf(t)] = slot_id;
+  r.pins.push_back(t);
+}
+
+// Resolves an op input to a slot: a previously recorded value, a trainable
+// parameter (live-bound, revalidated by version on every replay), or — for
+// anything created outside the recorded region — a baked constant.
+int ResolveInput(Recorder& r, const ag::Var& v) {
+  const Tensor& t = v.value();
+  auto it = r.by_buf.find(KeyOf(t));
+  if (it != r.by_buf.end()) return it->second;
+  if (std::shared_ptr<ag::Node> node = v.node();
+      node != nullptr && node->requires_grad) {
+    auto pit = r.by_node.find(node.get());
+    if (pit != r.by_node.end()) return pit->second;
+    Slot s;
+    s.kind = Slot::kParam;
+    s.numel = t.numel();
+    s.param_version = node->version;
+    s.param = std::move(node);
+    const int id = AddSlot(r, std::move(s));
+    r.by_node.emplace(r.plan.slots[id].param.get(), id);
+    return id;
+  }
+  Slot s;
+  s.kind = Slot::kConst;
+  s.numel = t.numel();
+  s.constant = t;  // COW handle: content cannot change underneath us
+  const int id = AddSlot(r, std::move(s));
+  RegisterValue(r, t, id);
+  return id;
+}
+
+void RecordStepImpl(Recorder& r, const Tensor& out,
+                    const ag::Var* const* ins, size_t nin, ReplayFn fn) {
+  ++r.ops_recorded;
+  if (nin > kMaxStepInputs) {
+    r.failed = true;
+    return;
+  }
+  Step st;
+  st.ins.reserve(nin);
+  for (size_t i = 0; i < nin; ++i) st.ins.push_back(ResolveInput(r, *ins[i]));
+  Slot s;
+  s.kind = Slot::kInter;
+  s.numel = out.numel();
+  st.out = AddSlot(r, std::move(s));
+  st.fn = std::move(fn);
+  RegisterValue(r, out, st.out);
+  r.plan.steps.push_back(std::move(st));
+}
+
+// ---- Finalization: fusion + slab layout ------------------------------------
+
+// Folds an elementwise step into its producer when the producer is itself
+// elementwise over the same element count and its output feeds exactly this
+// one consumer. The merged step keeps the producer's position (legal under
+// SSA: the consumed value had no other reader) and produces the consumer's
+// output; the producer's output slot goes dead and is never materialized.
+int64_t FuseElemChains(ExecPlan& p) {
+  std::vector<int> uses(p.slots.size(), 0);
+  for (const Step& st : p.steps) {
+    for (int in : st.ins) ++uses[Root(p.slots, in)];
+  }
+  if (p.out_slot >= 0) ++uses[Root(p.slots, p.out_slot)];
+
+  int64_t fused = 0;
+  std::vector<Step> out;
+  out.reserve(p.steps.size());
+  std::unordered_map<int, size_t> elem_producer;  // slot id -> index in `out`
+  for (Step& st : p.steps) {
+    if (st.is_elem) {
+      const int r = Root(p.slots, st.ins[0]);
+      auto it = elem_producer.find(r);
+      if (it != elem_producer.end() && uses[r] == 1 &&
+          out[it->second].n == st.n) {
+        const size_t idx = it->second;
+        Step& prod = out[idx];
+        prod.chain.insert(prod.chain.end(), st.chain.begin(), st.chain.end());
+        prod.out = st.out;
+        elem_producer.erase(it);
+        elem_producer.emplace(st.out, idx);
+        ++fused;
+        continue;
+      }
+    }
+    out.push_back(std::move(st));
+    if (out.back().is_elem) {
+      elem_producer[out.back().out] = out.size() - 1;
+    }
+  }
+  p.steps = std::move(out);
+  return fused;
+}
+
+// Packs intermediates into one slab with a liveness-driven exact-size
+// freelist. A step's output is placed before its dead inputs are freed, so
+// an output can never alias one of its own inputs (reduction/transpose
+// kernels read across indices and would corrupt on overlap).
+void AssignSlab(ExecPlan& p) {
+  const int num_steps = static_cast<int>(p.steps.size());
+  std::vector<int> last_use(p.slots.size(), -1);
+  for (int i = 0; i < num_steps; ++i) {
+    for (int in : p.steps[i].ins) last_use[Root(p.slots, in)] = i;
+  }
+  if (p.out_slot >= 0) last_use[Root(p.slots, p.out_slot)] = num_steps;
+
+  std::unordered_map<int64_t, std::vector<int64_t>> freelist;
+  int64_t size = 0;
+  for (int i = 0; i < num_steps; ++i) {
+    Step& st = p.steps[i];
+    Slot& o = p.slots[st.out];
+    std::vector<int64_t>& fl = freelist[o.numel];
+    if (!fl.empty()) {
+      o.slab_off = fl.back();
+      fl.pop_back();
+    } else {
+      o.slab_off = size;
+      size += o.numel;
+    }
+    for (size_t k = 0; k < st.ins.size(); ++k) {
+      const int r = Root(p.slots, st.ins[k]);
+      bool seen = false;
+      for (size_t j = 0; j < k && !seen; ++j) {
+        seen = Root(p.slots, st.ins[j]) == r;
+      }
+      if (seen) continue;  // duplicate input: free once
+      if (p.slots[r].kind == Slot::kInter && last_use[r] == i) {
+        freelist[p.slots[r].numel].push_back(p.slots[r].slab_off);
+      }
+    }
+  }
+  p.slab_size = size;
+}
+
+}  // namespace
+
+namespace detail {
+void NoteOp() {
+  if (t_recorder != nullptr) ++t_recorder->ops_seen;
+}
+}  // namespace detail
+
+// ---- Recording hooks -------------------------------------------------------
+
+void RecordStep(const Tensor& out, std::initializer_list<const ag::Var*> ins,
+                ReplayFn fn) {
+  if (Recorder* r = t_recorder) {
+    RecordStepImpl(*r, out, ins.begin(), ins.size(), std::move(fn));
+  }
+}
+
+void RecordStepVec(const Tensor& out, const std::vector<const ag::Var*>& ins,
+                   ReplayFn fn) {
+  if (Recorder* r = t_recorder) {
+    RecordStepImpl(*r, out, ins.data(), ins.size(), std::move(fn));
+  }
+}
+
+void RecordElem(const Tensor& out, const ag::Var& in,
+                math::kernels::ElemOp op) {
+  Recorder* r = t_recorder;
+  if (r == nullptr) return;
+  ++r->ops_recorded;
+  Step st;
+  st.ins.push_back(ResolveInput(*r, in));
+  Slot s;
+  s.kind = Slot::kInter;
+  s.numel = out.numel();
+  st.out = AddSlot(*r, std::move(s));
+  st.is_elem = true;
+  st.chain.push_back(op);
+  st.n = out.numel();
+  RegisterValue(*r, out, st.out);
+  r->plan.steps.push_back(std::move(st));
+}
+
+void RecordAlias(const Tensor& out, const ag::Var& src) {
+  Recorder* r = t_recorder;
+  if (r == nullptr) return;
+  ++r->ops_recorded;
+  const Tensor& sv = src.value();
+  if (out.storage_ptr() != sv.storage_ptr()) {
+    // The op produced a view of storage the recorder cannot see through.
+    r->failed = true;
+    return;
+  }
+  Slot s;
+  s.kind = Slot::kAlias;
+  s.numel = out.numel();
+  s.alias_of = ResolveInput(*r, src);
+  s.alias_elem_off = out.storage_offset() - sv.storage_offset();
+  const int id = AddSlot(*r, std::move(s));
+  RegisterValue(*r, out, id);
+}
+
+// ---- CompiledFn ------------------------------------------------------------
+
+struct CompiledFn::Impl {
+  struct Entry {
+    std::vector<Shape> key;
+    bool valid = false;
+    bool poisoned = false;  // recording failed: interpret this key forever
+    ExecPlan plan;
+    std::vector<float> slab;
+    std::vector<const float*> ptrs;  // per-slot resolved pointers
+    uint64_t last_used = 0;
+  };
+
+  std::vector<Entry> entries;
+  PlanStats stats;
+  uint64_t tick = 0;
+
+  Entry* Find(std::initializer_list<const Tensor*> inputs) {
+    for (Entry& e : entries) {
+      if (e.key.size() != inputs.size()) continue;
+      bool match = true;
+      size_t i = 0;
+      for (const Tensor* t : inputs) {
+        if (t->shape() != e.key[i++]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return &e;
+    }
+    return nullptr;
+  }
+
+  static bool Stale(const Entry& e) {
+    for (const Slot& s : e.plan.slots) {
+      if (s.kind == Slot::kParam && s.param->version != s.param_version) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Tensor Replay(Entry& e, std::initializer_list<const Tensor*> inputs) {
+    ExecPlan& p = e.plan;
+    std::vector<const float*>& ptrs = e.ptrs;
+    const Tensor* const* in = inputs.begin();
+    const int num_slots = static_cast<int>(p.slots.size());
+    for (int i = 0; i < num_slots; ++i) {
+      const Slot& s = p.slots[i];
+      switch (s.kind) {
+        case Slot::kInput:
+          ptrs[i] = in[s.input_index]->data();  // const overload: no detach
+          break;
+        case Slot::kParam:
+          ptrs[i] = std::as_const(s.param->value).data();
+          break;
+        case Slot::kAlias:
+          ptrs[i] = ptrs[s.alias_of] + s.alias_elem_off;
+          break;
+        case Slot::kConst:
+        case Slot::kInter:
+          break;  // resolved once at finalize
+      }
+    }
+    const float* abuf[kMaxStepInputs];
+    for (Step& st : p.steps) {
+      for (size_t k = 0; k < st.ins.size(); ++k) abuf[k] = ptrs[st.ins[k]];
+      float* out = const_cast<float*>(ptrs[st.out]);
+      if (st.is_elem) {
+        kernels::FusedElemwise(abuf[0], out, st.n, st.chain.data(),
+                               static_cast<int>(st.chain.size()));
+      } else {
+        st.fn(abuf, out);
+      }
+    }
+    Tensor result(p.out_shape);
+    if (result.numel() > 0) {
+      kernels::Copy(ptrs[p.out_slot], result.data(), result.numel());
+    }
+    return result;
+  }
+
+  Tensor RecordInto(Entry& e, std::initializer_list<const Tensor*> inputs,
+                    const std::function<ag::Var()>& forward) {
+    e.valid = false;
+    e.plan = ExecPlan{};
+    e.slab.clear();
+    e.ptrs.clear();
+
+    Recorder rec;
+    int idx = 0;
+    for (const Tensor* t : inputs) {
+      Slot s;
+      s.kind = Slot::kInput;
+      s.numel = t->numel();
+      s.input_index = idx++;
+      const int id = AddSlot(rec, std::move(s));
+      RegisterValue(rec, *t, id);
+    }
+
+    Tensor out_val;
+    {
+      RecorderScope scope(&rec);
+      out_val = forward().value();
+    }
+
+    auto out_it = rec.by_buf.find(KeyOf(out_val));
+    const bool ok = !rec.failed && rec.ops_seen == rec.ops_recorded &&
+                    out_it != rec.by_buf.end();
+    if (!ok) {
+      // Never replayable (an op without a recording hook, or an output the
+      // recorder cannot trace): interpret this shape key from now on.
+      e.poisoned = true;
+      CIT_OBS_COUNT("plan.poisoned", 1);
+      return out_val;
+    }
+
+    ExecPlan& p = rec.plan;
+    p.out_slot = out_it->second;
+    p.out_shape = out_val.shape();
+    const int64_t fused = FuseElemChains(p);
+    stats.fused_ops += fused;
+    CIT_OBS_COUNT("plan.fused_ops", fused);
+    AssignSlab(p);
+
+    e.slab.assign(static_cast<size_t>(p.slab_size), 0.0f);
+    e.ptrs.assign(p.slots.size(), nullptr);
+    for (size_t i = 0; i < p.slots.size(); ++i) {
+      const Slot& s = p.slots[i];
+      if (s.kind == Slot::kConst) {
+        e.ptrs[i] = s.constant.data();
+      } else if (s.kind == Slot::kInter && s.slab_off >= 0) {
+        e.ptrs[i] = e.slab.data() + s.slab_off;
+      }
+    }
+    e.plan = std::move(p);
+    e.valid = true;
+    return out_val;
+  }
+};
+
+CompiledFn::CompiledFn() : impl_(std::make_unique<Impl>()) {}
+CompiledFn::~CompiledFn() = default;
+CompiledFn::CompiledFn(CompiledFn&&) noexcept = default;
+CompiledFn& CompiledFn::operator=(CompiledFn&&) noexcept = default;
+
+const PlanStats& CompiledFn::stats() const {
+  impl_->stats.entries = static_cast<int64_t>(impl_->entries.size());
+  return impl_->stats;
+}
+
+void CompiledFn::Clear() { impl_->entries.clear(); }
+
+Tensor CompiledFn::Run(std::initializer_list<const Tensor*> inputs,
+                       const std::function<ag::Var()>& forward) {
+  Impl& im = *impl_;
+  // Nested Run (recording already active on this thread) stays interpreted:
+  // its ops flow into the outer recording, which is exactly right.
+  if (!CompileAllowed() || detail::t_recording) {
+    ++im.stats.fallbacks;
+    return forward().value();
+  }
+  ++im.tick;
+  Impl::Entry* e = im.Find(inputs);
+  if (e != nullptr) {
+    e->last_used = im.tick;
+    if (e->poisoned) {
+      ++im.stats.fallbacks;
+      return forward().value();
+    }
+    if (e->valid) {
+      if (Impl::Stale(*e)) {
+        ++im.stats.invalidations;
+        CIT_OBS_COUNT("plan.invalidations", 1);
+        e->valid = false;  // fall through and re-record in place
+      } else {
+        ++im.stats.hits;
+        CIT_OBS_COUNT("plan.hits", 1);
+        return im.Replay(*e, inputs);
+      }
+    }
+  } else {
+    if (im.entries.size() >= static_cast<size_t>(kMaxEntries)) {
+      size_t victim = 0;
+      for (size_t i = 1; i < im.entries.size(); ++i) {
+        if (im.entries[i].last_used < im.entries[victim].last_used) {
+          victim = i;
+        }
+      }
+      im.entries.erase(im.entries.begin() +
+                       static_cast<ptrdiff_t>(victim));
+      ++im.stats.evictions;
+      CIT_OBS_COUNT("plan.evictions", 1);
+    }
+    im.entries.emplace_back();
+    e = &im.entries.back();
+    for (const Tensor* t : inputs) e->key.push_back(t->shape());
+    e->last_used = im.tick;
+  }
+  ++im.stats.misses;
+  CIT_OBS_COUNT("plan.misses", 1);
+  return im.RecordInto(*e, inputs, forward);
+}
+
+}  // namespace cit::plan

@@ -1,0 +1,124 @@
+#ifndef CIT_MATH_PLAN_H_
+#define CIT_MATH_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+#include "math/autograd.h"
+#include "math/kernels.h"
+#include "math/tensor.h"
+
+// Trace-and-replay compiled forward. The first time a CompiledFn runs with
+// a given input-shape key it executes the wrapped forward interpreted while
+// a per-thread recorder captures the op tape — kernel, input/output slots,
+// parameter bindings — into an immutable ExecPlan. Finalization fuses
+// adjacent single-use elementwise ops into one sweep and packs every
+// intermediate into one contiguous slab at pre-computed offsets. Replays
+// then run the plan directly: no Var construction, no per-op Storage
+// allocation, no dynamic dispatch — just kernel calls over resolved
+// pointers. Replay output is bitwise identical to the interpreted path at
+// any thread count (each step invokes the same kernel, and fused chains
+// evaluate the same scalar expressions; see kernels::ElemApply).
+//
+// Staleness: each plan snapshots the version counter of every parameter it
+// binds (ag::Node::version, bumped by Var::mutable_value — the single
+// funnel for optimizer steps, LoadParameters and checkpoint restore). A
+// replay against any bumped parameter is refused and the plan re-records.
+namespace cit::plan {
+
+using math::Tensor;
+
+// Process-wide kill switch for compiled replay (also CIT_COMPILE=0 in the
+// environment, mirroring CIT_NOGRAD): when disallowed, CompiledFn::Run
+// simply executes the wrapped forward interpreted, so A/B checks can drive
+// both paths through unchanged call sites.
+bool CompileAllowed();
+void SetCompileAllowed(bool allowed);
+
+namespace detail {
+// Declared in math/autograd.h too (for MakeOp's NoteOp ping); defined in
+// plan.cc. True while the calling thread is recording a plan.
+extern thread_local bool t_recording;
+void NoteOp();
+}  // namespace detail
+
+// True while the calling thread is recording: op bodies in autograd.cc
+// guard their Record* calls on this so the non-recording path never builds
+// a replay closure.
+inline bool Recording() { return detail::t_recording; }
+
+// A replayable kernel invocation: `ins[k]` is the resolved data pointer of
+// the op's k-th input, `out` the (exclusively owned) output region.
+using ReplayFn = std::function<void(const float* const* ins, float* out)>;
+
+// ---- Recording hooks (no-ops unless the calling thread is recording) ------
+// Generic op: `out` is the freshly computed output tensor, `ins` the op's
+// input Vars in kernel-argument order, `fn` replays the computation.
+void RecordStep(const Tensor& out, std::initializer_list<const ag::Var*> ins,
+                ReplayFn fn);
+// Same for ops whose input count is only known at runtime (Concat, Conv).
+void RecordStepVec(const Tensor& out, const std::vector<const ag::Var*>& ins,
+                   ReplayFn fn);
+// Single-input elementwise op; these steps are candidates for chain fusion.
+void RecordElem(const Tensor& out, const ag::Var& in, math::kernels::ElemOp op);
+// Zero-copy view (Reshape, contiguous Slice): out shares src's storage.
+void RecordAlias(const Tensor& out, const ag::Var& src);
+
+// Per-CompiledFn counters (always maintained; the same events also feed the
+// obs Registry as plan.* counters when telemetry is enabled).
+struct PlanStats {
+  int64_t hits = 0;           // replays served from a valid plan
+  int64_t misses = 0;         // recordings (first run per shape key)
+  int64_t invalidations = 0;  // replays refused on a stale parameter version
+  int64_t evictions = 0;      // LRU entries dropped at capacity
+  int64_t fused_ops = 0;      // elementwise ops folded into a predecessor
+  int64_t fallbacks = 0;      // interpreted runs (kill switch / poisoned key)
+  int64_t entries = 0;        // live shape-key entries
+};
+
+// One compilable forward: owns a small LRU cache of ExecPlans keyed by the
+// input shapes. Not thread-safe — a CompiledFn belongs to one agent and is
+// driven from that agent's (already non-reentrant) DecideWeights path;
+// replayed kernels still fork/join the global thread pool internally.
+class CompiledFn {
+ public:
+  CompiledFn();
+  ~CompiledFn();
+  CompiledFn(CompiledFn&&) noexcept;
+  CompiledFn& operator=(CompiledFn&&) noexcept;
+  CompiledFn(const CompiledFn&) = delete;
+  CompiledFn& operator=(const CompiledFn&) = delete;
+
+  // Executes `forward` compiled. `inputs` are the tensors that vary between
+  // calls (market windows, held weights, ...): the caller must build them
+  // outside `forward` and have `forward` consume exactly these handles, so
+  // the recorder can bind them as replay inputs rather than baking their
+  // first-call values into the plan. Parameters reachable inside `forward`
+  // are discovered and bound automatically. Everything else created inside
+  // `forward` is captured as a constant.
+  //
+  // First call per shape key records (and returns the interpreted result);
+  // later calls replay. With CompileAllowed() off — or when this thread is
+  // already recording another plan — runs `forward` interpreted.
+  Tensor Run(std::initializer_list<const Tensor*> inputs,
+             const std::function<ag::Var()>& forward);
+
+  const PlanStats& stats() const;
+  // Drops every cached plan (stats persist).
+  void Clear();
+
+  // LRU capacity per CompiledFn. Small on purpose: an agent sees one or two
+  // live shape keys; the cap exists to bound a shape-churning caller.
+  static constexpr int kMaxEntries = 8;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cit::plan
+
+#endif  // CIT_MATH_PLAN_H_

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "math/kernels.h"
+#include "obs/telemetry.h"
 
 namespace cit::math {
 
@@ -22,6 +23,9 @@ constexpr size_t kArenaMaxSizeClasses = 64;  // distinct sizes tracked
 thread_local int t_arena_depth = 0;      // >0 while inside an ArenaScope
 thread_local bool t_pool_alive = false;  // false once the pool is destroyed
 thread_local int64_t t_arena_reuse = 0;
+thread_local int64_t t_arena_miss = 0;
+thread_local int64_t t_arena_reused_bytes = 0;
+thread_local int64_t t_arena_fresh_bytes = 0;
 
 // Whole Storage objects are parked, not just their float buffers, so a
 // reuse is pop + control block — no Storage reallocation, no vector move.
@@ -88,11 +92,20 @@ std::shared_ptr<Storage> NewStorage(int64_t n, bool zero_fill) {
       c->free_list.pop_back();
       pool.held -= n;
       ++t_arena_reuse;
+      t_arena_reused_bytes += n * static_cast<int64_t>(sizeof(float));
+      CIT_OBS_COUNT("arena.hits", 1);
+      CIT_OBS_COUNT("arena.reused_bytes",
+                    n * static_cast<int64_t>(sizeof(float)));
       // Recycled buffers hold stale values; fresh ones are zero-initialized
       // by the vector, so only this path re-zeroes (and only when asked).
       if (zero_fill) std::fill(s->data.begin(), s->data.end(), 0.0f);
       return std::shared_ptr<Storage>(s, &RecycleStorage);
     }
+    ++t_arena_miss;
+    t_arena_fresh_bytes += n * static_cast<int64_t>(sizeof(float));
+    CIT_OBS_COUNT("arena.misses", 1);
+    CIT_OBS_COUNT("arena.fresh_bytes",
+                  n * static_cast<int64_t>(sizeof(float)));
     // Fresh vectors are already zero-initialized; attach the recycling
     // deleter so this Storage enters the freelist when it dies.
     return std::shared_ptr<Storage>(new Storage(n), &RecycleStorage);
@@ -112,6 +125,15 @@ ArenaScope::~ArenaScope() {
 }
 
 int64_t ArenaReuseCount() { return detail::t_arena_reuse; }
+
+ArenaStats ArenaStatsNow() {
+  ArenaStats s;
+  s.hits = detail::t_arena_reuse;
+  s.misses = detail::t_arena_miss;
+  s.reused_bytes = detail::t_arena_reused_bytes;
+  s.fresh_bytes = detail::t_arena_fresh_bytes;
+  return s;
+}
 
 int64_t Tensor::NumelOf(const Shape& shape) {
   int64_t n = 1;

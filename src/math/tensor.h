@@ -54,6 +54,19 @@ class ArenaScope {
 // far (diagnostics/tests; code must never branch on it).
 int64_t ArenaReuseCount();
 
+// Cumulative arena efficiency counters for the calling thread: `hits` are
+// allocations served from the freelist, `misses` are allocations that fell
+// through to the global allocator while an ArenaScope was open, and the
+// byte totals split the traffic the same way. The same numbers feed the
+// obs Registry as arena.* counters when telemetry is enabled.
+struct ArenaStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t reused_bytes = 0;
+  int64_t fresh_bytes = 0;
+};
+ArenaStats ArenaStatsNow();
+
 // A dense, contiguous, row-major float32 tensor backed by a refcounted
 // Storage with copy-on-write semantics:
 //
@@ -152,6 +165,13 @@ class Tensor {
   bool SharesStorageWith(const Tensor& other) const {
     return storage_ != nullptr && storage_ == other.storage_;
   }
+
+  // Identity of the backing buffer: the Storage address and this handle's
+  // element offset into it. Used as a map key by the plan recorder
+  // (math/plan.cc) to connect op outputs to later op inputs; diagnostics
+  // only — code must never dereference through the pointer.
+  const void* storage_ptr() const { return storage_.get(); }
+  int64_t storage_offset() const { return offset_; }
 
  private:
   Tensor(std::shared_ptr<detail::Storage> storage, int64_t offset,

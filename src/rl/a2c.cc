@@ -256,12 +256,34 @@ Status A2cAgent::LoadCheckpoint(const std::string& path) {
 std::vector<double> A2cAgent::DecideWeights(const market::PricePanel& panel,
                                             int64_t day) {
   ag::NoGradGuard no_grad;
-  ag::Var input = PolicyInput(panel, day, held_);
-  ag::Var mean = actor_->Forward(input);
-  GaussianAction action =
-      SampleGaussianSimplex(mean, log_std_, /*rng=*/nullptr);
-  held_ = action.weights;
-  return action.weights;
+  // The state parts are built here (not inside the compiled forward) so
+  // the plan binds them as varying inputs; SARL's movement predictor runs
+  // interpreted as part of ExtraState, outside the compiled region.
+  Tensor window = FlatWindow(panel, day, config_.window);
+  Tensor prev({num_assets_});
+  for (int64_t i = 0; i < num_assets_; ++i) {
+    prev[i] = static_cast<float>(held_[i]);
+  }
+  auto forward = [&](const Tensor* extra) {
+    std::vector<ag::Var> parts = {ag::Var::Constant(window),
+                                  ag::Var::Constant(prev)};
+    if (extra != nullptr) parts.push_back(ag::Var::Constant(*extra));
+    return actor_->Forward(ag::Concat(parts, /*axis=*/0));
+  };
+  Tensor mean;
+  if (extra_state_dim_ > 0) {
+    Tensor extra = ExtraState(panel, day);
+    CIT_CHECK_EQ(extra.numel(), extra_state_dim_);
+    mean = decide_plan_.Run({&window, &prev, &extra},
+                            [&] { return forward(&extra); });
+  } else {
+    mean = decide_plan_.Run({&window, &prev},
+                            [&] { return forward(nullptr); });
+  }
+  // Deterministic action: softmax of the Gaussian mean (what
+  // SampleGaussianSimplex returns for rng == nullptr).
+  held_ = SoftmaxWeights(mean);
+  return held_;
 }
 
 }  // namespace cit::rl

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "env/backtest.h"
 #include "market/panel.h"
+#include "math/plan.h"
 #include "math/rng.h"
 #include "nn/checkpoint.h"
 #include "nn/layers.h"
@@ -78,6 +79,10 @@ class A2cAgent : public env::TradingAgent {
   std::unique_ptr<nn::Adam> critic_opt_;
   std::vector<double> held_;  // previous weights (part of the state)
   TrainProgress progress_;    // in-flight training progress (checkpointed)
+  // Compiled actor forward for the deterministic DecideWeights path; the
+  // plan re-records itself after any parameter mutation (training steps,
+  // checkpoint restore) via per-parameter version snapshots.
+  plan::CompiledFn decide_plan_;
 };
 
 }  // namespace cit::rl

@@ -393,9 +393,11 @@ Status DdpgAgent::LoadCheckpoint(const std::string& path) {
 std::vector<double> DdpgAgent::DecideWeights(const market::PricePanel& panel,
                                              int64_t day) {
   ag::NoGradGuard no_grad;
-  ag::Var scores = actor_->Forward(
-      ag::Var::Constant(StateTensor(panel, day)));
-  std::vector<double> weights = SoftmaxWeights(scores.value());
+  Tensor state = StateTensor(panel, day);
+  Tensor scores = decide_plan_.Run({&state}, [&] {
+    return actor_->Forward(ag::Var::Constant(state));
+  });
+  std::vector<double> weights = SoftmaxWeights(scores);
   held_ = weights;
   return weights;
 }

@@ -9,6 +9,7 @@
 #include "env/backtest.h"
 #include "env/portfolio_env.h"
 #include "market/panel.h"
+#include "math/plan.h"
 #include "math/rng.h"
 #include "nn/checkpoint.h"
 #include "nn/layers.h"
@@ -87,6 +88,8 @@ class DdpgAgent : public env::TradingAgent {
   // resume so the episode continues mid-stream.
   env::PortfolioEnv::EnvCursor env_cursor_;
   bool has_env_cursor_ = false;
+  // Compiled actor forward for the deterministic DecideWeights path.
+  plan::CompiledFn decide_plan_;
 };
 
 }  // namespace cit::rl

@@ -34,9 +34,7 @@ void DeepTraderAgent::Reset() {
   held_.assign(num_assets_, 1.0 / static_cast<double>(num_assets_));
 }
 
-ag::Var DeepTraderAgent::AssetScores(const market::PricePanel& panel,
-                                     int64_t day) const {
-  Tensor window = NormalizedWindow(panel, day, config_.window);
+ag::Var DeepTraderAgent::ScoresFromWindow(const Tensor& window) const {
   ag::Var h = ag::Relu(conv1_->Forward(ag::Var::Constant(window)));
   h = ag::Relu(conv2_->Forward(h));
   ag::Var last = ag::Reshape(
@@ -45,29 +43,48 @@ ag::Var DeepTraderAgent::AssetScores(const market::PricePanel& panel,
   return ag::Reshape(score_head_->Forward(last), {num_assets_});
 }
 
-ag::Var DeepTraderAgent::MarketRho(const market::PricePanel& panel,
-                                   int64_t day) const {
-  // Market feature: the cross-asset average normalized window (a synthetic
-  // index window), the stand-in for the paper's market-condition embedding.
-  Tensor window = NormalizedWindow(panel, day, config_.window);
+ag::Var DeepTraderAgent::AssetScores(const market::PricePanel& panel,
+                                     int64_t day) const {
+  return ScoresFromWindow(NormalizedWindow(panel, day, config_.window));
+}
+
+Tensor DeepTraderAgent::IndexWindow(const Tensor& window) const {
   Tensor index({config_.window});
   for (int64_t k = 0; k < config_.window; ++k) {
     float acc = 0.0f;
     for (int64_t i = 0; i < num_assets_; ++i) acc += window.At({i, 0, k});
     index[k] = acc / static_cast<float>(num_assets_);
   }
+  return index;
+}
+
+ag::Var DeepTraderAgent::RhoFromIndex(const Tensor& index) const {
   ag::Var logit = market_unit_->Forward(ag::Var::Constant(index));
   return ag::Sigmoid(logit);  // [1]
 }
 
-ag::Var DeepTraderAgent::Weights(const market::PricePanel& panel,
-                                 int64_t day) const {
-  ag::Var scores = AssetScores(panel, day);
-  ag::Var rho = MarketRho(panel, day);
+ag::Var DeepTraderAgent::MarketRho(const market::PricePanel& panel,
+                                   int64_t day) const {
+  // Market feature: the cross-asset average normalized window (a synthetic
+  // index window), the stand-in for the paper's market-condition embedding.
+  return RhoFromIndex(
+      IndexWindow(NormalizedWindow(panel, day, config_.window)));
+}
+
+ag::Var DeepTraderAgent::WeightsFromInputs(const Tensor& window,
+                                           const Tensor& index) const {
+  ag::Var scores = ScoresFromWindow(window);
+  ag::Var rho = RhoFromIndex(index);
   // Temperature scaling: w = softmax(scores * (0.25 + 1.75 * rho)).
   // rho -> 1 concentrates on top-scored assets; rho -> 0 diversifies.
   ag::Var gain = ag::AddScalar(ag::MulScalar(rho, 1.75f), 0.25f);
   return ag::Softmax(ag::Mul(scores, gain));
+}
+
+ag::Var DeepTraderAgent::Weights(const market::PricePanel& panel,
+                                 int64_t day) const {
+  Tensor window = NormalizedWindow(panel, day, config_.window);
+  return WeightsFromInputs(window, IndexWindow(window));
 }
 
 double DeepTraderAgent::RiskAppetite(const market::PricePanel& panel,
@@ -137,10 +154,14 @@ std::vector<double> DeepTraderAgent::Train(const market::PricePanel& panel,
 std::vector<double> DeepTraderAgent::DecideWeights(
     const market::PricePanel& panel, int64_t day) {
   ag::NoGradGuard no_grad;
-  ag::Var w = Weights(panel, day);
+  Tensor window = NormalizedWindow(panel, day, config_.window);
+  Tensor index = IndexWindow(window);
+  Tensor w = decide_plan_.Run({&window, &index}, [&] {
+    return WeightsFromInputs(window, index);
+  });
   std::vector<double> weights(num_assets_);
   for (int64_t i = 0; i < num_assets_; ++i) {
-    weights[i] = static_cast<double>(w.value()[i]);
+    weights[i] = static_cast<double>(w[i]);
   }
   held_ = weights;
   return env::NormalizeToSimplex(std::move(weights));

@@ -7,11 +7,13 @@
 
 #include "env/backtest.h"
 #include "market/panel.h"
+#include "math/plan.h"
 #include "math/rng.h"
 #include "nn/conv.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 #include "rl/config.h"
+#include "rl/gaussian_policy.h"
 
 namespace cit::rl {
 
@@ -49,6 +51,15 @@ class DeepTraderAgent : public env::TradingAgent {
   ag::Var MarketRho(const market::PricePanel& panel, int64_t day) const;
   ag::Var Weights(const market::PricePanel& panel, int64_t day) const;
 
+  // The cross-asset average of a normalized [m, 1, z] window: the
+  // synthetic index window feeding the market scoring unit.
+  Tensor IndexWindow(const Tensor& window) const;
+  // Forward from pre-built feature tensors, so DecideWeights can bind
+  // them as varying inputs of the compiled plan.
+  ag::Var ScoresFromWindow(const Tensor& window) const;
+  ag::Var RhoFromIndex(const Tensor& index) const;
+  ag::Var WeightsFromInputs(const Tensor& window, const Tensor& index) const;
+
   int64_t num_assets_;
   DeepTraderConfig config_;
   math::Rng rng_;
@@ -58,6 +69,8 @@ class DeepTraderAgent : public env::TradingAgent {
   std::unique_ptr<nn::Mlp> market_unit_;
   std::unique_ptr<nn::Adam> opt_;
   std::vector<double> held_;
+  // Compiled forward for the deterministic DecideWeights path.
+  plan::CompiledFn decide_plan_;
 };
 
 }  // namespace cit::rl

@@ -32,7 +32,12 @@ void EiieAgent::Reset() {
 
 ag::Var EiieAgent::Scores(const market::PricePanel& panel, int64_t day,
                           const ag::Var& prev_weights) const {
-  Tensor window = NormalizedWindow(panel, day, config_.window);
+  return ScoresFromWindow(NormalizedWindow(panel, day, config_.window),
+                          prev_weights);
+}
+
+ag::Var EiieAgent::ScoresFromWindow(const Tensor& window,
+                                    const ag::Var& prev_weights) const {
   ag::Var h = ag::Relu(conv1_->Forward(ag::Var::Constant(window)));
   h = ag::Relu(conv2_->Forward(h));
   // Final time step of each asset: [m, channels].
@@ -106,12 +111,15 @@ std::vector<double> EiieAgent::Train(const market::PricePanel& panel,
 std::vector<double> EiieAgent::DecideWeights(const market::PricePanel& panel,
                                              int64_t day) {
   ag::NoGradGuard no_grad;
+  Tensor window = NormalizedWindow(panel, day, config_.window);
   Tensor prev({num_assets_});
   for (int64_t i = 0; i < num_assets_; ++i) {
     prev[i] = static_cast<float>(held_[i]);
   }
-  ag::Var scores = Scores(panel, day, ag::Var::Constant(prev));
-  std::vector<double> weights = SoftmaxWeights(scores.value());
+  Tensor scores = decide_plan_.Run({&window, &prev}, [&] {
+    return ScoresFromWindow(window, ag::Var::Constant(prev));
+  });
+  std::vector<double> weights = SoftmaxWeights(scores);
   held_ = weights;
   return weights;
 }

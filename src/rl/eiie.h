@@ -7,11 +7,13 @@
 
 #include "env/backtest.h"
 #include "market/panel.h"
+#include "math/plan.h"
 #include "math/rng.h"
 #include "nn/conv.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 #include "rl/config.h"
+#include "rl/gaussian_policy.h"
 
 namespace cit::rl {
 
@@ -44,6 +46,11 @@ class EiieAgent : public env::TradingAgent {
   ag::Var Scores(const market::PricePanel& panel, int64_t day,
                  const ag::Var& prev_weights) const;
 
+  // Same scores with the normalized window already materialized, so
+  // DecideWeights can bind it as a varying input of the compiled plan.
+  ag::Var ScoresFromWindow(const Tensor& window,
+                           const ag::Var& prev_weights) const;
+
   int64_t num_assets_;
   EiieConfig config_;
   math::Rng rng_;
@@ -52,6 +59,8 @@ class EiieAgent : public env::TradingAgent {
   std::unique_ptr<nn::Linear> head_;  // shared per-asset scorer
   std::unique_ptr<nn::Adam> opt_;
   std::vector<double> held_;
+  // Compiled scorer forward for the deterministic DecideWeights path.
+  plan::CompiledFn decide_plan_;
 };
 
 }  // namespace cit::rl

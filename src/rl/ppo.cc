@@ -265,12 +265,14 @@ Status PpoAgent::LoadCheckpoint(const std::string& path) {
 std::vector<double> PpoAgent::DecideWeights(const market::PricePanel& panel,
                                             int64_t day) {
   ag::NoGradGuard no_grad;
-  ag::Var input = ag::Var::Constant(StateTensor(panel, day, held_));
-  ag::Var mean = actor_->Forward(input);
-  GaussianAction action =
-      SampleGaussianSimplex(mean, log_std_, /*rng=*/nullptr);
-  held_ = action.weights;
-  return action.weights;
+  Tensor state = StateTensor(panel, day, held_);
+  Tensor mean = decide_plan_.Run({&state}, [&] {
+    return actor_->Forward(ag::Var::Constant(state));
+  });
+  // Deterministic action: softmax of the Gaussian mean (what
+  // SampleGaussianSimplex returns for rng == nullptr).
+  held_ = SoftmaxWeights(mean);
+  return held_;
 }
 
 }  // namespace cit::rl

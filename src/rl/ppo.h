@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "env/backtest.h"
 #include "market/panel.h"
+#include "math/plan.h"
 #include "math/rng.h"
 #include "nn/checkpoint.h"
 #include "nn/layers.h"
@@ -65,6 +66,8 @@ class PpoAgent : public env::TradingAgent {
   std::unique_ptr<nn::Adam> critic_opt_;
   std::vector<double> held_;
   TrainProgress progress_;  // in-flight training progress (checkpointed)
+  // Compiled actor forward for the deterministic DecideWeights path.
+  plan::CompiledFn decide_plan_;
 };
 
 }  // namespace cit::rl
