@@ -1,0 +1,153 @@
+// citd — the serving daemon around DecideWeights (DESIGN.md §10).
+//
+// Binds a local Unix socket and serves the line protocol: price-window in,
+// portfolio weights out, plus ping/stats/swap. Each worker thread owns its
+// own model replica; "swap <weights-file>" hot-swaps checkpoints without
+// dropping a connection.
+//
+// Build & run:
+//   cmake --build build
+//   ./build/examples/citd --socket /tmp/citd.sock --workers 2
+//       [--model /tmp/cit_trained_model.bin]
+// Talk to it (any line-oriented client works):
+//   printf 'ping\n' | socat - UNIX-CONNECT:/tmp/citd.sock
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/config.h"
+#include "core/trader.h"
+#include "serve/cit_model.h"
+#include "serve/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+void OnSignal(int) { g_signalled = 1; }
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [options]\n"
+               "  --socket PATH        Unix socket to bind (required)\n"
+               "  --model PATH         weights file to serve (default: fresh"
+               " seeded init)\n"
+               "  --save-init PATH     write the initial weights to PATH and"
+               " continue\n"
+               "  --assets N           assets per decision (default 8)\n"
+               "  --window N           price-window length (default 16)\n"
+               "  --policies N         horizon policies (default 3)\n"
+               "  --seed N             init seed (default 1)\n"
+               "  --workers N          worker threads = model replicas"
+               " (default 2)\n"
+               "  --deadline-ms N      per-request stall deadline"
+               " (default 2000)\n"
+               "  --idle-timeout-ms N  idle connection drop, 0 = never"
+               " (default 30000)\n"
+               "  --max-line N         request line byte cap"
+               " (default 1048576)\n",
+               argv0);
+}
+
+bool ParseInt(const char* s, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cit;
+
+  serve::ServerConfig scfg;
+  scfg.workers = 2;
+  scfg.enable_telemetry = true;  // the stats endpoint should count things
+
+  long long assets = 8, window = 16, policies = 3, seed = 1;
+  std::string model_path, save_init;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* val = i + 1 < argc ? argv[i + 1] : nullptr;
+    long long n = 0;
+    if (flag == "--socket" && val) {
+      scfg.socket_path = val;
+      ++i;
+    } else if (flag == "--model" && val) {
+      model_path = val;
+      ++i;
+    } else if (flag == "--save-init" && val) {
+      save_init = val;
+      ++i;
+    } else if (flag == "--assets" && val && ParseInt(val, &assets)) {
+      ++i;
+    } else if (flag == "--window" && val && ParseInt(val, &window)) {
+      ++i;
+    } else if (flag == "--policies" && val && ParseInt(val, &policies)) {
+      ++i;
+    } else if (flag == "--seed" && val && ParseInt(val, &seed)) {
+      ++i;
+    } else if (flag == "--workers" && val && ParseInt(val, &n)) {
+      scfg.workers = static_cast<int>(n);
+      ++i;
+    } else if (flag == "--deadline-ms" && val && ParseInt(val, &n)) {
+      scfg.request_deadline_ms = n;
+      ++i;
+    } else if (flag == "--idle-timeout-ms" && val && ParseInt(val, &n)) {
+      scfg.idle_timeout_ms = n;
+      ++i;
+    } else if (flag == "--max-line" && val && ParseInt(val, &n)) {
+      scfg.max_line = static_cast<size_t>(n);
+      ++i;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (scfg.socket_path.empty() || assets < 1 || window < 2 || policies < 0 ||
+      scfg.workers < 1) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  core::CrossInsightConfig cfg;
+  cfg.num_policies = policies;
+  cfg.window = window;
+  cfg.seed = static_cast<uint64_t>(seed);
+
+  // --save-init: persist the (deterministic, seeded) initial weights so a
+  // smoke test has a second valid checkpoint to hot-swap to.
+  if (!save_init.empty()) {
+    core::CrossInsightTrader init(assets, cfg);
+    if (Status s = init.SaveModel(save_init); !s.ok()) {
+      std::fprintf(stderr, "citd: --save-init: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // The daemon must not die because a client vanished mid-response; all
+  // sends use MSG_NOSIGNAL, this covers any stray write path.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  serve::Server server(scfg,
+                       serve::MakeCitModelFactory(assets, cfg, model_path));
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "citd: start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("citd: serving %lld assets (window %lld, %d workers) on %s\n",
+              assets, window, scfg.workers, scfg.socket_path.c_str());
+  std::fflush(stdout);
+
+  while (!g_signalled) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("citd: shutting down\n");
+  server.Stop();
+  return 0;
+}

@@ -9,10 +9,12 @@
 #      bitwise-resume tests for every trainer), inference (bitwise
 #      backtests with the graph-free no-grad path on vs. off at 1 and 4
 #      threads, plus a bench_infer smoke run emitting nograd_speedup),
-#      and compiled forward (bitwise backtests with plan replay on vs.
+#      compiled forward (bitwise backtests with plan replay on vs.
 #      off at 1 and 4 threads, staleness/fusion/eviction structure, and
 #      the committed compiled_speedup >= 1.25 / nograd_speedup >= 1.5
-#      ratios in BENCH_infer.json).
+#      ratios in BENCH_infer.json), and serving (adversarial client
+#      matrix + hot-swap soak at 1 and 4 workers, then the citd binary
+#      end-to-end against a scripted Unix-socket client).
 #   3. ASan and UBSan builds + full ctest at smoke scale (CIT_FAST=1) —
 #      this reruns the checkpoint fuzz under ASan, so corrupt-length
 #      allocations and parser overreads trip immediately.
@@ -45,7 +47,7 @@ echo "=== observability gate (bitwise curves with telemetry on/off) ==="
 
 echo "=== checkpoint/resume gate (container fuzz + kill-at-k resume) ==="
 (cd build && run ctest --output-on-failure \
-    -R 'Checkpoint|TrainProgress|OptimizerState|EnvCursor|Serialize')
+    -R 'Checkpoint|TrainProgress|OptimizerState|EnvCursor|Serialize|AtomicWrite')
 
 echo "=== inference gate (graph-free path bitwise + bench ratio) ==="
 # test_inference proves every agent's backtest is bitwise identical with the
@@ -83,6 +85,56 @@ for key, bar in (("compiled_speedup", 1.25), ("nograd_speedup", 1.5)):
     print(f"{key} {value} >= {bar} OK")
 EOF
 
+echo "=== serving gate (daemon soak + citd end-to-end smoke) ==="
+# test_serve runs the adversarial client matrix and the hot-swap soak
+# (4 concurrent clients, bitwise serve-vs-library, swap mid-soak) at 1
+# and 4 workers; repeat at 1 and 4 kernel threads.
+(cd build && run env CIT_NUM_THREADS=1 ./tests/test_serve)
+(cd build && run env CIT_NUM_THREADS=4 ./tests/test_serve)
+# End-to-end: the real daemon binary against a scripted client — ping,
+# decide, checkpoint hot-swap (to the daemon's own saved init, so the
+# post-swap decision must be bitwise identical), protocol error, stats.
+run cmake --build build -j"$(nproc)" --target citd
+CITD_SOCK=/tmp/citd_check.sock
+CITD_INIT=/tmp/citd_check_init.bin
+rm -f "$CITD_SOCK" "$CITD_INIT"
+./build/examples/citd --socket "$CITD_SOCK" --workers 2 --assets 4 \
+    --window 8 --policies 2 --save-init "$CITD_INIT" &
+CITD_PID=$!
+trap 'kill "$CITD_PID" 2>/dev/null || true' EXIT
+run python3 - "$CITD_SOCK" "$CITD_INIT" <<'EOF'
+import socket, sys, time
+sock_path, init_path = sys.argv[1], sys.argv[2]
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+for _ in range(100):
+    try:
+        s.connect(sock_path)
+        break
+    except OSError:
+        time.sleep(0.1)
+else:
+    sys.exit("citd did not come up")
+f = s.makefile("rw")
+def ask(line):
+    f.write(line + "\n"); f.flush()
+    return f.readline().strip()
+assert ask("ping") == "ok pong 0"
+prices = " ".join("%.17g" % (10.0 + d * 0.01 + a)
+                  for d in range(8) for a in range(4))
+first = ask("decide 8 4 " + prices)
+assert first.startswith("ok 0 ") and len(first.split()) == 2 + 4, first
+assert ask("swap " + init_path) == "ok swapped 1"
+second = ask("decide 8 4 " + prices)
+assert second.startswith("ok 1 "), second
+assert second.split()[2:] == first.split()[2:], (first, second)
+assert ask("frobnicate").startswith("err proto")
+stats = ask("stats")
+assert '"serve.decides"' in stats and '"wall_us"' in stats, stats
+print("citd end-to-end smoke OK")
+EOF
+kill "$CITD_PID"; wait "$CITD_PID" 2>/dev/null || true
+trap - EXIT
+
 if [[ "$QUICK" == "1" ]]; then
   echo "--quick: skipping sanitizer builds"
   exit 0
@@ -100,7 +152,7 @@ echo "=== thread sanitizer build + threading/rollout tests ==="
 run cmake -B build-thread -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCIT_SANITIZE=thread
 run cmake --build build-thread -j"$(nproc)" --target test_threading \
-    test_rollout test_inference test_plan
+    test_rollout test_inference test_plan test_serve
 # CIT_OVERSUBSCRIBE lifts the hardware clamp so the pool really spawns the
 # requested workers: TSan then sees genuine cross-thread interleavings of
 # the rollout pipeline even on a 1-core container. test_inference rides
@@ -108,10 +160,12 @@ run cmake --build build-thread -j"$(nproc)" --target test_threading \
 # pool's lock-free inline-dispatch check are raced against real workers;
 # test_plan rides along so plan replays (fused sweeps, slab writes, the
 # CompileAllowed atomic, the recording thread-local) are raced the same
-# way.
+# way; the serve daemon tests ride along so worker threads, the swap
+# mutex + generation counter, and per-replica plan ownership are raced
+# under real concurrent clients.
 (cd build-thread && run env CIT_FAST=1 CIT_OVERSUBSCRIBE=1 CIT_NUM_THREADS=4 \
     ctest --output-on-failure \
-    -R 'ThreadPool|Determinism|RngSplit|RolloutRunner|RolloutDeterminism|InferenceIdentity|GradMode\.|Arena\.|Compiled|ArenaStats\.')
+    -R 'ThreadPool|Determinism|RngSplit|RolloutRunner|RolloutDeterminism|InferenceIdentity|GradMode\.|Arena\.|Compiled|ArenaStats\.|Serve|PlanOwner')
 
 echo "=== CIT_OBS=OFF build (instrumentation compiles out) ==="
 run cmake -B build-noobs -S . -DCMAKE_BUILD_TYPE=Release -DCIT_OBS=OFF

@@ -92,6 +92,12 @@ CrossInsightTrader::CrossInsightTrader(int64_t num_assets,
   Reset();
 }
 
+void CrossInsightTrader::ClearFeatureCache() {
+  std::unique_lock<std::shared_mutex> lock(feature_mu_);
+  feature_cache_.clear();
+  cached_panel_ = nullptr;
+}
+
 void CrossInsightTrader::Reset() {
   held_actions_.assign(
       std::max<int64_t>(config_.num_policies, 1),

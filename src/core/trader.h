@@ -41,6 +41,14 @@ class CrossInsightTrader : public env::TradingAgent {
   std::vector<double> DecideWeights(const market::PricePanel& panel,
                                     int64_t day) override;
 
+  // Drops the per-day feature cache. The cache invalidates by panel
+  // *address* (identity, not content), which is sound for the long-lived
+  // panels training and backtests use — but a caller that feeds many
+  // short-lived panels (the serving daemon builds one per request) can see
+  // an old panel's address recycled for a new one, and must clear between
+  // panels to keep the cache from serving stale features.
+  void ClearFeatureCache();
+
   // An agent that trades policy k's pre-decision alone (deterministic),
   // used for the per-policy analysis of Figs. 5-6. The returned agent
   // borrows this trader, which must outlive it.

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -359,6 +360,28 @@ struct CompiledFn::Impl {
   PlanStats stats;
   uint64_t tick = 0;
 
+  // Single-owner enforcement (debug builds): the first compiled-path Run
+  // pins this CompiledFn to its calling thread; a default-constructed id
+  // means "unowned". Atomic so the *detection* of a cross-thread caller is
+  // itself race-free — everything past the check still assumes one owner.
+  std::atomic<std::thread::id> owner{std::thread::id()};
+
+  void CheckOwner() {
+#ifndef NDEBUG
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (!owner.compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed) &&
+        expected != self) {
+      CIT_CHECK_MSG(false,
+                    "plan::CompiledFn used from a second thread; a "
+                    "CompiledFn (and the model replica holding it) belongs "
+                    "to exactly one thread — give each worker its own "
+                    "replica, or Clear() before handing it over");
+    }
+#endif
+  }
+
   Entry* Find(std::initializer_list<const Tensor*> inputs) {
     for (Entry& e : entries) {
       if (e.key.size() != inputs.size()) continue;
@@ -493,7 +516,10 @@ const PlanStats& CompiledFn::stats() const {
   return impl_->stats;
 }
 
-void CompiledFn::Clear() { impl_->entries.clear(); }
+void CompiledFn::Clear() {
+  impl_->entries.clear();
+  impl_->owner.store(std::thread::id(), std::memory_order_relaxed);
+}
 
 Tensor CompiledFn::Run(std::initializer_list<const Tensor*> inputs,
                        const std::function<ag::Var()>& forward) {
@@ -504,6 +530,7 @@ Tensor CompiledFn::Run(std::initializer_list<const Tensor*> inputs,
     ++im.stats.fallbacks;
     return forward().value();
   }
+  im.CheckOwner();
   ++im.tick;
   Impl::Entry* e = im.Find(inputs);
   if (e != nullptr) {

@@ -83,6 +83,15 @@ struct PlanStats {
 // input shapes. Not thread-safe — a CompiledFn belongs to one agent and is
 // driven from that agent's (already non-reentrant) DecideWeights path;
 // replayed kernels still fork/join the global thread pool internally.
+//
+// The single-owner contract is enforced, not just documented: the first
+// compiled-path Run pins the CompiledFn to the calling thread, and any
+// later Run from a different thread CHECK-fails in debug builds (replays
+// share one slab and one pointer table, so a cross-thread caller — e.g. a
+// serving daemon misconfigured to share a model replica between workers —
+// would race instead of failing loudly). Clear() releases the pin along
+// with the cached plans, which is the supported way to re-home a
+// CompiledFn onto another thread.
 class CompiledFn {
  public:
   CompiledFn();
@@ -107,7 +116,8 @@ class CompiledFn {
              const std::function<ag::Var()>& forward);
 
   const PlanStats& stats() const;
-  // Drops every cached plan (stats persist).
+  // Drops every cached plan and releases the owning-thread pin (stats
+  // persist). After Clear() the next Run may come from any one thread.
   void Clear();
 
   // LRU capacity per CompiledFn. Small on purpose: an agent sees one or two

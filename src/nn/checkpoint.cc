@@ -9,6 +9,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "obs/telemetry.h"
+
 namespace cit::nn {
 namespace {
 
@@ -215,15 +217,37 @@ Status AtomicWriteFile(const std::string& path, const void* data,
     ::unlink(tmp.c_str());
     return status;
   }
+  // The rename has published the file; the directory entry itself must now
+  // be made durable before success is reported. Failures here are real I/O
+  // errors (a crash could roll the publish back), so they propagate into
+  // the returned Status instead of being swallowed — a long-lived serving
+  // process must never believe a checkpoint is durable when it is not.
+  return FsyncParentDir(path);
+}
+
+Status FsyncParentDir(const std::string& path) {
   const size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : path.substr(0, slash == 0 ? 1 : slash);
   const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dirfd >= 0) {
-    ::fsync(dirfd);  // best effort: rename durability
-    ::close(dirfd);
+  if (dirfd < 0) {
+    CIT_OBS_COUNT("checkpoint.dir_fsync_errors", 1);
+    return Status::IoError(
+        Errno("cannot open parent directory for fsync of", path));
   }
+  int rc;
+  do {
+    rc = ::fsync(dirfd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const Status status =
+        Status::IoError(Errno("fsync failed on directory", dir));
+    ::close(dirfd);
+    CIT_OBS_COUNT("checkpoint.dir_fsync_errors", 1);
+    return status;
+  }
+  ::close(dirfd);
   return Status::OK();
 }
 

@@ -104,11 +104,21 @@ class ByteReader {
 
 // ---- Atomic file I/O --------------------------------------------------------
 
-// Writes `size` bytes to `path` via tmp-file + fsync + rename (+ directory
-// fsync), so `path` always holds either its previous contents or the full
-// new contents — never a torn write.
+// Writes `size` bytes to `path` via tmp-file + fsync + rename + parent-
+// directory fsync, so `path` always holds either its previous contents or
+// the full new contents — never a torn write. Every stage's failure —
+// including the post-rename directory fsync, without which the publish
+// itself may not survive a crash — surfaces in the returned Status (and
+// bumps the `checkpoint.dir_fsync_errors` obs counter for the directory
+// stage); OK means the bytes and the rename are both durable.
 Status AtomicWriteFile(const std::string& path, const void* data,
                        size_t size);
+
+// The directory-durability step of AtomicWriteFile, exposed so its failure
+// modes are directly testable: fsyncs the parent directory of `path`
+// (EINTR-safe). A parent that cannot be opened as a directory or whose
+// fsync fails yields IoError and bumps `checkpoint.dir_fsync_errors`.
+Status FsyncParentDir(const std::string& path);
 
 // Reads a whole file. Missing/unreadable files are IoError.
 Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);

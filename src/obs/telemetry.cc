@@ -184,6 +184,8 @@ std::string Registry::SnapshotJson() const {
   out.reserve(1024);
   out += "{\"ts_us\":";
   out += std::to_string(MonotonicMicros());
+  out += ",\"wall_us\":";
+  out += std::to_string(WallMicros());
   out += ",\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : impl_->counters) {

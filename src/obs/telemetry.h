@@ -48,11 +48,23 @@ inline bool Enabled() {
 }
 void SetEnabled(bool on);
 
-// Monotonic microseconds since an arbitrary process-local epoch.
+// Monotonic microseconds since an arbitrary process-local epoch. Used for
+// durations and span timing; meaningless across processes or restarts.
 inline uint64_t MonotonicMicros() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Wall-clock microseconds since the Unix epoch (system_clock). Snapshot
+// lines carry this alongside the steady stamp so a daemon's /stats output
+// and archived JSON-lines files can be correlated across processes and
+// restarts; durations keep using MonotonicMicros (wall time can step).
+inline uint64_t WallMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
           .count());
 }
 
@@ -171,9 +183,15 @@ class Registry {
   void ResetAll();
 
   // One JSON object (single line, no trailing newline) with all counters,
-  // gauges and histogram summaries. Safe to call concurrently with
-  // increments: values are relaxed-atomic reads, so a snapshot taken while
-  // threads are mid-update is approximate but well-formed.
+  // gauges and histogram summaries, stamped with both clocks:
+  //   {"ts_us":<steady>, "wall_us":<unix-epoch>, "counters":{...},
+  //    "gauges":{...}, "histograms":{...}}
+  // ts_us is monotonic (process-local; subtract two for a duration);
+  // wall_us is system_clock and stays meaningful across processes and
+  // restarts — the stamp consumers of a daemon's stats endpoint need.
+  // Safe to call concurrently with increments: values are relaxed-atomic
+  // reads, so a snapshot taken while threads are mid-update is approximate
+  // but well-formed.
   std::string SnapshotJson() const;
 
   // Appends SnapshotJson() + '\n' to a JSON-lines file. Returns false on

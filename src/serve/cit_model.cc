@@ -1,0 +1,54 @@
+#include "serve/cit_model.h"
+
+#include <memory>
+#include <utility>
+
+#include "core/trader.h"
+
+namespace cit::serve {
+
+namespace {
+
+class CitServedModel : public ServedModel {
+ public:
+  CitServedModel(int64_t num_assets, const core::CrossInsightConfig& config)
+      : trader_(num_assets, config) {}
+
+  int64_t num_assets() const override { return trader_.num_assets(); }
+  // NormalizedWindow/HorizonBandWindows need `window` rows of history to
+  // decide at the panel's last day.
+  int64_t min_days() const override { return trader_.config().window; }
+
+  Result<std::vector<double>> Decide(
+      const market::PricePanel& panel) override {
+    // Request panels live on the worker's stack, so their addresses
+    // recycle across requests; the feature cache keys on panel address and
+    // must not survive into the next request. Reset() drops the held
+    // actions, making every request an independent first decision.
+    trader_.ClearFeatureCache();
+    trader_.Reset();
+    return trader_.DecideWeights(panel, panel.num_days() - 1);
+  }
+
+  Status LoadWeights(const std::string& path) override {
+    return trader_.LoadModel(path);
+  }
+
+ private:
+  core::CrossInsightTrader trader_;
+};
+
+}  // namespace
+
+ModelFactory MakeCitModelFactory(int64_t num_assets,
+                                 const core::CrossInsightConfig& config,
+                                 std::string initial_weights_path) {
+  return [num_assets, config,
+          path = std::move(initial_weights_path)]() -> std::unique_ptr<ServedModel> {
+    auto model = std::make_unique<CitServedModel>(num_assets, config);
+    if (!path.empty() && !model->LoadWeights(path).ok()) return nullptr;
+    return model;
+  };
+}
+
+}  // namespace cit::serve

@@ -1,0 +1,29 @@
+#ifndef CIT_SERVE_CIT_MODEL_H_
+#define CIT_SERVE_CIT_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.h"
+#include "serve/server.h"
+
+namespace cit::serve {
+
+// A ModelFactory serving the cross-insight trader: each worker gets its
+// own CrossInsightTrader replica built from (num_assets, config) and, when
+// `initial_weights_path` is non-empty, loaded from that weights file
+// before the server starts accepting.
+//
+// The adapter makes serving stateless and address-safe: every Decide
+// clears the per-panel feature cache (request panels are short-lived and
+// their addresses recycle) and resets the held-action execution state, so
+// a served decision is bitwise-identical to ClearFeatureCache() + Reset()
+// + DecideWeights(panel, last_day) on a library-held trader with the same
+// weights — the equivalence the serve soak test pins down.
+ModelFactory MakeCitModelFactory(int64_t num_assets,
+                                 const core::CrossInsightConfig& config,
+                                 std::string initial_weights_path = "");
+
+}  // namespace cit::serve
+
+#endif  // CIT_SERVE_CIT_MODEL_H_

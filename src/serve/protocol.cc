@@ -1,0 +1,170 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cit::serve {
+
+namespace {
+
+// Splits on runs of spaces/tabs. The grammar says single spaces; being
+// lenient here costs nothing and keeps hand-typed client sessions working.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+// Full-token strict parses: trailing junk ("12x", "1.5e") is rejected, so
+// a corrupt line can never half-parse into a plausible number.
+bool ParseI64(std::string_view tok, int64_t* out) {
+  char buf[32];
+  if (tok.empty() || tok.size() >= sizeof(buf)) return false;
+  std::memcpy(buf, tok.data(), tok.size());
+  buf[tok.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(buf, &end, 10);
+  if (errno != 0 || end != buf + tok.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseF64(std::string_view tok, double* out) {
+  char buf[64];
+  if (tok.empty() || tok.size() >= sizeof(buf)) return false;
+  std::memcpy(buf, tok.data(), tok.size());
+  buf[tok.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + tok.size()) return false;
+  *out = v;
+  return true;
+}
+
+Request Bad(std::string code, std::string msg) {
+  Request r;
+  r.kind = Request::kBad;
+  r.error_code = std::move(code);
+  r.error = std::move(msg);
+  return r;
+}
+
+}  // namespace
+
+Request ParseRequest(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const std::vector<std::string_view> tok = Tokenize(line);
+  if (tok.empty()) return Bad("proto", "empty request");
+
+  Request r;
+  if (tok[0] == "ping") {
+    if (tok.size() != 1) return Bad("proto", "ping takes no arguments");
+    r.kind = Request::kPing;
+    return r;
+  }
+  if (tok[0] == "stats") {
+    if (tok.size() != 1) return Bad("proto", "stats takes no arguments");
+    r.kind = Request::kStats;
+    return r;
+  }
+  if (tok[0] == "swap") {
+    if (tok.size() != 2) return Bad("proto", "usage: swap <weights-path>");
+    r.kind = Request::kSwap;
+    r.path = std::string(tok[1]);
+    return r;
+  }
+  if (tok[0] == "decide") {
+    if (tok.size() < 3) {
+      return Bad("proto", "usage: decide <rows> <cols> <prices...>");
+    }
+    if (!ParseI64(tok[1], &r.rows) || !ParseI64(tok[2], &r.cols) ||
+        r.rows <= 0 || r.cols <= 0) {
+      return Bad("proto", "rows/cols must be positive integers");
+    }
+    if (r.rows > kMaxCells || r.cols > kMaxCells ||
+        r.rows * r.cols > kMaxCells) {
+      return Bad("input", "price window exceeds the cell limit");
+    }
+    const size_t cells = static_cast<size_t>(r.rows * r.cols);
+    if (tok.size() - 3 != cells) {
+      return Bad("proto", "expected " + std::to_string(cells) +
+                              " prices, got " +
+                              std::to_string(tok.size() - 3));
+    }
+    r.prices.reserve(cells);
+    for (size_t i = 3; i < tok.size(); ++i) {
+      double v;
+      if (!ParseF64(tok[i], &v)) {
+        return Bad("proto", "unparseable price token");
+      }
+      // Prices feed log-relatives and normalized windows; zero, negative,
+      // or non-finite values are invalid market data, not a server bug.
+      if (!std::isfinite(v) || v <= 0.0) {
+        return Bad("input", "prices must be finite and positive");
+      }
+      r.prices.push_back(v);
+    }
+    r.kind = Request::kDecide;
+    return r;
+  }
+  return Bad("proto", "unknown command");
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+std::string FormatDecideResponse(uint64_t generation,
+                                 const std::vector<double>& weights) {
+  std::string out = "ok ";
+  out += std::to_string(generation);
+  for (double w : weights) {
+    out.push_back(' ');
+    AppendDouble(&out, w);
+  }
+  out.push_back('\n');
+  return out;
+}
+
+std::string FormatError(std::string_view code, std::string_view msg) {
+  std::string out = "err ";
+  out += code;
+  out.push_back(' ');
+  for (char c : msg) out.push_back(c == '\n' || c == '\r' ? ' ' : c);
+  out.push_back('\n');
+  return out;
+}
+
+bool ParseDecideResponse(std::string_view line, uint64_t* generation,
+                         std::vector<double>* weights) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const std::vector<std::string_view> tok = Tokenize(line);
+  if (tok.size() < 2 || tok[0] != "ok") return false;
+  int64_t gen;
+  if (!ParseI64(tok[1], &gen) || gen < 0) return false;
+  *generation = static_cast<uint64_t>(gen);
+  weights->clear();
+  weights->reserve(tok.size() - 2);
+  for (size_t i = 2; i < tok.size(); ++i) {
+    double v;
+    if (!ParseF64(tok[i], &v)) return false;
+    weights->push_back(v);
+  }
+  return true;
+}
+
+}  // namespace cit::serve

@@ -1,0 +1,65 @@
+#ifndef CIT_SERVE_PROTOCOL_H_
+#define CIT_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Wire format of the serving daemon (see DESIGN.md §10 for the grammar).
+// The protocol is line-delimited ASCII over a local stream socket: one
+// request per '\n'-terminated line, one response line per request, in
+// order. Numbers travel as "%.17g" decimal, which round-trips IEEE-754
+// doubles exactly — the property the bitwise serve-vs-library gate rests
+// on. This header is pure parse/format (no I/O), so the adversarial
+// request matrix can exercise it without sockets.
+namespace cit::serve {
+
+// Upper bound on rows*cols of one decide request, independent of the
+// byte-length cap the server enforces: corrupt dimension fields must not
+// drive allocations.
+inline constexpr int64_t kMaxCells = int64_t{1} << 22;
+
+struct Request {
+  enum Kind {
+    kPing,    // "ping"                      -> "ok pong <gen>"
+    kStats,   // "stats"                     -> one-line registry JSON
+    kDecide,  // "decide <rows> <cols> <v>*" -> "ok <gen> <w>*"
+    kSwap,    // "swap <path>"               -> "ok swapped <gen>"
+    kBad,     // anything else               -> "err <code> <msg>"
+  };
+  Kind kind = kBad;
+  // kDecide: prices row-major [rows x cols], oldest day first.
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<double> prices;
+  // kSwap: weights-file path.
+  std::string path;
+  // kBad: machine-readable code ("proto" | "input") and human detail.
+  std::string error_code;
+  std::string error;
+};
+
+// Parses one request line (no trailing '\n'; a trailing '\r' is
+// tolerated). Never throws and never aborts: every malformed input yields
+// kind == kBad with an error code — the server answers those with an err
+// line instead of dropping the connection.
+Request ParseRequest(std::string_view line);
+
+// Appends "%.17g" (exact double round-trip) to `out`.
+void AppendDouble(std::string* out, double v);
+
+// "ok <gen> <w1> ... <wn>\n"
+std::string FormatDecideResponse(uint64_t generation,
+                                 const std::vector<double>& weights);
+// "err <code> <msg>\n" (msg newlines are replaced to keep the framing).
+std::string FormatError(std::string_view code, std::string_view msg);
+
+// Parses a decide response; returns false unless the line is a
+// well-formed "ok <gen> <w>*" (clients + tests).
+bool ParseDecideResponse(std::string_view line, uint64_t* generation,
+                         std::vector<double>* weights);
+
+}  // namespace cit::serve
+
+#endif  // CIT_SERVE_PROTOCOL_H_

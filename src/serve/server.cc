@@ -1,0 +1,490 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/telemetry.h"
+#include "serve/protocol.h"
+
+namespace cit::serve {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One client connection as seen by its worker. All I/O is non-blocking;
+// buffers carry whatever a partial read/write left behind.
+struct Conn {
+  int fd = -1;
+  std::string in;        // bytes received, not yet consumed as lines
+  std::string out;       // response bytes not yet accepted by the kernel
+  size_t out_off = 0;    // how much of `out` is already sent
+  bool read_closed = false;      // peer shut down its write side
+  bool close_after_flush = false;  // protocol violation: drain, then drop
+  short revents = 0;  // this poll round's events, stashed before any erase
+  // Forward-progress deadline: armed while a partial request or pending
+  // response exists, re-armed on every completed request / flushed byte.
+  int64_t deadline_ms = -1;
+  int64_t idle_at_ms = -1;  // drop when idle past this (-1 = never)
+
+  size_t pending_out() const { return out.size() - out_off; }
+};
+
+void CloseFd(int fd) {
+  int rc;
+  do {
+    rc = ::close(fd);
+  } while (rc != 0 && errno == EINTR);
+}
+
+}  // namespace
+
+struct Server::Impl {
+  ServerConfig config;
+  ModelFactory factory;
+
+  int listen_fd = -1;
+  std::vector<std::thread> workers;
+  std::atomic<bool> stop{false};
+  bool started = false;
+
+  // Worker start handshake: Start() returns only after every worker built
+  // its replica (factory runs on the worker thread so thread-affine state
+  // — arenas, compiled-plan ownership — pins where it will be used).
+  std::mutex start_mu;
+  std::condition_variable start_cv;
+  int workers_ready = 0;
+  int workers_failed = 0;
+
+  // Hot-swap publication: a successful "swap" validates+commits on the
+  // handling worker, then publishes the path and bumps the generation.
+  // Other workers notice the bump and reload lazily, serialized by
+  // swap_mu so two replicas never race on reading a file being replaced.
+  std::mutex swap_mu;
+  std::string swap_path;
+  std::atomic<uint64_t> generation{0};
+
+  struct Worker {
+    std::unique_ptr<ServedModel> replica;
+    uint64_t local_gen = 0;
+  };
+
+  void WorkerMain();
+  bool MaybeReload(Worker& w, std::string* error);
+  std::string HandleLine(Worker& w, std::string_view line);
+  std::string HandleDecide(Worker& w, const Request& req);
+  std::string HandleSwap(Worker& w, const Request& req);
+
+  // Drains the socket into conn.in. Returns false if the connection died
+  // (error/reset); EOF just marks read_closed.
+  bool ReadInto(Conn& conn);
+  // Pushes pending response bytes. Returns false if the peer is gone.
+  bool FlushOut(Conn& conn);
+};
+
+Server::Server(ServerConfig config, ModelFactory factory)
+    : impl_(new Impl) {
+  impl_->config = std::move(config);
+  impl_->factory = std::move(factory);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  Impl& im = *impl_;
+  if (im.started) return Status::FailedPrecondition("server already started");
+  if (im.config.workers < 1) {
+    return Status::InvalidArgument("server needs at least one worker");
+  }
+  if (!im.factory) {
+    return Status::InvalidArgument("server needs a model factory");
+  }
+
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (im.config.socket_path.empty() ||
+      im.config.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unusable socket path: \"" +
+                                   im.config.socket_path + "\"");
+  }
+  std::memcpy(addr.sun_path, im.config.socket_path.c_str(),
+              im.config.socket_path.size() + 1);
+
+  const int fd =
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  // A previous run's stale socket file would make bind fail with EADDRINUSE.
+  ::unlink(im.config.socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int e = errno;
+    CloseFd(fd);
+    return Status::IoError("bind " + im.config.socket_path + ": " +
+                           std::strerror(e));
+  }
+  if (::listen(fd, im.config.listen_backlog) != 0) {
+    const int e = errno;
+    CloseFd(fd);
+    ::unlink(im.config.socket_path.c_str());
+    return Status::IoError(std::string("listen: ") + std::strerror(e));
+  }
+  im.listen_fd = fd;
+  im.stop.store(false, std::memory_order_relaxed);
+  im.workers_ready = 0;
+  im.workers_failed = 0;
+
+  if (im.config.enable_telemetry) obs::SetEnabled(true);
+
+  im.workers.reserve(static_cast<size_t>(im.config.workers));
+  for (int i = 0; i < im.config.workers; ++i) {
+    im.workers.emplace_back([this] { impl_->WorkerMain(); });
+  }
+  {
+    std::unique_lock<std::mutex> lock(im.start_mu);
+    im.start_cv.wait(lock, [&im] {
+      return im.workers_ready + im.workers_failed == im.config.workers;
+    });
+    if (im.workers_failed > 0) {
+      lock.unlock();
+      im.started = true;  // so Stop() tears everything down
+      Stop();
+      return Status::Internal("model factory failed on a worker thread");
+    }
+  }
+  im.started = true;
+  CIT_OBS_GAUGE("serve.workers", im.config.workers);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  Impl& im = *impl_;
+  if (!im.started) return;
+  im.stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : im.workers) {
+    if (t.joinable()) t.join();
+  }
+  im.workers.clear();
+  if (im.listen_fd >= 0) {
+    CloseFd(im.listen_fd);
+    im.listen_fd = -1;
+    ::unlink(im.config.socket_path.c_str());
+  }
+  im.started = false;
+}
+
+bool Server::running() const { return impl_->started; }
+
+uint64_t Server::generation() const {
+  return impl_->generation.load(std::memory_order_acquire);
+}
+
+bool Server::Impl::ReadInto(Conn& conn) {
+  for (;;) {
+    char buf[4096];
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<size_t>(n));
+      // Keep draining; a request can span many reads.
+      continue;
+    }
+    if (n == 0) {  // orderly shutdown of the peer's write side
+      conn.read_closed = true;
+      return true;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    return false;  // ECONNRESET and friends
+  }
+}
+
+bool Server::Impl::FlushOut(Conn& conn) {
+  while (conn.pending_out() > 0) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data() + conn.out_off, conn.pending_out(),
+               MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      conn.out_off += static_cast<size_t>(n);
+      // Any flushed byte is forward progress: re-arm the stall deadline.
+      conn.deadline_ms = NowMs() + config.request_deadline_ms;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;  // EPIPE (suppressed signal), ECONNRESET, ...
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  return true;
+}
+
+bool Server::Impl::MaybeReload(Impl::Worker& w, std::string* error) {
+  if (generation.load(std::memory_order_acquire) == w.local_gen) return true;
+  std::lock_guard<std::mutex> lock(swap_mu);
+  const uint64_t gen = generation.load(std::memory_order_relaxed);
+  if (gen == w.local_gen) return true;
+  const Status s = w.replica->LoadWeights(swap_path);
+  if (!s.ok()) {
+    // The replica is unchanged (the loader is validate-then-commit); keep
+    // serving the old generation rather than handing out wrong weights.
+    CIT_OBS_COUNT("serve.reload_errors", 1);
+    *error = s.message();
+    return false;
+  }
+  w.local_gen = gen;
+  return true;
+}
+
+std::string Server::Impl::HandleDecide(Impl::Worker& w, const Request& req) {
+  CIT_OBS_COUNT("serve.decides", 1);
+  ServedModel& model = *w.replica;
+  if (req.cols != model.num_assets()) {
+    CIT_OBS_COUNT("serve.input_errors", 1);
+    return FormatError("input",
+                       "model serves " + std::to_string(model.num_assets()) +
+                           " assets, request has " + std::to_string(req.cols));
+  }
+  if (req.rows < model.min_days()) {
+    CIT_OBS_COUNT("serve.input_errors", 1);
+    return FormatError("input",
+                       "model needs >= " + std::to_string(model.min_days()) +
+                           " days, request has " + std::to_string(req.rows));
+  }
+  std::string reload_error;
+  if (!MaybeReload(w, &reload_error)) {
+    return FormatError("model", "weight reload failed: " + reload_error);
+  }
+  market::PricePanel panel(req.rows, req.cols);
+  for (int64_t d = 0; d < req.rows; ++d) {
+    for (int64_t a = 0; a < req.cols; ++a) {
+      panel.SetClose(d, a, req.prices[static_cast<size_t>(d * req.cols + a)]);
+    }
+  }
+  panel.set_train_end(req.rows);
+  Result<std::vector<double>> r = model.Decide(panel);
+  if (!r.ok()) {
+    CIT_OBS_COUNT("serve.input_errors", 1);
+    return FormatError("input", r.status().message());
+  }
+  return FormatDecideResponse(w.local_gen, r.value());
+}
+
+std::string Server::Impl::HandleSwap(Impl::Worker& w, const Request& req) {
+  std::lock_guard<std::mutex> lock(swap_mu);
+  // Validate by loading into this worker's replica; on failure nothing
+  // changed anywhere and the old generation keeps serving.
+  const Status s = w.replica->LoadWeights(req.path);
+  if (!s.ok()) {
+    CIT_OBS_COUNT("serve.swap_errors", 1);
+    return FormatError("model", "swap rejected: " + s.message());
+  }
+  swap_path = req.path;
+  const uint64_t gen =
+      generation.fetch_add(1, std::memory_order_acq_rel) + 1;
+  w.local_gen = gen;
+  CIT_OBS_COUNT("serve.swaps", 1);
+  CIT_OBS_GAUGE("serve.generation", gen);
+  return "ok swapped " + std::to_string(gen) + "\n";
+}
+
+std::string Server::Impl::HandleLine(Impl::Worker& w, std::string_view line) {
+  CIT_OBS_SPAN("serve.request_us");
+  CIT_OBS_COUNT("serve.requests", 1);
+  const Request req = ParseRequest(line);
+  switch (req.kind) {
+    case Request::kPing: {
+      std::string ignored;
+      MaybeReload(w, &ignored);  // keep ping's generation fresh
+      return "ok pong " + std::to_string(w.local_gen) + "\n";
+    }
+    case Request::kStats:
+      return obs::Registry::Global().SnapshotJson() + "\n";
+    case Request::kDecide:
+      return HandleDecide(w, req);
+    case Request::kSwap:
+      return HandleSwap(w, req);
+    case Request::kBad:
+    default:
+      CIT_OBS_COUNT(req.error_code == "input" ? "serve.input_errors"
+                                              : "serve.proto_errors",
+                    1);
+      return FormatError(req.error_code, req.error);
+  }
+}
+
+void Server::Impl::WorkerMain() {
+  Worker w;
+  w.replica = factory ? factory() : nullptr;
+  {
+    std::lock_guard<std::mutex> lock(start_mu);
+    if (w.replica == nullptr) {
+      ++workers_failed;
+    } else {
+      ++workers_ready;
+    }
+  }
+  start_cv.notify_all();
+  if (w.replica == nullptr) return;
+
+  std::vector<Conn> conns;
+  std::vector<pollfd> pfds;
+
+  auto drop = [&](size_t i, const char* counter) {
+    CIT_OBS_COUNT(counter, 1);
+    CloseFd(conns[i].fd);
+    conns.erase(conns.begin() + static_cast<ptrdiff_t>(i));
+  };
+
+  while (!stop.load(std::memory_order_relaxed)) {
+    pfds.clear();
+    pfds.push_back({listen_fd, POLLIN, 0});
+    const int64_t now = NowMs();
+    // Poll timeout: short enough to observe `stop` and the nearest
+    // per-connection deadline, long enough not to spin.
+    int64_t timeout = 50;
+    for (const Conn& c : conns) {
+      pollfd p{c.fd, 0, 0};
+      if (!c.read_closed && !c.close_after_flush) p.events |= POLLIN;
+      if (c.pending_out() > 0) p.events |= POLLOUT;
+      pfds.push_back(p);
+      for (int64_t dl : {c.deadline_ms, c.idle_at_ms}) {
+        if (dl >= 0) timeout = std::min(timeout, std::max<int64_t>(dl - now, 0));
+      }
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), static_cast<int>(timeout));
+    if (rc < 0 && errno != EINTR) break;  // poll itself failed: give up
+
+    // Stash revents on the connections now: accepting appends to `conns`
+    // and dropping erases from it, either of which would break the
+    // conns[i] <-> pfds[i+1] index correspondence.
+    for (size_t i = 1; i < pfds.size(); ++i) {
+      conns[i - 1].revents = rc > 0 ? pfds[i].revents : 0;
+    }
+
+    // Accept everything pending; every worker polls the shared listen fd
+    // and the kernel spreads wakeups across them.
+    if (rc > 0 && (pfds[0].revents & POLLIN)) {
+      for (;;) {
+        const int cfd =
+            ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (cfd < 0) {
+          if (errno == EINTR) continue;
+          break;  // EAGAIN: another worker won the race, or queue drained
+        }
+        if (config.sndbuf_bytes > 0) {
+          const int v = config.sndbuf_bytes;
+          ::setsockopt(cfd, SOL_SOCKET, SO_SNDBUF, &v, sizeof(v));
+        }
+        Conn c;
+        c.fd = cfd;
+        c.revents = POLLIN;  // probe immediately; a no-data read is cheap
+        if (config.idle_timeout_ms > 0) {
+          c.idle_at_ms = NowMs() + config.idle_timeout_ms;
+        }
+        conns.push_back(std::move(c));
+        CIT_OBS_COUNT("serve.accepts", 1);
+      }
+    }
+
+    for (size_t i = 0; i < conns.size();) {
+      Conn& c = conns[i];
+      bool alive = true;
+
+      if (c.revents & (POLLERR | POLLNVAL)) alive = false;
+      if (alive && (c.revents & (POLLIN | POLLHUP)) && !c.read_closed &&
+          !c.close_after_flush) {
+        alive = ReadInto(c);
+      }
+
+      // Consume complete lines. Handling runs inline on this worker, on
+      // this worker's replica — that is what keeps plan ownership single.
+      while (alive && !c.close_after_flush) {
+        const size_t nl = c.in.find('\n');
+        if (nl == std::string::npos) {
+          if (c.in.size() > config.max_line) {
+            CIT_OBS_COUNT("serve.oversized", 1);
+            c.out += FormatError("oversized", "request line exceeds " +
+                                                  std::to_string(config.max_line) +
+                                                  " bytes");
+            c.close_after_flush = true;
+            c.in.clear();
+          }
+          break;
+        }
+        std::string line = c.in.substr(0, nl);
+        c.in.erase(0, nl + 1);
+        if (line.size() > config.max_line) {
+          CIT_OBS_COUNT("serve.oversized", 1);
+          c.out += FormatError("oversized", "request line exceeds " +
+                                                std::to_string(config.max_line) +
+                                                " bytes");
+          c.close_after_flush = true;
+          c.in.clear();
+          break;
+        }
+        c.out += HandleLine(w, line);
+        // A completed request is forward progress.
+        c.deadline_ms = NowMs() + config.request_deadline_ms;
+      }
+
+      if (alive) alive = FlushOut(c);
+
+      if (!alive) {
+        drop(i, "serve.disconnects");
+        continue;
+      }
+      if (c.pending_out() == 0 && c.close_after_flush) {
+        drop(i, "serve.disconnects");
+        continue;
+      }
+      if (c.read_closed && c.in.empty() && c.pending_out() == 0) {
+        drop(i, "serve.disconnects");  // clean end of session
+        continue;
+      }
+
+      const int64_t t = NowMs();
+      if (!c.in.empty() || c.pending_out() > 0) {
+        // Work pending: stall deadline armed, idle clock paused.
+        if (c.deadline_ms < 0) c.deadline_ms = t + config.request_deadline_ms;
+        c.idle_at_ms = -1;
+        if (c.deadline_ms <= t) {
+          drop(i, "serve.deadline_drops");
+          continue;
+        }
+      } else {
+        c.deadline_ms = -1;
+        if (c.idle_at_ms < 0 && config.idle_timeout_ms > 0) {
+          c.idle_at_ms = t + config.idle_timeout_ms;
+        }
+        if (c.idle_at_ms >= 0 && c.idle_at_ms <= t) {
+          drop(i, "serve.idle_drops");
+          continue;
+        }
+      }
+      ++i;
+    }
+  }
+
+  for (Conn& c : conns) CloseFd(c.fd);
+}
+
+}  // namespace cit::serve

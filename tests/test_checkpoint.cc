@@ -29,6 +29,7 @@
 #include "nn/checkpoint.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
+#include "obs/telemetry.h"
 #include "rl/a2c.h"
 #include "rl/config.h"
 #include "rl/ddpg.h"
@@ -626,6 +627,48 @@ TEST(CheckpointResume, DdpgKillResumeBitwise) {
   cfg.seed = 9;
   ExpectKillResumeBitwise<rl::DdpgAgent>(panel, cfg, /*curve_points=*/4,
                                          /*checkpoint_at=*/30, "ddpg");
+}
+
+// ---- Directory durability of the atomic writer -------------------------------
+
+// Restores the obs runtime switch no matter how the test exits.
+class TelemetryEnabledScope {
+ public:
+  TelemetryEnabledScope() : prev_(obs::Enabled()) { obs::SetEnabled(true); }
+  ~TelemetryEnabledScope() { obs::SetEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+// A bad parent-directory path must surface as an error from the write
+// path, and the post-rename directory-fsync stage specifically must report
+// its own failures (it used to swallow them) and count them.
+TEST(AtomicWrite, BadParentDirectorySurfacesErrorAndCounts) {
+  TelemetryEnabledScope telemetry;
+  obs::Registry::Global().ResetAll();
+  obs::Counter& errors =
+      obs::Registry::Global().GetCounter("checkpoint.dir_fsync_errors");
+
+  const char payload[] = "x";
+  const std::string missing_dir = TempPath("no_such_ckpt_dir") + "/w.bin";
+  EXPECT_FALSE(nn::AtomicWriteFile(missing_dir, payload, 1).ok());
+
+  // The fsync stage itself: parent missing, and parent-is-a-regular-file
+  // (ENOTDIR). Both must yield IoError, not silent success.
+  const Status gone = nn::FsyncParentDir(missing_dir);
+  EXPECT_EQ(gone.code(), StatusCode::kIoError);
+  EXPECT_NE(gone.message().find("parent directory"), std::string::npos);
+  const std::string plain_file = TempPath("ckpt_fsync_plain_file");
+  WriteAll(plain_file, {0x1});
+  const Status notdir = nn::FsyncParentDir(plain_file + "/child.bin");
+  EXPECT_EQ(notdir.code(), StatusCode::kIoError);
+  EXPECT_EQ(errors.Total(), 2u);
+
+  // The happy path is unaffected and counts nothing.
+  const std::string good = TempPath("ckpt_fsync_good.bin");
+  EXPECT_TRUE(nn::AtomicWriteFile(good, payload, 1).ok());
+  EXPECT_EQ(errors.Total(), 2u);
 }
 
 }  // namespace

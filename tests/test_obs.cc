@@ -248,9 +248,50 @@ TEST(Obs, SnapshotJsonIsWellFormed) {
   const std::string json = obs::Registry::Global().SnapshotJson();
   JsonValidator v(json);
   EXPECT_TRUE(v.Valid()) << json;
+  EXPECT_NE(json.find("\"ts_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_us\""), std::string::npos);
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"gauges\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// Pulls the integer value of `"key":<digits>` out of a snapshot line;
+// fails the test if the field is missing or not a bare integer.
+uint64_t JsonU64Field(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  EXPECT_NE(at, std::string::npos) << key << " missing in " << json;
+  if (at == std::string::npos) return 0;
+  size_t i = at + needle.size();
+  uint64_t v = 0;
+  bool any = false;
+  while (i < json.size() && json[i] >= '0' && json[i] <= '9') {
+    v = v * 10 + static_cast<uint64_t>(json[i] - '0');
+    ++i;
+    any = true;
+  }
+  EXPECT_TRUE(any) << key << " is not an integer in " << json;
+  return v;
+}
+
+// Snapshots carry both clocks: ts_us from steady_clock (durations) and
+// wall_us from system_clock (cross-process correlation). wall_us must be
+// a plausible Unix-epoch stamp, and both must be monotone across two
+// snapshots taken in order.
+TEST(Obs, SnapshotStampsBothClocks) {
+  const std::string first = obs::Registry::Global().SnapshotJson();
+  const std::string second = obs::Registry::Global().SnapshotJson();
+  const uint64_t ts1 = JsonU64Field(first, "ts_us");
+  const uint64_t ts2 = JsonU64Field(second, "ts_us");
+  const uint64_t wall1 = JsonU64Field(first, "wall_us");
+  const uint64_t wall2 = JsonU64Field(second, "wall_us");
+  // 2023-11-14 in microseconds; anything smaller means the stamp is not
+  // wall time (e.g. a steady_clock value leaked into the field).
+  EXPECT_GT(wall1, uint64_t{1700000000} * 1000000) << first;
+  EXPECT_GE(ts2, ts1);
+  EXPECT_GE(wall2, wall1);
+  // And the two clocks are not the same source.
+  EXPECT_NE(wall1, ts1);
 }
 
 TEST(Obs, SnapshotJsonReportsRecordedValues) {
@@ -304,6 +345,9 @@ TEST(Obs, TelemetrySessionWritesSnapshotLines) {
     if (line.empty()) continue;
     ++lines;
     EXPECT_TRUE(JsonValidator(line).Valid()) << line;
+    // Every archived line is stamped with both clocks (schema contract).
+    EXPECT_GT(JsonU64Field(line, "wall_us"), uint64_t{1700000000} * 1000000);
+    JsonU64Field(line, "ts_us");
   }
   EXPECT_GE(lines, 3);
   EXPECT_FALSE(obs::Enabled()) << "session must restore the disabled state";

@@ -9,6 +9,7 @@
 // coexistence with taped training.
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -566,6 +567,61 @@ TEST(ArenaStats, GuardedForwardsReportHitsAndBytes) {
   EXPECT_GE(now.misses, static_cast<int64_t>(misses));
   EXPECT_GE(now.reused_bytes, static_cast<int64_t>(reused));
   EXPECT_GE(now.fresh_bytes, static_cast<int64_t>(fresh));
+}
+
+// ---- Single-owner enforcement ------------------------------------------------
+
+// The contract: a CompiledFn belongs to the first thread that runs it on
+// the compiled path (plans and stats are not synchronized), and Clear()
+// releases the pin so a new thread may adopt it — the handoff the serving
+// daemon's replica-per-worker design relies on.
+
+TEST(PlanOwner, SameThreadReuseIsFineAndClearReleasesThePin) {
+  plan::CompiledFn fn;
+  Tensor x = Tensor::Full({8}, 1.0f);
+  auto forward = [&] { return ag::Relu(ag::Var::Constant(x)); };
+  {
+    ag::NoGradGuard no_grad;
+    (void)fn.Run({&x}, forward);
+    (void)fn.Run({&x}, forward);  // same thread: replay, no complaint
+  }
+  EXPECT_EQ(fn.stats().hits, 1);
+  fn.Clear();
+  // After Clear() a different thread may adopt the (now empty) cache.
+  std::thread adopter([&] {
+    ag::NoGradGuard no_grad;
+    (void)fn.Run({&x}, forward);
+    (void)fn.Run({&x}, forward);
+  });
+  adopter.join();
+  // Clear() dropped the plans (the adopter re-recorded) but kept the
+  // lifetime stats: one replay before the handoff, one after.
+  EXPECT_EQ(fn.stats().hits, 2);
+  EXPECT_EQ(fn.stats().misses, 2);
+}
+
+TEST(PlanOwnerDeathTest, CrossThreadUseAbortsInDebugBuilds) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "single-owner enforcement is compiled out under NDEBUG";
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  plan::CompiledFn fn;
+  Tensor x = Tensor::Full({8}, 1.0f);
+  auto forward = [&] { return ag::Relu(ag::Var::Constant(x)); };
+  {
+    ag::NoGradGuard no_grad;
+    (void)fn.Run({&x}, forward);  // pins fn to this thread
+  }
+  EXPECT_DEATH(
+      {
+        std::thread second([&] {
+          ag::NoGradGuard no_grad;
+          (void)fn.Run({&x}, forward);
+        });
+        second.join();
+      },
+      "second thread");
+#endif
 }
 
 }  // namespace
