@@ -89,6 +89,12 @@ struct InferRow {
   Mode mode = Mode::kGrad;
   double seconds = 0.0;
   double steps_per_sec = 0.0;
+
+  // The pool clamps to the hardware (unless CIT_OVERSUBSCRIBE=1), so on a
+  // small host a "4-thread" arm may actually run with fewer workers. Such
+  // arms are marked instead of silently posing as multi-threaded numbers,
+  // and ratios built on them must not be gated (check.sh skips them).
+  bool clamped() const { return threads_effective < threads_requested; }
 };
 
 InferRow BenchDecide(core::CrossInsightTrader& trader,
@@ -165,10 +171,10 @@ int main(int argc, char** argv) {
         if (r.steps_per_sec > best.steps_per_sec) best = r;
       }
       rows.push_back(best);
-      std::printf("infer threads=%d (effective %d) %-8s %ss  %s steps/s\n",
+      std::printf("infer threads=%d (effective %d%s) %-8s %ss  %s steps/s\n",
                   best.threads_requested, best.threads_effective,
-                  ModeName(best.mode), Fmt(best.seconds).c_str(),
-                  Fmt(best.steps_per_sec).c_str());
+                  best.clamped() ? ", CLAMPED" : "", ModeName(best.mode),
+                  Fmt(best.seconds).c_str(), Fmt(best.steps_per_sec).c_str());
     }
   }
   ThreadPool::Global().SetNumThreads(1);
@@ -185,6 +191,14 @@ int main(int argc, char** argv) {
   const double nograd_4t = rows[4].steps_per_sec / rows[3].steps_per_sec;
   const double compiled_1t = rows[2].steps_per_sec / rows[1].steps_per_sec;
   const double compiled_4t = rows[5].steps_per_sec / rows[4].steps_per_sec;
+  const bool clamped_4t = rows[3].clamped() || rows[4].clamped() ||
+                          rows[5].clamped();
+  if (clamped_4t) {
+    std::printf("warning: the %d-thread arms ran with %d effective "
+                "thread(s) on this host; their ratios are marked clamped "
+                "and are not comparable across hosts\n",
+                rows[3].threads_requested, rows[3].threads_effective);
+  }
   std::printf("nograd speedup:   %sx at 1 thread, %sx at %d threads\n",
               Fmt(nograd_1t).c_str(), Fmt(nograd_4t).c_str(),
               rows[3].threads_requested);
@@ -211,6 +225,7 @@ int main(int argc, char** argv) {
     const InferRow& r = rows[i];
     js << "    {\"threads\": " << r.threads_requested
        << ", \"threads_effective\": " << r.threads_effective
+       << ", \"clamped\": " << (r.clamped() ? "true" : "false")
        << ", \"mode\": \"" << ModeName(r.mode) << "\""
        << ", \"seconds\": " << Fmt(r.seconds)
        << ", \"steps_per_sec\": " << Fmt(r.steps_per_sec) << "}"
@@ -221,6 +236,8 @@ int main(int argc, char** argv) {
   js << "  \"nograd_speedup_4t\": " << Fmt(nograd_4t) << ",\n";
   js << "  \"compiled_speedup\": " << Fmt(compiled_1t) << ",\n";
   js << "  \"compiled_speedup_4t\": " << Fmt(compiled_4t) << ",\n";
+  js << "  \"speedup_4t_clamped\": " << (clamped_4t ? "true" : "false")
+     << ",\n";
   js << "  \"plan\": {\"hits\": " << plan_hits
      << ", \"misses\": " << plan_misses
      << ", \"fused_ops\": " << plan_fused << "},\n";
@@ -232,7 +249,9 @@ int main(int argc, char** argv) {
         "recorded ExecPlans (the default). nograd_speedup is the 1-thread "
         "nograd/grad steps-per-sec ratio (check.sh gates >= 1.5); "
         "compiled_speedup is the 1-thread compiled/nograd ratio (check.sh "
-        "gates >= 1.25).\"\n";
+        "gates >= 1.25). Arms whose pool was clamped below the requested "
+        "thread count carry clamped=true; their _4t ratios "
+        "(speedup_4t_clamped) are informational only, never gated.\"\n";
   js << "}\n";
 
   std::ofstream out(out_path);

@@ -47,7 +47,16 @@ void Usage(const char* argv0) {
                "  --idle-timeout-ms N  idle connection drop, 0 = never"
                " (default 30000)\n"
                "  --max-line N         request line byte cap"
-               " (default 1048576)\n",
+               " (default 1048576)\n"
+               "  --batch-window-us N  how long a partial batch of decide\n"
+               "                       requests may wait for more arrivals;"
+               " a lone\n"
+               "                       request never waits (default 0:"
+               " coalesce only\n"
+               "                       requests already pending together)\n"
+               "  --max-batch N        decide requests per batched forward;"
+               " 1\n"
+               "                       disables batching (default 8)\n",
                argv0);
 }
 
@@ -101,6 +110,12 @@ int main(int argc, char** argv) {
       ++i;
     } else if (flag == "--max-line" && val && ParseInt(val, &n)) {
       scfg.max_line = static_cast<size_t>(n);
+      ++i;
+    } else if (flag == "--batch-window-us" && val && ParseInt(val, &n)) {
+      scfg.batch_window_us = n;
+      ++i;
+    } else if (flag == "--max-batch" && val && ParseInt(val, &n)) {
+      scfg.max_batch = static_cast<int>(n);
       ++i;
     } else {
       Usage(argv[0]);

@@ -53,6 +53,25 @@ Var HorizonActor::Forward(const Tensor& band_window, const Tensor& prev,
                        score_bound_);
 }
 
+Var HorizonActor::ForwardBatch(int64_t batch, const Tensor& band_windows,
+                               const Tensor& prev) const {
+  CIT_CHECK_EQ(prev.numel(), batch * num_assets_);
+  Var features = backbone_.ForwardBatch(batch, Var::Constant(band_windows));
+  // Same per-asset state rows as Forward, tiled across the batch: the
+  // one-hot ID block repeats per request, so every row matches the row the
+  // unbatched forward would build for that request.
+  Tensor id_rows({batch * num_assets_, num_policies_});
+  for (int64_t i = 0; i < batch * num_assets_; ++i) {
+    id_rows.At({i, policy_id_}) = 1.0f;
+  }
+  Var state = ag::Concat(
+      {features, Var::Constant(prev), Var::Constant(id_rows)},
+      /*axis=*/1);
+  Var scores = ag::Reshape(head_.Forward(state), {batch * num_assets_});
+  return ag::MulScalar(ag::Tanh(ag::MulScalar(scores, 1.0f / score_bound_)),
+                       score_bound_);
+}
+
 void HorizonActor::CollectParameters(
     const std::string& prefix, std::vector<nn::NamedParam>* out) const {
   backbone_.CollectParameters(prefix + "backbone.", out);
@@ -92,6 +111,29 @@ Var CrossInsightActor::Forward(const Tensor& market_window,
     state = ag::Concat({features, pre_rows}, /*axis=*/1);
   }
   Var scores = ag::Reshape(head_.Forward(state), {num_assets_});
+  return ag::MulScalar(ag::Tanh(ag::MulScalar(scores, 1.0f / score_bound_)),
+                       score_bound_);
+}
+
+Var CrossInsightActor::ForwardBatch(int64_t batch,
+                                    const Tensor& market_windows,
+                                    const Tensor& pre_decisions) const {
+  CIT_CHECK_EQ(pre_decisions.numel(), batch * num_policies_ * num_assets_);
+  Var features = backbone_.ForwardBatch(batch, Var::Constant(market_windows));
+  Var state = features;
+  if (num_policies_ > 0) {
+    // Per-request [n*m] -> [m, n] (the Forward reshape+transpose), batched
+    // as one permute: [B, n, m] -> [B, m, n] -> rows [B*m, n]. Pure data
+    // movement, so each request block carries exactly the values its
+    // unbatched transpose would.
+    Var pre_rows = ag::Reshape(
+        ag::Permute(ag::Reshape(Var::Constant(pre_decisions),
+                                {batch, num_policies_, num_assets_}),
+                    {0, 2, 1}),
+        {batch * num_assets_, num_policies_});
+    state = ag::Concat({features, pre_rows}, /*axis=*/1);
+  }
+  Var scores = ag::Reshape(head_.Forward(state), {batch * num_assets_});
   return ag::MulScalar(ag::Tanh(ag::MulScalar(scores, 1.0f / score_bound_)),
                        score_bound_);
 }

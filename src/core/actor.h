@@ -35,6 +35,14 @@ class HorizonActor : public nn::Module {
   Var Forward(const Tensor& band_window, const Tensor& prev,
               Var* attention_out = nullptr) const;
 
+  // Batched serving entry point: `band_windows` stacks `batch` requests'
+  // band windows along axis 0 ([batch * m, 1, z]), `prev` their previous
+  // actions ([batch * m, 1]). Returns the stacked Gaussian means
+  // ([batch * m]); row block b is bitwise identical to Forward on request
+  // b's own window and action.
+  Var ForwardBatch(int64_t batch, const Tensor& band_windows,
+                   const Tensor& prev) const;
+
   const Var& log_std() const { return log_std_; }
   int64_t policy_id() const { return policy_id_; }
 
@@ -64,6 +72,13 @@ class CrossInsightActor : public nn::Module {
   // ([n*m]; empty when num_policies == 0, the A2C degenerate mode).
   Var Forward(const Tensor& market_window,
               const Tensor& pre_decisions) const;
+
+  // Batched serving entry point: axis-0-stacked market windows
+  // ([batch * m, 1, z]) and back-to-back per-request pre-decision blocks
+  // ([batch * n * m]). Returns stacked final means ([batch * m]), each row
+  // block bitwise identical to Forward on that request alone.
+  Var ForwardBatch(int64_t batch, const Tensor& market_windows,
+                   const Tensor& pre_decisions) const;
 
   const Var& log_std() const { return log_std_; }
 

@@ -96,6 +96,46 @@ Var ActorBackbone::Forward(const Var& x, Var* attention_out) const {
   return Var();
 }
 
+Var ActorBackbone::ForwardBatch(int64_t batch, const Var& x) const {
+  if (batch == 1) return Forward(x);
+  CIT_OBS_SPAN("backbone.forward");
+  CIT_OBS_COUNT("backbone.forward_calls", 1);
+  CIT_CHECK_EQ(x.value().ndim(), 3);
+  CIT_CHECK_EQ(x.value().dim(0), batch * num_assets_);
+  CIT_CHECK_EQ(x.value().dim(2), window_);
+  switch (kind_) {
+    case BackboneKind::kTcnAttention:
+    case BackboneKind::kGruAttention: {
+      // Conv taps and GRU steps read one axis-0 row at a time, so the
+      // stacked encode is row-for-row the same arithmetic as per-request
+      // encodes — one kernel launch instead of `batch`.
+      Var h = kind_ == BackboneKind::kTcnAttention
+                  ? tcn_->Forward(x)
+                  : gru_->ForwardSequence(x);           // [B*m, f, z]
+      std::vector<Var> blocks;
+      blocks.reserve(static_cast<size_t>(batch));
+      for (int64_t b = 0; b < batch; ++b) {
+        Var hb = ag::Slice(h, /*axis=*/0, b * num_assets_, num_assets_);
+        blocks.push_back(attention_->Forward(hb));
+      }
+      Var mixed = ag::Concat(blocks, /*axis=*/0);       // [B*m, f, z]
+      return ag::Reshape(ag::Slice(mixed, /*axis=*/2, window_ - 1, 1),
+                         {batch * num_assets_, feature_dim_});
+    }
+    case BackboneKind::kGru:
+      return gru_->ForwardLast(x);                      // [B*m, f]
+    case BackboneKind::kMlp: {
+      // The MLP flattens per request, so the batch maps onto the Linear
+      // batch dimension directly.
+      Var flat = ag::Reshape(x, {batch, num_assets_ * window_});
+      Var h = mlp_->Forward(flat);                      // [B, m*f]
+      return ag::Reshape(h, {batch * num_assets_, feature_dim_});
+    }
+  }
+  CIT_CHECK(false);
+  return Var();
+}
+
 void ActorBackbone::CollectParameters(
     const std::string& prefix, std::vector<nn::NamedParam>* out) const {
   if (tcn_) tcn_->CollectParameters(prefix + "tcn.", out);

@@ -33,6 +33,15 @@ class ActorBackbone : public nn::Module {
   // receives the [m, m] attention matrix.
   Var Forward(const Var& x, Var* attention_out = nullptr) const;
 
+  // Batched variant for serving: x stacks `batch` independent request
+  // windows along axis 0 ([batch * num_assets, 1, window]) and the result
+  // stacks their feature rows the same way ([batch * num_assets, f]). The
+  // temporal encoders are per-row, so they run once over the whole stack;
+  // spatial attention mixes across the asset axis, so it runs per request
+  // block (contiguous axis-0 slices — O(1) views). Every output row is
+  // bitwise identical to Forward on that request's own window.
+  Var ForwardBatch(int64_t batch, const Var& x) const;
+
   int64_t feature_dim() const { return feature_dim_; }
   BackboneKind kind() const { return kind_; }
 

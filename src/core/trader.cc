@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <mutex>
 #include <shared_mutex>
 
@@ -89,6 +90,13 @@ CrossInsightTrader::CrossInsightTrader(int64_t num_assets,
       std::move(critic_params), static_cast<float>(config_.lr), 0.9f,
       0.999f, 1e-8f, static_cast<float>(config_.weight_decay));
   actor_plans_ = std::vector<plan::CompiledFn>(config_.num_policies);
+  actor_batch_plans_ = std::vector<plan::CompiledFn>(config_.num_policies);
+  // The batch caches see one shape key per live batch size (1..max_batch,
+  // typically), per policy — widen them so mixed batch sizes don't churn
+  // hot plans through the default 8 slots.
+  constexpr int64_t kBatchPlanCapacity = 32;
+  for (auto& p : actor_batch_plans_) p.SetCapacity(kBatchPlanCapacity);
+  cross_batch_plan_.SetCapacity(kBatchPlanCapacity);
   Reset();
 }
 
@@ -188,6 +196,78 @@ std::vector<double> CrossInsightTrader::DecideWeights(
       n > 0 ? cross_plan_.Run({&f.market, &pre_dec}, cross_forward)
             : cross_plan_.Run({&f.market}, cross_forward);
   return SoftmaxWeights(cross_mean);
+}
+
+std::vector<std::vector<double>> CrossInsightTrader::DecideWeightsBatch(
+    const std::vector<const market::PricePanel*>& panels) {
+  const int64_t batch = static_cast<int64_t>(panels.size());
+  std::vector<std::vector<double>> out(batch);
+  if (batch == 0) return out;
+  ag::NoGradGuard no_grad;
+  const int64_t m = num_assets_;
+  const int64_t n = config_.num_policies;
+  const int64_t z = config_.window;
+  // Request panels are short-lived (the daemon builds one per request), so
+  // the address-keyed FeaturesAt cache is skipped on purpose.
+  std::vector<DayFeatures> feats;
+  feats.reserve(static_cast<size_t>(batch));
+  for (const market::PricePanel* p : panels) {
+    feats.push_back(ComputeFeatures(*p, p->num_days() - 1));
+  }
+  auto stack_windows = [&](auto&& window_of) {
+    Tensor stacked({batch * m, 1, z});
+    for (int64_t b = 0; b < batch; ++b) {
+      std::memcpy(stacked.data() + b * m * z, window_of(b).data(),
+                  static_cast<size_t>(m * z) * sizeof(float));
+    }
+    return stacked;
+  };
+  // Uniform previous actions, as Reset() hands DecideWeights: the serving
+  // contract is one stateless decision per request.
+  Tensor prev_stack({batch * m, 1});
+  const float uniform = static_cast<float>(1.0 / static_cast<double>(m));
+  for (int64_t i = 0; i < batch * m; ++i) prev_stack[i] = uniform;
+
+  // pre[b][k] — each policy's pre-decision weights per request.
+  std::vector<std::vector<std::vector<double>>> pre(
+      static_cast<size_t>(batch));
+  for (int64_t k = 0; k < n; ++k) {
+    Tensor band_stack =
+        stack_windows([&](int64_t b) -> const Tensor& {
+          return feats[b].bands[k];
+        });
+    Tensor mean = actor_batch_plans_[k].Run(
+        {&band_stack, &prev_stack}, [&] {
+          return actors_[k]->ForwardBatch(batch, band_stack, prev_stack);
+        });
+    for (int64_t b = 0; b < batch; ++b) {
+      pre[b].push_back(rl::SoftmaxWeightsRange(mean, b * m, m));
+    }
+  }
+  // Back-to-back per-request [n*m] blocks, each laid out exactly like
+  // ConcatWeights builds the single-request pre-decision tensor.
+  Tensor pre_stack = n > 0 ? Tensor({batch * n * m}) : Tensor({0});
+  for (int64_t b = 0; b < batch; ++b) {
+    int64_t pos = b * n * m;
+    for (int64_t k = 0; k < n; ++k) {
+      for (double v : pre[b][static_cast<size_t>(k)]) {
+        pre_stack[pos++] = static_cast<float>(v);
+      }
+    }
+  }
+  Tensor market_stack = stack_windows(
+      [&](int64_t b) -> const Tensor& { return feats[b].market; });
+  auto cross_forward = [&] {
+    return cross_actor_->ForwardBatch(batch, market_stack, pre_stack);
+  };
+  Tensor cross_mean =
+      n > 0
+          ? cross_batch_plan_.Run({&market_stack, &pre_stack}, cross_forward)
+          : cross_batch_plan_.Run({&market_stack}, cross_forward);
+  for (int64_t b = 0; b < batch; ++b) {
+    out[b] = rl::SoftmaxWeightsRange(cross_mean, b * m, m);
+  }
+  return out;
 }
 
 namespace {

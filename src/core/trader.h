@@ -41,6 +41,18 @@ class CrossInsightTrader : public env::TradingAgent {
   std::vector<double> DecideWeights(const market::PricePanel& panel,
                                     int64_t day) override;
 
+  // Stateless batched decision for the serving path: decides every panel
+  // at its own last day with uniform previous actions — exactly the
+  // semantics of Reset() + DecideWeights(panel, num_days() - 1) per panel
+  // — through one axis-0-stacked forward per policy, so N concurrent
+  // requests pay one plan replay each instead of N. Each returned weight
+  // vector is bitwise identical to the corresponding single-panel call.
+  // Bypasses the address-keyed feature cache and mutates no execution
+  // state (held actions, feature cache); it does drive its own
+  // CompiledFn caches, so the single-owner thread contract still applies.
+  std::vector<std::vector<double>> DecideWeightsBatch(
+      const std::vector<const market::PricePanel*>& panels);
+
   // Drops the per-day feature cache. The cache invalidates by panel
   // *address* (identity, not content), which is sound for the long-lived
   // panels training and backtests use — but a caller that feeds many
@@ -131,6 +143,14 @@ class CrossInsightTrader : public env::TradingAgent {
   // snapshots), so training between backtests just re-records.
   std::vector<plan::CompiledFn> actor_plans_;
   plan::CompiledFn cross_plan_;
+
+  // Separate compiled caches for the batched serving path: batch size is
+  // part of the input-shape key, so a serving mix of batch sizes would
+  // thrash the 8-entry single-request caches above. These get a widened
+  // capacity (one live key per batch size per policy) and keep the
+  // single-request plans untouched.
+  std::vector<plan::CompiledFn> actor_batch_plans_;
+  plan::CompiledFn cross_batch_plan_;
 
   // In-flight training progress; checkpointed and restored on resume.
   rl::TrainProgress progress_;

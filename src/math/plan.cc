@@ -359,6 +359,32 @@ struct CompiledFn::Impl {
   std::vector<Entry> entries;
   PlanStats stats;
   uint64_t tick = 0;
+  int64_t capacity = kMaxEntries;
+
+  // Shape keys the LRU has dropped, so a later miss on the same key can be
+  // attributed to the eviction (plan.misses_evicted — the thrash signal)
+  // rather than a genuinely new shape (plan.misses_cold). Bounded ring:
+  // remembering more keys than this only sharpens attribution of ancient
+  // evictions, which is not worth unbounded growth.
+  static constexpr size_t kMaxEvictedKeys = 64;
+  std::vector<std::vector<Shape>> evicted_keys;
+
+  void RememberEvicted(std::vector<Shape> key) {
+    for (std::vector<Shape>& k : evicted_keys) {
+      if (k == key) return;  // already remembered
+    }
+    if (evicted_keys.size() >= kMaxEvictedKeys) {
+      evicted_keys.erase(evicted_keys.begin());
+    }
+    evicted_keys.push_back(std::move(key));
+  }
+
+  bool WasEvicted(const std::vector<Shape>& key) const {
+    for (const std::vector<Shape>& k : evicted_keys) {
+      if (k == key) return true;
+    }
+    return false;
+  }
 
   // Single-owner enforcement (debug builds): the first compiled-path Run
   // pins this CompiledFn to its calling thread; a default-constructed id
@@ -518,7 +544,12 @@ const PlanStats& CompiledFn::stats() const {
 
 void CompiledFn::Clear() {
   impl_->entries.clear();
+  impl_->evicted_keys.clear();
   impl_->owner.store(std::thread::id(), std::memory_order_relaxed);
+}
+
+void CompiledFn::SetCapacity(int64_t capacity) {
+  impl_->capacity = capacity < 1 ? 1 : capacity;
 }
 
 Tensor CompiledFn::Run(std::initializer_list<const Tensor*> inputs,
@@ -551,13 +582,14 @@ Tensor CompiledFn::Run(std::initializer_list<const Tensor*> inputs,
       }
     }
   } else {
-    if (im.entries.size() >= static_cast<size_t>(kMaxEntries)) {
+    while (im.entries.size() >= static_cast<size_t>(im.capacity)) {
       size_t victim = 0;
       for (size_t i = 1; i < im.entries.size(); ++i) {
         if (im.entries[i].last_used < im.entries[victim].last_used) {
           victim = i;
         }
       }
+      im.RememberEvicted(std::move(im.entries[victim].key));
       im.entries.erase(im.entries.begin() +
                        static_cast<ptrdiff_t>(victim));
       ++im.stats.evictions;
@@ -567,6 +599,17 @@ Tensor CompiledFn::Run(std::initializer_list<const Tensor*> inputs,
     e = &im.entries.back();
     for (const Tensor* t : inputs) e->key.push_back(t->shape());
     e->last_used = im.tick;
+    // Attribute the recording: a key the LRU previously dropped is a
+    // re-record forced by capacity (thrash), anything else a cold compile.
+    // In-place re-records after a parameter invalidation take the branch
+    // above and bump only the `misses` total.
+    if (im.WasEvicted(e->key)) {
+      ++im.stats.misses_evicted;
+      CIT_OBS_COUNT("plan.misses_evicted", 1);
+    } else {
+      ++im.stats.misses_cold;
+      CIT_OBS_COUNT("plan.misses_cold", 1);
+    }
   }
   ++im.stats.misses;
   CIT_OBS_COUNT("plan.misses", 1);

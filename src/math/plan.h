@@ -72,6 +72,15 @@ void RecordAlias(const Tensor& out, const ag::Var& src);
 struct PlanStats {
   int64_t hits = 0;           // replays served from a valid plan
   int64_t misses = 0;         // recordings (first run per shape key)
+  // Split of `misses` by cause, so shape churn is observable: a cold miss
+  // records a shape key this CompiledFn has never seen; an evicted miss
+  // re-records a key the LRU previously dropped — a string of those means
+  // the working set of shapes exceeds the capacity (thrash). Re-records in
+  // place after a parameter-version invalidation count in `misses` (and
+  // `invalidations`) but in neither split bucket, so
+  //   misses == misses_cold + misses_evicted + invalidation re-records.
+  int64_t misses_cold = 0;
+  int64_t misses_evicted = 0;
   int64_t invalidations = 0;  // replays refused on a stale parameter version
   int64_t evictions = 0;      // LRU entries dropped at capacity
   int64_t fused_ops = 0;      // elementwise ops folded into a predecessor
@@ -123,6 +132,13 @@ class CompiledFn {
   // LRU capacity per CompiledFn. Small on purpose: an agent sees one or two
   // live shape keys; the cap exists to bound a shape-churning caller.
   static constexpr int kMaxEntries = 8;
+
+  // Overrides the LRU capacity for this instance (clamped to >= 1; cached
+  // entries beyond the new capacity are evicted lazily on the next miss).
+  // Callers with a legitimately wide shape working set — the serving
+  // batcher sees one key per live batch size per policy — raise this so
+  // hot plans are not churned through the default 8 slots.
+  void SetCapacity(int64_t capacity);
 
  private:
   struct Impl;

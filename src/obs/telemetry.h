@@ -278,6 +278,13 @@ class TelemetrySession {
         ::cit::obs::Registry::Global().GetGauge(name);                    \
     cit_obs_g.Set(static_cast<double>(value));                            \
   } while (0)
+// Records one sample into histogram `name` (no timing, no trace event).
+#define CIT_OBS_HIST(name, value)                                         \
+  do {                                                                    \
+    static ::cit::obs::Histogram& cit_obs_hm =                            \
+        ::cit::obs::Registry::Global().GetHistogram(name);                \
+    cit_obs_hm.Record(static_cast<uint64_t>(value));                      \
+  } while (0)
 // Times the enclosing scope into histogram `name` (+ trace event).
 #define CIT_OBS_SPAN(name)                                                \
   static ::cit::obs::Histogram& CIT_OBS_CAT_(cit_obs_h_, __LINE__) =      \
@@ -289,6 +296,7 @@ class TelemetrySession {
 #else
 #define CIT_OBS_COUNT(name, delta) ((void)0)
 #define CIT_OBS_GAUGE(name, value) ((void)0)
+#define CIT_OBS_HIST(name, value) ((void)0)
 #define CIT_OBS_SPAN(name) ((void)0)
 #endif
 

@@ -45,18 +45,22 @@ Var GaussianEntropy(const Var& log_std) {
                        (0.5f + kHalfLog2Pi) * static_cast<float>(m));
 }
 
-std::vector<double> SoftmaxWeights(const Tensor& raw) {
-  const int64_t m = raw.numel();
-  std::vector<double> w(m);
-  double mx = raw[0];
-  for (int64_t i = 1; i < m; ++i) mx = std::max<double>(mx, raw[i]);
+std::vector<double> SoftmaxWeightsRange(const Tensor& raw, int64_t begin,
+                                        int64_t len) {
+  std::vector<double> w(len);
+  double mx = raw[begin];
+  for (int64_t i = 1; i < len; ++i) mx = std::max<double>(mx, raw[begin + i]);
   double total = 0.0;
-  for (int64_t i = 0; i < m; ++i) {
-    w[i] = std::exp(static_cast<double>(raw[i]) - mx);
+  for (int64_t i = 0; i < len; ++i) {
+    w[i] = std::exp(static_cast<double>(raw[begin + i]) - mx);
     total += w[i];
   }
   for (double& v : w) v /= total;
   return w;
+}
+
+std::vector<double> SoftmaxWeights(const Tensor& raw) {
+  return SoftmaxWeightsRange(raw, 0, raw.numel());
 }
 
 GaussianAction SampleGaussianSimplex(const Var& mean, const Var& log_std,

@@ -38,6 +38,13 @@ GaussianAction SampleGaussianSimplex(const Var& mean, const Var& log_std,
 // for action execution).
 std::vector<double> SoftmaxWeights(const Tensor& raw);
 
+// Softmax over the flat element range [begin, begin + len) of `raw`, with
+// arithmetic identical to SoftmaxWeights (which delegates here), so a
+// per-request block of a batch-stacked score tensor projects to bitwise
+// the same weights as that request's standalone score vector.
+std::vector<double> SoftmaxWeightsRange(const Tensor& raw, int64_t begin,
+                                        int64_t len);
+
 }  // namespace cit::rl
 
 #endif  // CIT_RL_GAUSSIAN_POLICY_H_

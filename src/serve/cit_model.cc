@@ -30,6 +30,20 @@ class CitServedModel : public ServedModel {
     return trader_.DecideWeights(panel, panel.num_days() - 1);
   }
 
+  std::vector<Result<std::vector<double>>> DecideBatch(
+      const std::vector<const market::PricePanel*>& panels) override {
+    // DecideWeightsBatch is stateless by construction (uniform previous
+    // actions, feature cache bypassed), so no ClearFeatureCache/Reset
+    // dance is needed; each returned vector is bitwise identical to
+    // Decide on that panel alone.
+    std::vector<std::vector<double>> weights =
+        trader_.DecideWeightsBatch(panels);
+    std::vector<Result<std::vector<double>>> out;
+    out.reserve(weights.size());
+    for (std::vector<double>& w : weights) out.push_back(std::move(w));
+    return out;
+  }
+
   Status LoadWeights(const std::string& path) override {
     return trader_.LoadModel(path);
   }

@@ -1,6 +1,7 @@
 #include "serve/protocol.h"
 
 #include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -40,17 +41,46 @@ bool ParseI64(std::string_view tok, int64_t* out) {
   return true;
 }
 
+// Strict double parse. The wire grammar's numbers are the plain
+// decimal/scientific spellings "%.17g" emits (plus an optional explicit
+// sign) — not the full C float grammar: strtod is locale-dependent (a
+// comma-decimal locale truncates "1.5" at the dot) and also accepts hex
+// floats and "inf"/"nan"/"infinity" spellings the protocol never
+// intended. So: a character pre-scan pins the accepted alphabet, then
+// locale-independent std::from_chars must consume the whole token. Values
+// outside double range ("1e309") are rejected outright.
 bool ParseF64(std::string_view tok, double* out) {
+  if (tok.empty() || tok.size() >= 64) return false;
+  if (tok[0] == '+') tok.remove_prefix(1);  // one explicit plus is fine
+  // A second sign ("++1") is malformed; from_chars rejects a leading '+'
+  // itself but the strtod fallback would not, so pin it here for both.
+  if (tok.empty() || tok[0] == '+') return false;
+  for (const char ch : tok) {
+    const bool allowed = (ch >= '0' && ch <= '9') || ch == '.' ||
+                         ch == 'e' || ch == 'E' || ch == '+' || ch == '-';
+    if (!allowed) return false;  // letters (inf/nan/hex), commas, ...
+  }
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  const std::from_chars_result r =
+      std::from_chars(tok.data(), tok.data() + tok.size(), *out);
+  return r.ec == std::errc() && r.ptr == tok.data() + tok.size();
+#else
+  // Fallback for standard libraries without floating-point from_chars.
+  // strtod's extra spellings (hex, inf/nan, locale decimal separators
+  // other than '.') are all excluded by the pre-scan above, so a
+  // full-token strtod over this alphabet parses exactly the intended
+  // grammar (modulo a comma-decimal locale rejecting '.', which no
+  // daemon deployment sets — the daemon never calls setlocale).
   char buf[64];
-  if (tok.empty() || tok.size() >= sizeof(buf)) return false;
   std::memcpy(buf, tok.data(), tok.size());
   buf[tok.size()] = '\0';
   char* end = nullptr;
   errno = 0;
   const double v = std::strtod(buf, &end);
-  if (end != buf + tok.size()) return false;
+  if (errno != 0 || end != buf + tok.size()) return false;
   *out = v;
   return true;
+#endif
 }
 
 Request Bad(std::string code, std::string msg) {

@@ -12,9 +12,11 @@
 #include <cstddef>
 #include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "obs/telemetry.h"
 #include "serve/protocol.h"
@@ -29,23 +31,59 @@ int64_t NowMs() {
       .count();
 }
 
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 // One client connection as seen by its worker. All I/O is non-blocking;
 // buffers carry whatever a partial read/write left behind.
 struct Conn {
   int fd = -1;
+  uint64_t id = 0;  // worker-local, never reused; keys queued batch items
   std::string in;        // bytes received, not yet consumed as lines
   std::string out;       // response bytes not yet accepted by the kernel
   size_t out_off = 0;    // how much of `out` is already sent
   bool read_closed = false;      // peer shut down its write side
   bool close_after_flush = false;  // protocol violation: drain, then drop
+  bool io_dead = false;  // this round's read detected a dead peer
   short revents = 0;  // this poll round's events, stashed before any erase
   // Forward-progress deadline: armed while a partial request or pending
   // response exists, re-armed on every completed request / flushed byte.
   int64_t deadline_ms = -1;
   int64_t idle_at_ms = -1;  // drop when idle past this (-1 = never)
 
+  // Per-connection response ordering across the batch queue: every request
+  // answered out of line (a batched decide) claims a slot here in request
+  // order; inline replies arriving while a slot is pending queue behind it
+  // instead of overtaking. Slots drain front-to-back into `out` once ready.
+  struct Slot {
+    bool ready = false;
+    std::string text;
+  };
+  std::deque<Slot> slots;
+
   size_t pending_out() const { return out.size() - out_off; }
 };
+
+// Appends a response in per-connection request order: directly to the
+// socket buffer when nothing is pending, behind the pending slots when a
+// batched decide is still in flight.
+void Respond(Conn& c, std::string text) {
+  if (c.slots.empty()) {
+    c.out += text;
+  } else {
+    c.slots.push_back(Conn::Slot{true, std::move(text)});
+  }
+}
+
+void DrainReadySlots(Conn& c) {
+  while (!c.slots.empty() && c.slots.front().ready) {
+    c.out += c.slots.front().text;
+    c.slots.pop_front();
+  }
+}
 
 void CloseFd(int fd) {
   int rc;
@@ -86,11 +124,25 @@ struct Server::Impl {
     uint64_t local_gen = 0;
   };
 
+  // One decide request parked on the worker's batch queue, keyed back to
+  // its connection by id (ids are never reused, so a connection dropped
+  // while its request is queued just discards the response).
+  struct PendingDecide {
+    uint64_t conn_id;
+    market::PricePanel panel;
+  };
+  struct BatchState {
+    std::deque<PendingDecide> queue;
+    int64_t deadline_us = -1;  // flush-by time for the oldest queued item
+  };
+
   void WorkerMain();
   bool MaybeReload(Worker& w, std::string* error);
-  std::string HandleLine(Worker& w, std::string_view line);
-  std::string HandleDecide(Worker& w, const Request& req);
+  void HandleLine(Worker& w, Conn& c, std::string_view line, BatchState& bs);
+  void HandleDecide(Worker& w, Conn& c, const Request& req, BatchState& bs);
   std::string HandleSwap(Worker& w, const Request& req);
+  void FlushBatches(Worker& w, std::vector<Conn>& conns, BatchState& bs);
+  void ExecuteBatch(Worker& w, std::vector<Conn>& conns, BatchState& bs);
 
   // Drains the socket into conn.in. Returns false if the connection died
   // (error/reset); EOF just marks read_closed.
@@ -113,6 +165,8 @@ Status Server::Start() {
   if (im.config.workers < 1) {
     return Status::InvalidArgument("server needs at least one worker");
   }
+  im.config.max_batch = std::max(im.config.max_batch, 1);
+  im.config.batch_window_us = std::max<int64_t>(im.config.batch_window_us, 0);
   if (!im.factory) {
     return Status::InvalidArgument("server needs a model factory");
   }
@@ -254,24 +308,25 @@ bool Server::Impl::MaybeReload(Impl::Worker& w, std::string* error) {
   return true;
 }
 
-std::string Server::Impl::HandleDecide(Impl::Worker& w, const Request& req) {
+void Server::Impl::HandleDecide(Impl::Worker& w, Conn& c, const Request& req,
+                                BatchState& bs) {
   CIT_OBS_COUNT("serve.decides", 1);
   ServedModel& model = *w.replica;
   if (req.cols != model.num_assets()) {
     CIT_OBS_COUNT("serve.input_errors", 1);
-    return FormatError("input",
-                       "model serves " + std::to_string(model.num_assets()) +
-                           " assets, request has " + std::to_string(req.cols));
+    Respond(c, FormatError("input", "model serves " +
+                                        std::to_string(model.num_assets()) +
+                                        " assets, request has " +
+                                        std::to_string(req.cols)));
+    return;
   }
   if (req.rows < model.min_days()) {
     CIT_OBS_COUNT("serve.input_errors", 1);
-    return FormatError("input",
-                       "model needs >= " + std::to_string(model.min_days()) +
-                           " days, request has " + std::to_string(req.rows));
-  }
-  std::string reload_error;
-  if (!MaybeReload(w, &reload_error)) {
-    return FormatError("model", "weight reload failed: " + reload_error);
+    Respond(c, FormatError("input", "model needs >= " +
+                                        std::to_string(model.min_days()) +
+                                        " days, request has " +
+                                        std::to_string(req.rows)));
+    return;
   }
   market::PricePanel panel(req.rows, req.cols);
   for (int64_t d = 0; d < req.rows; ++d) {
@@ -280,12 +335,97 @@ std::string Server::Impl::HandleDecide(Impl::Worker& w, const Request& req) {
     }
   }
   panel.set_train_end(req.rows);
-  Result<std::vector<double>> r = model.Decide(panel);
-  if (!r.ok()) {
-    CIT_OBS_COUNT("serve.input_errors", 1);
-    return FormatError("input", r.status().message());
+  // Park the request on the batch queue; its response slot keeps later
+  // inline replies on this connection from overtaking it.
+  c.slots.push_back(Conn::Slot{});
+  if (bs.queue.empty()) bs.deadline_us = NowUs() + config.batch_window_us;
+  bs.queue.push_back(PendingDecide{c.id, std::move(panel)});
+}
+
+static Conn* FindConn(std::vector<Conn>& conns, uint64_t id) {
+  for (Conn& c : conns) {
+    if (c.id == id) return &c;
   }
-  return FormatDecideResponse(w.local_gen, r.value());
+  return nullptr;
+}
+
+// Pops and executes one batch of up to max_batch queued decides: one
+// DecideBatch forward (or the plain single-request Decide when only one
+// request is pending), then de-interleaves the responses back onto each
+// connection's first unanswered slot — queue order and per-connection slot
+// order agree, both are request order.
+void Server::Impl::ExecuteBatch(Impl::Worker& w, std::vector<Conn>& conns,
+                                BatchState& bs) {
+  const size_t k = std::min(bs.queue.size(),
+                            static_cast<size_t>(config.max_batch));
+  std::vector<PendingDecide> items;
+  items.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    items.push_back(std::move(bs.queue.front()));
+    bs.queue.pop_front();
+  }
+  CIT_OBS_HIST("serve.batch_size", k);
+  std::vector<std::string> texts(k);
+  std::string reload_error;
+  if (!MaybeReload(w, &reload_error)) {
+    for (std::string& t : texts) {
+      t = FormatError("model", "weight reload failed: " + reload_error);
+    }
+  } else if (k == 1) {
+    // Single-request fast path: the same call the unbatched daemon made.
+    Result<std::vector<double>> r = w.replica->Decide(items[0].panel);
+    if (!r.ok()) {
+      CIT_OBS_COUNT("serve.input_errors", 1);
+      texts[0] = FormatError("input", r.status().message());
+    } else {
+      texts[0] = FormatDecideResponse(w.local_gen, r.value());
+    }
+  } else {
+    CIT_OBS_SPAN("serve.batch_us");
+    CIT_OBS_COUNT("serve.batched_requests", k);
+    std::vector<const market::PricePanel*> panels;
+    panels.reserve(k);
+    for (const PendingDecide& pd : items) panels.push_back(&pd.panel);
+    std::vector<Result<std::vector<double>>> results =
+        w.replica->DecideBatch(panels);
+    for (size_t i = 0; i < k; ++i) {
+      if (!results[i].ok()) {
+        CIT_OBS_COUNT("serve.input_errors", 1);
+        texts[i] = FormatError("input", results[i].status().message());
+      } else {
+        texts[i] = FormatDecideResponse(w.local_gen, results[i].value());
+      }
+    }
+  }
+  for (size_t i = 0; i < k; ++i) {
+    Conn* c = FindConn(conns, items[i].conn_id);
+    if (c == nullptr) continue;  // connection died while queued: discard
+    for (Conn::Slot& s : c->slots) {
+      if (!s.ready) {
+        s.ready = true;
+        s.text = std::move(texts[i]);
+        break;
+      }
+    }
+  }
+}
+
+void Server::Impl::FlushBatches(Impl::Worker& w, std::vector<Conn>& conns,
+                                BatchState& bs) {
+  // Full batches never wait for the window.
+  while (bs.queue.size() >= static_cast<size_t>(config.max_batch)) {
+    ExecuteBatch(w, conns, bs);
+  }
+  if (bs.queue.empty()) {
+    bs.deadline_us = -1;
+    return;
+  }
+  // A lone request never waits (low-load p50 must match the unbatched
+  // daemon); a partial batch may hold on for up to batch_window_us.
+  if (bs.queue.size() == 1 || NowUs() >= bs.deadline_us) {
+    while (!bs.queue.empty()) ExecuteBatch(w, conns, bs);
+    bs.deadline_us = -1;
+  }
 }
 
 std::string Server::Impl::HandleSwap(Impl::Worker& w, const Request& req) {
@@ -306,7 +446,12 @@ std::string Server::Impl::HandleSwap(Impl::Worker& w, const Request& req) {
   return "ok swapped " + std::to_string(gen) + "\n";
 }
 
-std::string Server::Impl::HandleLine(Impl::Worker& w, std::string_view line) {
+// Parses and dispatches one request line. Decides are parked on the batch
+// queue (the span then covers parse+enqueue; execution is timed by
+// serve.batch_us); everything else responds in place, behind any pending
+// slots on the same connection so responses keep request order.
+void Server::Impl::HandleLine(Impl::Worker& w, Conn& c, std::string_view line,
+                              BatchState& bs) {
   CIT_OBS_SPAN("serve.request_us");
   CIT_OBS_COUNT("serve.requests", 1);
   const Request req = ParseRequest(line);
@@ -314,20 +459,25 @@ std::string Server::Impl::HandleLine(Impl::Worker& w, std::string_view line) {
     case Request::kPing: {
       std::string ignored;
       MaybeReload(w, &ignored);  // keep ping's generation fresh
-      return "ok pong " + std::to_string(w.local_gen) + "\n";
+      Respond(c, "ok pong " + std::to_string(w.local_gen) + "\n");
+      return;
     }
     case Request::kStats:
-      return obs::Registry::Global().SnapshotJson() + "\n";
+      Respond(c, obs::Registry::Global().SnapshotJson() + "\n");
+      return;
     case Request::kDecide:
-      return HandleDecide(w, req);
+      HandleDecide(w, c, req, bs);
+      return;
     case Request::kSwap:
-      return HandleSwap(w, req);
+      Respond(c, HandleSwap(w, req));
+      return;
     case Request::kBad:
     default:
       CIT_OBS_COUNT(req.error_code == "input" ? "serve.input_errors"
                                               : "serve.proto_errors",
                     1);
-      return FormatError(req.error_code, req.error);
+      Respond(c, FormatError(req.error_code, req.error));
+      return;
   }
 }
 
@@ -347,6 +497,8 @@ void Server::Impl::WorkerMain() {
 
   std::vector<Conn> conns;
   std::vector<pollfd> pfds;
+  BatchState bs;
+  uint64_t next_conn_id = 1;
 
   auto drop = [&](size_t i, const char* counter) {
     CIT_OBS_COUNT(counter, 1);
@@ -369,6 +521,12 @@ void Server::Impl::WorkerMain() {
       for (int64_t dl : {c.deadline_ms, c.idle_at_ms}) {
         if (dl >= 0) timeout = std::min(timeout, std::max<int64_t>(dl - now, 0));
       }
+    }
+    if (bs.deadline_us >= 0) {
+      // Wake in time to flush a waiting partial batch (round up so a
+      // sub-millisecond window still sleeps at most one extra ms).
+      const int64_t left_ms = (bs.deadline_us - NowUs() + 999) / 1000;
+      timeout = std::min(timeout, std::max<int64_t>(left_ms, 0));
     }
     const int rc = ::poll(pfds.data(), pfds.size(), static_cast<int>(timeout));
     if (rc < 0 && errno != EINTR) break;  // poll itself failed: give up
@@ -396,6 +554,7 @@ void Server::Impl::WorkerMain() {
         }
         Conn c;
         c.fd = cfd;
+        c.id = next_conn_id++;
         c.revents = POLLIN;  // probe immediately; a no-data read is cheap
         if (config.idle_timeout_ms > 0) {
           c.idle_at_ms = NowMs() + config.idle_timeout_ms;
@@ -405,26 +564,32 @@ void Server::Impl::WorkerMain() {
       }
     }
 
-    for (size_t i = 0; i < conns.size();) {
-      Conn& c = conns[i];
-      bool alive = true;
-
-      if (c.revents & (POLLERR | POLLNVAL)) alive = false;
-      if (alive && (c.revents & (POLLIN | POLLHUP)) && !c.read_closed &&
-          !c.close_after_flush) {
-        alive = ReadInto(c);
+    // Pass A — ingest: read every readable connection and consume its
+    // complete lines. Handling runs inline on this worker, on this
+    // worker's replica — that is what keeps plan ownership single; decide
+    // requests are parked on the batch queue instead of executing here.
+    for (Conn& c : conns) {
+      c.io_dead = false;
+      if (c.revents & (POLLERR | POLLNVAL)) {
+        c.io_dead = true;
+        continue;
       }
-
-      // Consume complete lines. Handling runs inline on this worker, on
-      // this worker's replica — that is what keeps plan ownership single.
-      while (alive && !c.close_after_flush) {
+      if ((c.revents & (POLLIN | POLLHUP)) && !c.read_closed &&
+          !c.close_after_flush) {
+        if (!ReadInto(c)) {
+          c.io_dead = true;
+          continue;
+        }
+      }
+      while (!c.close_after_flush) {
         const size_t nl = c.in.find('\n');
         if (nl == std::string::npos) {
           if (c.in.size() > config.max_line) {
             CIT_OBS_COUNT("serve.oversized", 1);
-            c.out += FormatError("oversized", "request line exceeds " +
-                                                  std::to_string(config.max_line) +
-                                                  " bytes");
+            Respond(c, FormatError("oversized",
+                                   "request line exceeds " +
+                                       std::to_string(config.max_line) +
+                                       " bytes"));
             c.close_after_flush = true;
             c.in.clear();
           }
@@ -434,36 +599,50 @@ void Server::Impl::WorkerMain() {
         c.in.erase(0, nl + 1);
         if (line.size() > config.max_line) {
           CIT_OBS_COUNT("serve.oversized", 1);
-          c.out += FormatError("oversized", "request line exceeds " +
-                                                std::to_string(config.max_line) +
-                                                " bytes");
+          Respond(c, FormatError("oversized",
+                                 "request line exceeds " +
+                                     std::to_string(config.max_line) +
+                                     " bytes"));
           c.close_after_flush = true;
           c.in.clear();
           break;
         }
-        c.out += HandleLine(w, line);
+        HandleLine(w, c, line, bs);
         // A completed request is forward progress.
         c.deadline_ms = NowMs() + config.request_deadline_ms;
       }
+    }
 
+    // Batcher: execute whatever the flush policy says is due and route the
+    // responses onto each connection's pending slots.
+    FlushBatches(w, conns, bs);
+
+    // Pass B — egress and lifecycle.
+    for (size_t i = 0; i < conns.size();) {
+      Conn& c = conns[i];
+      DrainReadySlots(c);
+      bool alive = !c.io_dead;
       if (alive) alive = FlushOut(c);
 
       if (!alive) {
         drop(i, "serve.disconnects");
         continue;
       }
-      if (c.pending_out() == 0 && c.close_after_flush) {
+      if (c.slots.empty() && c.pending_out() == 0 && c.close_after_flush) {
         drop(i, "serve.disconnects");
         continue;
       }
-      if (c.read_closed && c.in.empty() && c.pending_out() == 0) {
+      if (c.read_closed && c.in.empty() && c.slots.empty() &&
+          c.pending_out() == 0) {
         drop(i, "serve.disconnects");  // clean end of session
         continue;
       }
 
       const int64_t t = NowMs();
-      if (!c.in.empty() || c.pending_out() > 0) {
-        // Work pending: stall deadline armed, idle clock paused.
+      if (!c.in.empty() || c.pending_out() > 0 || !c.slots.empty()) {
+        // Work pending (buffered bytes, unsent response, or a decide still
+        // waiting in the batch window): stall deadline armed, idle clock
+        // paused.
         if (c.deadline_ms < 0) c.deadline_ms = t + config.request_deadline_ms;
         c.idle_at_ms = -1;
         if (c.deadline_ms <= t) {

@@ -25,6 +25,13 @@
 //     SIGPIPE-immune (MSG_NOSIGNAL); a connection that makes no forward
 //     progress for request_deadline_ms mid-request or mid-response is
 //     dropped, and an idle one after idle_timeout_ms.
+//   * Request batching: each worker coalesces the decide requests pending
+//     at the end of a poll round (and, with batch_window_us > 0, across a
+//     deadline-bounded window) into one ServedModel::DecideBatch forward,
+//     then de-interleaves the stacked output weights back onto each
+//     connection. Responses stay in per-connection request order: inline
+//     replies (ping/stats/swap/errors) queue behind any still-pending
+//     batched decide on the same connection.
 //   * Checkpoint hot-swap: a "swap <path>" request validates the new
 //     weights by loading them into the handling worker's replica (the
 //     loader stages and verifies everything before committing, so a bad
@@ -53,6 +60,19 @@ class ServedModel {
   virtual Result<std::vector<double>> Decide(
       const market::PricePanel& panel) = 0;
 
+  // Batched decision: one result per panel, each required to be bitwise
+  // identical to Decide on that panel alone. The default loops Decide —
+  // correct for any model; implementations with a genuinely batched
+  // forward (CrossInsightTrader::DecideWeightsBatch) override it so the
+  // batcher amortizes per-op dispatch across the requests.
+  virtual std::vector<Result<std::vector<double>>> DecideBatch(
+      const std::vector<const market::PricePanel*>& panels) {
+    std::vector<Result<std::vector<double>>> out;
+    out.reserve(panels.size());
+    for (const market::PricePanel* p : panels) out.push_back(Decide(*p));
+    return out;
+  }
+
   // Replaces the replica's weights from a weights file; must stage and
   // validate before committing (on error the replica is unchanged).
   virtual Status LoadWeights(const std::string& path) = 0;
@@ -72,6 +92,15 @@ struct ServerConfig {
   // >0: shrink each accepted connection's kernel send buffer (tests use
   // this to force the slow-reader write-deadline path quickly).
   int sndbuf_bytes = 0;
+  // Request batching (per worker): decide requests land on a queue and
+  // execute together through ServedModel::DecideBatch, up to max_batch per
+  // forward. A lone queued request never waits — it takes the
+  // single-request Decide path immediately, so p50 at low load matches the
+  // unbatched daemon — and a full batch flushes at once; a partial batch
+  // (2..max_batch-1 requests) may wait up to batch_window_us for more
+  // arrivals before flushing. max_batch <= 1 disables batching entirely.
+  int64_t batch_window_us = 0;
+  int max_batch = 8;
   // Flip the obs runtime switch on at Start so the stats endpoint counts
   // (citd sets this; tests manage the flag themselves).
   bool enable_telemetry = false;

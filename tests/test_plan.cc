@@ -371,6 +371,62 @@ TEST(CompiledCache, LruEvictionBeyondCapacity) {
   EXPECT_EQ(fn.stats().misses, total + 1);
 }
 
+// misses splits by cause: a never-seen shape is a cold compile, a
+// re-record of an LRU-dropped key is an evicted miss — the signal that the
+// shape working set (e.g. a serving mix of batch sizes) exceeds capacity.
+TEST(CompiledCache, MissSplitDistinguishesColdFromEvicted) {
+  plan::CompiledFn fn;
+  ag::NoGradGuard no_grad;
+  auto run_len = [&](int64_t n) {
+    Tensor x = Tensor::Full({n}, 1.0f);
+    (void)fn.Run({&x},
+                 [&] { return ag::Relu(ag::Var::Constant(x)); });
+  };
+  const int64_t total = plan::CompiledFn::kMaxEntries + 3;
+  for (int64_t n = 1; n <= total; ++n) run_len(n);
+  // Every shape so far was new.
+  EXPECT_EQ(fn.stats().misses_cold, total);
+  EXPECT_EQ(fn.stats().misses_evicted, 0);
+  // Shapes 1..3 were evicted (LRU); re-running them re-records as evicted
+  // misses, then thrashes three more entries out — re-running those is
+  // again evicted, never cold.
+  for (int64_t n = 1; n <= 3; ++n) run_len(n);
+  EXPECT_EQ(fn.stats().misses_cold, total);
+  EXPECT_EQ(fn.stats().misses_evicted, 3);
+  EXPECT_EQ(fn.stats().misses, total + 3);
+  // A genuinely new shape still counts cold.
+  run_len(total + 1);
+  EXPECT_EQ(fn.stats().misses_cold, total + 1);
+  EXPECT_EQ(fn.stats().misses_evicted, 3);
+  // The split never includes invalidation re-records (the cold + evicted
+  // sum accounts for every miss in this parameter-free run).
+  EXPECT_EQ(fn.stats().misses,
+            fn.stats().misses_cold + fn.stats().misses_evicted);
+}
+
+// SetCapacity widens the LRU so a shape working set that would thrash the
+// default 8 entries (the serving batcher's live batch sizes) replays.
+TEST(CompiledCache, WidenedCapacityStopsThrash) {
+  plan::CompiledFn fn;
+  fn.SetCapacity(32);
+  ag::NoGradGuard no_grad;
+  auto run_len = [&](int64_t n) {
+    Tensor x = Tensor::Full({n}, 1.0f);
+    (void)fn.Run({&x},
+                 [&] { return ag::Relu(ag::Var::Constant(x)); });
+  };
+  const int64_t shapes = plan::CompiledFn::kMaxEntries + 3;  // > default cap
+  for (int round = 0; round < 3; ++round) {
+    for (int64_t n = 1; n <= shapes; ++n) run_len(n);
+  }
+  EXPECT_EQ(fn.stats().misses, shapes);  // one record per shape, ever
+  EXPECT_EQ(fn.stats().misses_cold, shapes);
+  EXPECT_EQ(fn.stats().misses_evicted, 0);
+  EXPECT_EQ(fn.stats().evictions, 0);
+  EXPECT_EQ(fn.stats().hits, 2 * shapes);
+  EXPECT_EQ(fn.stats().entries, shapes);
+}
+
 // ---- Elementwise fusion ------------------------------------------------------
 
 TEST(CompiledFusion, FusedChainMatchesInterpreted) {

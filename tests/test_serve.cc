@@ -92,8 +92,19 @@ TEST(ServeProtocol, EveryMalformedRequestIsTypedNotFatal) {
       {"decide 2097152 2097152 1", "input"},         // cell-limit breach
       {"decide 1 2 1 0", "input"},                   // non-positive price
       {"decide 1 2 1 -3", "input"},
-      {"decide 1 2 1 nan", "input"},
-      {"decide 1 2 1 inf", "input"},
+      // Spellings strtod would have accepted but the wire grammar never
+      // meant: non-finite words, hex floats, locale-ish commas, dangling
+      // exponents, doubled signs, and out-of-double-range magnitudes.
+      // These are malformed tokens (proto), not plausible-but-invalid
+      // market data (input).
+      {"decide 1 2 1 nan", "proto"},
+      {"decide 1 2 1 inf", "proto"},
+      {"decide 1 2 1 infinity", "proto"},
+      {"decide 1 2 1 1,5", "proto"},
+      {"decide 1 2 1 0x1p3", "proto"},
+      {"decide 1 2 1 1e", "proto"},
+      {"decide 1 2 1 ++1", "proto"},
+      {"decide 1 2 1 1e309", "proto"},
   };
   for (const Case& c : cases) {
     const serve::Request r = serve::ParseRequest(c.line);
@@ -750,6 +761,258 @@ TEST(ServeSoak, ConcurrentDecidesBitwiseAcrossHotSwap) {
     EXPECT_EQ(server.generation(), 1u);
     server.Stop();
   }
+}
+
+// ---- Request batching --------------------------------------------------------
+
+// Flattens a panel into the row-major price list DecideLine expects.
+std::vector<double> PanelPrices(const market::PricePanel& panel) {
+  std::vector<double> prices;
+  prices.reserve(static_cast<size_t>(panel.num_days() * panel.num_assets()));
+  for (int64_t d = 0; d < panel.num_days(); ++d) {
+    for (int64_t a = 0; a < panel.num_assets(); ++a) {
+      prices.push_back(panel.Close(d, a));
+    }
+  }
+  return prices;
+}
+
+// Four different-sized decide requests pipelined in one write must
+// coalesce into one batched forward, de-interleave back in request order,
+// and every response must be bitwise identical to the library's
+// DecideWeights on that panel alone. A trailing ping must not overtake the
+// still-queued decides.
+TEST(ServeBatch, PipelinedMixedSizePanelsBatchBitwiseAndInOrder) {
+  const int64_t kAssets = 4;
+  const core::CrossInsightConfig cfg = SoakConfig();
+  const int64_t row_counts[] = {cfg.window, cfg.window + 1, cfg.window + 3,
+                                cfg.window + 5};
+
+  std::vector<market::PricePanel> panels;
+  std::vector<std::vector<double>> expect;
+  {
+    core::CrossInsightTrader ref(kAssets, cfg);  // same seeded init as served
+    for (int k = 0; k < 4; ++k) {
+      panels.push_back(SoakWindow(row_counts[k], kAssets, k));
+      expect.push_back(LibraryDecide(ref, panels.back()));
+    }
+  }
+
+  serve::ServerConfig scfg;
+  scfg.socket_path = SockPath("serve_batch.sock");
+  scfg.workers = 1;
+  scfg.max_batch = 4;
+  scfg.batch_window_us = 500000;  // partial batches wait; full ones don't
+  serve::Server server(scfg, serve::MakeCitModelFactory(kAssets, cfg, ""));
+  ASSERT_TRUE(server.Start().ok());
+
+  obs::SetEnabled(true);
+
+  // The burst almost always lands in one read and batches as 4; if the
+  // kernel splits delivery so the first decide arrives alone, it takes the
+  // lone-request fast path and the batch shrinks. Retry until a genuinely
+  // batched forward (k >= 2) was observed; correctness is asserted on
+  // every attempt either way.
+  bool saw_batch = false;
+  for (int attempt = 0; attempt < 5 && !saw_batch; ++attempt) {
+    obs::Registry::Global().ResetAll();
+    Client c(scfg.socket_path);
+    ASSERT_TRUE(c.ok());
+    std::string burst;
+    for (int k = 0; k < 4; ++k) {
+      burst += DecideLine(panels[static_cast<size_t>(k)].num_days(), kAssets,
+                          PanelPrices(panels[static_cast<size_t>(k)]));
+    }
+    burst += "ping\n";
+    ASSERT_TRUE(c.Send(burst));
+
+    std::string line;
+    for (int k = 0; k < 4; ++k) {
+      ASSERT_TRUE(c.RecvLine(&line, 10000)) << "response " << k;
+      uint64_t gen = 99;
+      std::vector<double> got;
+      ASSERT_TRUE(serve::ParseDecideResponse(line, &gen, &got)) << line;
+      EXPECT_EQ(gen, 0u);
+      const std::vector<double>& want = expect[static_cast<size_t>(k)];
+      ASSERT_EQ(got.size(), want.size()) << "response " << k;
+      for (size_t j = 0; j < want.size(); ++j) {
+        EXPECT_EQ(std::memcmp(&got[j], &want[j], sizeof(double)), 0)
+            << "response " << k << " weight " << j
+            << " not bitwise identical to DecideWeights";
+      }
+    }
+    // The ping was pipelined after the decides and must answer last.
+    ASSERT_TRUE(c.RecvLine(&line, 10000));
+    EXPECT_EQ(line, "ok pong 0");
+    saw_batch = obs::Registry::Global()
+                    .GetCounter("serve.batched_requests")
+                    .Total() > 0;
+  }
+  obs::SetEnabled(false);
+  EXPECT_TRUE(saw_batch)
+      << "five pipelined bursts never coalesced into a batched forward";
+  server.Stop();
+}
+
+// Inline replies interleaved with decides that are genuinely parked in the
+// batching window must still come back in per-connection request order:
+// decide, pong, decide, pong — the pongs are ready instantly but queue
+// behind the pending decide slots instead of overtaking them.
+TEST(ServeBatch, InlineRepliesNeverOvertakeQueuedDecides) {
+  const int64_t kAssets = 4;
+  const core::CrossInsightConfig cfg = SoakConfig();
+  market::PricePanel panel = SoakWindow(cfg.window, kAssets, 1);
+  std::vector<double> want;
+  {
+    core::CrossInsightTrader ref(kAssets, cfg);
+    want = LibraryDecide(ref, panel);
+  }
+
+  serve::ServerConfig scfg;
+  scfg.socket_path = SockPath("serve_batch_order.sock");
+  scfg.workers = 1;
+  scfg.max_batch = 8;          // two decides are a partial batch...
+  scfg.batch_window_us = 100000;  // ...that waits in the window
+  serve::Server server(scfg, serve::MakeCitModelFactory(kAssets, cfg, ""));
+  ASSERT_TRUE(server.Start().ok());
+
+  Client c(scfg.socket_path);
+  ASSERT_TRUE(c.ok());
+  const std::string decide =
+      DecideLine(panel.num_days(), kAssets, PanelPrices(panel));
+  ASSERT_TRUE(c.Send(decide + "ping\n" + decide + "ping\n"));
+
+  std::string line;
+  for (int k = 0; k < 2; ++k) {
+    ASSERT_TRUE(c.RecvLine(&line, 10000)) << "decide " << k;
+    uint64_t gen = 99;
+    std::vector<double> got;
+    ASSERT_TRUE(serve::ParseDecideResponse(line, &gen, &got))
+        << "out of order at " << k << ": " << line;
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(std::memcmp(&got[j], &want[j], sizeof(double)), 0)
+          << "decide " << k << " weight " << j << " not bitwise identical";
+    }
+    ASSERT_TRUE(c.RecvLine(&line, 10000)) << "pong " << k;
+    EXPECT_EQ(line, "ok pong 0") << "out of order at pong " << k;
+  }
+  server.Stop();
+}
+
+// The adversarial concurrent case: four clients submit different-sized
+// panels that land inside one batching window, so one DecideBatch stacks
+// heterogeneous requests. Every client must get back exactly its own
+// decision, bitwise identical to the library on its own panel — at one
+// worker (all four share a batch) and four (batches form per worker).
+// Also exercised under TSan via the check.sh matrix ('Serve' filter).
+TEST(ServeBatch, ConcurrentMixedSizeClientsDeinterleaveBitwise) {
+  const int64_t kAssets = 4;
+  const int kClients = 4;
+  const int requests_per_client = Fast() ? 4 : 10;
+  const core::CrossInsightConfig cfg = SoakConfig();
+
+  std::vector<market::PricePanel> panels;
+  std::vector<std::vector<double>> expect;
+  {
+    core::CrossInsightTrader ref(kAssets, cfg);
+    for (int id = 0; id < kClients; ++id) {
+      // One distinct window length per client: 8, 9, 11, 13 rows.
+      const int64_t rows = cfg.window + (id == 0 ? 0 : 2 * id - 1);
+      panels.push_back(SoakWindow(rows, kAssets, 100 + id));
+      expect.push_back(LibraryDecide(ref, panels.back()));
+    }
+  }
+
+  for (const int workers : {1, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    serve::ServerConfig scfg;
+    scfg.socket_path = SockPath("serve_batch_mixed.sock");
+    scfg.workers = workers;
+    scfg.max_batch = 4;
+    scfg.batch_window_us = 20000;  // wide enough for arrivals to coalesce
+    serve::Server server(scfg, serve::MakeCitModelFactory(kAssets, cfg, ""));
+    ASSERT_TRUE(server.Start().ok());
+
+    std::atomic<int> failures{0};
+    auto client_main = [&](int id) {
+      Client c(scfg.socket_path);
+      if (!c.ok()) {
+        ++failures;
+        return;
+      }
+      const market::PricePanel& panel = panels[static_cast<size_t>(id)];
+      const std::vector<double>& want = expect[static_cast<size_t>(id)];
+      const std::string req =
+          DecideLine(panel.num_days(), kAssets, PanelPrices(panel));
+      for (int i = 0; i < requests_per_client; ++i) {
+        std::string line;
+        if (!c.Send(req) || !c.RecvLine(&line, 30000)) {
+          ADD_FAILURE() << "client " << id << ": dropped response " << i;
+          ++failures;
+          return;
+        }
+        uint64_t gen = 99;
+        std::vector<double> got;
+        if (!serve::ParseDecideResponse(line, &gen, &got) ||
+            got.size() != want.size()) {
+          ADD_FAILURE() << "client " << id << ": corrupt response: " << line;
+          ++failures;
+          return;
+        }
+        for (size_t j = 0; j < want.size(); ++j) {
+          if (std::memcmp(&got[j], &want[j], sizeof(double)) != 0) {
+            ADD_FAILURE() << "client " << id << ": request " << i
+                          << " weight " << j
+                          << " is not its own decision (de-interleave bug?)";
+            ++failures;
+            return;
+          }
+        }
+      }
+    };
+
+    std::vector<std::thread> clients;
+    for (int id = 0; id < kClients; ++id) clients.emplace_back(client_main, id);
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    server.Stop();
+  }
+}
+
+// max_batch=1 must behave exactly like the pre-batching daemon: every
+// decide takes the single-request path, pipelined bursts still answer in
+// order, and nothing waits on a window.
+TEST(ServeBatch, MaxBatchOneDisablesBatching) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = SockPath("serve_batch_off.sock");
+  cfg.max_batch = 1;
+  cfg.batch_window_us = 1000000;  // must be irrelevant at max_batch=1
+  serve::Server server(cfg, StubFactory(2));
+  ASSERT_TRUE(server.Start().ok());
+
+  obs::SetEnabled(true);
+  obs::Registry::Global().ResetAll();
+  Client c(cfg.socket_path);
+  ASSERT_TRUE(c.ok());
+  std::string burst;
+  const int kN = 8;
+  for (int i = 0; i < kN; ++i) burst += DecideLine(1, 2, {1.0, 1.0 + i});
+  ASSERT_TRUE(c.Send(burst));
+  std::string line;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(c.RecvLine(&line)) << "response " << i;
+    uint64_t gen;
+    std::vector<double> w;
+    ASSERT_TRUE(serve::ParseDecideResponse(line, &gen, &w)) << line;
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_EQ(w[0], 1.0 / (2.0 + i)) << "response " << i;
+  }
+  EXPECT_EQ(
+      obs::Registry::Global().GetCounter("serve.batched_requests").Total(),
+      0u);
+  obs::SetEnabled(false);
+  server.Stop();
 }
 
 }  // namespace
