@@ -2,14 +2,20 @@
 // (BENCH_math.json) so perf regressions are diffable across commits:
 //
 //  - GEMM GFLOP/s at 64/256/1024 — a seed-style naive triple loop ("before")
-//    vs the blocked kernel ("after") at 1 and 4 threads;
+//    vs the blocked kernel ("after") at 1 and 4 threads, plus a forced
+//    scalar-backend arm so the SIMD microkernel's gain is visible in the
+//    same run (kernels::SetBackend, restored afterwards);
 //  - causal dilated conv throughput, naive direct loop vs the fused
 //    im2col+GEMM kernel;
 //  - wall-time of one small CIT training epoch (the end-to-end number all
 //    the kernel work ultimately serves).
 //
 // Thread counts are set in-process via ThreadPool::SetNumThreads, so one run
-// produces the whole table regardless of CIT_NUM_THREADS.
+// produces the whole table regardless of CIT_NUM_THREADS. SetNumThreads
+// clamps to the hardware (unless CIT_OVERSUBSCRIBE=1), so every 4t arm
+// records threads_effective_4t and a clamped_4t flag; consumers
+// (scripts/check.sh) must skip ratio gates on clamped arms instead of
+// reading a 1-thread number as a 4-thread one.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -99,8 +105,11 @@ void NaiveCausalConv(const float* x, const float* w, const float* bias,
 struct GemmRow {
   int64_t n;
   double naive_gflops;
-  double blocked_1t_gflops;
+  double scalar_1t_gflops;  // blocked kernel, scalar backend forced
+  double blocked_1t_gflops;  // blocked kernel, active (default) backend
   double blocked_4t_gflops;
+  int threads_effective_4t;
+  bool clamped_4t() const { return threads_effective_4t < 4; }
 };
 
 GemmRow BenchGemm(int64_t n) {
@@ -120,10 +129,22 @@ GemmRow BenchGemm(int64_t n) {
       BestSecondsPerCall([&] { NaiveMatMul(pa, pb, pc, n, n, n); });
   row.naive_gflops = flops / t_naive * 1e-9;
   pool.SetNumThreads(1);
+  {
+    // Forced-scalar arm: same blocked loop structure, dispatch pinned to
+    // the scalar microkernel, so blocked_1t / scalar_1t isolates the SIMD
+    // gain from the blocking/packing gain.
+    const math::kernels::Backend prev =
+        math::kernels::SetBackend(math::kernels::Backend::kScalar);
+    const double ts = BestSecondsPerCall(
+        [&] { math::kernels::MatMul(pa, pb, pc, n, n, n); });
+    row.scalar_1t_gflops = flops / ts * 1e-9;
+    math::kernels::SetBackend(prev);
+  }
   const double t1 =
       BestSecondsPerCall([&] { math::kernels::MatMul(pa, pb, pc, n, n, n); });
   row.blocked_1t_gflops = flops / t1 * 1e-9;
   pool.SetNumThreads(4);
+  row.threads_effective_4t = pool.num_threads();
   const double t4 =
       BestSecondsPerCall([&] { math::kernels::MatMul(pa, pb, pc, n, n, n); });
   row.blocked_4t_gflops = flops / t4 * 1e-9;
@@ -136,6 +157,8 @@ struct ConvResult {
   double naive_gflops;
   double fused_1t_gflops;
   double fused_4t_gflops;
+  int threads_effective_4t;
+  bool clamped_4t() const { return threads_effective_4t < 4; }
 };
 
 ConvResult BenchConv() {
@@ -166,6 +189,7 @@ ConvResult BenchConv() {
   });
   r.fused_1t_gflops = flops / t1 * 1e-9;
   pool.SetNumThreads(4);
+  r.threads_effective_4t = pool.num_threads();
   const double t4 = BestSecondsPerCall([&] {
     math::kernels::CausalConv1dForward(px, pw, pbias, po, r.batch, r.cin,
                                        r.cout, r.len, r.k, r.dilation);
@@ -207,19 +231,28 @@ std::string Fmt(double v) {
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_math.json";
 
+  std::printf("kernel backend: %s (isa %s)\n",
+              math::kernels::ActiveBackend() ==
+                      math::kernels::Backend::kSimd
+                  ? "simd"
+                  : "scalar",
+              math::kernels::SimdIsaName());
   std::vector<GemmRow> gemm;
   for (int64_t n : {64, 256, 1024}) {
     gemm.push_back(BenchGemm(n));
-    std::printf("gemm n=%-5lld naive %8s  blocked(1t) %8s  blocked(4t) %8s"
-                "  GFLOP/s\n",
+    std::printf("gemm n=%-5lld naive %8s  scalar(1t) %8s  blocked(1t) %8s"
+                "  blocked(%dt) %8s%s  GFLOP/s\n",
                 static_cast<long long>(gemm.back().n),
                 Fmt(gemm.back().naive_gflops).c_str(),
+                Fmt(gemm.back().scalar_1t_gflops).c_str(),
                 Fmt(gemm.back().blocked_1t_gflops).c_str(),
-                Fmt(gemm.back().blocked_4t_gflops).c_str());
+                gemm.back().threads_effective_4t,
+                Fmt(gemm.back().blocked_4t_gflops).c_str(),
+                gemm.back().clamped_4t() ? " [clamped]" : "");
   }
   const ConvResult conv = BenchConv();
   std::printf("conv  %lldx%lldx%lld len=%lld k=%lld d=%lld  naive %8s  "
-              "fused(1t) %8s  fused(4t) %8s  GFLOP/s\n",
+              "fused(1t) %8s  fused(%dt) %8s%s  GFLOP/s\n",
               static_cast<long long>(conv.batch),
               static_cast<long long>(conv.cin),
               static_cast<long long>(conv.cout),
@@ -227,8 +260,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(conv.k),
               static_cast<long long>(conv.dilation),
               Fmt(conv.naive_gflops).c_str(),
-              Fmt(conv.fused_1t_gflops).c_str(),
-              Fmt(conv.fused_4t_gflops).c_str());
+              Fmt(conv.fused_1t_gflops).c_str(), conv.threads_effective_4t,
+              Fmt(conv.fused_4t_gflops).c_str(),
+              conv.clamped_4t() ? " [clamped]" : "");
 
   int64_t train_steps = 0;
   const double train_secs = BenchTrainEpochSeconds(&train_steps);
@@ -240,14 +274,25 @@ int main(int argc, char** argv) {
   js << "  \"host\": {\"hardware_concurrency\": "
      << std::thread::hardware_concurrency()
      << ", \"default_threads\": " << cit::NumThreads() << "},\n";
+  js << "  \"kernel_backend\": \""
+     << (math::kernels::ActiveBackend() == math::kernels::Backend::kSimd
+             ? "simd"
+             : "scalar")
+     << "\",\n";
+  js << "  \"simd_isa\": \"" << math::kernels::SimdIsaName() << "\",\n";
   js << "  \"gemm_gflops\": [\n";
   for (size_t i = 0; i < gemm.size(); ++i) {
     const GemmRow& g = gemm[i];
     js << "    {\"n\": " << g.n << ", \"naive\": " << Fmt(g.naive_gflops)
+       << ", \"scalar_1t\": " << Fmt(g.scalar_1t_gflops)
        << ", \"blocked_1t\": " << Fmt(g.blocked_1t_gflops)
        << ", \"blocked_4t\": " << Fmt(g.blocked_4t_gflops)
+       << ", \"threads_effective_4t\": " << g.threads_effective_4t
+       << ", \"clamped\": " << (g.clamped_4t() ? "true" : "false")
        << ", \"speedup_1t_vs_naive\": "
-       << Fmt(g.blocked_1t_gflops / g.naive_gflops) << "}"
+       << Fmt(g.blocked_1t_gflops / g.naive_gflops)
+       << ", \"simd_speedup_1t\": "
+       << Fmt(g.blocked_1t_gflops / g.scalar_1t_gflops) << "}"
        << (i + 1 < gemm.size() ? "," : "") << "\n";
   }
   js << "  ],\n";
@@ -257,13 +302,21 @@ int main(int argc, char** argv) {
      << ", \"dilation\": " << conv.dilation
      << ", \"naive\": " << Fmt(conv.naive_gflops)
      << ", \"fused_1t\": " << Fmt(conv.fused_1t_gflops)
-     << ", \"fused_4t\": " << Fmt(conv.fused_4t_gflops) << "},\n";
+     << ", \"fused_4t\": " << Fmt(conv.fused_4t_gflops)
+     << ", \"threads_effective_4t\": " << conv.threads_effective_4t
+     << ", \"clamped\": " << (conv.clamped_4t() ? "true" : "false")
+     << "},\n";
   js << "  \"train_epoch\": {\"rollouts\": " << train_steps
      << ", \"seconds\": " << Fmt(train_secs) << "},\n";
   js << "  \"note\": \"naive = the seed's i-k-j MatMul loop compiled with "
         "the current flags; the seed build itself (plain -O3, no "
-        "-march=native) measures lower still. Thread scaling is bounded by "
-        "hardware_concurrency; on a single-core host 4t matches 1t.\"\n";
+        "-march=native) measures lower still. scalar_1t pins the blocked "
+        "kernel to the scalar backend (kernels::SetBackend); blocked_* use "
+        "the backend reported in kernel_backend, so simd_speedup_1t "
+        "isolates the microkernel gain. 4t arms record "
+        "threads_effective_4t; when SetNumThreads was clamped by "
+        "hardware_concurrency the row carries clamped=true and 4t/1t "
+        "ratios are meaningless — gates must skip them.\"\n";
   js << "}\n";
 
   std::ofstream out(out_path);

@@ -2,8 +2,16 @@
 # Full verification matrix:
 #   1. Release build + full ctest (the tier-1 gate), run twice with
 #      CIT_NUM_THREADS=1 and =4 — results must agree (the determinism
-#      tests inside the suite check bitwise identity in-process too).
-#   2. Focused gates: observability (bitwise-identical curves with
+#      tests inside the suite check bitwise identity in-process too) —
+#      then once per forced kernel backend (CIT_KERNEL=scalar and
+#      CIT_KERNEL=simd) so both dispatch arms pass the whole suite.
+#   2. Focused gates: kernel backends (the adversarial GEMM/conv shape
+#      matrix and pack-allocation tests at 1 and 4 threads, a
+#      micro_substrates smoke run, and the committed BENCH_math.json
+#      showing the SIMD microkernel buying >= 1.4x blocked_1t at n=256
+#      over both the in-run scalar arm and the pre-SIMD committed
+#      figure, skipping thread-clamped 4t ratios), observability
+#      (bitwise-identical curves with
 #      telemetry on/off at 1 and 4 threads, trace/snapshot JSON parses),
 #      checkpoint/resume (container corruption fuzz plus the kill-at-k
 #      bitwise-resume tests for every trainer), inference (bitwise
@@ -39,6 +47,53 @@ run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build -j"$(nproc)"
 (cd build && run env CIT_NUM_THREADS=1 ctest --output-on-failure -j2)
 (cd build && run env CIT_NUM_THREADS=4 ctest --output-on-failure -j2)
+# Both dispatch arms must pass the entire suite: forced-scalar proves the
+# reference backend still carries every bitwise contract, forced-simd
+# proves the microkernels do too (on a scalar-only build kSimd clamps to
+# kScalar, so this run degrades to a harmless repeat).
+(cd build && run env CIT_KERNEL=scalar CIT_NUM_THREADS=4 \
+    ctest --output-on-failure -j2)
+(cd build && run env CIT_KERNEL=simd CIT_NUM_THREADS=4 \
+    ctest --output-on-failure -j2)
+
+echo "=== kernel-backend gate (dispatch matrix + committed SIMD ratio) ==="
+# test_kernels runs the adversarial GEMM/conv shape matrix (prime and tail
+# dims straddling every microkernel boundary), per-backend bitwise thread
+# invariance, simd-vs-scalar agreement, the pack-buffer steady-state
+# allocation check, and the byte-accounting formula pins.
+(cd build && run env CIT_NUM_THREADS=1 ./tests/test_kernels)
+(cd build && run env CIT_NUM_THREADS=4 ./tests/test_kernels)
+run cmake --build build -j"$(nproc)" --target micro_substrates
+run ./build/bench/micro_substrates /tmp/BENCH_math_smoke.json
+run grep -q '"kernel_backend"' /tmp/BENCH_math_smoke.json
+run grep -q '"simd_isa"' /tmp/BENCH_math_smoke.json
+run grep -q '"scalar_1t"' /tmp/BENCH_math_smoke.json
+run grep -q '"threads_effective_4t"' /tmp/BENCH_math_smoke.json
+# The committed benchmark must show the SIMD microkernel buying >= 1.4x
+# single-thread blocked GEMM throughput at n=256 over both the same-run
+# forced-scalar arm and the last pre-SIMD committed figure (57.103
+# GFLOP/s, the PR-7 blocked kernel). 4t/1t ratios are only meaningful
+# when the pool really ran 4 workers, so clamped rows are skipped.
+run python3 - <<'EOF'
+import json
+with open("BENCH_math.json") as f:
+    bench = json.load(f)
+assert bench["kernel_backend"] == "simd", (
+    "commit BENCH_math.json from a SIMD-capable build: %s" % bench)
+for row in bench["gemm_gflops"]:
+    assert row["clamped"] == (row["threads_effective_4t"] < 4), row
+    if not row["clamped"]:
+        assert float(row["blocked_4t"]) > 0, row
+conv = bench["conv_gflops"]
+assert conv["clamped"] == (conv["threads_effective_4t"] < 4), conv
+n256 = next(r for r in bench["gemm_gflops"] if r["n"] == 256)
+simd_gain = float(n256["blocked_1t"]) / float(n256["scalar_1t"])
+vs_committed = float(n256["blocked_1t"]) / 57.103
+assert simd_gain >= 1.4, f"simd vs scalar at n=256: {simd_gain} < 1.4"
+assert vs_committed >= 1.4, f"vs pre-SIMD 57.103: {vs_committed} < 1.4"
+print(f"n=256 blocked_1t {n256['blocked_1t']}: {simd_gain:.2f}x over "
+      f"scalar_1t, {vs_committed:.2f}x over pre-SIMD committed OK")
+EOF
 
 echo "=== observability gate (bitwise curves with telemetry on/off) ==="
 # test_obs proves training curves are bitwise identical with telemetry off
@@ -194,7 +249,7 @@ echo "=== thread sanitizer build + threading/rollout tests ==="
 run cmake -B build-thread -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCIT_SANITIZE=thread
 run cmake --build build-thread -j"$(nproc)" --target test_threading \
-    test_rollout test_inference test_plan test_serve
+    test_rollout test_inference test_plan test_serve test_kernels
 # CIT_OVERSUBSCRIBE lifts the hardware clamp so the pool really spawns the
 # requested workers: TSan then sees genuine cross-thread interleavings of
 # the rollout pipeline even on a 1-core container. test_inference rides
@@ -204,10 +259,13 @@ run cmake --build build-thread -j"$(nproc)" --target test_threading \
 # CompileAllowed atomic, the recording thread-local) are raced the same
 # way; the serve daemon tests ride along so worker threads, the swap
 # mutex + generation counter, and per-replica plan ownership are raced
-# under real concurrent clients.
+# under real concurrent clients; test_kernels' KernelDispatch suite rides
+# along so the SIMD microkernels, the pack thread-locals, and the backend
+# atomic see genuine 4-worker interleavings (its 1-vs-4-thread bitwise
+# checks are only real under the lifted clamp).
 (cd build-thread && run env CIT_FAST=1 CIT_OVERSUBSCRIBE=1 CIT_NUM_THREADS=4 \
     ctest --output-on-failure \
-    -R 'ThreadPool|Determinism|RngSplit|RolloutRunner|RolloutDeterminism|InferenceIdentity|GradMode\.|Arena\.|Compiled|ArenaStats\.|Serve|PlanOwner')
+    -R 'ThreadPool|Determinism|RngSplit|RolloutRunner|RolloutDeterminism|InferenceIdentity|GradMode\.|Arena\.|Compiled|ArenaStats\.|Serve|PlanOwner|KernelDispatch')
 
 echo "=== CIT_OBS=OFF build (instrumentation compiles out) ==="
 run cmake -B build-noobs -S . -DCMAKE_BUILD_TYPE=Release -DCIT_OBS=OFF

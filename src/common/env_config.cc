@@ -41,6 +41,18 @@ bool AllowOversubscribe() {
   return kAllow;
 }
 
+KernelChoice GetKernelChoice() {
+  static const KernelChoice kChoice = [] {
+    const char* v = std::getenv("CIT_KERNEL");
+    if (v != nullptr) {
+      if (std::strcmp(v, "scalar") == 0) return KernelChoice::kScalar;
+      if (std::strcmp(v, "simd") == 0) return KernelChoice::kSimd;
+    }
+    return KernelChoice::kAuto;
+  }();
+  return kChoice;
+}
+
 int ScaledSeeds() {
   switch (GetRunScale()) {
     case RunScale::kFast:

@@ -27,6 +27,14 @@ int NumThreads();
 // interleavings regardless of host size.
 bool AllowOversubscribe();
 
+// Kernel backend requested via CIT_KERNEL, read once: "scalar" or "simd"
+// force a backend, unset (or any other value) means auto — prefer the SIMD
+// backend when the build compiled an ISA path. Resolution against what the
+// build actually provides happens in math/kernels.cc (a forced "simd" on a
+// scalar-only build falls back to scalar).
+enum class KernelChoice { kAuto, kScalar, kSimd };
+KernelChoice GetKernelChoice();
+
 // Convenience multipliers derived from the run scale.
 int ScaledSeeds();           // seeds to average over (paper: 5)
 double ScaledStepFactor();   // multiplier applied to training-step budgets

@@ -1,10 +1,14 @@
 #include "math/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
+#include "common/env_config.h"
+#include "math/simd.h"
 #include "obs/telemetry.h"
 
 namespace cit::math::kernels {
@@ -12,15 +16,84 @@ namespace {
 
 ThreadPool& Pool() { return ThreadPool::Global(); }
 
-// Telemetry for one GEMM-shaped call: multiply-add FLOPs plus the bytes the
-// kernel touches (both operands and the output, once each). Counter-only on
-// purpose — these calls are too frequent and too small to afford clock reads.
-inline void CountGemm([[maybe_unused]] int64_t p, [[maybe_unused]] int64_t q,
-                      [[maybe_unused]] int64_t r) {
+// ---- Backend selection -----------------------------------------------------
+
+std::atomic<Backend>& BackendSlot() {
+  static std::atomic<Backend> slot = [] {
+    switch (GetKernelChoice()) {
+      case KernelChoice::kScalar: return Backend::kScalar;
+      case KernelChoice::kSimd:
+      case KernelChoice::kAuto:
+        break;
+    }
+    return simd::Available() ? Backend::kSimd : Backend::kScalar;
+  }();
+  return slot;
+}
+
+inline bool UseSimd() {
+  return BackendSlot().load(std::memory_order_relaxed) == Backend::kSimd;
+}
+
+// Telemetry for one GEMM-shaped call: multiply-add FLOPs plus the logical
+// load/store traffic of the kernel's loop structure (what the loops
+// address, not what survives the cache hierarchy). Counter-only on purpose
+// — these calls are too frequent and too small to afford clock reads.
+//
+// For the blocked MatMul, with nJ = ceil(r/NR) column panels and
+// nK = ceil(q/KC) depth blocks, one call:
+//   - zero-fills C once                              (p*r stores),
+//   - reads each B element once while packing        (q*r loads) and
+//     writes the zero-padded panels                  (nJ*q*NR stores),
+//   - streams A once per column panel               (nJ*p*q loads),
+//   - read-modify-writes each C tile once per depth
+//     block during accumulator write-back           (2*nK*p*r).
+// The formula is the canonical single-chunk schedule: parallel runs
+// re-pack B once per row chunk, so true packing traffic is (#chunks)x the
+// q*r + nJ*q*NR terms, but counting the schedule-independent figure keeps
+// the counter invariant across thread counts (register-tile re-reads of
+// the L1-resident panel are likewise not counted). Pinned by
+// tests/test_kernels.cc KernelObs.GemmBytesFormula.
+inline void CountGemmBlocked([[maybe_unused]] int64_t p,
+                             [[maybe_unused]] int64_t q,
+                             [[maybe_unused]] int64_t r) {
+  CIT_OBS_COUNT("kernels.gemm_calls", 1);
+  CIT_OBS_COUNT("kernels.gemm_flops", 2 * p * q * r);
+#ifndef CIT_OBS_DISABLED
+  const int64_t nj = (r + kGemmNr - 1) / kGemmNr;
+  const int64_t nk = (q + kGemmKc - 1) / kGemmKc;
+  CIT_OBS_COUNT("kernels.gemm_bytes",
+                int64_t{4} * (p * r + q * r + nj * q * kGemmNr +
+                              nj * p * q + 2 * nk * p * r));
+#endif
+}
+
+// MatMulTransB streams all of bT once per output row (p*q*r loads), reads
+// each a row once per 4-column dot-product group plus once per tail column
+// (p*q*nG loads, nG = floor(r/4) + r%4), and stores C once (p*r).
+inline void CountGemmTransB([[maybe_unused]] int64_t p,
+                            [[maybe_unused]] int64_t q,
+                            [[maybe_unused]] int64_t r) {
+  CIT_OBS_COUNT("kernels.gemm_calls", 1);
+  CIT_OBS_COUNT("kernels.gemm_flops", 2 * p * q * r);
+#ifndef CIT_OBS_DISABLED
+  const int64_t groups = r / 4 + r % 4;
+  CIT_OBS_COUNT("kernels.gemm_bytes",
+                int64_t{4} * (p * q * groups + p * q * r + p * r));
+#endif
+}
+
+// MatMulTransA zero-fills C (q*r stores), reads a once (p*q loads), and per
+// (i, j) pair streams a b row and read-modify-writes a C row (3*p*q*r).
+// The kernel skips the inner sweep when a[i,j] == 0; the counter ignores
+// that data-dependent skip and reports the dense upper bound.
+inline void CountGemmTransA([[maybe_unused]] int64_t p,
+                            [[maybe_unused]] int64_t q,
+                            [[maybe_unused]] int64_t r) {
   CIT_OBS_COUNT("kernels.gemm_calls", 1);
   CIT_OBS_COUNT("kernels.gemm_flops", 2 * p * q * r);
   CIT_OBS_COUNT("kernels.gemm_bytes",
-                int64_t{4} * (p * q + q * r + p * r));
+                int64_t{4} * (q * r + p * q + 3 * p * q * r));
 }
 
 // Rows per chunk so a chunk carries at least ~2^16 flops of GEMM work.
@@ -30,70 +103,102 @@ int64_t RowGrain(int64_t flops_per_row) {
 }
 
 // ---- Blocked GEMM ----------------------------------------------------------
-// Register tile: MR rows of A against an NR-wide packed panel of B, saxpy
-// over k. KC limits the packed panel to ~KC*NR floats (L1-resident). Each
-// output element accumulates in ascending-k order no matter how rows are
-// partitioned, so the result is thread-count invariant.
-constexpr int64_t kMr = 4;
-constexpr int64_t kNr = 32;
-constexpr int64_t kKc = 256;
+// Register tile: kGemmMr rows of A against a kGemmNr-wide packed panel of
+// B, saxpy over k. kGemmKc limits the packed panel to ~KC*NR floats
+// (L1-resident). Each output element accumulates in ascending-k order no
+// matter how rows are partitioned, so the result is thread-count invariant
+// under either backend.
+
+// Per-thread packed-B panel (kGemmKc x kGemmNr floats, 64-byte aligned for
+// the SIMD loads), lazily allocated on the first GEMM chunk a thread ever
+// runs and reused for every one after, so the hot loop is allocation-free
+// in steady state. kernels.gemm_pack_allocs counts the one-time per-thread
+// allocations; tests assert it stays flat across repeated calls.
+float* PackBuffer() {
+  struct Panel {
+    float* p = nullptr;
+    ~Panel() { std::free(p); }
+  };
+  thread_local Panel panel;
+  if (panel.p == nullptr) {
+    CIT_OBS_COUNT("kernels.gemm_pack_allocs", 1);
+    panel.p = static_cast<float*>(std::aligned_alloc(
+        64, sizeof(float) * static_cast<size_t>(kGemmKc * kGemmNr)));
+  }
+  return panel.p;
+}
+
+// Scalar microkernel: c[0..mr)[0..nr) += A-rows x pack, each element one
+// saxpy chain in ascending-k order. This is the bitwise reference the
+// existing determinism tests pin; the SIMD twin lives in kernels_simd.cc.
+void ScalarGemmTile(const float* a, int64_t lda, const float* pack,
+                    int64_t kc, float* c, int64_t ldc, int64_t mr,
+                    int64_t nr) {
+  float acc[kGemmMr][kGemmNr];
+  for (int64_t i = 0; i < mr; ++i) {
+    std::memset(acc[i], 0, sizeof(float) * kGemmNr);
+  }
+  if (mr == kGemmMr) {
+    const float* a0 = a + 0 * lda;
+    const float* a1 = a + 1 * lda;
+    const float* a2 = a + 2 * lda;
+    const float* a3 = a + 3 * lda;
+    for (int64_t k = 0; k < kc; ++k) {
+      const float* bp = pack + k * kGemmNr;
+      const float x0 = a0[k], x1 = a1[k], x2 = a2[k], x3 = a3[k];
+      for (int64_t j = 0; j < kGemmNr; ++j) {
+        const float bj = bp[j];
+        acc[0][j] += x0 * bj;
+        acc[1][j] += x1 * bj;
+        acc[2][j] += x2 * bj;
+        acc[3][j] += x3 * bj;
+      }
+    }
+  } else {
+    for (int64_t i = 0; i < mr; ++i) {
+      const float* ai = a + i * lda;
+      float* ac = acc[i];
+      for (int64_t k = 0; k < kc; ++k) {
+        const float x = ai[k];
+        const float* bp = pack + k * kGemmNr;
+        for (int64_t j = 0; j < kGemmNr; ++j) ac[j] += x * bp[j];
+      }
+    }
+  }
+  for (int64_t i = 0; i < mr; ++i) {
+    float* cr = c + i * ldc;
+    const float* ac = acc[i];
+    for (int64_t j = 0; j < nr; ++j) cr[j] += ac[j];
+  }
+}
 
 void GemmRowRange(const float* a, const float* b, float* c, int64_t i_lo,
-                  int64_t i_hi, int64_t q, int64_t r) {
+                  int64_t i_hi, int64_t q, int64_t r, bool use_simd) {
   std::memset(c + i_lo * r, 0,
               sizeof(float) * static_cast<size_t>((i_hi - i_lo) * r));
   if (q == 0 || r == 0) return;
-  std::vector<float> pack(kKc * kNr);
-  for (int64_t j0 = 0; j0 < r; j0 += kNr) {
-    const int64_t nr = std::min<int64_t>(kNr, r - j0);
-    for (int64_t k0 = 0; k0 < q; k0 += kKc) {
-      const int64_t kc = std::min<int64_t>(kKc, q - k0);
+  float* pack = PackBuffer();
+  for (int64_t j0 = 0; j0 < r; j0 += kGemmNr) {
+    const int64_t nr = std::min<int64_t>(kGemmNr, r - j0);
+    for (int64_t k0 = 0; k0 < q; k0 += kGemmKc) {
+      const int64_t kc = std::min<int64_t>(kGemmKc, q - k0);
       // Pack B[k0:k0+kc, j0:j0+nr] into [kc, NR], zero-padding the tail
       // columns so the microkernel always runs the full NR width.
       for (int64_t k = 0; k < kc; ++k) {
         const float* src = b + (k0 + k) * r + j0;
-        float* dst = pack.data() + k * kNr;
+        float* dst = pack + k * kGemmNr;
         int64_t j = 0;
         for (; j < nr; ++j) dst[j] = src[j];
-        for (; j < kNr; ++j) dst[j] = 0.0f;
+        for (; j < kGemmNr; ++j) dst[j] = 0.0f;
       }
-      for (int64_t i0 = i_lo; i0 < i_hi; i0 += kMr) {
-        const int64_t mr = std::min<int64_t>(kMr, i_hi - i0);
-        float acc[kMr][kNr];
-        for (int64_t i = 0; i < mr; ++i) {
-          std::memset(acc[i], 0, sizeof(float) * kNr);
-        }
-        if (mr == kMr) {
-          const float* a0 = a + (i0 + 0) * q + k0;
-          const float* a1 = a + (i0 + 1) * q + k0;
-          const float* a2 = a + (i0 + 2) * q + k0;
-          const float* a3 = a + (i0 + 3) * q + k0;
-          for (int64_t k = 0; k < kc; ++k) {
-            const float* bp = pack.data() + k * kNr;
-            const float x0 = a0[k], x1 = a1[k], x2 = a2[k], x3 = a3[k];
-            for (int64_t j = 0; j < kNr; ++j) {
-              const float bj = bp[j];
-              acc[0][j] += x0 * bj;
-              acc[1][j] += x1 * bj;
-              acc[2][j] += x2 * bj;
-              acc[3][j] += x3 * bj;
-            }
-          }
+      for (int64_t i0 = i_lo; i0 < i_hi; i0 += kGemmMr) {
+        const int64_t mr = std::min<int64_t>(kGemmMr, i_hi - i0);
+        const float* atile = a + i0 * q + k0;
+        float* ctile = c + i0 * r + j0;
+        if (use_simd) {
+          simd::GemmTile(atile, q, pack, kc, ctile, r, mr, nr);
         } else {
-          for (int64_t i = 0; i < mr; ++i) {
-            const float* ai = a + (i0 + i) * q + k0;
-            float* ac = acc[i];
-            for (int64_t k = 0; k < kc; ++k) {
-              const float x = ai[k];
-              const float* bp = pack.data() + k * kNr;
-              for (int64_t j = 0; j < kNr; ++j) ac[j] += x * bp[j];
-            }
-          }
-        }
-        for (int64_t i = 0; i < mr; ++i) {
-          float* cr = c + (i0 + i) * r + j0;
-          const float* ac = acc[i];
-          for (int64_t j = 0; j < nr; ++j) cr[j] += ac[j];
+          ScalarGemmTile(atile, q, pack, kc, ctile, r, mr, nr);
         }
       }
     }
@@ -101,6 +206,21 @@ void GemmRowRange(const float* a, const float* b, float* c, int64_t i_lo,
 }
 
 }  // namespace
+
+// ---- Backend dispatch ------------------------------------------------------
+
+Backend ActiveBackend() {
+  return BackendSlot().load(std::memory_order_relaxed);
+}
+
+Backend SetBackend(Backend b) {
+  if (b == Backend::kSimd && !simd::Available()) b = Backend::kScalar;
+  return BackendSlot().exchange(b, std::memory_order_relaxed);
+}
+
+bool SimdAvailable() { return simd::Available(); }
+
+const char* SimdIsaName() { return simd::IsaName(); }
 
 // ---- Elementwise -----------------------------------------------------------
 
@@ -112,48 +232,123 @@ void Copy(const float* src, float* dst, int64_t n) {
   std::memcpy(dst, src, sizeof(float) * static_cast<size_t>(n));
 }
 
+// The named elementwise kernels dispatch per backend inside the shared
+// ParallelFor partition, so both backends see identical chunk boundaries.
+// All ops below except Axpy are single IEEE operations per element —
+// bit-identical between backends; Axpy's SIMD arm fuses the multiply-add
+// (see math/simd.h).
+
 void Add(const float* a, const float* b, float* out, int64_t n) {
+  if (UseSimd()) {
+    Pool().ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      simd::Add(a + lo, b + lo, out + lo, hi - lo);
+    });
+    return;
+  }
   Map2(a, b, out, n, [](float x, float y) { return x + y; });
 }
 
 void Sub(const float* a, const float* b, float* out, int64_t n) {
+  if (UseSimd()) {
+    Pool().ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      simd::Sub(a + lo, b + lo, out + lo, hi - lo);
+    });
+    return;
+  }
   Map2(a, b, out, n, [](float x, float y) { return x - y; });
 }
 
 void Mul(const float* a, const float* b, float* out, int64_t n) {
+  if (UseSimd()) {
+    Pool().ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      simd::Mul(a + lo, b + lo, out + lo, hi - lo);
+    });
+    return;
+  }
   Map2(a, b, out, n, [](float x, float y) { return x * y; });
 }
 
 void Div(const float* a, const float* b, float* out, int64_t n) {
+  if (UseSimd()) {
+    Pool().ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      simd::Div(a + lo, b + lo, out + lo, hi - lo);
+    });
+    return;
+  }
   Map2(a, b, out, n, [](float x, float y) { return x / y; });
 }
 
 void AddScalar(const float* a, float v, float* out, int64_t n) {
+  if (UseSimd()) {
+    Pool().ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      simd::AddScalar(a + lo, v, out + lo, hi - lo);
+    });
+    return;
+  }
   Map(a, out, n, [v](float x) { return x + v; });
 }
 
 void MulScalar(const float* a, float v, float* out, int64_t n) {
+  if (UseSimd()) {
+    Pool().ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      simd::MulScalar(a + lo, v, out + lo, hi - lo);
+    });
+    return;
+  }
   Map(a, out, n, [v](float x) { return x * v; });
 }
 
 void AddInto(float* dst, const float* src, int64_t n) {
+  if (UseSimd()) {
+    Pool().ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      simd::Add(dst + lo, src + lo, dst + lo, hi - lo);
+    });
+    return;
+  }
   Map2(dst, src, dst, n, [](float x, float y) { return x + y; });
 }
 
 void SubInto(float* dst, const float* src, int64_t n) {
+  if (UseSimd()) {
+    Pool().ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      simd::Sub(dst + lo, src + lo, dst + lo, hi - lo);
+    });
+    return;
+  }
   Map2(dst, src, dst, n, [](float x, float y) { return x - y; });
 }
 
 void ScaleInto(float* dst, float v, int64_t n) {
+  if (UseSimd()) {
+    Pool().ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      simd::MulScalar(dst + lo, v, dst + lo, hi - lo);
+    });
+    return;
+  }
   Map(dst, dst, n, [v](float x) { return x * v; });
 }
 
 void Axpy(float alpha, const float* x, float* y, int64_t n) {
+  if (UseSimd()) {
+    Pool().ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      simd::Axpy(alpha, x + lo, y + lo, hi - lo);
+    });
+    return;
+  }
   Map2(y, x, y, n, [alpha](float yi, float xi) { return yi + alpha * xi; });
 }
 
 void FusedElemwise(const float* in, float* out, int64_t n, const ElemOp* ops,
                    int count) {
+  // Only chains made entirely of bit-exact ops may take the vector sweep;
+  // anything touching libm stays on the scalar ElemApply path so fused and
+  // unfused replays remain bitwise interchangeable on every backend.
+  if (UseSimd() && simd::FusedChainExact(ops, count)) {
+    Pool().ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      simd::FusedElemwise(in + lo, out + lo, hi - lo, ops, count);
+    });
+    return;
+  }
   ThreadPool::Global().ParallelFor(
       0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {
@@ -193,16 +388,19 @@ void SumAxis(const float* x, float* out, int64_t outer, int64_t axis_len,
 
 void MatMul(const float* a, const float* b, float* c, int64_t p, int64_t q,
             int64_t r) {
-  CountGemm(p, q, r);
+  CountGemmBlocked(p, q, r);
+  // The backend is latched once per call so a concurrent SetBackend can
+  // never split one GEMM across implementations.
+  const bool use_simd = UseSimd();
   Pool().ParallelFor(0, p, RowGrain(2 * q * r),
                      [&](int64_t lo, int64_t hi) {
-                       GemmRowRange(a, b, c, lo, hi, q, r);
+                       GemmRowRange(a, b, c, lo, hi, q, r, use_simd);
                      });
 }
 
 void MatMulTransB(const float* a, const float* bT, float* c, int64_t p,
                   int64_t q, int64_t r) {
-  CountGemm(p, q, r);
+  CountGemmTransB(p, q, r);
   Pool().ParallelFor(0, p, RowGrain(2 * q * r), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       const float* ar = a + i * q;
@@ -239,7 +437,7 @@ void MatMulTransB(const float* a, const float* bT, float* c, int64_t p,
 
 void MatMulTransA(const float* a, const float* b, float* c, int64_t p,
                   int64_t q, int64_t r) {
-  CountGemm(p, q, r);
+  CountGemmTransA(p, q, r);
   // c[j, :] = sum_i a[i, j] * b[i, :]; parallel over j so each thread owns
   // disjoint output rows while scanning i in ascending order (deterministic).
   Pool().ParallelFor(0, q, RowGrain(2 * p * r), [&](int64_t lo, int64_t hi) {
@@ -385,12 +583,38 @@ void CausalConv1dForward(const float* x, const float* w, const float* bias,
   // off once the GEMM on top is big enough. The gate depends only on
   // shapes, keeping the result deterministic for any thread count.
   const int64_t flops = 2 * cout * cin * k * len;
+  const bool im2col = flops >= (1 << 16) && len >= 8;
   CIT_OBS_COUNT("kernels.conv_calls", 1);
   CIT_OBS_COUNT("kernels.conv_flops", batch * flops);
-  CIT_OBS_COUNT("kernels.conv_bytes",
-                int64_t{4} * (batch * cin * len + cout * cin * k +
-                              batch * cout * len));
-  if (flops >= (1 << 16) && len >= 8) {
+#ifndef CIT_OBS_DISABLED
+  {
+    // Logical load/store traffic of the chosen path (mirrors the loops, not
+    // the cache). Both paths share S = sum_kk max(0, len - shift_kk), the
+    // post-causal-pad tap coverage. Im2col, per batch: each input row is
+    // re-read once per tap with the pad removed (cin*S loads), the patch
+    // matrix is written exactly once (cin*k*len stores: memset pad +
+    // memcpy body), and the bias add read-modify-writes the output
+    // (2*cout*len) — the lowered GEMM's own traffic (including its reads
+    // of the patch and of w) lands in kernels.gemm_bytes via the MatMul it
+    // calls. Direct, per batch: output memset (cout*len stores), each
+    // weight read once (cout*cin*k), then per (co, ci, tap) an
+    // output-row read-modify-write against an input-row read
+    // (3*cout*cin*S), plus the bias pass (2*cout*len); the data-dependent
+    // zero-weight skip is ignored, so this is the dense upper bound.
+    // Pinned by tests/test_kernels.cc KernelObs.ConvBytesFormula.
+    int64_t taps = 0;  // S above
+    for (int64_t kk = 0; kk < k; ++kk) {
+      taps += std::max<int64_t>(0, len - (k - 1 - kk) * dilation);
+    }
+    const int64_t bias_traffic = bias != nullptr ? 2 * cout * len : 0;
+    const int64_t per_batch =
+        im2col ? cin * taps + cin * k * len + bias_traffic
+               : cout * len + cout * cin * k + 3 * cout * cin * taps +
+                     bias_traffic;
+    CIT_OBS_COUNT("kernels.conv_bytes", int64_t{4} * batch * per_batch);
+  }
+#endif
+  if (im2col) {
     ConvIm2col(x, w, bias, out, batch, cin, cout, len, k, dilation);
   } else {
     ConvDirect(x, w, bias, out, batch, cin, cout, len, k, dilation);

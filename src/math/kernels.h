@@ -11,16 +11,57 @@
 // one unit so (a) every hot loop lives behind a seam future backends can
 // replace, and (b) parallelism policy is decided in exactly one place.
 //
-// Determinism contract: every kernel produces bitwise-identical output for
-// any thread count. Parallel kernels partition *output* elements across
-// threads (each element is computed by exactly one thread, with a fixed
-// per-element reduction order); no kernel ever splits a single element's
-// reduction across threads.
+// Determinism contract, per backend: every kernel produces
+// bitwise-identical output for any thread count. Parallel kernels
+// partition *output* elements across threads (each element is computed by
+// exactly one thread, with a fixed per-element reduction order); no kernel
+// ever splits a single element's reduction across threads. This holds for
+// each dispatch backend independently: the scalar backend is the bitwise
+// reference, and the SIMD backend matches it exactly on the non-FMA arms
+// (plain elementwise add/sub/mul/div and scalar-parameter ops, plus any
+// FusedElemwise chain) while the FMA arms (MatMul via the register-tiled
+// microkernel, Axpy) may differ from scalar by the usual one-rounding-per-
+// fma tolerance — but never between thread counts or runs within one
+// backend.
 namespace cit::math::kernels {
 
 // Elements below which elementwise kernels stay serial: a fork/join costs
 // more than streaming this many floats through one core.
 inline constexpr int64_t kElementwiseGrain = 1 << 15;
+
+// ---- Backend dispatch ------------------------------------------------------
+// GEMM register-tile geometry, shared by the scalar and SIMD microkernels
+// (and by tests building adversarial tail shapes around them): MR rows of A
+// against an NR-wide packed panel of B, k blocked by KC so the packed panel
+// (~KC*NR floats) stays L1-resident. NR is two 16-float AVX-512 vectors /
+// four AVX2 vectors / eight NEON vectors wide.
+inline constexpr int64_t kGemmMr = 4;
+inline constexpr int64_t kGemmNr = 32;
+inline constexpr int64_t kGemmKc = 256;
+
+// Which implementation the hot kernels dispatch to. Selected once at
+// startup: CIT_KERNEL=scalar or =simd forces a backend, unset picks the
+// SIMD backend when the build compiled an ISA path (see math/simd.h) and
+// the scalar backend otherwise. The choice is process-wide and uniform
+// across all kernels, so A-vs-B comparisons inside one process (fused vs.
+// unfused replay, compiled vs. interpreted, serve vs. library) always run
+// both arms on the same backend.
+enum class Backend { kScalar, kSimd };
+
+// The backend every kernel currently dispatches to.
+Backend ActiveBackend();
+// Overrides the backend at runtime (tests and benches; not thread-safe
+// against in-flight kernels — call it between kernel invocations only).
+// kSimd is clamped to kScalar when no ISA path was compiled in. Returns
+// the previously active backend so callers can restore it.
+Backend SetBackend(Backend b);
+// True when an explicit SIMD path was compiled (x86 with AVX2+FMA or
+// AVX-512 — i.e. a -DCIT_NATIVE_ARCH=ON build on such a host — or aarch64
+// NEON).
+bool SimdAvailable();
+// "avx512" | "avx2" | "neon" | "none" (the compiled ISA, independent of
+// which backend is active).
+const char* SimdIsaName();
 
 // ---- Elementwise -----------------------------------------------------------
 void Fill(float* dst, float v, int64_t n);

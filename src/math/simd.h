@@ -1,0 +1,83 @@
+#ifndef CIT_MATH_SIMD_H_
+#define CIT_MATH_SIMD_H_
+
+#include <cstdint>
+
+#include "math/kernels.h"
+
+// Compile-time ISA detection plus the explicit-SIMD kernel entry points
+// implemented in kernels_simd.cc. Exactly one of CIT_SIMD_AVX512 /
+// CIT_SIMD_AVX2 / CIT_SIMD_NEON is defined when the compiler was given the
+// matching target flags (on x86 that means -march=native via the default
+// -DCIT_NATIVE_ARCH=ON; a portable -DCIT_NATIVE_ARCH=OFF build enables
+// neither AVX2 nor FMA, so no ISA path is compiled and the scalar backend
+// is the only selectable one — kernels::SetBackend clamps kSimd back to
+// kScalar in that build). aarch64 implies NEON unconditionally.
+//
+// Everything here is an internal seam of math/kernels.cc: callers go
+// through the public kernels:: API, which dispatches per the active
+// Backend. The functions below are serial over their ranges — parallel
+// partitioning happens in kernels.cc so both backends share identical
+// chunk boundaries.
+//
+// Determinism within the SIMD backend: every entry point computes each
+// output element with a lane-position-independent formula. The FMA arms
+// (GemmTile, Axpy) finish scalar tails with std::fmaf, which performs the
+// same single-rounding fused multiply-add as the vector lanes, so results
+// cannot depend on where a ParallelFor chunk boundary (and hence the
+// vector/tail split) falls.
+
+#if defined(__AVX512F__) && defined(__FMA__)
+#define CIT_SIMD_AVX512 1
+#elif defined(__AVX2__) && defined(__FMA__)
+#define CIT_SIMD_AVX2 1
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#define CIT_SIMD_NEON 1
+#endif
+
+namespace cit::math::kernels::simd {
+
+// True iff an ISA path was compiled in; the scalar fallback definitions
+// used otherwise are correct but never selected by the dispatcher.
+bool Available();
+// "avx512", "avx2", "neon", or "none".
+const char* IsaName();
+
+// GEMM register tile: c[i, j] += sum_k a[i*lda + k] * pack[k*kGemmNr + j]
+// for i in [0, mr), j in [0, nr), accumulating each output element with
+// one FMA chain in ascending-k order. `pack` is a 64-byte-aligned
+// [kc, kGemmNr] panel zero-padded past nr, so the vector body always runs
+// the full kGemmNr width and per-row numerics are identical no matter how
+// many rows the tile holds (mr in [1, kGemmMr]) or which row chunk it came
+// from — the thread-count-invariance argument of the scalar kernel carries
+// over unchanged.
+void GemmTile(const float* a, int64_t lda, const float* pack, int64_t kc,
+              float* c, int64_t ldc, int64_t mr, int64_t nr);
+
+// Elementwise sweeps over [0, n). All IEEE-exact (single add/sub/mul/div
+// per element), hence bitwise identical to the scalar backend.
+void Add(const float* a, const float* b, float* out, int64_t n);
+void Sub(const float* a, const float* b, float* out, int64_t n);
+void Mul(const float* a, const float* b, float* out, int64_t n);
+void Div(const float* a, const float* b, float* out, int64_t n);
+void AddScalar(const float* a, float v, float* out, int64_t n);
+void MulScalar(const float* a, float v, float* out, int64_t n);
+
+// y[i] = fma(alpha, x[i], y[i]) — the one elementwise arm that fuses, so
+// it differs from the scalar backend's y + alpha*x by at most one rounding
+// per element (the documented simd-vs-scalar tolerance case).
+void Axpy(float alpha, const float* x, float* y, int64_t n);
+
+// True when every op in ops[0..count) is in the bit-exact vectorizable set
+// (relu/sqrt/square/abs/clamp/add-scalar/mul-scalar). Chains containing a
+// libm op (exp/log/tanh/sigmoid) must take the scalar ElemApply sweep:
+// vector transcendental approximations would break the fused == unfused
+// bitwise identity that plan fusion relies on.
+bool FusedChainExact(const ElemOp* ops, int count);
+// Vectorized fused sweep; requires FusedChainExact(ops, count).
+void FusedElemwise(const float* in, float* out, int64_t n, const ElemOp* ops,
+                   int count);
+
+}  // namespace cit::math::kernels::simd
+
+#endif  // CIT_MATH_SIMD_H_

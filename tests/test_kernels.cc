@@ -1,0 +1,498 @@
+// Adversarial coverage of the kernel dispatch seam (math/kernels.h +
+// math/simd.h + kernels_simd.cc):
+//
+//  - a GEMM/conv shape matrix of prime and tail dimensions that straddle
+//    every microkernel boundary (kGemmMr rows, kGemmNr columns, kGemmKc
+//    depth), plus q==0 / r==0 / p==0, 1x1, and large-aspect shapes;
+//  - per-backend bitwise self-consistency across 1 and 4 pool threads
+//    (scripts/check.sh reruns these under TSan with CIT_OVERSUBSCRIBE=1 so
+//    the 4-thread arm is real even on a 1-core host);
+//  - simd-vs-scalar agreement: 0 ULP on the non-FMA arms the contract
+//    promises exact (plain elementwise ops, FusedElemwise chains), a
+//    documented tolerance on the FMA arms (MatMul, Axpy, conv-via-im2col);
+//  - the packed-panel buffer staying allocation-free in steady state
+//    (kernels.gemm_pack_allocs);
+//  - the kernels.gemm_bytes / conv_bytes traffic formulas, pinned against
+//    closed forms computed from the block structure.
+#include <cmath>
+#include <cstring>
+#include <iterator>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "math/kernels.h"
+#include "math/rng.h"
+#include "obs/telemetry.h"
+
+namespace cit {
+namespace {
+
+using math::Rng;
+namespace kn = math::kernels;
+
+// FMA arms (one extra rounding per fused multiply-add vs. the scalar
+// backend's round-twice multiply-add): per-element tolerance scaled by the
+// result's magnitude. The reduction lengths in the matrix are <= 300, so
+// the accumulated difference is orders of magnitude below this bound;
+// exceeding it means a real dispatch bug, not rounding.
+constexpr float kFmaArmTol = 1e-4f;
+
+bool NearFma(float got, float ref) {
+  if (std::isnan(got) || std::isnan(ref)) return false;
+  return std::fabs(got - ref) <= kFmaArmTol * std::max(1.0f, std::fabs(ref));
+}
+
+class BackendGuard {
+ public:
+  explicit BackendGuard(kn::Backend b) : saved_(kn::SetBackend(b)) {}
+  ~BackendGuard() { kn::SetBackend(saved_); }
+
+ private:
+  kn::Backend saved_;
+};
+
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n)
+      : saved_(ThreadPool::Global().num_threads()) {
+    ThreadPool::Global().SetNumThreads(n);
+  }
+  ~ThreadCountGuard() { ThreadPool::Global().SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+class TelemetryGuard {
+ public:
+  explicit TelemetryGuard(bool on) : saved_(obs::Enabled()) {
+    obs::SetEnabled(on);
+  }
+  ~TelemetryGuard() { obs::SetEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+std::vector<kn::Backend> AllBackends() {
+  std::vector<kn::Backend> v{kn::Backend::kScalar};
+  if (kn::SimdAvailable()) v.push_back(kn::Backend::kSimd);
+  return v;
+}
+
+const char* Name(kn::Backend b) {
+  return b == kn::Backend::kScalar ? "scalar" : "simd";
+}
+
+struct GemmShape {
+  int64_t p, q, r;
+};
+
+// Every microkernel boundary gets a non-multiple: p around kGemmMr (4),
+// r around kGemmNr (32), q around kGemmKc (256); primes everywhere else.
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1},
+    {5, 7, 13},                                      // all below tile sizes
+    {3, 31, 33},                                     // one-column nr tail
+    {7, 257, 31},                                    // one-element kc tail
+    {kn::kGemmMr + 1, kn::kGemmKc + 1, kn::kGemmNr + 1},
+    {64, 64, 64},                                    // exact multiples
+    {1, 300, 2},                                     // wide-and-flat aspect
+    {200, 1, 37},                                    // q == 1
+    {0, 8, 8},                                       // empty output rows
+    {8, 0, 8},                                       // empty reduction
+    {8, 8, 0},                                       // empty output cols
+};
+
+std::vector<float> RunGemm(const GemmShape& s, kn::Backend b, int threads) {
+  BackendGuard bg(b);
+  ThreadCountGuard tg(threads);
+  Rng rng(91 + s.p * 7 + s.q * 3 + s.r);
+  std::vector<float> a(static_cast<size_t>(s.p * s.q));
+  std::vector<float> bm(static_cast<size_t>(s.q * s.r));
+  for (float& v : a) v = rng.Uniform(-1.0f, 1.0f);
+  for (float& v : bm) v = rng.Uniform(-1.0f, 1.0f);
+  // Sentinel fill: q == 0 must still zero the output.
+  std::vector<float> c(static_cast<size_t>(s.p * s.r), 7.25f);
+  kn::MatMul(a.data(), bm.data(), c.data(), s.p, s.q, s.r);
+  return c;
+}
+
+TEST(KernelDispatch, SetBackendRoundTripAndClamp) {
+  const kn::Backend original = kn::ActiveBackend();
+  const kn::Backend prev = kn::SetBackend(kn::Backend::kScalar);
+  EXPECT_EQ(prev, original);
+  EXPECT_EQ(kn::ActiveBackend(), kn::Backend::kScalar);
+  kn::SetBackend(kn::Backend::kSimd);
+  if (kn::SimdAvailable()) {
+    EXPECT_EQ(kn::ActiveBackend(), kn::Backend::kSimd);
+    EXPECT_STRNE(kn::SimdIsaName(), "none");
+  } else {
+    // Forcing simd on a scalar-only build clamps back to scalar.
+    EXPECT_EQ(kn::ActiveBackend(), kn::Backend::kScalar);
+    EXPECT_STREQ(kn::SimdIsaName(), "none");
+  }
+  kn::SetBackend(original);
+}
+
+TEST(KernelDispatch, GemmBitwiseThreadInvariantPerBackend) {
+  for (kn::Backend b : AllBackends()) {
+    for (const GemmShape& s : kGemmShapes) {
+      const std::vector<float> c1 = RunGemm(s, b, 1);
+      const std::vector<float> c4 = RunGemm(s, b, 4);
+      ASSERT_EQ(c1.size(), c4.size());
+      ASSERT_TRUE(c1.empty() ||
+                  std::memcmp(c1.data(), c4.data(),
+                              c1.size() * sizeof(float)) == 0)
+          << Name(b) << " GEMM " << s.p << "x" << s.q << "x" << s.r
+          << " differs between 1 and 4 threads";
+    }
+  }
+}
+
+TEST(KernelDispatch, GemmSimdMatchesScalarWithinTolerance) {
+  if (!kn::SimdAvailable()) GTEST_SKIP() << "no SIMD path compiled";
+  for (const GemmShape& s : kGemmShapes) {
+    const std::vector<float> ref = RunGemm(s, kn::Backend::kScalar, 1);
+    const std::vector<float> got = RunGemm(s, kn::Backend::kSimd, 1);
+    ASSERT_EQ(ref.size(), got.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_TRUE(NearFma(got[i], ref[i]))
+          << "GEMM " << s.p << "x" << s.q << "x" << s.r << " at " << i
+          << ": simd " << got[i] << " vs scalar " << ref[i];
+    }
+    // Degenerate reductions produce exact zeros on both backends.
+    if (s.q == 0) {
+      for (float v : got) ASSERT_EQ(v, 0.0f);
+    }
+  }
+}
+
+// ---- Elementwise: the 0-ULP arms -------------------------------------------
+
+TEST(KernelDispatch, ElementwiseSimdBitwiseEqualsScalar) {
+  if (!kn::SimdAvailable()) GTEST_SKIP() << "no SIMD path compiled";
+  // Crosses the parallel grain with an odd tail so vector blocks, scalar
+  // tails, and chunk boundaries all land mid-array.
+  const int64_t n = kn::kElementwiseGrain * 2 + 17;
+  Rng rng(17);
+  std::vector<float> a(n), b(n);
+  for (float& v : a) v = rng.Uniform(-3.0f, 3.0f);
+  for (float& v : b) {
+    v = rng.Uniform(0.5f, 2.0f) * (rng.Uniform(0.0f, 1.0f) < 0.5f ? -1 : 1);
+  }
+
+  using Fn = void (*)(const float*, const float*, float*, int64_t);
+  struct Arm {
+    const char* name;
+    Fn fn;
+  };
+  const Arm arms[] = {{"Add", kn::Add},
+                      {"Sub", kn::Sub},
+                      {"Mul", kn::Mul},
+                      {"Div", kn::Div}};
+  for (const Arm& arm : arms) {
+    std::vector<float> ref(n), got(n);
+    {
+      BackendGuard g(kn::Backend::kScalar);
+      arm.fn(a.data(), b.data(), ref.data(), n);
+    }
+    {
+      BackendGuard g(kn::Backend::kSimd);
+      arm.fn(a.data(), b.data(), got.data(), n);
+    }
+    ASSERT_EQ(std::memcmp(ref.data(), got.data(), n * sizeof(float)), 0)
+        << arm.name << " is not 0-ULP between backends";
+  }
+
+  // Scalar-parameter and in-place arms.
+  for (int variant = 0; variant < 5; ++variant) {
+    std::vector<float> ref = a, got = a;
+    auto run = [&](std::vector<float>& dst) {
+      switch (variant) {
+        case 0: kn::AddScalar(dst.data(), 1.5f, dst.data(), n); break;
+        case 1: kn::MulScalar(dst.data(), -0.75f, dst.data(), n); break;
+        case 2: kn::AddInto(dst.data(), b.data(), n); break;
+        case 3: kn::SubInto(dst.data(), b.data(), n); break;
+        case 4: kn::ScaleInto(dst.data(), 1.0f / 3.0f, n); break;
+      }
+    };
+    {
+      BackendGuard g(kn::Backend::kScalar);
+      run(ref);
+    }
+    {
+      BackendGuard g(kn::Backend::kSimd);
+      run(got);
+    }
+    ASSERT_EQ(std::memcmp(ref.data(), got.data(), n * sizeof(float)), 0)
+        << "in-place variant " << variant << " is not 0-ULP";
+  }
+}
+
+TEST(KernelDispatch, AxpyFmaToleranceAndThreadInvariance) {
+  const int64_t n = kn::kElementwiseGrain * 2 + 5;
+  Rng rng(29);
+  std::vector<float> x(n), y0(n);
+  for (float& v : x) v = rng.Uniform(-2.0f, 2.0f);
+  for (float& v : y0) v = rng.Uniform(-2.0f, 2.0f);
+  const float alpha = 0.37f;
+
+  auto run = [&](kn::Backend b, int threads) {
+    BackendGuard bg(b);
+    ThreadCountGuard tg(threads);
+    std::vector<float> y = y0;
+    kn::Axpy(alpha, x.data(), y.data(), n);
+    return y;
+  };
+  for (kn::Backend b : AllBackends()) {
+    const std::vector<float> y1 = run(b, 1);
+    const std::vector<float> y4 = run(b, 4);
+    // The simd arm's scalar tail uses fmaf, matching the vector lanes, so
+    // chunk boundaries moving the vector/tail split cannot change values.
+    ASSERT_EQ(std::memcmp(y1.data(), y4.data(), n * sizeof(float)), 0)
+        << Name(b) << " Axpy differs between 1 and 4 threads";
+  }
+  if (kn::SimdAvailable()) {
+    const std::vector<float> ref = run(kn::Backend::kScalar, 1);
+    const std::vector<float> got = run(kn::Backend::kSimd, 1);
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(NearFma(got[i], ref[i])) << "Axpy at " << i;
+    }
+  }
+}
+
+// ---- FusedElemwise ---------------------------------------------------------
+
+TEST(KernelDispatch, FusedElemwiseExactChainBitwise) {
+  using kn::ElemOp;
+  using kn::ElemOpKind;
+  const int64_t n = kn::kElementwiseGrain + 31;
+  Rng rng(41);
+  std::vector<float> in(n);
+  for (float& v : in) v = rng.Uniform(-2.0f, 2.0f);
+  // Every bit-exact vectorizable op in one chain.
+  const ElemOp ops[] = {{ElemOpKind::kSquare, 0, 0},
+                        {ElemOpKind::kMulScalar, 0.5f, 0},
+                        {ElemOpKind::kAddScalar, -0.25f, 0},
+                        {ElemOpKind::kClamp, -0.5f, 0.5f},
+                        {ElemOpKind::kAbs, 0, 0},
+                        {ElemOpKind::kRelu, 0, 0},
+                        {ElemOpKind::kSqrt, 0, 0}};
+  const int count = static_cast<int>(std::size(ops));
+
+  // Reference: the scalar ElemApply chain, element by element — the same
+  // formula the interpreted autodiff forward evaluates.
+  std::vector<float> manual(n);
+  for (int64_t i = 0; i < n; ++i) {
+    float v = in[i];
+    for (int o = 0; o < count; ++o) v = kn::ElemApply(ops[o], v);
+    manual[i] = v;
+  }
+  for (kn::Backend b : AllBackends()) {
+    BackendGuard g(b);
+    for (int threads : {1, 4}) {
+      ThreadCountGuard tg(threads);
+      std::vector<float> out(n);
+      kn::FusedElemwise(in.data(), out.data(), n, ops, count);
+      ASSERT_EQ(std::memcmp(manual.data(), out.data(), n * sizeof(float)), 0)
+          << Name(b) << " fused sweep at " << threads
+          << " threads deviates from the ElemApply chain";
+    }
+  }
+}
+
+TEST(KernelDispatch, FusedElemwiseLibmChainStaysScalarExact) {
+  using kn::ElemOp;
+  using kn::ElemOpKind;
+  const int64_t n = 4097;
+  Rng rng(43);
+  std::vector<float> in(n);
+  for (float& v : in) v = rng.Uniform(-1.0f, 1.0f);
+  // exp/log force the scalar ElemApply sweep even on the simd backend, so
+  // the two backends must agree bitwise.
+  const ElemOp ops[] = {{ElemOpKind::kMulScalar, 0.25f, 0},
+                        {ElemOpKind::kExp, 0, 0},
+                        {ElemOpKind::kAddScalar, 1.0f, 0},
+                        {ElemOpKind::kLog, 0, 0}};
+  const int count = static_cast<int>(std::size(ops));
+  std::vector<float> ref(n), got(n);
+  {
+    BackendGuard g(kn::Backend::kScalar);
+    kn::FusedElemwise(in.data(), ref.data(), n, ops, count);
+  }
+  {
+    BackendGuard g(kn::Backend::kSimd);  // clamps to scalar if unavailable
+    kn::FusedElemwise(in.data(), got.data(), n, ops, count);
+  }
+  ASSERT_EQ(std::memcmp(ref.data(), got.data(), n * sizeof(float)), 0);
+}
+
+// ---- Conv ------------------------------------------------------------------
+
+struct ConvShape {
+  int64_t batch, cin, cout, len, k, dilation;
+};
+
+// First two take the direct path, rest the im2col+GEMM path (the gate is
+// 2*cout*cin*k*len >= 2^16 && len >= 8); prime len exercises GEMM tails,
+// the dilation-7 case zero-pads most of a tap's range.
+const ConvShape kConvShapes[] = {
+    {1, 2, 3, 6, 2, 1},       // direct
+    {1, 1, 2, 5, 3, 7},       // direct; shift >= len on two taps
+    {2, 8, 16, 127, 3, 3},    // im2col, prime len
+    {1, 5, 29, 64, 4, 2},     // im2col, prime cout
+    {3, 4, 16, 257, 1, 1},    // im2col, k == 1
+};
+
+std::vector<float> RunConv(const ConvShape& s, kn::Backend b, int threads) {
+  BackendGuard bg(b);
+  ThreadCountGuard tg(threads);
+  Rng rng(53 + s.cin + s.cout + s.len);
+  std::vector<float> x(static_cast<size_t>(s.batch * s.cin * s.len));
+  std::vector<float> w(static_cast<size_t>(s.cout * s.cin * s.k));
+  std::vector<float> bias(static_cast<size_t>(s.cout));
+  for (float& v : x) v = rng.Uniform(-1.0f, 1.0f);
+  for (float& v : w) v = rng.Uniform(-1.0f, 1.0f);
+  for (float& v : bias) v = rng.Uniform(-1.0f, 1.0f);
+  std::vector<float> out(static_cast<size_t>(s.batch * s.cout * s.len));
+  kn::CausalConv1dForward(x.data(), w.data(), bias.data(), out.data(),
+                          s.batch, s.cin, s.cout, s.len, s.k, s.dilation);
+  return out;
+}
+
+TEST(KernelDispatch, ConvBitwiseThreadInvariantPerBackend) {
+  for (kn::Backend b : AllBackends()) {
+    for (const ConvShape& s : kConvShapes) {
+      const std::vector<float> o1 = RunConv(s, b, 1);
+      const std::vector<float> o4 = RunConv(s, b, 4);
+      ASSERT_EQ(std::memcmp(o1.data(), o4.data(), o1.size() * sizeof(float)),
+                0)
+          << Name(b) << " conv len=" << s.len
+          << " differs between 1 and 4 threads";
+    }
+  }
+}
+
+TEST(KernelDispatch, ConvSimdMatchesScalarWithinTolerance) {
+  if (!kn::SimdAvailable()) GTEST_SKIP() << "no SIMD path compiled";
+  for (const ConvShape& s : kConvShapes) {
+    const std::vector<float> ref = RunConv(s, kn::Backend::kScalar, 1);
+    const std::vector<float> got = RunConv(s, kn::Backend::kSimd, 1);
+    for (size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_TRUE(NearFma(got[i], ref[i]))
+          << "conv len=" << s.len << " at " << i << ": simd " << got[i]
+          << " vs scalar " << ref[i];
+    }
+  }
+}
+
+// ---- Packed-panel buffer: allocation-free steady state ---------------------
+
+TEST(GemmPack, SteadyStateAllocationFree) {
+#ifdef CIT_OBS_DISABLED
+  GTEST_SKIP() << "CIT_OBS=OFF build: counters compile out";
+#endif
+  TelemetryGuard telemetry(true);
+  ThreadCountGuard tg(1);  // inline path: only this thread packs
+  auto& allocs =
+      obs::Registry::Global().GetCounter("kernels.gemm_pack_allocs");
+  // Warm up: this thread's panel is allocated at most once, ever.
+  RunGemm({64, 64, 64}, kn::ActiveBackend(), 1);
+  const uint64_t after_warmup = allocs.Total();
+  for (int round = 0; round < 10; ++round) {
+    for (const GemmShape& s : kGemmShapes) {
+      RunGemm(s, kn::ActiveBackend(), 1);
+    }
+  }
+  EXPECT_EQ(allocs.Total(), after_warmup)
+      << "GEMM allocated a pack panel after warmup — the hot loop must be "
+         "allocation-free in steady state";
+}
+
+// ---- Byte-accounting formulas ----------------------------------------------
+
+TEST(KernelObs, GemmBytesFormula) {
+#ifdef CIT_OBS_DISABLED
+  GTEST_SKIP() << "CIT_OBS=OFF build: counters compile out";
+#endif
+  TelemetryGuard telemetry(true);
+  ThreadCountGuard tg(1);
+  obs::Registry::Global().ResetAll();
+  const int64_t p = 50, q = 300, r = 40;
+  RunGemm({p, q, r}, kn::ActiveBackend(), 1);
+  // Blocked-traffic closed form (see CountGemmBlocked in kernels.cc):
+  // C memset + B pack reads + padded panel writes + A stream per column
+  // panel + C read-modify-write per depth block.
+  const int64_t nj = (r + kn::kGemmNr - 1) / kn::kGemmNr;  // 2
+  const int64_t nk = (q + kn::kGemmKc - 1) / kn::kGemmKc;  // 2
+  const int64_t expected =
+      4 * (p * r + q * r + nj * q * kn::kGemmNr + nj * p * q +
+           2 * nk * p * r);
+  EXPECT_EQ(obs::Registry::Global().GetCounter("kernels.gemm_bytes").Total(),
+            static_cast<uint64_t>(expected));
+  EXPECT_EQ(obs::Registry::Global().GetCounter("kernels.gemm_flops").Total(),
+            static_cast<uint64_t>(2 * p * q * r));
+}
+
+TEST(KernelObs, GemmTransBBytesFormula) {
+#ifdef CIT_OBS_DISABLED
+  GTEST_SKIP() << "CIT_OBS=OFF build: counters compile out";
+#endif
+  TelemetryGuard telemetry(true);
+  ThreadCountGuard tg(1);
+  const int64_t p = 9, q = 21, r = 14;
+  Rng rng(59);
+  std::vector<float> a(static_cast<size_t>(p * q)),
+      bT(static_cast<size_t>(r * q)), c(static_cast<size_t>(p * r));
+  for (float& v : a) v = rng.Uniform(-1.0f, 1.0f);
+  for (float& v : bT) v = rng.Uniform(-1.0f, 1.0f);
+  obs::Registry::Global().ResetAll();
+  kn::MatMulTransB(a.data(), bT.data(), c.data(), p, q, r);
+  // bT streamed fully per output row; a re-read once per 4-column group
+  // plus once per tail column; C stored once.
+  const int64_t groups = r / 4 + r % 4;  // 3 + 2
+  const int64_t expected = 4 * (p * q * groups + p * q * r + p * r);
+  EXPECT_EQ(obs::Registry::Global().GetCounter("kernels.gemm_bytes").Total(),
+            static_cast<uint64_t>(expected));
+}
+
+TEST(KernelObs, ConvBytesFormulaBothPaths) {
+#ifdef CIT_OBS_DISABLED
+  GTEST_SKIP() << "CIT_OBS=OFF build: counters compile out";
+#endif
+  TelemetryGuard telemetry(true);
+  ThreadCountGuard tg(1);
+  for (const ConvShape& s : {ConvShape{1, 2, 3, 6, 2, 1},      // direct
+                             ConvShape{2, 8, 16, 127, 3, 3}})  // im2col
+  {
+    const bool im2col = 2 * s.cout * s.cin * s.k * s.len >= (1 << 16) &&
+                        s.len >= 8;
+    obs::Registry::Global().ResetAll();
+    RunConv(s, kn::ActiveBackend(), 1);
+    int64_t taps = 0;  // post-pad tap coverage, shared by both formulas
+    for (int64_t kk = 0; kk < s.k; ++kk) {
+      taps += std::max<int64_t>(0, s.len - (s.k - 1 - kk) * s.dilation);
+    }
+    const int64_t bias_traffic = 2 * s.cout * s.len;
+    const int64_t per_batch =
+        im2col
+            ? s.cin * taps + s.cin * s.k * s.len + bias_traffic
+            : s.cout * s.len + s.cout * s.cin * s.k +
+                  3 * s.cout * s.cin * taps + bias_traffic;
+    EXPECT_EQ(
+        obs::Registry::Global().GetCounter("kernels.conv_bytes").Total(),
+        static_cast<uint64_t>(4 * s.batch * per_batch))
+        << (im2col ? "im2col" : "direct") << " path, len=" << s.len;
+    // The lowered GEMM books its own traffic under kernels.gemm_bytes —
+    // present exactly when the im2col path ran.
+    const uint64_t gemm_calls =
+        obs::Registry::Global().GetCounter("kernels.gemm_calls").Total();
+    EXPECT_EQ(gemm_calls, static_cast<uint64_t>(im2col ? s.batch : 0));
+  }
+}
+
+}  // namespace
+}  // namespace cit
