@@ -15,7 +15,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -25,7 +27,10 @@
 #include "common/thread_pool.h"
 #include "core/config.h"
 #include "core/trader.h"
+#include "market/csv.h"
 #include "market/simulator.h"
+#include "market/source.h"
+#include "market/streaming_csv.h"
 #include "math/kernels.h"
 #include "math/rng.h"
 #include "math/tensor.h"
@@ -130,6 +135,97 @@ std::string Fmt(double v) {
   return buf;
 }
 
+struct IngestRow {
+  int64_t days = 0;
+  int64_t assets = 0;
+  int64_t chunk_days = 0;
+  int64_t max_resident_chunks = 0;
+  bool prefetch = false;
+  double rows_per_sec = 0.0;
+  double rows_per_sec_inmemory = 0.0;
+  int64_t peak_resident_bytes = 0;
+  int64_t budget_bytes = 0;
+  int64_t chunk_loads = 0;
+  int64_t chunk_hits = 0;
+};
+
+// Streaming-ingest arm: a long CSV panel scanned front to back through a
+// StreamingCsvSource under a small resident-chunk budget, versus the same
+// scan over the fully-loaded panel. Reports throughput (rows/s, one row =
+// one day of closes) and the peak resident chunk bytes, which the check
+// gate holds against the configured budget.
+IngestRow BenchStreamingIngest() {
+  market::MarketConfig mcfg;
+  mcfg.name = "ingest-bench";
+  mcfg.num_assets = 16;
+  mcfg.train_days = 3600;
+  mcfg.test_days = 400;
+  mcfg.seed = 29;
+  const market::PricePanel panel = market::SimulateMarket(mcfg);
+  const std::string csv_path = "/tmp/bench_train_ingest.csv";
+  if (!market::SavePanelCsv(panel, csv_path).ok()) {
+    std::fprintf(stderr, "error: could not write %s\n", csv_path.c_str());
+    std::exit(1);
+  }
+
+  IngestRow row;
+  row.days = panel.num_days();
+  row.assets = panel.num_assets();
+  row.chunk_days = 128;
+  row.max_resident_chunks = 3;
+  row.prefetch = true;
+
+  // A full sequential scan touching every cell, as a windowed consumer
+  // (backtest-style) would. The sink keeps the reads observable.
+  const auto scan = [](const market::PanelView& v) {
+    double sink = 0.0;
+    for (int64_t d = 0; d < v.num_days(); ++d) {
+      v.Hint(d, std::min<int64_t>(d + 256, v.num_days() - 1));
+      for (int64_t a = 0; a < v.num_assets(); ++a) sink += v.Close(d, a);
+    }
+    return sink;
+  };
+
+  market::StreamingCsvOptions opts;
+  opts.chunk_days = row.chunk_days;
+  opts.max_resident_chunks = row.max_resident_chunks;
+  opts.prefetch = row.prefetch;
+  auto opened = market::StreamingCsvSource::Open(csv_path, opts);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().message().c_str());
+    std::exit(1);
+  }
+  std::unique_ptr<market::StreamingCsvSource> streaming =
+      std::move(opened).value();
+  double t0 = Now();
+  const double streamed_sink = scan(market::PanelView(streaming.get()));
+  const double streaming_s = Now() - t0;
+  row.rows_per_sec = static_cast<double>(row.days) / streaming_s;
+  row.peak_resident_bytes = streaming->peak_resident_bytes();
+  row.budget_bytes = streaming->budget_bytes();
+  row.chunk_loads = streaming->chunk_loads();
+  row.chunk_hits = streaming->chunk_hits();
+
+  // In-memory baseline over the same file (CSV round-trip is lossy at
+  // precision(10), so the comparable panel is the reloaded one).
+  auto loaded = market::LoadPanelCsv(csv_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+    std::exit(1);
+  }
+  const market::PricePanel reloaded = std::move(loaded).value();
+  market::InMemorySource in_memory(&reloaded);
+  t0 = Now();
+  const double memory_sink = scan(market::PanelView(&in_memory));
+  row.rows_per_sec_inmemory = static_cast<double>(row.days) / (Now() - t0);
+  if (streamed_sink != memory_sink) {
+    std::fprintf(stderr, "error: streamed scan diverged from in-memory\n");
+    std::exit(1);
+  }
+  std::remove(csv_path.c_str());
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,6 +275,20 @@ int main(int argc, char** argv) {
               obs::kCompiledIn ? "" : " (compiled out)");
   ThreadPool::Global().SetNumThreads(1);
 
+  const IngestRow ingest = BenchStreamingIngest();
+  std::printf(
+      "ingest %lld days x %lld assets  streaming %s rows/s "
+      "(in-memory %s rows/s)  peak resident %lld / budget %lld bytes  "
+      "%lld loads %lld hits\n",
+      static_cast<long long>(ingest.days),
+      static_cast<long long>(ingest.assets),
+      Fmt(ingest.rows_per_sec).c_str(),
+      Fmt(ingest.rows_per_sec_inmemory).c_str(),
+      static_cast<long long>(ingest.peak_resident_bytes),
+      static_cast<long long>(ingest.budget_bytes),
+      static_cast<long long>(ingest.chunk_loads),
+      static_cast<long long>(ingest.chunk_hits));
+
   std::ostringstream js;
   js << "{\n";
   js << "  \"host\": {\"hardware_concurrency\": "
@@ -214,6 +324,17 @@ int main(int argc, char** argv) {
      << ", \"seconds_on\": " << Fmt(telemetry_on_s)
      << ", \"telemetry_overhead_pct\": " << Fmt(telemetry_overhead_pct)
      << "},\n";
+  js << "  \"streaming_ingest\": {\"days\": " << ingest.days
+     << ", \"assets\": " << ingest.assets
+     << ", \"chunk_days\": " << ingest.chunk_days
+     << ", \"max_resident_chunks\": " << ingest.max_resident_chunks
+     << ", \"prefetch\": " << (ingest.prefetch ? "true" : "false")
+     << ", \"rows_per_sec\": " << Fmt(ingest.rows_per_sec)
+     << ", \"rows_per_sec_inmemory\": " << Fmt(ingest.rows_per_sec_inmemory)
+     << ", \"peak_resident_bytes\": " << ingest.peak_resident_bytes
+     << ", \"budget_bytes\": " << ingest.budget_bytes
+     << ", \"chunk_loads\": " << ingest.chunk_loads
+     << ", \"chunk_hits\": " << ingest.chunk_hits << "},\n";
   js << "  \"note\": \"Rollout collection fans K=rollouts_per_update slots "
         "out over the pool; curves are bitwise thread-count-invariant, so "
         "rows differ only in wall time. threads_effective reflects the "

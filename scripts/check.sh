@@ -157,6 +157,46 @@ else:
         print(f"{key} {value} >= {bar} OK")
 EOF
 
+echo "=== data-plane gate (sources, scenarios, sweep smoke) ==="
+# test_source proves PanelView reads and whole backtests are bitwise
+# identical through InMemorySource, that StreamingCsvSource matches the
+# in-memory panel across chunk sizes / prefetch arms while honoring its
+# resident budget, and that SimulatorSource is access-order free; run it
+# serial and parallel. test_scenarios pins every stress preset's
+# semantics plus the fixed-seed agent orderings.
+(cd build && run env CIT_NUM_THREADS=1 ./tests/test_source)
+(cd build && run env CIT_NUM_THREADS=4 ./tests/test_source)
+(cd build && run env CIT_NUM_THREADS=1 ./tests/test_scenarios)
+(cd build && run env CIT_NUM_THREADS=4 ./tests/test_scenarios)
+# Sweep smoke: the sharded (scenario x agent x seed) driver must emit one
+# valid cit.sweep.v1 JSON document, and the report must be byte-identical
+# at 1 and 4 pool threads (cells are written to pre-sized slots, so thread
+# count cannot reorder or perturb anything).
+run cmake --build build -j"$(nproc)" --target sweep
+run env CIT_NUM_THREADS=1 ./build/examples/sweep \
+    --scenarios 'baseline;flash_crash:depth=0.25;liquidity_hole:cost_mult=8' \
+    --agents OLMAR,CRP,Market --seeds 0,1 --out /tmp/sweep_check_1t.json
+run env CIT_NUM_THREADS=4 ./build/examples/sweep \
+    --scenarios 'baseline;flash_crash:depth=0.25;liquidity_hole:cost_mult=8' \
+    --agents OLMAR,CRP,Market --seeds 0,1 --out /tmp/sweep_check_4t.json
+run cmp /tmp/sweep_check_1t.json /tmp/sweep_check_4t.json
+run python3 - <<'EOF'
+import json
+with open("/tmp/sweep_check_1t.json") as f:
+    report = json.load(f)
+assert report["schema"] == "cit.sweep.v1", report.get("schema")
+assert len(report["scenarios"]) == 3, report["scenarios"]
+assert len(report["cells"]) == 3 * 3 * 2, len(report["cells"])
+agents = {c["agent"] for c in report["cells"]}
+assert agents == {"OLMAR", "CRP", "Market"}, agents
+for cell in report["cells"]:
+    for key in ("ar", "sharpe", "max_drawdown", "final_wealth", "turnover"):
+        float(cell[key])  # present and numeric
+summaries = {s["agent"] for s in report["summary"]}
+assert summaries == agents, summaries
+print("sweep report schema + %d cells OK" % len(report["cells"]))
+EOF
+
 echo "=== serving gate (daemon soak + citd end-to-end smoke) ==="
 # test_serve runs the adversarial client matrix and the hot-swap soak
 # (4 concurrent clients, bitwise serve-vs-library, swap mid-soak) at 1
@@ -249,7 +289,8 @@ echo "=== thread sanitizer build + threading/rollout tests ==="
 run cmake -B build-thread -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCIT_SANITIZE=thread
 run cmake --build build-thread -j"$(nproc)" --target test_threading \
-    test_rollout test_inference test_plan test_serve test_kernels
+    test_rollout test_inference test_plan test_serve test_kernels \
+    test_source test_scenarios
 # CIT_OVERSUBSCRIBE lifts the hardware clamp so the pool really spawns the
 # requested workers: TSan then sees genuine cross-thread interleavings of
 # the rollout pipeline even on a 1-core container. test_inference rides
@@ -262,10 +303,13 @@ run cmake --build build-thread -j"$(nproc)" --target test_threading \
 # under real concurrent clients; test_kernels' KernelDispatch suite rides
 # along so the SIMD microkernels, the pack thread-locals, and the backend
 # atomic see genuine 4-worker interleavings (its 1-vs-4-thread bitwise
-# checks are only real under the lifted clamp).
+# checks are only real under the lifted clamp); the Source/Scenario
+# threaded suites ride along so the StreamingCsvSource LRU + prefetch
+# worker, the ScenarioSource row memo, and concurrent PanelView rings are
+# raced against real workers.
 (cd build-thread && run env CIT_FAST=1 CIT_OVERSUBSCRIBE=1 CIT_NUM_THREADS=4 \
     ctest --output-on-failure \
-    -R 'ThreadPool|Determinism|RngSplit|RolloutRunner|RolloutDeterminism|InferenceIdentity|GradMode\.|Arena\.|Compiled|ArenaStats\.|Serve|PlanOwner|KernelDispatch')
+    -R 'ThreadPool|Determinism|RngSplit|RolloutRunner|RolloutDeterminism|InferenceIdentity|GradMode\.|Arena\.|Compiled|ArenaStats\.|Serve|PlanOwner|KernelDispatch|Source|Scenario|Sweep')
 
 echo "=== CIT_OBS=OFF build (instrumentation compiles out) ==="
 run cmake -B build-noobs -S . -DCMAKE_BUILD_TYPE=Release -DCIT_OBS=OFF
@@ -275,7 +319,28 @@ run cmake --build build-noobs -j"$(nproc)" --target test_obs
 echo "=== bench_train smoke (JSON emission) ==="
 run cmake --build build -j"$(nproc)" --target bench_train
 run ./build/bench/bench_train /tmp/BENCH_train_smoke.json
-# The bench must report the telemetry overhead alongside the thread table.
+# The bench must report the telemetry overhead alongside the thread table,
+# and the streaming-ingest arm's throughput + memory telemetry.
 run grep -q '"telemetry_overhead_pct"' /tmp/BENCH_train_smoke.json
+run grep -q '"streaming_ingest"' /tmp/BENCH_train_smoke.json
+run grep -q '"rows_per_sec"' /tmp/BENCH_train_smoke.json
+run grep -q '"peak_resident_bytes"' /tmp/BENCH_train_smoke.json
+# The committed benchmark must carry the ingest arm and show its peak
+# resident chunk memory within budget + one in-flight chunk (the hard
+# bound the streaming source guarantees during an eviction window).
+run python3 - <<'EOF'
+import json
+with open("BENCH_train.json") as f:
+    bench = json.load(f)
+ingest = bench["streaming_ingest"]
+assert float(ingest["rows_per_sec"]) > 0, ingest
+assert float(ingest["rows_per_sec_inmemory"]) > 0, ingest
+chunk_bytes = 8 * ingest["chunk_days"] * ingest["assets"]
+bound = ingest["budget_bytes"] + chunk_bytes
+assert ingest["peak_resident_bytes"] <= bound, (
+    f"peak {ingest['peak_resident_bytes']} > budget+chunk {bound}")
+print(f"streaming ingest {ingest['rows_per_sec']} rows/s, "
+      f"peak {ingest['peak_resident_bytes']} <= {bound} OK")
+EOF
 
 echo "ALL CHECKS PASSED"

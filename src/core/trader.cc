@@ -103,7 +103,7 @@ CrossInsightTrader::CrossInsightTrader(int64_t num_assets,
 void CrossInsightTrader::ClearFeatureCache() {
   std::unique_lock<std::shared_mutex> lock(feature_mu_);
   feature_cache_.clear();
-  cached_panel_ = nullptr;
+  cached_source_ = 0;
 }
 
 void CrossInsightTrader::Reset() {
@@ -114,7 +114,7 @@ void CrossInsightTrader::Reset() {
 }
 
 CrossInsightTrader::DayFeatures CrossInsightTrader::ComputeFeatures(
-    const market::PricePanel& panel, int64_t day) const {
+    const market::PanelView& panel, int64_t day) const {
   // Critic inputs use the trailing `critic_market_days` of the window.
   const int64_t cd = std::min(config_.critic_market_days, config_.window);
   auto critic_view = [&](const Tensor& window) {
@@ -136,23 +136,24 @@ CrossInsightTrader::DayFeatures CrossInsightTrader::ComputeFeatures(
 }
 
 const CrossInsightTrader::DayFeatures& CrossInsightTrader::FeaturesAt(
-    const market::PricePanel& panel, int64_t day) {
+    const market::PanelView& panel, int64_t day) {
+  const uint64_t source = panel.source_id();
   {
     std::shared_lock<std::shared_mutex> lock(feature_mu_);
-    if (cached_panel_ == &panel) {
+    if (cached_source_ == source) {
       auto it = feature_cache_.find(day);
       if (it != feature_cache_.end()) return it->second;
     }
   }
   // Compute outside any lock so concurrent rollout slots that miss on
   // different days don't serialize. Features are a pure function of
-  // (panel, day), so two slots racing on the same day just compute equal
+  // (source, day), so two slots racing on the same day just compute equal
   // values; try_emplace keeps whichever landed first.
   DayFeatures features = ComputeFeatures(panel, day);
   std::unique_lock<std::shared_mutex> lock(feature_mu_);
-  if (cached_panel_ != &panel) {
+  if (cached_source_ != source) {
     feature_cache_.clear();
-    cached_panel_ = &panel;
+    cached_source_ = source;
   }
   return feature_cache_.try_emplace(day, std::move(features)).first->second;
 }
@@ -170,6 +171,13 @@ Tensor CrossInsightTrader::ActorMean(
 std::vector<double> CrossInsightTrader::PolicyWeights(
     const market::PricePanel& panel, int64_t day, int64_t k,
     const std::vector<double>& prev_action) {
+  market::InMemorySource source(&panel);
+  return PolicyWeights(market::PanelView(&source), day, k, prev_action);
+}
+
+std::vector<double> CrossInsightTrader::PolicyWeights(
+    const market::PanelView& panel, int64_t day, int64_t k,
+    const std::vector<double>& prev_action) {
   CIT_CHECK(k >= 0 && k < config_.num_policies);
   ag::NoGradGuard no_grad;
   const DayFeatures& f = FeaturesAt(panel, day);
@@ -177,7 +185,7 @@ std::vector<double> CrossInsightTrader::PolicyWeights(
 }
 
 std::vector<double> CrossInsightTrader::DecideWeights(
-    const market::PricePanel& panel, int64_t day) {
+    const market::PanelView& panel, int64_t day) {
   ag::NoGradGuard no_grad;
   const DayFeatures& f = FeaturesAt(panel, day);
   const int64_t n = config_.num_policies;
@@ -200,6 +208,21 @@ std::vector<double> CrossInsightTrader::DecideWeights(
 
 std::vector<std::vector<double>> CrossInsightTrader::DecideWeightsBatch(
     const std::vector<const market::PricePanel*>& panels) {
+  // Each panel gets a fresh source (and source id) for the duration of
+  // the call; the views borrow the panels, so nothing is copied.
+  std::vector<std::unique_ptr<market::InMemorySource>> sources;
+  std::vector<market::PanelView> views;
+  sources.reserve(panels.size());
+  views.reserve(panels.size());
+  for (const market::PricePanel* p : panels) {
+    sources.push_back(std::make_unique<market::InMemorySource>(p));
+    views.emplace_back(sources.back().get());
+  }
+  return DecideWeightsBatch(views);
+}
+
+std::vector<std::vector<double>> CrossInsightTrader::DecideWeightsBatch(
+    const std::vector<market::PanelView>& panels) {
   const int64_t batch = static_cast<int64_t>(panels.size());
   std::vector<std::vector<double>> out(batch);
   if (batch == 0) return out;
@@ -208,11 +231,11 @@ std::vector<std::vector<double>> CrossInsightTrader::DecideWeightsBatch(
   const int64_t n = config_.num_policies;
   const int64_t z = config_.window;
   // Request panels are short-lived (the daemon builds one per request), so
-  // the address-keyed FeaturesAt cache is skipped on purpose.
+  // the source-keyed FeaturesAt cache is skipped on purpose.
   std::vector<DayFeatures> feats;
   feats.reserve(static_cast<size_t>(batch));
-  for (const market::PricePanel* p : panels) {
-    feats.push_back(ComputeFeatures(*p, p->num_days() - 1));
+  for (const market::PanelView& p : panels) {
+    feats.push_back(ComputeFeatures(p, p.num_days() - 1));
   }
   auto stack_windows = [&](auto&& window_of) {
     Tensor stacked({batch * m, 1, z});
@@ -304,6 +327,12 @@ struct SlotData {
 
 std::vector<double> CrossInsightTrader::Train(
     const market::PricePanel& panel, int64_t curve_points) {
+  market::InMemorySource source(&panel);
+  return Train(market::PanelView(&source), curve_points);
+}
+
+std::vector<double> CrossInsightTrader::Train(
+    const market::PanelView& panel, int64_t curve_points) {
   const int64_t n = config_.num_policies;
   CIT_CHECK_GT(panel.train_end(),
                config_.window + config_.rollout_len + 2);
@@ -311,7 +340,7 @@ std::vector<double> CrossInsightTrader::Train(
   env_config.window = config_.window;
   env_config.transaction_cost = config_.transaction_cost;
   env_config.end_day = panel.train_end() - 1;
-  env::PortfolioEnv env(&panel, env_config);
+  env::PortfolioEnv env(panel, env_config);
 
   const int64_t curve_every =
       std::max<int64_t>(1, config_.train_steps / curve_points);
@@ -722,7 +751,8 @@ class SinglePolicyAgent : public env::TradingAgent {
                  1.0 / static_cast<double>(parent_->num_assets()));
   }
 
-  std::vector<double> DecideWeights(const market::PricePanel& panel,
+  using env::TradingAgent::DecideWeights;
+  std::vector<double> DecideWeights(const market::PanelView& panel,
                                     int64_t day) override {
     prev_ = parent_->PolicyWeights(panel, day, k_, prev_);
     return prev_;

@@ -12,7 +12,7 @@
 #include "common/status.h"
 #include "core/critic.h"
 #include "env/backtest.h"
-#include "market/panel.h"
+#include "market/source.h"
 #include "math/plan.h"
 #include "math/rng.h"
 #include "nn/checkpoint.h"
@@ -33,12 +33,15 @@ class CrossInsightTrader : public env::TradingAgent {
   // Trains on the panel's training split; returns the learning curve
   // (average scaled reward per rollout, bucketed into `curve_points`
   // checkpoints — the series plotted in Fig. 8).
+  std::vector<double> Train(const market::PanelView& panel,
+                            int64_t curve_points = 20);
   std::vector<double> Train(const market::PricePanel& panel,
                             int64_t curve_points = 20);
 
   std::string name() const override { return "CIT"; }
   void Reset() override;
-  std::vector<double> DecideWeights(const market::PricePanel& panel,
+  using env::TradingAgent::DecideWeights;
+  std::vector<double> DecideWeights(const market::PanelView& panel,
                                     int64_t day) override;
 
   // Stateless batched decision for the serving path: decides every panel
@@ -47,18 +50,19 @@ class CrossInsightTrader : public env::TradingAgent {
   // — through one axis-0-stacked forward per policy, so N concurrent
   // requests pay one plan replay each instead of N. Each returned weight
   // vector is bitwise identical to the corresponding single-panel call.
-  // Bypasses the address-keyed feature cache and mutates no execution
+  // Bypasses the source-keyed feature cache and mutates no execution
   // state (held actions, feature cache); it does drive its own
   // CompiledFn caches, so the single-owner thread contract still applies.
   std::vector<std::vector<double>> DecideWeightsBatch(
+      const std::vector<market::PanelView>& panels);
+  std::vector<std::vector<double>> DecideWeightsBatch(
       const std::vector<const market::PricePanel*>& panels);
 
-  // Drops the per-day feature cache. The cache invalidates by panel
-  // *address* (identity, not content), which is sound for the long-lived
-  // panels training and backtests use — but a caller that feeds many
-  // short-lived panels (the serving daemon builds one per request) can see
-  // an old panel's address recycled for a new one, and must clear between
-  // panels to keep the cache from serving stale features.
+  // Drops the per-day feature cache. The cache invalidates by the view's
+  // source id — ids are allocated from a process-wide monotonic counter
+  // and never recycled, so a fresh source (even at a recycled address)
+  // always misses. Calling this is therefore only needed to release
+  // memory, not for correctness.
   void ClearFeatureCache();
 
   // An agent that trades policy k's pre-decision alone (deterministic),
@@ -67,6 +71,9 @@ class CrossInsightTrader : public env::TradingAgent {
   std::unique_ptr<env::TradingAgent> MakePolicyAgent(int64_t k);
 
   // Deterministic pre-decision weights of policy k at `day`.
+  std::vector<double> PolicyWeights(const market::PanelView& panel,
+                                    int64_t day, int64_t k,
+                                    const std::vector<double>& prev_action);
   std::vector<double> PolicyWeights(const market::PricePanel& panel,
                                     int64_t day, int64_t k,
                                     const std::vector<double>& prev_action);
@@ -104,10 +111,10 @@ class CrossInsightTrader : public env::TradingAgent {
   // Thread-safe: parallel rollout slots hit the same days concurrently.
   // Lookups take a shared lock; a miss computes outside any lock (features
   // are a pure function of (panel, day)) and inserts under a unique lock.
-  const DayFeatures& FeaturesAt(const market::PricePanel& panel,
+  const DayFeatures& FeaturesAt(const market::PanelView& panel,
                                 int64_t day);
 
-  DayFeatures ComputeFeatures(const market::PricePanel& panel,
+  DayFeatures ComputeFeatures(const market::PanelView& panel,
                               int64_t day) const;
 
   // Deterministic Gaussian mean of policy k for (band, prev_action),
@@ -155,12 +162,13 @@ class CrossInsightTrader : public env::TradingAgent {
   // In-flight training progress; checkpointed and restored on resume.
   rl::TrainProgress progress_;
 
-  // Per-day feature cache, keyed by day; invalidated when the panel changes.
-  // Guarded by feature_mu_; value references stay stable across inserts
-  // (unordered_map never moves mapped values), so returned references
-  // outlive the lock.
+  // Per-day feature cache, keyed by day; invalidated when the view's
+  // source id changes (ids are monotonic and never recycled, so this is
+  // immune to address reuse). Guarded by feature_mu_; value references
+  // stay stable across inserts (unordered_map never moves mapped values),
+  // so returned references outlive the lock.
   mutable std::shared_mutex feature_mu_;
-  const market::PricePanel* cached_panel_ = nullptr;
+  uint64_t cached_source_ = 0;  // 0 = no source cached
   std::unordered_map<int64_t, DayFeatures> feature_cache_;
 
   std::vector<double> last_advantages_;

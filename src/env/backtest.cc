@@ -8,10 +8,17 @@
 
 namespace cit::env {
 
+std::vector<double> TradingAgent::DecideWeights(
+    const market::PricePanel& panel, int64_t day) {
+  market::InMemorySource source(&panel);
+  const market::PanelView view(&source);
+  return DecideWeights(view, day);
+}
+
 BacktestResult RunBacktest(TradingAgent& agent,
-                           const market::PricePanel& panel,
+                           const market::PanelView& view,
                            const EnvConfig& config) {
-  PortfolioEnv env(&panel, config);
+  PortfolioEnv env(view, config);
   agent.Reset();
 
   BacktestResult result;
@@ -26,7 +33,7 @@ BacktestResult RunBacktest(TradingAgent& agent,
     CIT_OBS_SPAN("backtest.step");
     CIT_OBS_COUNT("backtest.steps", 1);
     std::vector<double> weights =
-        agent.DecideWeights(panel, env.current_day());
+        agent.DecideWeights(view, env.current_day());
     // A single bad action (NaN/negative/unnormalized) from one agent must
     // degrade gracefully, not CHECK-abort a comparison run covering every
     // baseline: repair it onto the simplex and count the repair. A size
@@ -47,16 +54,31 @@ BacktestResult RunBacktest(TradingAgent& agent,
   return result;
 }
 
+BacktestResult RunBacktest(TradingAgent& agent,
+                           const market::PricePanel& panel,
+                           const EnvConfig& config) {
+  market::InMemorySource source(&panel);
+  return RunBacktest(agent, market::PanelView(&source), config);
+}
+
 BacktestResult RunTestBacktest(TradingAgent& agent,
-                               const market::PricePanel& panel,
+                               const market::PanelView& view,
                                int64_t window, double transaction_cost) {
-  CIT_CHECK_GT(panel.train_end(), window);
+  CIT_CHECK_GT(view.train_end(), window);
   EnvConfig config;
   config.window = window;
   config.transaction_cost = transaction_cost;
-  config.start_day = panel.train_end();
-  config.end_day = panel.num_days() - 1;
-  return RunBacktest(agent, panel, config);
+  config.start_day = view.train_end();
+  config.end_day = view.num_days() - 1;
+  return RunBacktest(agent, view, config);
+}
+
+BacktestResult RunTestBacktest(TradingAgent& agent,
+                               const market::PricePanel& panel,
+                               int64_t window, double transaction_cost) {
+  market::InMemorySource source(&panel);
+  return RunTestBacktest(agent, market::PanelView(&source), window,
+                         transaction_cost);
 }
 
 }  // namespace cit::env

@@ -32,16 +32,28 @@ std::vector<double> NormalizeToSimplex(std::vector<double> w) {
   return w;
 }
 
+PortfolioEnv::PortfolioEnv(market::PanelView view, EnvConfig config)
+    : view_(view), config_(config) {
+  CIT_CHECK(view_.valid());
+  InitRange();
+}
+
 PortfolioEnv::PortfolioEnv(const market::PricePanel* panel, EnvConfig config)
-    : panel_(panel), config_(config) {
+    : config_(config) {
   CIT_CHECK(panel != nullptr);
+  owned_source_ = std::make_shared<market::InMemorySource>(panel);
+  view_ = market::PanelView(owned_source_.get());
+  InitRange();
+}
+
+void PortfolioEnv::InitRange() {
   CIT_CHECK_GE(config_.window, 2);
   start_day_ =
       config_.start_day >= 0 ? config_.start_day : config_.window;
-  end_day_ = config_.end_day >= 0 ? config_.end_day : panel_->num_days() - 1;
+  end_day_ = config_.end_day >= 0 ? config_.end_day : view_.num_days() - 1;
   CIT_CHECK_GE(start_day_, config_.window);
   CIT_CHECK_LT(start_day_, end_day_);
-  CIT_CHECK_LE(end_day_, panel_->num_days() - 1);
+  CIT_CHECK_LE(end_day_, view_.num_days() - 1);
   Reset();
 }
 
@@ -53,8 +65,8 @@ void PortfolioEnv::ResetAt(int64_t day) {
   day_ = day;
   wealth_ = 1.0;
   // The paper initializes portfolios with the average assignment.
-  held_.assign(panel_->num_assets(),
-               1.0 / static_cast<double>(panel_->num_assets()));
+  held_.assign(view_.num_assets(),
+               1.0 / static_cast<double>(view_.num_assets()));
 }
 
 PortfolioEnv PortfolioEnv::CloneAt(int64_t day) const {
@@ -79,7 +91,7 @@ Status PortfolioEnv::RestoreCursor(const EnvCursor& cursor) {
   if (!std::isfinite(cursor.wealth) || cursor.wealth <= 0.0) {
     return Status::InvalidArgument("env cursor wealth must be positive");
   }
-  if (static_cast<int64_t>(cursor.held.size()) != panel_->num_assets() ||
+  if (static_cast<int64_t>(cursor.held.size()) != view_.num_assets() ||
       !IsValidPortfolio(cursor.held)) {
     return Status::InvalidArgument("env cursor holdings are not a portfolio");
   }
@@ -93,23 +105,28 @@ StepResult PortfolioEnv::Step(const std::vector<double>& weights) {
   CIT_OBS_SPAN("env.step");
   CIT_OBS_COUNT("env.steps", 1);
   CIT_CHECK(!done());
-  CIT_CHECK_EQ(static_cast<int64_t>(weights.size()), panel_->num_assets());
+  CIT_CHECK_EQ(static_cast<int64_t>(weights.size()), view_.num_assets());
   CIT_CHECK_MSG(IsValidPortfolio(weights), "action must lie on the simplex");
 
   // Proportional cost on the rebalancing turnover from current (drifted)
-  // holdings to the target weights.
+  // holdings to the target weights. Liquidity-hole scenarios widen the
+  // cost through the view; the guard keeps plain sources bitwise
+  // identical to the pre-data-plane arithmetic (no spurious `* 1.0`).
   double turnover = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {
     turnover += std::fabs(weights[i] - held_[i]);
   }
-  const double cost_factor = 1.0 - config_.transaction_cost * turnover;
+  double tc = config_.transaction_cost;
+  const double cost_mult = view_.CostMultiplier(day_);
+  if (cost_mult != 1.0) tc *= cost_mult;
+  const double cost_factor = 1.0 - tc * turnover;
 
   // Gross growth over day_ -> day_+1 under the target weights.
   const int64_t next = day_ + 1;
   double growth = 0.0;
   std::vector<double> drifted(weights.size());
   for (size_t i = 0; i < weights.size(); ++i) {
-    const double rel = panel_->PriceRelative(next, static_cast<int64_t>(i));
+    const double rel = view_.PriceRelative(next, static_cast<int64_t>(i));
     drifted[i] = weights[i] * rel;
     growth += drifted[i];
   }
@@ -132,12 +149,12 @@ StepResult PortfolioEnv::Step(const std::vector<double>& weights) {
 
 std::vector<double> PortfolioEnv::PriceWindow() const {
   const int64_t z = config_.window;
-  const int64_t m = panel_->num_assets();
+  const int64_t m = view_.num_assets();
   std::vector<double> out(z * m);
   for (int64_t k = 0; k < z; ++k) {
     const int64_t day = day_ - z + 1 + k;
     for (int64_t i = 0; i < m; ++i) {
-      out[k * m + i] = panel_->Close(day, i);
+      out[k * m + i] = view_.Close(day, i);
     }
   }
   return out;
@@ -145,12 +162,12 @@ std::vector<double> PortfolioEnv::PriceWindow() const {
 
 std::vector<double> PortfolioEnv::RelativeWindow() const {
   const int64_t z = config_.window;
-  const int64_t m = panel_->num_assets();
+  const int64_t m = view_.num_assets();
   std::vector<double> out(z * m);
   for (int64_t k = 0; k < z; ++k) {
     const int64_t day = day_ - z + 1 + k;
     for (int64_t i = 0; i < m; ++i) {
-      out[k * m + i] = panel_->PriceRelative(day, i);
+      out[k * m + i] = view_.PriceRelative(day, i);
     }
   }
   return out;

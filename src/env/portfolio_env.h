@@ -2,10 +2,12 @@
 #define CIT_ENV_PORTFOLIO_ENV_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "market/panel.h"
+#include "market/source.h"
 
 namespace cit::env {
 
@@ -33,8 +35,19 @@ struct StepResult {
 // return of the portfolio value net of proportional transaction costs
 // (r_t = log(a_t . x_t) in the paper, extended with costs). The market is
 // exogenous: actions do not move prices (s_{t+1} ~ Z(s_t)).
+//
+// Prices are read through a market::PanelView, so the same env runs over
+// in-memory panels, streamed CSVs, on-demand simulators, and scenario
+// stacks (DESIGN.md §11). Scenario sources may widen the transaction cost
+// on specific days via the view's CostMultiplier.
 class PortfolioEnv {
  public:
+  // The source behind `view` must outlive the env and all its clones.
+  PortfolioEnv(market::PanelView view, EnvConfig config);
+
+  // Compatibility: wraps `panel` in an internally-owned InMemorySource
+  // (shared across clones). The panel must outlive the env, exactly as
+  // before the data-plane refactor.
   PortfolioEnv(const market::PricePanel* panel, EnvConfig config);
 
   // Moves to `start_day` (or the default) and resets wealth and weights.
@@ -42,9 +55,11 @@ class PortfolioEnv {
   // Resets to a specific day within [earliest_start, end_day).
   void ResetAt(int64_t day);
 
-  // An independent copy of this env reset at `day`. The price panel is
-  // shared (it is immutable), all mutable state is private to the clone —
-  // this is how parallel rollout collection gives every slot its own env.
+  // An independent copy of this env reset at `day`. The price data is
+  // shared (sources are immutable), all mutable state is private to the
+  // clone — this is how parallel rollout collection gives every slot its
+  // own env. The clone's view keeps a private chunk ring, so clones on
+  // different threads never share view state.
   PortfolioEnv CloneAt(int64_t day) const;
 
   // Executes target weights for the transition day -> day+1. `weights` must
@@ -79,15 +94,20 @@ class PortfolioEnv {
   // Trailing price-relative window (p_t/p_{t-1}), same layout.
   std::vector<double> RelativeWindow() const;
 
-  int64_t num_assets() const { return panel_->num_assets(); }
+  int64_t num_assets() const { return view_.num_assets(); }
   int64_t window() const { return config_.window; }
   int64_t earliest_start() const { return config_.window; }
   int64_t end_day() const { return end_day_; }
 
-  const market::PricePanel& panel() const { return *panel_; }
+  const market::PanelView& view() const { return view_; }
 
  private:
-  const market::PricePanel* panel_;  // not owned
+  void InitRange();
+
+  market::PanelView view_;
+  // Set only by the PricePanel* compatibility constructor; shared by
+  // clones so the wrapping source lives as long as any env using it.
+  std::shared_ptr<market::PanelSource> owned_source_;
   EnvConfig config_;
   int64_t start_day_;
   int64_t end_day_;

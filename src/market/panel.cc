@@ -1,6 +1,7 @@
 #include "market/panel.h"
 
 #include "common/check.h"
+#include "market/source.h"
 
 namespace cit::market {
 
@@ -31,9 +32,7 @@ void PricePanel::SetClose(int64_t day, int64_t asset, double price) {
 
 double PricePanel::PriceRelative(int64_t day, int64_t asset) const {
   CIT_CHECK_GE(day, 1);
-  const double prev = Close(day - 1, asset);
-  CIT_CHECK_GT(prev, 0.0);
-  return Close(day, asset) / prev;
+  return HaltAwareRelative(Close(day - 1, asset), Close(day, asset));
 }
 
 std::vector<double> PricePanel::IndexLevels(int64_t base_day) const {

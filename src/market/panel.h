@@ -23,6 +23,10 @@ class PricePanel {
   void SetClose(int64_t day, int64_t asset, double price);
 
   // Price relative x_t(i) = p_t(i) / p_{t-1}(i); day must be >= 1.
+  // Halted-asset semantics: when either endpoint is non-positive or
+  // non-finite (zeroed quote, delisted asset), the relative is exactly
+  // 1.0 — capital parked in a halted asset neither grows nor shrinks.
+  // See HaltAwareRelative in market/source.h.
   double PriceRelative(int64_t day, int64_t asset) const;
 
   // Equal-weight buy-and-hold index level normalized to 1.0 at day
@@ -44,6 +48,11 @@ class PricePanel {
 
   // A panel restricted to days [start, end).
   PricePanel SliceDays(int64_t start, int64_t end) const;
+
+  // Raw row-major [num_days, num_assets] close storage; stable while the
+  // panel is alive and unmodified. Lets InMemorySource expose the panel
+  // as a zero-copy chunk.
+  const double* raw_closes() const { return close_.data(); }
 
  private:
   int64_t num_days_ = 0;

@@ -1,0 +1,146 @@
+#ifndef CIT_MARKET_SCENARIO_H_
+#define CIT_MARKET_SCENARIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "market/source.h"
+
+namespace cit::market {
+
+// ---------------------------------------------------------------------------
+// Named stress scenarios as composable, deterministic panel transforms.
+// A ScenarioSource decorates any PanelSource with a stack of transforms;
+// each transform rewrites one day's close row as a pure function of the
+// stack-input data (no RNG), so chunks are identical regardless of access
+// order or thread — the same determinism contract as every other source.
+//
+// Built-in presets (see README for the parameter table):
+//   flash_crash            multi-day slide on a subset of assets, with
+//                          optional recovery ramp; no recovery models
+//                          post-jump continuation (OLMAR's nemesis)
+//   correlation_breakdown  compresses cross-sectional dispersion toward
+//                          the equal-weight market's cumulative return —
+//                          diversification stops working
+//   liquidity_hole         widens the env's proportional transaction cost
+//                          by `cost_mult` inside a day window; prices are
+//                          untouched
+//   halt                   freezes (stale quote) or zeroes a set of
+//                          assets' quotes for a window; length=0 delists
+//                          to the end of the panel
+//   regime_flip            inverts post-flip cumulative returns around
+//                          the flip day: winners become losers, momentum
+//                          becomes reversal
+// ---------------------------------------------------------------------------
+
+// A parsed scenario invocation: preset name + numeric parameters.
+struct ScenarioSpec {
+  std::string name;
+  std::map<std::string, double> params;  // ordered: stable formatting
+};
+
+// One transform in a stack. Day-local contract: Apply rewrites the close
+// row of `day` in place; on entry `row` holds the stack-input values for
+// that day, and `input` reads the stack-input panel at *other* days
+// (reference anchors). Implementations must be pure functions of
+// (input, day, params) — no RNG, no mutable state — so the decorated
+// source stays deterministic under any access order.
+class ScenarioTransform {
+ public:
+  // Read access to the transform's input level (the base source with all
+  // preceding stack transforms applied).
+  class Input {
+   public:
+    virtual ~Input() = default;
+    virtual double Close(int64_t day, int64_t asset) const = 0;
+    virtual int64_t num_days() const = 0;
+    virtual int64_t num_assets() const = 0;
+    virtual int64_t train_end() const = 0;
+  };
+
+  virtual ~ScenarioTransform() = default;
+  virtual const std::string& name() const = 0;
+  virtual void Apply(const Input& input, int64_t day, double* row) const = 0;
+  // Scales the env's proportional transaction cost at `day` (liquidity
+  // stress); multiplicative across the stack.
+  virtual double CostMultiplier(int64_t day) const {
+    (void)day;
+    return 1.0;
+  }
+};
+
+using ScenarioFactory =
+    std::function<Result<std::unique_ptr<ScenarioTransform>>(
+        const ScenarioSpec&)>;
+
+// Registers a named scenario preset (replaces an existing registration).
+// The built-in presets above are pre-registered.
+void RegisterScenario(const std::string& name, ScenarioFactory factory);
+
+// Sorted names of all registered presets.
+std::vector<std::string> RegisteredScenarioNames();
+
+// Instantiates one transform; rejects unknown presets and unknown or
+// out-of-range parameters.
+Result<std::unique_ptr<ScenarioTransform>> MakeScenarioTransform(
+    const ScenarioSpec& spec);
+
+// Parses a transform stack from
+//   "name:key=value,key=value|name2|name3:key=value"
+// (empty text = empty stack). Values are doubles.
+Result<std::vector<ScenarioSpec>> ParseScenarioStack(const std::string& text);
+
+// Canonical text form of a stack (inverse of ParseScenarioStack).
+std::string FormatScenarioStack(const std::vector<ScenarioSpec>& stack);
+
+// Decorates `base` with a transform stack. Chunking mirrors the base
+// source; each fetched chunk is materialized by evaluating the stack
+// day-by-day, memoizing reference-anchor rows. `base` is borrowed and
+// must outlive the ScenarioSource; it may be shared with other consumers
+// (FetchChunk is thread-safe all the way down).
+class ScenarioSource : public PanelSource {
+ public:
+  ScenarioSource(PanelSource* base,
+                 std::vector<std::unique_ptr<ScenarioTransform>> stack);
+
+  // Convenience: parse + instantiate + decorate.
+  static Result<std::unique_ptr<ScenarioSource>> Make(
+      PanelSource* base, const std::vector<ScenarioSpec>& stack);
+
+  const PanelMeta& meta() const override { return meta_; }
+  int64_t chunk_days() const override { return base_->chunk_days(); }
+  std::shared_ptr<const PanelChunk> FetchChunk(int64_t index) override;
+  void Prefetch(int64_t first_day, int64_t last_day) override {
+    base_->Prefetch(first_day, last_day);
+  }
+  double CostMultiplier(int64_t day) const override;
+
+ private:
+  class LevelInput;
+
+  // Fills `row` with the close row of `day` after the first `level`
+  // transforms. mu_ held.
+  void EvalRow(int64_t day, size_t level, double* row);
+
+  PanelSource* base_;  // not owned
+  std::vector<std::unique_ptr<ScenarioTransform>> stack_;
+  PanelMeta meta_;
+
+  std::mutex mu_;
+  PanelView base_view_;  // guarded by mu_
+  // Memoized anchor rows requested through Input::Close, keyed by
+  // (level, day). Anchors are a handful of fixed days per transform, so
+  // this stays small.
+  std::unordered_map<uint64_t, std::vector<double>> anchor_rows_;
+};
+
+}  // namespace cit::market
+
+#endif  // CIT_MARKET_SCENARIO_H_

@@ -1,0 +1,64 @@
+#include "market/sim_source.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cit::market {
+
+SimulatorSource::SimulatorSource(const MarketConfig& config,
+                                 int64_t chunk_days)
+    : config_(config), chunk_days_(chunk_days), frontier_(config) {
+  CIT_CHECK_GT(chunk_days_, 0);
+  meta_.num_days = config_.num_days();
+  meta_.num_assets = config_.num_assets;
+  meta_.train_end = config_.train_days;
+  meta_.name = config_.name;
+  meta_.asset_names.resize(config_.num_assets);
+  for (int64_t i = 0; i < config_.num_assets; ++i) {
+    meta_.asset_names[i] = "A" + std::to_string(i);
+  }
+  snapshots_.push_back(frontier_);  // state before day 0
+}
+
+void SimulatorSource::ExtendTo(int64_t index) {
+  std::vector<double> discard(config_.num_assets);
+  while (static_cast<int64_t>(snapshots_.size()) <= index) {
+    // Advance the frontier through the chunk the last snapshot opens,
+    // discarding rows — only the boundary state is kept. FetchChunk
+    // regenerates rows from the snapshot, so every chunk is produced by
+    // the same draw sequence regardless of which chunk is asked first.
+    const int64_t upto = std::min(
+        static_cast<int64_t>(snapshots_.size()) * chunk_days_,
+        meta_.num_days);
+    while (frontier_.next_day() < upto) frontier_.StepDay(discard.data());
+    snapshots_.push_back(frontier_);
+  }
+}
+
+std::shared_ptr<const PanelChunk> SimulatorSource::FetchChunk(
+    int64_t index) {
+  CIT_CHECK(index >= 0 && index < num_chunks());
+  const int64_t start_day = index * chunk_days_;
+  const int64_t days = std::min(chunk_days_, meta_.num_days - start_day);
+  const int64_t m = meta_.num_assets;
+
+  auto chunk = std::make_shared<PanelChunk>();
+  chunk->start_day = start_day;
+  chunk->num_days = days;
+  chunk->num_assets = m;
+  chunk->owned.resize(static_cast<size_t>(days * m));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ExtendTo(index);
+  MarketSim replay = snapshots_[index];
+  CIT_CHECK_EQ(replay.next_day(), start_day);
+  for (int64_t r = 0; r < days; ++r) {
+    replay.StepDay(chunk->owned.data() + r * m);
+  }
+  chunk->data = chunk->owned.data();
+  return chunk;
+}
+
+}  // namespace cit::market

@@ -1,0 +1,52 @@
+#ifndef CIT_MARKET_SIM_SOURCE_H_
+#define CIT_MARKET_SIM_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "market/simulator.h"
+#include "market/source.h"
+
+namespace cit::market {
+
+// Generates simulator chunks on demand, bitwise identical to
+// SimulateMarket(config) for any chunk size and any access order.
+//
+// The generator is a sequential state machine (one RNG stream drives all
+// days), so "any chunk independent of access order" is achieved with a
+// checkpoint chain rather than per-day counter-split draws: the source
+// lazily advances a MarketSim through the panel, snapshotting the (small,
+// copyable) state at every chunk boundary; fetching chunk c restores
+// snapshot c into a scratch sim and replays just that chunk. Checkpoints
+// are extended strictly in order, so the emitted prices never depend on
+// which chunk was asked for first. (True counter-split per-day draws would
+// reorder the RNG stream and change every simulated panel the existing
+// tests and benches pin — see DESIGN.md §11.)
+class SimulatorSource : public PanelSource {
+ public:
+  explicit SimulatorSource(const MarketConfig& config,
+                           int64_t chunk_days = 128);
+
+  const PanelMeta& meta() const override { return meta_; }
+  int64_t chunk_days() const override { return chunk_days_; }
+  std::shared_ptr<const PanelChunk> FetchChunk(int64_t index) override;
+
+ private:
+  // Extends the checkpoint chain so snapshots_[index] exists. mu_ held.
+  void ExtendTo(int64_t index);
+
+  MarketConfig config_;
+  int64_t chunk_days_;
+  PanelMeta meta_;
+
+  std::mutex mu_;
+  // snapshots_[c] = sim state poised to generate day c * chunk_days_.
+  std::vector<MarketSim> snapshots_;
+  MarketSim frontier_;  // advanced to the next unsnapshotted boundary
+};
+
+}  // namespace cit::market
+
+#endif  // CIT_MARKET_SIM_SOURCE_H_

@@ -98,89 +98,107 @@ MarketConfig ChinaMarketConfig() {
   return ApplyScale(c);
 }
 
-PricePanel SimulateMarket(const MarketConfig& config) {
-  const int64_t days = config.num_days();
-  const int64_t m = config.num_assets;
-  CIT_CHECK_GT(days, 1);
+MarketSim::MarketSim(const MarketConfig& config)
+    : config_(config),
+      days_(config.num_days()),
+      rng_(config.seed),
+      rho_event_(HalfLifeToRho(config.jump_drift_half_life)),
+      rho_sector_(HalfLifeToRho(32.0)) {
+  const int64_t m = config_.num_assets;
+  CIT_CHECK_GT(days_, 1);
   CIT_CHECK_GT(m, 0);
-  Rng rng(config.seed);
 
   // Static per-asset structure.
-  std::vector<double> beta(m);
-  std::vector<int64_t> sector(m);
+  beta_.resize(m);
+  sector_.resize(m);
   for (int64_t i = 0; i < m; ++i) {
-    beta[i] = config.market_beta_mean +
-              config.market_beta_spread * (2.0 * rng.Uniform() - 1.0);
-    sector[i] = i % std::max<int64_t>(1, config.num_sectors);
+    beta_[i] = config_.market_beta_mean +
+               config_.market_beta_spread * (2.0 * rng_.Uniform() - 1.0);
+    sector_[i] = i % std::max<int64_t>(1, config_.num_sectors);
   }
 
   // State: horizon momentum components (AR(1) on returns), per-asset
   // drift, sector factor levels, regime of the market factor.
-  std::vector<double> comp_long(m, 0.0);
-  std::vector<double> comp_mid(m, 0.0);
-  std::vector<double> comp_short(m, 0.0);
-  std::vector<double> drift(m, 0.0);
-  std::vector<double> event_drift(m, 0.0);
-  const double rho_event = HalfLifeToRho(config.jump_drift_half_life);
-  std::vector<double> sector_level(
-      std::max<int64_t>(1, config.num_sectors), 0.0);
-  const double rho_sector = HalfLifeToRho(32.0);
+  comp_long_.assign(m, 0.0);
+  comp_mid_.assign(m, 0.0);
+  comp_short_.assign(m, 0.0);
+  drift_.assign(m, 0.0);
+  event_drift_.assign(m, 0.0);
+  sector_level_.assign(std::max<int64_t>(1, config_.num_sectors), 0.0);
+  log_price_.assign(m, 0.0);
+}
 
-  std::vector<double> log_price(m, 0.0);
+void MarketSim::StepDay(double* out_row) {
+  CIT_CHECK_LT(t_, days_);
+  const int64_t t = t_;
+  const int64_t m = config_.num_assets;
+
+  // Regime transition (or forced bear tail).
+  if (config_.forced_bear_tail > 0 &&
+      t >= days_ - config_.forced_bear_tail) {
+    bull_ = false;
+  } else {
+    const double stay =
+        bull_ ? config_.bull_stay_prob : config_.bear_stay_prob;
+    if (rng_.Uniform() > stay) bull_ = !bull_;
+  }
+  const double market_ret =
+      (bull_ ? config_.bull_drift : config_.bear_drift) +
+      config_.market_vol * rng_.Normal();
+
+  std::vector<double> sector_increment(sector_level_.size());
+  for (size_t s = 0; s < sector_level_.size(); ++s) {
+    const double prev = sector_level_[s];
+    sector_level_[s] =
+        rho_sector_ * prev + config_.sector_vol * rng_.Normal();
+    sector_increment[s] = sector_level_[s] - prev;
+  }
+
+  for (int64_t i = 0; i < m; ++i) {
+    // Horizon momentum components: AR(1) on returns, so each band's
+    // returns are positively autocorrelated at its own time scale.
+    comp_long_[i] =
+        config_.long_phi * comp_long_[i] + config_.long_vol * rng_.Normal();
+    comp_mid_[i] =
+        config_.mid_phi * comp_mid_[i] + config_.mid_vol * rng_.Normal();
+    comp_short_[i] = config_.short_phi * comp_short_[i] +
+                     config_.short_vol * rng_.Normal();
+    drift_[i] = config_.drift_persistence * drift_[i] +
+                config_.drift_vol * rng_.Normal();
+
+    // News jumps with continuation: the jump hits immediately and seeds
+    // a same-direction drift that decays over jump_drift_half_life days.
+    event_drift_[i] *= rho_event_;
+    double jump = 0.0;
+    if (config_.jump_prob > 0.0 && rng_.Uniform() < config_.jump_prob) {
+      jump = config_.jump_vol * rng_.Normal();
+      event_drift_[i] += config_.jump_drift_fraction * jump;
+    }
+
+    const double ret = jump + event_drift_[i] + drift_[i] +
+                       beta_[i] * market_ret +
+                       sector_increment[sector_[i]] + comp_long_[i] +
+                       comp_mid_[i] + comp_short_[i] +
+                       config_.idio_vol * rng_.Normal();
+    log_price_[i] += ret;
+    out_row[i] = 100.0 * std::exp(log_price_[i]);
+  }
+  ++t_;
+}
+
+PricePanel SimulateMarket(const MarketConfig& config) {
+  const int64_t days = config.num_days();
+  const int64_t m = config.num_assets;
+  MarketSim sim(config);
+
   PricePanel panel(days, m);
   panel.set_name(config.name);
   panel.set_train_end(config.train_days);
 
-  bool bull = true;
+  std::vector<double> row(m);
   for (int64_t t = 0; t < days; ++t) {
-    // Regime transition (or forced bear tail).
-    if (config.forced_bear_tail > 0 && t >= days - config.forced_bear_tail) {
-      bull = false;
-    } else {
-      const double stay =
-          bull ? config.bull_stay_prob : config.bear_stay_prob;
-      if (rng.Uniform() > stay) bull = !bull;
-    }
-    const double market_ret =
-        (bull ? config.bull_drift : config.bear_drift) +
-        config.market_vol * rng.Normal();
-
-    std::vector<double> sector_increment(sector_level.size());
-    for (size_t s = 0; s < sector_level.size(); ++s) {
-      const double prev = sector_level[s];
-      sector_level[s] = rho_sector * prev + config.sector_vol * rng.Normal();
-      sector_increment[s] = sector_level[s] - prev;
-    }
-
-    for (int64_t i = 0; i < m; ++i) {
-      // Horizon momentum components: AR(1) on returns, so each band's
-      // returns are positively autocorrelated at its own time scale.
-      comp_long[i] =
-          config.long_phi * comp_long[i] + config.long_vol * rng.Normal();
-      comp_mid[i] =
-          config.mid_phi * comp_mid[i] + config.mid_vol * rng.Normal();
-      comp_short[i] = config.short_phi * comp_short[i] +
-                      config.short_vol * rng.Normal();
-      drift[i] = config.drift_persistence * drift[i] +
-                 config.drift_vol * rng.Normal();
-
-      // News jumps with continuation: the jump hits immediately and seeds
-      // a same-direction drift that decays over jump_drift_half_life days.
-      event_drift[i] *= rho_event;
-      double jump = 0.0;
-      if (config.jump_prob > 0.0 && rng.Uniform() < config.jump_prob) {
-        jump = config.jump_vol * rng.Normal();
-        event_drift[i] += config.jump_drift_fraction * jump;
-      }
-
-      const double ret = jump + event_drift[i] + drift[i] +
-                         beta[i] * market_ret +
-                         sector_increment[sector[i]] + comp_long[i] +
-                         comp_mid[i] + comp_short[i] +
-                         config.idio_vol * rng.Normal();
-      log_price[i] += ret;
-      panel.SetClose(t, i, 100.0 * std::exp(log_price[i]));
-    }
+    sim.StepDay(row.data());
+    for (int64_t i = 0; i < m; ++i) panel.SetClose(t, i, row[i]);
   }
   return panel;
 }

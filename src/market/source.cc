@@ -1,0 +1,107 @@
+#include "market/source.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace cit::market {
+
+namespace {
+
+// Process-global id allocator. Ids start at 1 (0 = "no source" in caches)
+// and are never recycled.
+std::atomic<uint64_t> g_next_source_id{1};
+
+}  // namespace
+
+PanelSource::PanelSource()
+    : source_id_(g_next_source_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+PanelView::PanelView(const PricePanel& panel)
+    : owned_source_(std::make_shared<InMemorySource>(&panel)) {
+  source_ = owned_source_.get();
+  meta_ = &source_->meta();
+  chunk_days_ = source_->chunk_days();
+  CIT_CHECK_GT(chunk_days_, 0);
+}
+
+const PanelChunk* PanelView::ChunkFor(int64_t day) const {
+  // Ring hit?
+  for (const auto& c : ring_) {
+    if (c && c->Covers(day)) {
+      hot_ = c.get();
+      return hot_;
+    }
+  }
+  const int64_t index = day / chunk_days_;
+  std::shared_ptr<const PanelChunk> chunk = source_->FetchChunk(index);
+  CIT_CHECK(chunk != nullptr);
+  CIT_CHECK(chunk->Covers(day));
+  // Sequential scans cross chunk boundaries in order; let the source start
+  // on the next chunk while we consume this one.
+  const int64_t next_first = (index + 1) * chunk_days_;
+  if (next_first < meta_->num_days) {
+    source_->Prefetch(next_first,
+                      std::min(next_first + chunk_days_ - 1,
+                               meta_->num_days - 1));
+  }
+  ring_[ring_next_] = std::move(chunk);
+  hot_ = ring_[ring_next_].get();
+  ring_next_ = (ring_next_ + 1) % kRing;
+  return hot_;
+}
+
+void PanelView::Hint(int64_t first_day, int64_t last_day) const {
+  first_day = std::max<int64_t>(0, first_day);
+  last_day = std::min(last_day, meta_->num_days - 1);
+  if (first_day <= last_day) source_->Prefetch(first_day, last_day);
+}
+
+PricePanel PanelView::Materialize() const {
+  PricePanel out(num_days(), num_assets());
+  out.set_name(name());
+  out.set_train_end(train_end());
+  out.asset_names() = asset_names();
+  for (int64_t t = 0; t < num_days(); ++t) {
+    for (int64_t i = 0; i < num_assets(); ++i) {
+      out.SetClose(t, i, Close(t, i));
+    }
+  }
+  return out;
+}
+
+InMemorySource::InMemorySource(const PricePanel* panel) : panel_(panel) {
+  CIT_CHECK(panel != nullptr);
+  Init();
+}
+
+InMemorySource::InMemorySource(PricePanel panel)
+    : owned_(std::move(panel)), panel_(&owned_) {
+  Init();
+}
+
+void InMemorySource::Init() {
+  meta_.num_days = panel_->num_days();
+  meta_.num_assets = panel_->num_assets();
+  meta_.train_end = panel_->train_end();
+  meta_.name = panel_->name();
+  meta_.asset_names = panel_->asset_names();
+
+  auto chunk = std::make_shared<PanelChunk>();
+  chunk->start_day = 0;
+  chunk->num_days = panel_->num_days();
+  chunk->num_assets = panel_->num_assets();
+  chunk->data = panel_->raw_closes();  // zero copy: borrows panel storage
+  chunk_ = std::move(chunk);
+}
+
+int64_t InMemorySource::chunk_days() const {
+  return std::max<int64_t>(1, meta_.num_days);
+}
+
+std::shared_ptr<const PanelChunk> InMemorySource::FetchChunk(int64_t index) {
+  CIT_CHECK_EQ(index, 0);
+  return chunk_;
+}
+
+}  // namespace cit::market

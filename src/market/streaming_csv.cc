@@ -1,0 +1,310 @@
+#include "market/streaming_csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "market/csv_parse.h"
+
+namespace cit::market {
+
+using csv_internal::ParseInt64;
+using csv_internal::ParsePriceCell;
+using csv_internal::StripTrailingCr;
+
+StreamingCsvSource::StreamingCsvSource(std::string path,
+                                       StreamingCsvOptions options)
+    : path_(std::move(path)), options_(options) {}
+
+StreamingCsvSource::~StreamingCsvSource() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+Result<std::unique_ptr<StreamingCsvSource>> StreamingCsvSource::Open(
+    const std::string& path, StreamingCsvOptions options) {
+  if (options.chunk_days < 1) {
+    return Status::InvalidArgument("chunk_days must be >= 1");
+  }
+  if (options.max_resident_chunks < 1) {
+    return Status::InvalidArgument("max_resident_chunks must be >= 1");
+  }
+  std::unique_ptr<StreamingCsvSource> source(
+      new StreamingCsvSource(path, options));
+  const Status indexed = source->IndexFile();
+  if (!indexed.ok()) return indexed;
+  if (options.prefetch) {
+    source->worker_ = std::thread([raw = source.get()] { raw->WorkerLoop(); });
+  }
+  return source;
+}
+
+Status StreamingCsvSource::IndexFile() {
+  std::ifstream in(path_);
+  if (!in) return Status::IoError("cannot open for reading: " + path_);
+
+  int64_t train_end = 0;
+  bool saw_train_end = false;
+  std::string line;
+  // Optional comment lines before the header.
+  while (std::getline(in, line)) {
+    StripTrailingCr(&line);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const std::string key = "#train_end=";
+      if (line.rfind(key, 0) == 0) {
+        if (!ParseInt64(line.substr(key.size()), &train_end)) {
+          return Status::InvalidArgument("malformed #train_end header: '" +
+                                         line + "'");
+        }
+        saw_train_end = true;
+      }
+      continue;
+    }
+    break;  // `line` now holds the header
+  }
+  if (line.empty()) return Status::InvalidArgument("empty CSV: " + path_);
+
+  std::vector<std::string> names;
+  {
+    std::stringstream ss(line);
+    std::string cell;
+    bool first = true;
+    while (std::getline(ss, cell, ',')) {
+      StripTrailingCr(&cell);
+      if (first) {
+        first = false;  // day column
+      } else {
+        if (cell.empty()) {
+          return Status::InvalidArgument("empty asset name in CSV header: " +
+                                         path_);
+        }
+        names.push_back(cell);
+      }
+    }
+  }
+  if (names.empty()) {
+    return Status::InvalidArgument("CSV has no asset columns: " + path_);
+  }
+
+  // Validate every data row now — FetchChunk has no error channel, so a
+  // malformed cell must be rejected here, with the file context in hand,
+  // not mid-backtest. Memory stays O(1): rows are parsed and discarded;
+  // only the byte offset of each chunk's first row is kept.
+  int64_t num_days = 0;
+  int64_t offset = static_cast<int64_t>(in.tellg());
+  while (std::getline(in, line)) {
+    StripTrailingCr(&line);
+    if (!line.empty() && line[0] != '#') {
+      std::stringstream ss(line);
+      std::string cell;
+      size_t cells = 0;
+      bool first = true;
+      while (std::getline(ss, cell, ',')) {
+        if (first) {
+          first = false;
+          continue;
+        }
+        double v = 0.0;
+        const Status parsed = ParsePriceCell(cell, &v);
+        if (!parsed.ok()) return parsed;
+        ++cells;
+      }
+      if (cells != names.size()) {
+        return Status::InvalidArgument(
+            "ragged CSV row in " + path_ + ": expected " +
+            std::to_string(names.size()) + " prices, got " +
+            std::to_string(cells));
+      }
+      if (num_days % options_.chunk_days == 0) {
+        chunk_offsets_.push_back(offset);
+      }
+      ++num_days;
+    }
+    offset = static_cast<int64_t>(in.tellg());
+  }
+  if (num_days == 0) return Status::InvalidArgument("CSV has no data rows");
+  if (saw_train_end && (train_end < 0 || train_end > num_days)) {
+    return Status::InvalidArgument(
+        "#train_end=" + std::to_string(train_end) + " outside [0, " +
+        std::to_string(num_days) + "] in " + path_);
+  }
+
+  meta_.num_days = num_days;
+  meta_.num_assets = static_cast<int64_t>(names.size());
+  meta_.train_end = train_end;
+  meta_.name = path_;
+  meta_.asset_names = std::move(names);
+  return Status::OK();
+}
+
+std::shared_ptr<const PanelChunk> StreamingCsvSource::LoadChunk(
+    int64_t index) const {
+  CIT_CHECK(index >= 0 &&
+            index < static_cast<int64_t>(chunk_offsets_.size()));
+  const int64_t start_day = index * options_.chunk_days;
+  const int64_t days =
+      std::min(options_.chunk_days, meta_.num_days - start_day);
+  const int64_t m = meta_.num_assets;
+
+  auto chunk = std::make_shared<PanelChunk>();
+  chunk->start_day = start_day;
+  chunk->num_days = days;
+  chunk->num_assets = m;
+  chunk->owned.resize(static_cast<size_t>(days * m));
+
+  std::ifstream in(path_);
+  CIT_CHECK_MSG(static_cast<bool>(in), "CSV vanished between Open and fetch");
+  in.seekg(chunk_offsets_[index]);
+  std::string line;
+  int64_t row = 0;
+  while (row < days && std::getline(in, line)) {
+    StripTrailingCr(&line);
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string cell;
+    int64_t col = 0;
+    bool first = true;
+    while (std::getline(ss, cell, ',')) {
+      if (first) {
+        first = false;
+        continue;
+      }
+      double v = 0.0;
+      // Cells were validated at Open; a failure here means the file
+      // changed underneath us.
+      CIT_CHECK_MSG(ParsePriceCell(cell, &v).ok(),
+                    "CSV changed after Open (malformed cell)");
+      CIT_CHECK_LT(col, m);
+      chunk->owned[row * m + col] = v;
+      ++col;
+    }
+    CIT_CHECK_EQ(col, m);
+    ++row;
+  }
+  CIT_CHECK_EQ(row, days);
+  chunk->data = chunk->owned.data();
+  return chunk;
+}
+
+void StreamingCsvSource::TouchLocked(int64_t index) {
+  auto pos = lru_pos_.find(index);
+  if (pos != lru_pos_.end()) lru_.erase(pos->second);
+  lru_.push_front(index);
+  lru_pos_[index] = lru_.begin();
+}
+
+std::shared_ptr<const PanelChunk> StreamingCsvSource::Insert(
+    int64_t index, std::shared_ptr<const PanelChunk> chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = resident_.find(index);
+  if (it != resident_.end()) {
+    // Raced with the prefetch worker; keep the incumbent (identical data).
+    TouchLocked(index);
+    return it->second;
+  }
+  resident_bytes_ += chunk->OwnedBytes();
+  peak_resident_bytes_ = std::max(peak_resident_bytes_, resident_bytes_);
+  ++chunk_loads_;
+  resident_[index] = chunk;
+  TouchLocked(index);
+  while (static_cast<int64_t>(resident_.size()) >
+         options_.max_resident_chunks) {
+    const int64_t victim = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    auto vit = resident_.find(victim);
+    resident_bytes_ -= vit->second->OwnedBytes();
+    resident_.erase(vit);
+  }
+  return chunk;
+}
+
+std::shared_ptr<const PanelChunk> StreamingCsvSource::FetchChunk(
+    int64_t index) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = resident_.find(index);
+    if (it != resident_.end()) {
+      ++chunk_hits_;
+      TouchLocked(index);
+      return it->second;
+    }
+  }
+  // Parse outside the lock so concurrent consumers and the prefetch
+  // worker never serialize on file I/O. A duplicate concurrent load of
+  // the same chunk is benign: both parse identical bytes and Insert
+  // keeps the first.
+  return Insert(index, LoadChunk(index));
+}
+
+void StreamingCsvSource::Prefetch(int64_t first_day, int64_t last_day) {
+  if (!options_.prefetch) return;
+  first_day = std::max<int64_t>(0, first_day);
+  last_day = std::min(last_day, meta_.num_days - 1);
+  if (first_day > last_day) return;
+  const int64_t first_chunk = first_day / options_.chunk_days;
+  const int64_t last_chunk = last_day / options_.chunk_days;
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t c = first_chunk; c <= last_chunk; ++c) {
+      if (resident_.count(c) != 0) continue;
+      if (std::find(prefetch_queue_.begin(), prefetch_queue_.end(), c) !=
+          prefetch_queue_.end()) {
+        continue;
+      }
+      prefetch_queue_.push_back(c);
+      notify = true;
+    }
+  }
+  if (notify) cv_.notify_one();
+}
+
+void StreamingCsvSource::WorkerLoop() {
+  for (;;) {
+    int64_t index = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !prefetch_queue_.empty(); });
+      if (stop_) return;
+      index = prefetch_queue_.front();
+      prefetch_queue_.pop_front();
+      if (resident_.count(index) != 0) continue;
+    }
+    Insert(index, LoadChunk(index));
+  }
+}
+
+int64_t StreamingCsvSource::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+int64_t StreamingCsvSource::peak_resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_resident_bytes_;
+}
+
+int64_t StreamingCsvSource::budget_bytes() const {
+  return options_.max_resident_chunks * options_.chunk_days *
+         meta_.num_assets * static_cast<int64_t>(sizeof(double));
+}
+
+int64_t StreamingCsvSource::chunk_loads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunk_loads_;
+}
+
+int64_t StreamingCsvSource::chunk_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunk_hits_;
+}
+
+}  // namespace cit::market

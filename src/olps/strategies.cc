@@ -36,7 +36,7 @@ void OlpsStrategy::Reset() {
 }
 
 std::vector<double> OlpsStrategy::DecideWeights(
-    const market::PricePanel& panel, int64_t day) {
+    const market::PanelView& panel, int64_t day) {
   const int64_t m = panel.num_assets();
   if (!initialized_) {
     initialized_ = true;
@@ -59,7 +59,7 @@ std::vector<double> OlpsStrategy::DecideWeights(
 }
 
 std::vector<double> BuyAndHold::DecideWeights(
-    const market::PricePanel& panel, int64_t day) {
+    const market::PanelView& panel, int64_t day) {
   const int64_t m = panel.num_assets();
   if (start_day_ < 0) start_day_ = day;
   // Equal dollars invested at start_day_, held since: weight proportional
@@ -71,13 +71,13 @@ std::vector<double> BuyAndHold::DecideWeights(
   return env::NormalizeToSimplex(std::move(w));
 }
 
-std::vector<double> Crp::Rebalance(const market::PricePanel& panel, int64_t,
+std::vector<double> Crp::Rebalance(const market::PanelView& panel, int64_t,
                                    const std::vector<double>&,
                                    const std::vector<double>&) {
   return Uniform(panel.num_assets());
 }
 
-std::vector<double> Eg::Rebalance(const market::PricePanel&, int64_t,
+std::vector<double> Eg::Rebalance(const market::PanelView&, int64_t,
                                   const std::vector<double>& last_weights,
                                   const std::vector<double>& x) {
   const double denom = std::max(Dot(last_weights, x), 1e-12);
@@ -101,7 +101,7 @@ void Ons::Reset() {
   state_ready_ = false;
 }
 
-std::vector<double> Ons::Rebalance(const market::PricePanel& panel, int64_t,
+std::vector<double> Ons::Rebalance(const market::PanelView& panel, int64_t,
                                    const std::vector<double>& last_weights,
                                    const std::vector<double>& x) {
   const int64_t m = panel.num_assets();
@@ -173,7 +173,7 @@ void Up::Reset() {
   manager_wealth_.clear();
 }
 
-std::vector<double> Up::Rebalance(const market::PricePanel& panel, int64_t,
+std::vector<double> Up::Rebalance(const market::PanelView& panel, int64_t,
                                   const std::vector<double>&,
                                   const std::vector<double>& x) {
   const int64_t m = panel.num_assets();
@@ -201,7 +201,7 @@ std::vector<double> Up::Rebalance(const market::PricePanel& panel, int64_t,
   return env::NormalizeToSimplex(std::move(pooled));
 }
 
-std::vector<double> Olmar::Rebalance(const market::PricePanel& panel,
+std::vector<double> Olmar::Rebalance(const market::PanelView& panel,
                                      int64_t day,
                                      const std::vector<double>& last_weights,
                                      const std::vector<double>&) {
@@ -231,7 +231,7 @@ std::vector<double> Olmar::Rebalance(const market::PricePanel& panel,
   return ProjectToSimplex(w);
 }
 
-std::vector<double> Pamr::Rebalance(const market::PricePanel&, int64_t,
+std::vector<double> Pamr::Rebalance(const market::PanelView&, int64_t,
                                     const std::vector<double>& last_weights,
                                     const std::vector<double>& x) {
   const size_t m = x.size();
@@ -245,7 +245,7 @@ std::vector<double> Pamr::Rebalance(const market::PricePanel&, int64_t,
   return ProjectToSimplex(w);
 }
 
-std::vector<double> Rmr::Rebalance(const market::PricePanel& panel,
+std::vector<double> Rmr::Rebalance(const market::PanelView& panel,
                                    int64_t day,
                                    const std::vector<double>& last_weights,
                                    const std::vector<double>&) {
@@ -276,7 +276,7 @@ std::vector<double> Rmr::Rebalance(const market::PricePanel& panel,
   return ProjectToSimplex(w);
 }
 
-std::vector<double> Anticor::Rebalance(const market::PricePanel& panel,
+std::vector<double> Anticor::Rebalance(const market::PanelView& panel,
                                        int64_t day,
                                        const std::vector<double>& last_weights,
                                        const std::vector<double>&) {
@@ -363,7 +363,7 @@ std::vector<double> LogOptimalPortfolio(
   return b;
 }
 
-std::vector<double> Corn::Rebalance(const market::PricePanel& panel,
+std::vector<double> Corn::Rebalance(const market::PanelView& panel,
                                     int64_t day,
                                     const std::vector<double>& last_weights,
                                     const std::vector<double>&) {
@@ -397,7 +397,7 @@ std::vector<double> Corn::Rebalance(const market::PricePanel& panel,
   return LogOptimalPortfolio(similar_next_days, {}, opt_iters_);
 }
 
-std::vector<double> BestStock::Rebalance(const market::PricePanel& panel,
+std::vector<double> BestStock::Rebalance(const market::PanelView& panel,
                                          int64_t day,
                                          const std::vector<double>&,
                                          const std::vector<double>&) {
@@ -418,7 +418,7 @@ std::vector<double> BestStock::Rebalance(const market::PricePanel& panel,
 }
 
 std::vector<double> FollowTheLeader::Rebalance(
-    const market::PricePanel& panel, int64_t day,
+    const market::PanelView& panel, int64_t day,
     const std::vector<double>& last_weights, const std::vector<double>&) {
   const int64_t m = panel.num_assets();
   std::vector<std::vector<double>> history;

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "env/backtest.h"
-#include "market/panel.h"
+#include "market/source.h"
 #include "math/rng.h"
 
 namespace cit::olps {
@@ -19,7 +19,8 @@ class OlpsStrategy : public env::TradingAgent {
  public:
   void Reset() override;
 
-  std::vector<double> DecideWeights(const market::PricePanel& panel,
+  using env::TradingAgent::DecideWeights;
+  std::vector<double> DecideWeights(const market::PanelView& panel,
                                     int64_t day) final;
 
  protected:
@@ -27,7 +28,7 @@ class OlpsStrategy : public env::TradingAgent {
   // `last_relatives` the realized price relatives since then (empty on the
   // first call after the initial uniform period).
   virtual std::vector<double> Rebalance(
-      const market::PricePanel& panel, int64_t day,
+      const market::PanelView& panel, int64_t day,
       const std::vector<double>& last_weights,
       const std::vector<double>& last_relatives) = 0;
 
@@ -43,7 +44,8 @@ class BuyAndHold : public env::TradingAgent {
  public:
   std::string name() const override { return "Market"; }
   void Reset() override { start_day_ = -1; }
-  std::vector<double> DecideWeights(const market::PricePanel& panel,
+  using env::TradingAgent::DecideWeights;
+  std::vector<double> DecideWeights(const market::PanelView& panel,
                                     int64_t day) override;
 
  private:
@@ -57,7 +59,7 @@ class Crp : public OlpsStrategy {
   std::string name() const override { return "CRP"; }
 
  protected:
-  std::vector<double> Rebalance(const market::PricePanel&, int64_t,
+  std::vector<double> Rebalance(const market::PanelView&, int64_t,
                                 const std::vector<double>&,
                                 const std::vector<double>&) override;
 };
@@ -70,7 +72,7 @@ class Eg : public OlpsStrategy {
   std::string name() const override { return "EG"; }
 
  protected:
-  std::vector<double> Rebalance(const market::PricePanel&, int64_t,
+  std::vector<double> Rebalance(const market::PanelView&, int64_t,
                                 const std::vector<double>& last_weights,
                                 const std::vector<double>& last_relatives)
       override;
@@ -88,7 +90,7 @@ class Ons : public OlpsStrategy {
   void Reset() override;
 
  protected:
-  std::vector<double> Rebalance(const market::PricePanel&, int64_t,
+  std::vector<double> Rebalance(const market::PanelView&, int64_t,
                                 const std::vector<double>& last_weights,
                                 const std::vector<double>& last_relatives)
       override;
@@ -112,7 +114,7 @@ class Up : public OlpsStrategy {
   void Reset() override;
 
  protected:
-  std::vector<double> Rebalance(const market::PricePanel&, int64_t,
+  std::vector<double> Rebalance(const market::PanelView&, int64_t,
                                 const std::vector<double>&,
                                 const std::vector<double>& last_relatives)
       override;
@@ -134,7 +136,7 @@ class Olmar : public OlpsStrategy {
   std::string name() const override { return "OLMAR"; }
 
  protected:
-  std::vector<double> Rebalance(const market::PricePanel& panel, int64_t day,
+  std::vector<double> Rebalance(const market::PanelView& panel, int64_t day,
                                 const std::vector<double>& last_weights,
                                 const std::vector<double>&) override;
 
@@ -150,7 +152,7 @@ class Pamr : public OlpsStrategy {
   std::string name() const override { return "PAMR"; }
 
  protected:
-  std::vector<double> Rebalance(const market::PricePanel&, int64_t,
+  std::vector<double> Rebalance(const market::PanelView&, int64_t,
                                 const std::vector<double>& last_weights,
                                 const std::vector<double>& last_relatives)
       override;
@@ -168,7 +170,7 @@ class Rmr : public OlpsStrategy {
   std::string name() const override { return "RMR"; }
 
  protected:
-  std::vector<double> Rebalance(const market::PricePanel& panel, int64_t day,
+  std::vector<double> Rebalance(const market::PanelView& panel, int64_t day,
                                 const std::vector<double>& last_weights,
                                 const std::vector<double>&) override;
 
@@ -185,7 +187,7 @@ class Anticor : public OlpsStrategy {
   std::string name() const override { return "Anticor"; }
 
  protected:
-  std::vector<double> Rebalance(const market::PricePanel& panel, int64_t day,
+  std::vector<double> Rebalance(const market::PanelView& panel, int64_t day,
                                 const std::vector<double>& last_weights,
                                 const std::vector<double>&) override;
 
@@ -204,7 +206,7 @@ class Corn : public OlpsStrategy {
   std::string name() const override { return "CORN"; }
 
  protected:
-  std::vector<double> Rebalance(const market::PricePanel& panel, int64_t day,
+  std::vector<double> Rebalance(const market::PanelView& panel, int64_t day,
                                 const std::vector<double>& last_weights,
                                 const std::vector<double>&) override;
 
@@ -222,7 +224,7 @@ class BestStock : public OlpsStrategy {
   std::string name() const override { return "BestStock"; }
 
  protected:
-  std::vector<double> Rebalance(const market::PricePanel& panel, int64_t day,
+  std::vector<double> Rebalance(const market::PanelView& panel, int64_t day,
                                 const std::vector<double>&,
                                 const std::vector<double>&) override;
 
@@ -240,7 +242,7 @@ class FollowTheLeader : public OlpsStrategy {
   std::string name() const override { return "FTL"; }
 
  protected:
-  std::vector<double> Rebalance(const market::PricePanel& panel, int64_t day,
+  std::vector<double> Rebalance(const market::PanelView& panel, int64_t day,
                                 const std::vector<double>& last_weights,
                                 const std::vector<double>&) override;
 

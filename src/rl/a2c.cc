@@ -41,11 +41,11 @@ void A2cAgent::Reset() {
   held_.assign(num_assets_, 1.0 / static_cast<double>(num_assets_));
 }
 
-Tensor A2cAgent::ExtraState(const market::PricePanel&, int64_t) const {
+Tensor A2cAgent::ExtraState(const market::PanelView&, int64_t) const {
   return Tensor();
 }
 
-ag::Var A2cAgent::PolicyInput(const market::PricePanel& panel, int64_t day,
+ag::Var A2cAgent::PolicyInput(const market::PanelView& panel, int64_t day,
                               const std::vector<double>& held) const {
   Tensor window = FlatWindow(panel, day, config_.window);
   Tensor prev({num_assets_});
@@ -64,12 +64,18 @@ ag::Var A2cAgent::PolicyInput(const market::PricePanel& panel, int64_t day,
 
 std::vector<double> A2cAgent::Train(const market::PricePanel& panel,
                                     int64_t curve_points) {
+  market::InMemorySource source(&panel);
+  return Train(market::PanelView(&source), curve_points);
+}
+
+std::vector<double> A2cAgent::Train(const market::PanelView& panel,
+                                    int64_t curve_points) {
   CIT_CHECK_GT(panel.train_end(), config_.window + config_.rollout_len + 2);
   env::EnvConfig env_config;
   env_config.window = config_.window;
   env_config.transaction_cost = config_.transaction_cost;
   env_config.end_day = panel.train_end() - 1;
-  env::PortfolioEnv env(&panel, env_config);
+  env::PortfolioEnv env(panel, env_config);
 
   const int64_t curve_every =
       std::max<int64_t>(1, config_.train_steps / curve_points);
@@ -253,7 +259,7 @@ Status A2cAgent::LoadCheckpoint(const std::string& path) {
   return LoadTrainerCheckpoint(parts, path);
 }
 
-std::vector<double> A2cAgent::DecideWeights(const market::PricePanel& panel,
+std::vector<double> A2cAgent::DecideWeights(const market::PanelView& panel,
                                             int64_t day) {
   ag::NoGradGuard no_grad;
   // The state parts are built here (not inside the compiled forward) so

@@ -7,7 +7,7 @@
 
 #include "common/status.h"
 #include "env/backtest.h"
-#include "market/panel.h"
+#include "market/source.h"
 #include "math/plan.h"
 #include "math/rng.h"
 #include "nn/checkpoint.h"
@@ -31,13 +31,17 @@ class A2cAgent : public env::TradingAgent {
 
   // Trains on the panel's training split (days < train_end). Returns the
   // average training reward per rollout (a learning-curve sample per
-  // `curve_points` evenly spaced checkpoints).
+  // `curve_points` evenly spaced checkpoints). The PricePanel overload
+  // wraps the panel in a temporary InMemorySource.
+  std::vector<double> Train(const market::PanelView& panel,
+                            int64_t curve_points = 20);
   std::vector<double> Train(const market::PricePanel& panel,
                             int64_t curve_points = 20);
 
   std::string name() const override { return "A2C"; }
   void Reset() override;
-  std::vector<double> DecideWeights(const market::PricePanel& panel,
+  using env::TradingAgent::DecideWeights;
+  std::vector<double> DecideWeights(const market::PanelView& panel,
                                     int64_t day) override;
 
   // Full crash-safe training state (weights + Adam states + progress),
@@ -55,13 +59,13 @@ class A2cAgent : public env::TradingAgent {
 
   // Extra state features appended to the flattened window + held weights;
   // must return a tensor of shape [extra_state_dim].
-  virtual Tensor ExtraState(const market::PricePanel& panel,
+  virtual Tensor ExtraState(const market::PanelView& panel,
                             int64_t day) const;
 
   // Builds the state input from the flattened window, the given previously
   // held weights, and ExtraState(). Takes `held` explicitly (rather than
   // reading held_) so parallel rollout slots can pass their own copies.
-  ag::Var PolicyInput(const market::PricePanel& panel, int64_t day,
+  ag::Var PolicyInput(const market::PanelView& panel, int64_t day,
                       const std::vector<double>& held) const;
 
   // Actor + critic + log_std under stable names — the checkpoint parameter

@@ -39,7 +39,7 @@ void DdpgAgent::Reset() {
   held_.assign(num_assets_, 1.0 / static_cast<double>(num_assets_));
 }
 
-Tensor DdpgAgent::StateTensor(const market::PricePanel& panel,
+Tensor DdpgAgent::StateTensor(const market::PanelView& panel,
                               int64_t day) const {
   Tensor window = FlatWindow(panel, day, config_.window);
   Tensor state({config_.window * num_assets_ + num_assets_});
@@ -116,11 +116,17 @@ void DdpgAgent::UpdateFromReplay() {
 
 std::vector<double> DdpgAgent::Train(const market::PricePanel& panel,
                                      int64_t curve_points) {
+  market::InMemorySource source(&panel);
+  return Train(market::PanelView(&source), curve_points);
+}
+
+std::vector<double> DdpgAgent::Train(const market::PanelView& panel,
+                                     int64_t curve_points) {
   env::EnvConfig env_config;
   env_config.window = config_.window;
   env_config.transaction_cost = config_.transaction_cost;
   env_config.end_day = panel.train_end() - 1;
-  env::PortfolioEnv env(&panel, env_config);
+  env::PortfolioEnv env(panel, env_config);
   env.ResetAt(env.earliest_start());
   Reset();
 
@@ -390,7 +396,7 @@ Status DdpgAgent::LoadCheckpoint(const std::string& path) {
   return Status::OK();
 }
 
-std::vector<double> DdpgAgent::DecideWeights(const market::PricePanel& panel,
+std::vector<double> DdpgAgent::DecideWeights(const market::PanelView& panel,
                                              int64_t day) {
   ag::NoGradGuard no_grad;
   Tensor state = StateTensor(panel, day);

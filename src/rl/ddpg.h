@@ -8,7 +8,7 @@
 #include "common/status.h"
 #include "env/backtest.h"
 #include "env/portfolio_env.h"
-#include "market/panel.h"
+#include "market/source.h"
 #include "math/plan.h"
 #include "math/rng.h"
 #include "nn/checkpoint.h"
@@ -37,12 +37,15 @@ class DdpgAgent : public env::TradingAgent {
 
   DdpgAgent(int64_t num_assets, const DdpgConfig& config);
 
+  std::vector<double> Train(const market::PanelView& panel,
+                            int64_t curve_points = 20);
   std::vector<double> Train(const market::PricePanel& panel,
                             int64_t curve_points = 20);
 
   std::string name() const override { return "DDPG"; }
   void Reset() override;
-  std::vector<double> DecideWeights(const market::PricePanel& panel,
+  using env::TradingAgent::DecideWeights;
+  std::vector<double> DecideWeights(const market::PanelView& panel,
                                     int64_t day) override;
 
   // Full crash-safe training state, written atomically; driven by
@@ -63,7 +66,7 @@ class DdpgAgent : public env::TradingAgent {
     Tensor next_state;
   };
 
-  Tensor StateTensor(const market::PricePanel& panel, int64_t day) const;
+  Tensor StateTensor(const market::PanelView& panel, int64_t day) const;
   void UpdateFromReplay();
 
   // All four networks under stable names — the checkpoint parameter set.

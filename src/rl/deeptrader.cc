@@ -43,7 +43,7 @@ ag::Var DeepTraderAgent::ScoresFromWindow(const Tensor& window) const {
   return ag::Reshape(score_head_->Forward(last), {num_assets_});
 }
 
-ag::Var DeepTraderAgent::AssetScores(const market::PricePanel& panel,
+ag::Var DeepTraderAgent::AssetScores(const market::PanelView& panel,
                                      int64_t day) const {
   return ScoresFromWindow(NormalizedWindow(panel, day, config_.window));
 }
@@ -63,7 +63,7 @@ ag::Var DeepTraderAgent::RhoFromIndex(const Tensor& index) const {
   return ag::Sigmoid(logit);  // [1]
 }
 
-ag::Var DeepTraderAgent::MarketRho(const market::PricePanel& panel,
+ag::Var DeepTraderAgent::MarketRho(const market::PanelView& panel,
                                    int64_t day) const {
   // Market feature: the cross-asset average normalized window (a synthetic
   // index window), the stand-in for the paper's market-condition embedding.
@@ -81,19 +81,25 @@ ag::Var DeepTraderAgent::WeightsFromInputs(const Tensor& window,
   return ag::Softmax(ag::Mul(scores, gain));
 }
 
-ag::Var DeepTraderAgent::Weights(const market::PricePanel& panel,
+ag::Var DeepTraderAgent::Weights(const market::PanelView& panel,
                                  int64_t day) const {
   Tensor window = NormalizedWindow(panel, day, config_.window);
   return WeightsFromInputs(window, IndexWindow(window));
 }
 
-double DeepTraderAgent::RiskAppetite(const market::PricePanel& panel,
+double DeepTraderAgent::RiskAppetite(const market::PanelView& panel,
                                      int64_t day) const {
   ag::NoGradGuard no_grad;
   return MarketRho(panel, day).value().Item();
 }
 
 std::vector<double> DeepTraderAgent::Train(const market::PricePanel& panel,
+                                           int64_t curve_points) {
+  market::InMemorySource source(&panel);
+  return Train(market::PanelView(&source), curve_points);
+}
+
+std::vector<double> DeepTraderAgent::Train(const market::PanelView& panel,
                                            int64_t curve_points) {
   CIT_CHECK_GT(panel.train_end(),
                config_.window + config_.segment_len + 2);
@@ -152,7 +158,7 @@ std::vector<double> DeepTraderAgent::Train(const market::PricePanel& panel,
 }
 
 std::vector<double> DeepTraderAgent::DecideWeights(
-    const market::PricePanel& panel, int64_t day) {
+    const market::PanelView& panel, int64_t day) {
   ag::NoGradGuard no_grad;
   Tensor window = NormalizedWindow(panel, day, config_.window);
   Tensor index = IndexWindow(window);

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "env/backtest.h"
-#include "market/panel.h"
+#include "market/source.h"
 #include "math/plan.h"
 #include "math/rng.h"
 #include "nn/conv.h"
@@ -35,21 +35,24 @@ class DeepTraderAgent : public env::TradingAgent {
 
   DeepTraderAgent(int64_t num_assets, const DeepTraderConfig& config);
 
+  std::vector<double> Train(const market::PanelView& panel,
+                            int64_t curve_points = 20);
   std::vector<double> Train(const market::PricePanel& panel,
                             int64_t curve_points = 20);
 
   std::string name() const override { return "DeepTrader"; }
   void Reset() override;
-  std::vector<double> DecideWeights(const market::PricePanel& panel,
+  using env::TradingAgent::DecideWeights;
+  std::vector<double> DecideWeights(const market::PanelView& panel,
                                     int64_t day) override;
 
   // Exposed for tests/diagnostics: the market unit's risk appetite at day.
-  double RiskAppetite(const market::PricePanel& panel, int64_t day) const;
+  double RiskAppetite(const market::PanelView& panel, int64_t day) const;
 
  private:
-  ag::Var AssetScores(const market::PricePanel& panel, int64_t day) const;
-  ag::Var MarketRho(const market::PricePanel& panel, int64_t day) const;
-  ag::Var Weights(const market::PricePanel& panel, int64_t day) const;
+  ag::Var AssetScores(const market::PanelView& panel, int64_t day) const;
+  ag::Var MarketRho(const market::PanelView& panel, int64_t day) const;
+  ag::Var Weights(const market::PanelView& panel, int64_t day) const;
 
   // The cross-asset average of a normalized [m, 1, z] window: the
   // synthetic index window feeding the market scoring unit.

@@ -30,7 +30,7 @@ void EiieAgent::Reset() {
   held_.assign(num_assets_, 1.0 / static_cast<double>(num_assets_));
 }
 
-ag::Var EiieAgent::Scores(const market::PricePanel& panel, int64_t day,
+ag::Var EiieAgent::Scores(const market::PanelView& panel, int64_t day,
                           const ag::Var& prev_weights) const {
   return ScoresFromWindow(NormalizedWindow(panel, day, config_.window),
                           prev_weights);
@@ -51,6 +51,12 @@ ag::Var EiieAgent::ScoresFromWindow(const Tensor& window,
 }
 
 std::vector<double> EiieAgent::Train(const market::PricePanel& panel,
+                                     int64_t curve_points) {
+  market::InMemorySource source(&panel);
+  return Train(market::PanelView(&source), curve_points);
+}
+
+std::vector<double> EiieAgent::Train(const market::PanelView& panel,
                                      int64_t curve_points) {
   CIT_CHECK_GT(panel.train_end(),
                config_.window + config_.segment_len + 2);
@@ -108,7 +114,7 @@ std::vector<double> EiieAgent::Train(const market::PricePanel& panel,
   return curve;
 }
 
-std::vector<double> EiieAgent::DecideWeights(const market::PricePanel& panel,
+std::vector<double> EiieAgent::DecideWeights(const market::PanelView& panel,
                                              int64_t day) {
   ag::NoGradGuard no_grad;
   Tensor window = NormalizedWindow(panel, day, config_.window);

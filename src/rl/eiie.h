@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "env/backtest.h"
-#include "market/panel.h"
+#include "market/source.h"
 #include "math/plan.h"
 #include "math/rng.h"
 #include "nn/conv.h"
@@ -33,17 +33,20 @@ class EiieAgent : public env::TradingAgent {
 
   EiieAgent(int64_t num_assets, const EiieConfig& config);
 
+  std::vector<double> Train(const market::PanelView& panel,
+                            int64_t curve_points = 20);
   std::vector<double> Train(const market::PricePanel& panel,
                             int64_t curve_points = 20);
 
   std::string name() const override { return "EIIE"; }
   void Reset() override;
-  std::vector<double> DecideWeights(const market::PricePanel& panel,
+  using env::TradingAgent::DecideWeights;
+  std::vector<double> DecideWeights(const market::PanelView& panel,
                                     int64_t day) override;
 
  private:
   // Scores for all assets given the window and previous weights (Var [m]).
-  ag::Var Scores(const market::PricePanel& panel, int64_t day,
+  ag::Var Scores(const market::PanelView& panel, int64_t day,
                  const ag::Var& prev_weights) const;
 
   // Same scores with the normalized window already materialized, so

@@ -5,7 +5,7 @@
 
 namespace cit::rl {
 
-Tensor NormalizedWindow(const market::PricePanel& panel, int64_t day,
+Tensor NormalizedWindow(const market::PanelView& panel, int64_t day,
                         int64_t window, float scale) {
   CIT_CHECK_GE(day, window - 1);
   CIT_CHECK_LT(day, panel.num_days());
@@ -21,7 +21,7 @@ Tensor NormalizedWindow(const market::PricePanel& panel, int64_t day,
   return out;
 }
 
-Tensor FlatWindow(const market::PricePanel& panel, int64_t day,
+Tensor FlatWindow(const market::PanelView& panel, int64_t day,
                   int64_t window, float scale) {
   CIT_CHECK_GE(day, window - 1);
   const int64_t m = panel.num_assets();
@@ -36,7 +36,7 @@ Tensor FlatWindow(const market::PricePanel& panel, int64_t day,
   return out;
 }
 
-std::vector<Tensor> HorizonBandWindows(const market::PricePanel& panel,
+std::vector<Tensor> HorizonBandWindows(const market::PanelView& panel,
                                        int64_t day, int64_t window,
                                        int64_t num_bands, float scale) {
   CIT_CHECK_GE(day, window - 1);

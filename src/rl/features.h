@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "market/panel.h"
+#include "market/source.h"
 #include "math/tensor.h"
 
 namespace cit::rl {
@@ -15,19 +15,19 @@ using math::Tensor;
 //   v(i, k) = p_i(day - z + 1 + k) / p_i(day) - 1, scaled by `scale`.
 // Returned as [num_assets, 1, window] (assets = conv batch, 1 channel) —
 // the layout consumed by Tcn/Gru backbones. Requires day >= window - 1.
-Tensor NormalizedWindow(const market::PricePanel& panel, int64_t day,
+Tensor NormalizedWindow(const market::PanelView& panel, int64_t day,
                         int64_t window, float scale = 10.0f);
 
 // Same window flattened to [window * num_assets] (time-major) for MLP
 // baselines.
-Tensor FlatWindow(const market::PricePanel& panel, int64_t day,
+Tensor FlatWindow(const market::PanelView& panel, int64_t day,
                   int64_t window, float scale = 10.0f);
 
 // Splits the normalized window of every asset into `num_bands` horizon
 // sub-series with the Haar DWT (paper Sec. IV-A). Returns num_bands tensors
 // of shape [num_assets, 1, window]; element 0 is the longest horizon.
 // The bands of each asset sum to its original normalized window.
-std::vector<Tensor> HorizonBandWindows(const market::PricePanel& panel,
+std::vector<Tensor> HorizonBandWindows(const market::PanelView& panel,
                                        int64_t day, int64_t window,
                                        int64_t num_bands,
                                        float scale = 10.0f);

@@ -35,7 +35,7 @@ void PpoAgent::Reset() {
   held_.assign(num_assets_, 1.0 / static_cast<double>(num_assets_));
 }
 
-Tensor PpoAgent::StateTensor(const market::PricePanel& panel, int64_t day,
+Tensor PpoAgent::StateTensor(const market::PanelView& panel, int64_t day,
                              const std::vector<double>& held) const {
   Tensor window = FlatWindow(panel, day, config_.window);
   Tensor state({config_.window * num_assets_ + num_assets_});
@@ -48,12 +48,18 @@ Tensor PpoAgent::StateTensor(const market::PricePanel& panel, int64_t day,
 
 std::vector<double> PpoAgent::Train(const market::PricePanel& panel,
                                     int64_t curve_points) {
+  market::InMemorySource source(&panel);
+  return Train(market::PanelView(&source), curve_points);
+}
+
+std::vector<double> PpoAgent::Train(const market::PanelView& panel,
+                                    int64_t curve_points) {
   CIT_CHECK_GT(panel.train_end(), config_.window + config_.rollout_len + 2);
   env::EnvConfig env_config;
   env_config.window = config_.window;
   env_config.transaction_cost = config_.transaction_cost;
   env_config.end_day = panel.train_end() - 1;
-  env::PortfolioEnv env(&panel, env_config);
+  env::PortfolioEnv env(panel, env_config);
 
   const int64_t curve_every =
       std::max<int64_t>(1, config_.train_steps / curve_points);
@@ -262,7 +268,7 @@ Status PpoAgent::LoadCheckpoint(const std::string& path) {
   return LoadTrainerCheckpoint(parts, path);
 }
 
-std::vector<double> PpoAgent::DecideWeights(const market::PricePanel& panel,
+std::vector<double> PpoAgent::DecideWeights(const market::PanelView& panel,
                                             int64_t day) {
   ag::NoGradGuard no_grad;
   Tensor state = StateTensor(panel, day, held_);

@@ -7,7 +7,7 @@
 
 #include "common/status.h"
 #include "env/backtest.h"
-#include "market/panel.h"
+#include "market/source.h"
 #include "math/plan.h"
 #include "math/rng.h"
 #include "nn/checkpoint.h"
@@ -31,12 +31,15 @@ class PpoAgent : public env::TradingAgent {
 
   PpoAgent(int64_t num_assets, const PpoConfig& config);
 
+  std::vector<double> Train(const market::PanelView& panel,
+                            int64_t curve_points = 20);
   std::vector<double> Train(const market::PricePanel& panel,
                             int64_t curve_points = 20);
 
   std::string name() const override { return "PPO"; }
   void Reset() override;
-  std::vector<double> DecideWeights(const market::PricePanel& panel,
+  using env::TradingAgent::DecideWeights;
+  std::vector<double> DecideWeights(const market::PanelView& panel,
                                     int64_t day) override;
 
   // Full crash-safe training state (weights + Adam states + progress),
@@ -49,7 +52,7 @@ class PpoAgent : public env::TradingAgent {
  private:
   // Takes `held` explicitly (rather than reading held_) so parallel
   // rollout slots can pass their own copies.
-  Tensor StateTensor(const market::PricePanel& panel, int64_t day,
+  Tensor StateTensor(const market::PanelView& panel, int64_t day,
                      const std::vector<double>& held) const;
 
   // Actor + critic + log_std under stable names — the checkpoint parameter

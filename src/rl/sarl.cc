@@ -15,7 +15,7 @@ SarlAgent::SarlAgent(int64_t num_assets, const RlTrainConfig& config)
   predictor_steps_ = std::max<int64_t>(50, config.train_steps / 2);
 }
 
-Tensor SarlAgent::PredictMovement(const market::PricePanel& panel,
+Tensor SarlAgent::PredictMovement(const market::PanelView& panel,
                                   int64_t day) const {
   // Shared logistic predictor applied to every asset's normalized window.
   // Only the probabilities leave this function (they re-enter the policy
@@ -28,12 +28,12 @@ Tensor SarlAgent::PredictMovement(const market::PricePanel& panel,
   return probs.value().Reshape({num_assets_});
 }
 
-Tensor SarlAgent::ExtraState(const market::PricePanel& panel,
+Tensor SarlAgent::ExtraState(const market::PanelView& panel,
                              int64_t day) const {
   return PredictMovement(panel, day);
 }
 
-void SarlAgent::TrainPredictor(const market::PricePanel& panel) {
+void SarlAgent::TrainPredictor(const market::PanelView& panel) {
   const int64_t lo = config_.window;
   const int64_t hi = panel.train_end() - 2;
   CIT_CHECK_GT(hi, lo);
@@ -62,6 +62,12 @@ void SarlAgent::TrainPredictor(const market::PricePanel& panel) {
 }
 
 std::vector<double> SarlAgent::Train(const market::PricePanel& panel,
+                                     int64_t curve_points) {
+  market::InMemorySource source(&panel);
+  return Train(market::PanelView(&source), curve_points);
+}
+
+std::vector<double> SarlAgent::Train(const market::PanelView& panel,
                                      int64_t curve_points) {
   TrainPredictor(panel);
   return A2cAgent::Train(panel, curve_points);

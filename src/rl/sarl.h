@@ -24,18 +24,20 @@ class SarlAgent : public A2cAgent {
   std::string name() const override { return "SARL"; }
 
   // Pre-trains the movement predictor, then runs A2C training.
+  std::vector<double> Train(const market::PanelView& panel,
+                            int64_t curve_points = 20);
   std::vector<double> Train(const market::PricePanel& panel,
                             int64_t curve_points = 20);
 
   // Exposed for tests: predicted up-probabilities for all assets at `day`.
-  Tensor PredictMovement(const market::PricePanel& panel, int64_t day) const;
+  Tensor PredictMovement(const market::PanelView& panel, int64_t day) const;
 
  protected:
-  Tensor ExtraState(const market::PricePanel& panel,
+  Tensor ExtraState(const market::PanelView& panel,
                     int64_t day) const override;
 
  private:
-  void TrainPredictor(const market::PricePanel& panel);
+  void TrainPredictor(const market::PanelView& panel);
 
   std::unique_ptr<nn::Linear> predictor_;  // [window] -> 1 logit, shared
   std::unique_ptr<nn::Adam> predictor_opt_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/trader.h"
+#include "market/source.h"
 
 namespace cit::serve {
 
@@ -21,13 +22,15 @@ class CitServedModel : public ServedModel {
 
   Result<std::vector<double>> Decide(
       const market::PricePanel& panel) override {
-    // Request panels live on the worker's stack, so their addresses
-    // recycle across requests; the feature cache keys on panel address and
-    // must not survive into the next request. Reset() drops the held
-    // actions, making every request an independent first decision.
-    trader_.ClearFeatureCache();
+    // Each request panel gets a fresh source (and monotonic source id), so
+    // the source-keyed feature cache never serves a previous request's
+    // features even though the panel's stack address recycles. Reset()
+    // drops the held actions, making every request an independent first
+    // decision.
+    market::InMemorySource source(&panel);
     trader_.Reset();
-    return trader_.DecideWeights(panel, panel.num_days() - 1);
+    return trader_.DecideWeights(market::PanelView(&source),
+                                 panel.num_days() - 1);
   }
 
   std::vector<Result<std::vector<double>>> DecideBatch(

@@ -268,7 +268,7 @@ TEST(PortfolioEnv, WindowContentsMatchPanel) {
 class UniformAgent : public TradingAgent {
  public:
   std::string name() const override { return "uniform"; }
-  std::vector<double> DecideWeights(const market::PricePanel& panel,
+  std::vector<double> DecideWeights(const market::PanelView& panel,
                                     int64_t) override {
     return std::vector<double>(panel.num_assets(),
                                1.0 / panel.num_assets());
@@ -305,7 +305,7 @@ TEST(Backtest, TestSplitStartsAtTrainEnd) {
 class NanEveryOtherAgent : public TradingAgent {
  public:
   std::string name() const override { return "nan-agent"; }
-  std::vector<double> DecideWeights(const market::PricePanel& panel,
+  std::vector<double> DecideWeights(const market::PanelView& panel,
                                     int64_t) override {
     ++calls_;
     if (calls_ % 2 == 0) {
@@ -342,7 +342,7 @@ TEST(Backtest, RepairsInvalidAgentActionsInsteadOfAborting) {
 class AllInFirstAssetAgent : public TradingAgent {
  public:
   std::string name() const override { return "all-in-first"; }
-  std::vector<double> DecideWeights(const market::PricePanel& panel,
+  std::vector<double> DecideWeights(const market::PanelView& panel,
                                     int64_t) override {
     std::vector<double> w(panel.num_assets(), 0.0);
     w[0] = 1.0;

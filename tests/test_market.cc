@@ -28,6 +28,33 @@ TEST(PricePanel, PriceRelative) {
   EXPECT_NEAR(p.PriceRelative(2, 0), 0.9, 1e-12);
 }
 
+// Regression: a zeroed quote (halted day), a NaN cell, or a delisting
+// used to feed a division by zero / non-finite relative into the env.
+// The halted convention parks capital: the relative is exactly 1.0 on
+// both transitions (into and out of the bad day), never Inf or NaN.
+TEST(PricePanel, PriceRelativeHaltedDaysAreExactlyOne) {
+  PricePanel p(5, 1);
+  p.SetClose(0, 0, 100.0);
+  p.SetClose(1, 0, 0.0);  // halted / zeroed quote
+  p.SetClose(2, 0, 120.0);
+  p.SetClose(3, 0, std::nan(""));  // missing cell
+  p.SetClose(4, 0, 90.0);
+  EXPECT_EQ(p.PriceRelative(1, 0), 1.0);
+  EXPECT_EQ(p.PriceRelative(2, 0), 1.0);
+  EXPECT_EQ(p.PriceRelative(3, 0), 1.0);
+  EXPECT_EQ(p.PriceRelative(4, 0), 1.0);
+  // A frozen (stale) quote is exactly 1.0 too: IEEE guarantees p/p == 1.
+  PricePanel q(2, 1);
+  q.SetClose(0, 0, 37.123456789);
+  q.SetClose(1, 0, 37.123456789);
+  EXPECT_EQ(q.PriceRelative(1, 0), 1.0);
+  // Negative prices are treated as missing, not divided through.
+  PricePanel r(2, 1);
+  r.SetClose(0, 0, -5.0);
+  r.SetClose(1, 0, 10.0);
+  EXPECT_EQ(r.PriceRelative(1, 0), 1.0);
+}
+
 TEST(PricePanel, IndexLevelsEqualWeightBuyAndHold) {
   PricePanel p(3, 2);
   p.SetClose(0, 0, 100.0);

@@ -405,7 +405,7 @@ TEST(Obs, BacktestRepairedStepsCounterMatchesResult) {
   class NanAgent : public env::TradingAgent {
    public:
     std::string name() const override { return "nan"; }
-    std::vector<double> DecideWeights(const market::PricePanel& panel,
+    std::vector<double> DecideWeights(const market::PanelView& panel,
                                       int64_t) override {
       ++calls_;
       if (calls_ % 2 == 0) {
